@@ -1,0 +1,71 @@
+//! Criterion microbenchmarks for the Table 3 primitives and the Fig. 1
+//! pointer-dereference cost (quick, statistically sampled versions of the
+//! corresponding harness binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pm_datastructures::fatptr::{
+    build_fat_list, build_native_list, traverse_fat_list, traverse_native_list, Arena,
+};
+use puddles_bench::test_env;
+
+fn bench_tx_primitives(c: &mut Criterion) {
+    let (_tmp, _daemon, client) = test_env();
+    let pool = client
+        .create_pool("criterion", puddles::PoolOptions::default())
+        .unwrap();
+    let buffer = pool.tx(|tx| pool.alloc_raw(tx, 4096, 0)).unwrap();
+
+    c.bench_function("puddles/tx_nop", |b| {
+        b.iter(|| client.tx(|_tx| Ok(())).unwrap())
+    });
+    c.bench_function("puddles/tx_add_8B", |b| {
+        b.iter(|| {
+            client
+                .tx(|tx| {
+                    tx.add_range(buffer, 8)?;
+                    Ok(())
+                })
+                .unwrap()
+        })
+    });
+
+    let tmp = tempfile::tempdir().unwrap();
+    let pmdk = pmdk_sim::PmdkPool::create(tmp.path().join("c.pmdk"), 64 << 20).unwrap();
+    let target: pmdk_sim::Toid<[u8; 4096]> = pmdk.tx(|tx| tx.alloc([0u8; 4096])).unwrap();
+    c.bench_function("pmdk/tx_nop", |b| b.iter(|| pmdk.tx(|_tx| Ok(())).unwrap()));
+    c.bench_function("pmdk/tx_add_8B", |b| {
+        b.iter(|| {
+            pmdk.tx(|tx| {
+                tx.log_range(target.direct() as usize, 8)?;
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+}
+
+fn bench_pointer_traversal(c: &mut Criterion) {
+    let n = 1 << 14;
+    let mut a = Arena::new(n * 64);
+    let native = build_native_list(&mut a, n);
+    let mut b_arena = Arena::new(n * 64);
+    let fat = build_fat_list(&mut b_arena, n);
+    c.bench_function("fig1/native_list_traverse", |b| {
+        b.iter(|| traverse_native_list(native))
+    });
+    c.bench_function("fig1/fat_list_traverse", |b| b.iter(|| traverse_fat_list(fat)));
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tx_primitives, bench_pointer_traversal
+}
+criterion_main!(benches);

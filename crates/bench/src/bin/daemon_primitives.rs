@@ -1,0 +1,106 @@
+//! §5.1 "Daemon primitives": round-trip latency of daemon operations
+//! (no-op ping, RegLogSpace, GetNewPuddle, GetExistPuddle, recovery) over
+//! both the in-process endpoint and a real UNIX-domain socket.
+
+use puddles_bench::{emit_header, emit_row, test_env, time_it, Scale};
+use puddles_proto::{PuddlePurpose, Request, Response};
+
+fn main() {
+    let scale = Scale::from_args();
+    let iters = scale.pick(200u64, 5_000u64);
+
+    emit_header();
+    let (_tmp, daemon, client) = test_env();
+
+    // In-process no-op round trip.
+    let (d, _) = time_it(|| {
+        for _ in 0..iters {
+            client.ping().unwrap();
+        }
+    });
+    emit_row("daemon", "local", "noop_rtt_us", "-", d.as_micros() as f64 / iters as f64);
+
+    // UDS no-op round trip (the paper reports ~47 µs).
+    let sock = _tmp.path().join("bench.sock");
+    let _server = puddled::UdsServer::start(daemon.clone(), &sock).unwrap();
+    let uds_client =
+        puddles::PuddleClient::connect_uds_shared(&sock, daemon.global_space()).unwrap();
+    let (d, _) = time_it(|| {
+        for _ in 0..iters {
+            uds_client.ping().unwrap();
+        }
+    });
+    emit_row("daemon", "uds", "noop_rtt_us", "-", d.as_micros() as f64 / iters as f64);
+
+    // GetNewPuddle (puddle file creation) and GetExistPuddle.
+    let ep = daemon.endpoint_for_current_process();
+    let mut created = Vec::new();
+    let new_iters = iters.min(500);
+    let (d, _) = time_it(|| {
+        for _ in 0..new_iters {
+            let resp = puddles_proto::Endpoint::call(
+                &ep,
+                &Request::CreatePuddle {
+                    size: 1 << 20,
+                    pool: None,
+                    purpose: PuddlePurpose::Data,
+                    mode: 0o600,
+                },
+            )
+            .unwrap();
+            if let Response::Puddle(info) = resp {
+                created.push(info.id);
+            }
+        }
+    });
+    emit_row("daemon", "local", "get_new_puddle_us", "-", d.as_micros() as f64 / new_iters as f64);
+
+    let (d, _) = time_it(|| {
+        for id in &created {
+            let _ = puddles_proto::Endpoint::call(
+                &ep,
+                &Request::GetPuddle {
+                    id: *id,
+                    writable: true,
+                },
+            )
+            .unwrap();
+        }
+    });
+    emit_row(
+        "daemon",
+        "local",
+        "get_exist_puddle_us",
+        "-",
+        d.as_micros() as f64 / created.len().max(1) as f64,
+    );
+
+    // RegLogSpace (one-time per client) — measured by creating fresh
+    // log-space puddles and registering them.
+    let reg_iters = iters.min(200);
+    let (d, _) = time_it(|| {
+        for _ in 0..reg_iters {
+            if let Response::Puddle(info) = puddles_proto::Endpoint::call(
+                &ep,
+                &Request::CreatePuddle {
+                    size: 64 * 1024,
+                    pool: None,
+                    purpose: PuddlePurpose::LogSpace,
+                    mode: 0o600,
+                },
+            )
+            .unwrap()
+            {
+                puddles_proto::Endpoint::call(&ep, &Request::RegLogSpace { puddle: info.id })
+                    .unwrap();
+            }
+        }
+    });
+    emit_row("daemon", "local", "reg_log_space_us", "-", d.as_micros() as f64 / reg_iters as f64);
+
+    // Recovery latency for a clean system (no pending logs).
+    let (d, _) = time_it(|| {
+        client.recover().unwrap();
+    });
+    emit_row("daemon", "local", "recovery_us", "clean", d.as_micros() as f64);
+}

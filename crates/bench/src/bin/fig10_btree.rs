@@ -1,0 +1,64 @@
+//! Fig. 10: order-8 B-tree — insert / delete / search for Puddles and
+//! PMDK-sim (8-byte keys and values).
+
+use pm_datastructures::btree::{PmdkBTree, PuddlesBTree};
+use puddles_bench::{emit_header, emit_row, secs, test_env, Scale};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_args();
+    let n = scale.pick(20_000u64, 1_000_000u64);
+    let mut keys: Vec<u64> = (0..n).collect();
+    keys.shuffle(&mut rand::rngs::StdRng::seed_from_u64(1));
+    emit_header();
+
+    // Puddles.
+    {
+        let (_tmp, _daemon, client) = test_env();
+        let tree = PuddlesBTree::new(&client, "fig10").unwrap();
+        let insert = secs(|| {
+            for &k in &keys {
+                tree.insert(k, k).unwrap();
+            }
+        });
+        let search = secs(|| {
+            for &k in &keys {
+                std::hint::black_box(tree.search(k));
+            }
+        });
+        let delete = secs(|| {
+            for &k in keys.iter().take((n / 2) as usize) {
+                tree.delete(k).unwrap();
+            }
+        });
+        emit_row("fig10", "puddles", "insert_s", &n.to_string(), insert);
+        emit_row("fig10", "puddles", "delete_s", &(n / 2).to_string(), delete);
+        emit_row("fig10", "puddles", "search_s", &n.to_string(), search);
+    }
+
+    // PMDK-sim.
+    {
+        let tmp = tempfile::tempdir().unwrap();
+        let pool_size = (n as usize * 300).max(64 << 20);
+        let tree = PmdkBTree::create(tmp.path().join("fig10.pmdk"), pool_size).unwrap();
+        let insert = secs(|| {
+            for &k in &keys {
+                tree.insert(k, k).unwrap();
+            }
+        });
+        let search = secs(|| {
+            for &k in &keys {
+                std::hint::black_box(tree.search(k));
+            }
+        });
+        let delete = secs(|| {
+            for &k in keys.iter().take((n / 2) as usize) {
+                tree.delete(k).unwrap();
+            }
+        });
+        emit_row("fig10", "pmdk", "insert_s", &n.to_string(), insert);
+        emit_row("fig10", "pmdk", "delete_s", &(n / 2).to_string(), delete);
+        emit_row("fig10", "pmdk", "search_s", &n.to_string(), search);
+    }
+}

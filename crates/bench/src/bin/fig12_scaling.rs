@@ -1,0 +1,26 @@
+//! Fig. 12: multithreaded scaling of the Euler-identity array workload —
+//! total throughput normalized to one thread, for 1..N threads.
+
+use pm_datastructures::euler::EulerArray;
+use puddles_bench::{emit_header, emit_row, test_env, Scale};
+use std::sync::Arc;
+
+fn main() {
+    let scale = Scale::from_args();
+    let elements = scale.pick(64 * 1024usize, 1_000_000usize);
+    let max_threads = scale.pick(8usize, 40usize);
+    emit_header();
+
+    let mut baseline = None;
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        let (_tmp, _daemon, client) = test_env();
+        let array = Arc::new(EulerArray::create(&client, "fig12", elements).unwrap());
+        let elapsed = array.run_parallel(threads).as_secs_f64();
+        let throughput = elements as f64 / elapsed;
+        let base = *baseline.get_or_insert(throughput);
+        emit_row("fig12", "puddles", "throughput_norm", &threads.to_string(), throughput / base);
+        emit_row("fig12", "puddles", "elapsed_s", &threads.to_string(), elapsed);
+        threads *= 2;
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig. 14: sensor-network data aggregation — total time for the home node
+//! to aggregate the states of N sensor nodes, for Puddles (import + pointer
+//! rewrite + merge) vs PMDK (sequential open + reallocate), as the number of
+//! state variables grows.
+
+use pm_datastructures::sensor::{puddles_aggregate, PmdkSensorState, SensorState};
+use puddled::{Daemon, DaemonConfig};
+use puddles::PuddleClient;
+use puddles_bench::{emit_header, emit_row, time_it, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let nodes = scale.pick(8usize, 200usize);
+    // Total state variables across all nodes (the paper sweeps 20k–320k).
+    let var_counts: Vec<u64> = scale.pick(vec![500, 1_000, 2_000], vec![20_000, 40_000, 80_000, 160_000, 320_000]);
+    emit_header();
+
+    for total_vars in var_counts {
+        let per_node = (total_vars as usize / nodes).max(1) as u64;
+
+        // ----- Puddles: each sensor is its own "machine"; home imports. ----
+        let export_root = tempfile::tempdir().unwrap();
+        let mut exports = Vec::new();
+        for node in 0..nodes {
+            let dir = tempfile::tempdir().unwrap();
+            let daemon = Daemon::start(DaemonConfig::for_testing(dir.path())).unwrap();
+            let client = PuddleClient::connect_local(&daemon).unwrap();
+            let state = SensorState::create(&client, "state", per_node).unwrap();
+            state.observe(node as u64).unwrap();
+            let dest = export_root.path().join(format!("node-{node}"));
+            state.export(&dest).unwrap();
+            exports.push(dest);
+        }
+        let home_dir = tempfile::tempdir().unwrap();
+        let home_daemon = Daemon::start(DaemonConfig::for_testing(home_dir.path())).unwrap();
+        let home_client = PuddleClient::connect_local(&home_daemon).unwrap();
+        let home = SensorState::create(&home_client, "home", per_node).unwrap();
+        let (total, (import_t, merge_t)) =
+            time_it(|| puddles_aggregate(&home_client, &home, &exports).unwrap());
+        emit_row("fig14", "puddles", "aggregate_s", &total_vars.to_string(), total.as_secs_f64());
+        emit_row("fig14", "puddles", "import_s", &total_vars.to_string(), import_t.as_secs_f64());
+        emit_row(
+            "fig14",
+            "puddles",
+            "rewrite_merge_s",
+            &total_vars.to_string(),
+            merge_t.as_secs_f64(),
+        );
+
+        // ----- PMDK: sequential open + reallocation into the home pool. ----
+        let pmdk_dir = tempfile::tempdir().unwrap();
+        let pool_size = ((per_node as usize * 128) + (4 << 20)).next_power_of_two();
+        let mut sensor_files = Vec::new();
+        for node in 0..nodes {
+            let path = pmdk_dir.path().join(format!("sensor-{node}.pmdk"));
+            let state = PmdkSensorState::create(&path, per_node, pool_size).unwrap();
+            drop(state);
+            sensor_files.push(path);
+        }
+        let home_size = (total_vars as usize * 128 + (16 << 20)).next_power_of_two();
+        let home = PmdkSensorState::create(pmdk_dir.path().join("home.pmdk"), per_node, home_size).unwrap();
+        let (total, _) = time_it(|| {
+            for path in &sensor_files {
+                home.aggregate_from_file(path).unwrap();
+            }
+        });
+        emit_row("fig14", "pmdk", "aggregate_s", &total_vars.to_string(), total.as_secs_f64());
+    }
+}

@@ -1,0 +1,91 @@
+//! Fig. 1: fat-pointer overhead (%) vs native pointers for linked-list and
+//! binary-tree create + traverse.
+
+use pm_datastructures::fatptr::*;
+use puddles_bench::{emit_header, emit_row, secs, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let list_len = scale.pick(1 << 14, 1 << 16);
+    let tree_height = scale.pick(14, 16);
+    let repeats = scale.pick(3, 10);
+
+    emit_header();
+
+    // Linked list.
+    let mut native_create = 0.0;
+    let mut fat_create = 0.0;
+    let mut native_traverse = 0.0;
+    let mut fat_traverse = 0.0;
+    for _ in 0..repeats {
+        let mut a = Arena::new(list_len * 64);
+        let mut head = std::ptr::null_mut();
+        native_create += secs(|| head = build_native_list(&mut a, list_len));
+        native_traverse += secs(|| {
+            std::hint::black_box(traverse_native_list(head));
+        });
+        let mut b = Arena::new(list_len * 64);
+        let mut fat_head = FatPtr::NULL;
+        fat_create += secs(|| fat_head = build_fat_list(&mut b, list_len));
+        fat_traverse += secs(|| {
+            std::hint::black_box(traverse_fat_list(fat_head));
+        });
+    }
+    emit_row("fig1", "native", "list_create", &list_len.to_string(), native_create);
+    emit_row("fig1", "fat", "list_create", &list_len.to_string(), fat_create);
+    emit_row("fig1", "native", "list_traverse", &list_len.to_string(), native_traverse);
+    emit_row("fig1", "fat", "list_traverse", &list_len.to_string(), fat_traverse);
+    emit_row(
+        "fig1",
+        "overhead_pct",
+        "list_create",
+        &list_len.to_string(),
+        (fat_create / native_create - 1.0) * 100.0,
+    );
+    emit_row(
+        "fig1",
+        "overhead_pct",
+        "list_traverse",
+        &list_len.to_string(),
+        (fat_traverse / native_traverse - 1.0) * 100.0,
+    );
+
+    // Binary tree.
+    let nodes = (1usize << tree_height) - 1;
+    let mut native_create = 0.0;
+    let mut fat_create = 0.0;
+    let mut native_traverse = 0.0;
+    let mut fat_traverse = 0.0;
+    for _ in 0..repeats {
+        let mut a = Arena::new(nodes * 64);
+        let mut root = std::ptr::null_mut();
+        native_create += secs(|| root = build_native_tree(&mut a, tree_height as u32));
+        native_traverse += secs(|| {
+            std::hint::black_box(traverse_native_tree(root));
+        });
+        let mut b = Arena::new(nodes * 80);
+        let mut fat_root = FatPtr::NULL;
+        fat_create += secs(|| fat_root = build_fat_tree(&mut b, tree_height as u32));
+        fat_traverse += secs(|| {
+            std::hint::black_box(traverse_fat_tree(fat_root));
+        });
+    }
+    emit_row("fig1", "native", "tree_create", &tree_height.to_string(), native_create);
+    emit_row("fig1", "fat", "tree_create", &tree_height.to_string(), fat_create);
+    emit_row("fig1", "native", "tree_traverse", &tree_height.to_string(), native_traverse);
+    emit_row("fig1", "fat", "tree_traverse", &tree_height.to_string(), fat_traverse);
+    emit_row(
+        "fig1",
+        "overhead_pct",
+        "tree_create",
+        &tree_height.to_string(),
+        (fat_create / native_create - 1.0) * 100.0,
+    );
+    emit_row(
+        "fig1",
+        "overhead_pct",
+        "tree_traverse",
+        &tree_height.to_string(),
+        (fat_traverse / native_traverse - 1.0) * 100.0,
+    );
+}

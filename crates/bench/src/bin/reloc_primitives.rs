@@ -1,0 +1,54 @@
+//! §5.1 "Relocatability primitives": export time vs data size, import time,
+//! and pointer-rewrite time vs number of pointers.
+
+use pm_datastructures::sensor::SensorState;
+use puddles_bench::{emit_header, emit_row, test_env, time_it, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit_header();
+
+    // Export / import cost vs pool size (the paper uses 16 B – 16 MiB).
+    let sizes: &[(&str, u64)] = &[("16B", 2), ("64KiB", 4_096), ("1MiB", 65_536)];
+    for (label, vars) in sizes {
+        let (_tmp, _daemon, client) = test_env();
+        let state = SensorState::create(&client, "export-src", *vars).unwrap();
+        state.observe(1).unwrap();
+        let dest = _tmp.path().join(format!("export-{label}"));
+        let (d, _) = time_it(|| state.export(&dest).unwrap());
+        emit_row("reloc", "puddles", "export_s", label, d.as_secs_f64());
+
+        let (d, imported) = time_it(|| client.import_pool(&dest, "import-copy").unwrap());
+        emit_row("reloc", "puddles", "import_and_rewrite_s", label, d.as_secs_f64());
+        drop(imported);
+    }
+
+    // Pointer-rewrite cost vs number of pointers (20 / 2 000 / 2 000 000 in
+    // the paper; scaled down by default).
+    let counts: &[u64] = &[
+        20,
+        scale.pick(2_000, 2_000),
+        scale.pick(20_000, 2_000_000),
+    ];
+    for &count in counts {
+        let (_tmp, _daemon, client) = test_env();
+        let state = SensorState::create(&client, "rewrite-src", count).unwrap();
+        let dest = _tmp.path().join("rewrite-export");
+        state.export(&dest).unwrap();
+        // Import maps + rewrites the root puddle; walking the whole imported
+        // structure forces the rewrite of every puddle in the pool.
+        let (d, pool) = time_it(|| {
+            let pool = client.import_pool(&dest, "rewrite-copy").unwrap();
+            pool.ensure_all_mapped().unwrap();
+            pool
+        });
+        emit_row(
+            "reloc",
+            "puddles",
+            "pointer_rewrite_s",
+            &format!("{count}_ptrs"),
+            d.as_secs_f64(),
+        );
+        drop(pool);
+    }
+}

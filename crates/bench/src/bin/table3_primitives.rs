@@ -1,0 +1,122 @@
+//! Table 3: mean latency of API primitives (TX NOP, TX_ADD 8 B / 4 KiB,
+//! malloc 8 B / 4 KiB, malloc+free 8 B / 4 KiB) for Puddles vs PMDK-sim.
+
+use puddles_bench::{emit_header, emit_row, test_env, time_it, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let iters = scale.pick(2_000u64, 50_000u64);
+
+    emit_header();
+
+    // ----- Puddles -----
+    let (_tmp, _daemon, client) = test_env();
+    let pool = client
+        .create_pool("table3", puddles::PoolOptions::default())
+        .unwrap();
+    let buffer = pool
+        .tx(|tx| pool.alloc_raw(tx, 8192, 0))
+        .unwrap();
+
+    // TX NOP.
+    let (d, _) = time_it(|| {
+        for _ in 0..iters {
+            client.tx(|_tx| Ok(())).unwrap();
+        }
+    });
+    emit_row("table3", "puddles", "tx_nop", "-", d.as_nanos() as f64 / iters as f64);
+
+    // TX_ADD 8 B / 4 KiB.
+    for (label, len) in [("tx_add_8B", 8usize), ("tx_add_4KiB", 4096)] {
+        let (d, _) = time_it(|| {
+            for _ in 0..iters {
+                client
+                    .tx(|tx| {
+                        tx.add_range(buffer, len)?;
+                        Ok(())
+                    })
+                    .unwrap();
+            }
+        });
+        emit_row("table3", "puddles", label, "-", d.as_nanos() as f64 / iters as f64);
+    }
+
+    // malloc (allocate only) and malloc+free, 8 B / 4 KiB.
+    for (label, len) in [("malloc_8B", 8usize), ("malloc_4KiB", 4096)] {
+        let (d, _) = time_it(|| {
+            client
+                .tx(|tx| {
+                    for _ in 0..iters {
+                        pool.alloc_raw(tx, len, 0)?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+        });
+        emit_row("table3", "puddles", label, "-", d.as_nanos() as f64 / iters as f64);
+    }
+    for (label, len) in [("malloc_free_8B", 8usize), ("malloc_free_4KiB", 4096)] {
+        let (d, _) = time_it(|| {
+            for _ in 0..iters {
+                client
+                    .tx(|tx| {
+                        let addr = pool.alloc_raw(tx, len, 0)?;
+                        pool.free_raw(tx, addr)?;
+                        Ok(())
+                    })
+                    .unwrap();
+            }
+        });
+        emit_row("table3", "puddles", label, "-", d.as_nanos() as f64 / iters as f64);
+    }
+
+    // ----- PMDK-sim -----
+    let tmp = tempfile::tempdir().unwrap();
+    let pmdk = pmdk_sim::PmdkPool::create(tmp.path().join("t3.pmdk"), 256 << 20).unwrap();
+    let target: pmdk_sim::Toid<[u8; 8192]> = pmdk.tx(|tx| tx.alloc([0u8; 8192])).unwrap();
+
+    let (d, _) = time_it(|| {
+        for _ in 0..iters {
+            pmdk.tx(|_tx| Ok(())).unwrap();
+        }
+    });
+    emit_row("table3", "pmdk", "tx_nop", "-", d.as_nanos() as f64 / iters as f64);
+
+    for (label, len) in [("tx_add_8B", 8usize), ("tx_add_4KiB", 4096)] {
+        let (d, _) = time_it(|| {
+            for _ in 0..iters {
+                pmdk.tx(|tx| {
+                    tx.log_range(target.direct() as usize, len)?;
+                    Ok(())
+                })
+                .unwrap();
+            }
+        });
+        emit_row("table3", "pmdk", label, "-", d.as_nanos() as f64 / iters as f64);
+    }
+    for (label, len) in [("malloc_8B", 8usize), ("malloc_4KiB", 4096)] {
+        let (d, _) = time_it(|| {
+            pmdk.tx(|tx| {
+                for _ in 0..iters {
+                    tx.alloc_raw(len)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        });
+        emit_row("table3", "pmdk", label, "-", d.as_nanos() as f64 / iters as f64);
+    }
+    for (label, len) in [("malloc_free_8B", 8usize), ("malloc_free_4KiB", 4096)] {
+        let (d, _) = time_it(|| {
+            for _ in 0..iters {
+                pmdk.tx(|tx| {
+                    let oid = tx.alloc_raw(len)?;
+                    tx.free(pmdk_sim::Toid::<u8>::from_oid(oid))?;
+                    Ok(())
+                })
+                .unwrap();
+            }
+        });
+        emit_row("table3", "pmdk", label, "-", d.as_nanos() as f64 / iters as f64);
+    }
+}

@@ -1,0 +1,436 @@
+//! The client side of the Puddles system (`libpuddles`' connection state).
+//!
+//! A [`PuddleClient`] talks to one daemon (in-process or over a UNIX-domain
+//! socket), shares that daemon's global puddle space, registers the
+//! client's log space and pointer maps, and hands out per-thread log
+//! puddles for transactions (§4.1 "to keep transaction costs low, every
+//! thread caches the log puddle used on the first transaction").
+
+use crate::error::{Error, Result};
+use crate::pool::{Pool, PoolOptions};
+use crate::tx::{self, Transaction};
+use crate::types::{PmType, TypeRegistry};
+use parking_lot::Mutex;
+use puddled::{Daemon, GlobalSpace, LOG_REGION_OFFSET};
+use puddles_logfmt::{LogRef, LogSpaceRef};
+use puddles_proto::{
+    Credentials, Endpoint, PoolInfo, PuddleId, PuddleInfo, PuddlePurpose, RecoveryReport, Request,
+    Response,
+};
+use std::collections::{HashMap, HashSet};
+use std::fs::OpenOptions;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::Arc;
+use std::thread::ThreadId;
+
+/// Size of the puddle holding a client's log space.
+pub const LOGSPACE_PUDDLE_SIZE: u64 = 64 * 1024;
+/// Size of each per-thread log puddle.
+pub const LOG_PUDDLE_SIZE: u64 = 4 * 1024 * 1024;
+
+/// A connection to the Puddles daemon plus per-client state.
+///
+/// Cloning the client clones a handle to the same connection.
+#[derive(Clone)]
+pub struct PuddleClient {
+    pub(crate) inner: Arc<ClientInner>,
+}
+
+pub(crate) struct ClientInner {
+    endpoint: Box<dyn Endpoint>,
+    pub(crate) gspace: Arc<GlobalSpace>,
+    pub(crate) types: Mutex<TypeRegistry>,
+    registered_types: Mutex<HashSet<u64>>,
+    logging: Mutex<LoggingState>,
+    thread_logs: Mutex<HashMap<ThreadId, ThreadLog>>,
+}
+
+#[derive(Default)]
+struct LoggingState {
+    logspace: Option<MappedLogSpace>,
+    next_log_id: u64,
+}
+
+struct MappedLogSpace {
+    #[allow(dead_code)]
+    info: PuddleInfo,
+    ls: LogSpaceRef,
+}
+
+struct ThreadLog {
+    #[allow(dead_code)]
+    info: PuddleInfo,
+    log: LogRef,
+}
+
+impl PuddleClient {
+    /// Connects to an in-process daemon with this process's credentials.
+    pub fn connect_local(daemon: &Daemon) -> Result<Self> {
+        Self::connect_local_as(daemon, Credentials::current_process())
+    }
+
+    /// Connects to an in-process daemon presenting explicit credentials
+    /// (used by tests to model multiple users).
+    pub fn connect_local_as(daemon: &Daemon, creds: Credentials) -> Result<Self> {
+        let endpoint = Box::new(daemon.endpoint(creds));
+        let gspace = daemon.global_space();
+        Self::finish_connect(endpoint, Some(gspace), creds)
+    }
+
+    /// Connects to a daemon over its UNIX-domain socket.
+    ///
+    /// The client reserves the global puddle space at the base address the
+    /// daemon reports; if that address range is unavailable in this process
+    /// the connection fails (native pointers require the same base in every
+    /// process of the "machine").
+    pub fn connect_uds(path: impl AsRef<Path>) -> Result<Self> {
+        let creds = Credentials::current_process();
+        let stream = UnixStream::connect(path.as_ref())?;
+        let endpoint = Box::new(UdsEndpoint {
+            stream: Mutex::new(stream),
+        });
+        Self::finish_connect(endpoint, None, creds)
+    }
+
+    /// Connects over the UNIX-domain socket while sharing an existing
+    /// global-space reservation.
+    ///
+    /// Needed when the daemon runs in the *same process* as the client (the
+    /// daemon already reserved the global space, so the client cannot
+    /// reserve it again); out-of-process clients use
+    /// [`PuddleClient::connect_uds`].
+    pub fn connect_uds_shared(
+        path: impl AsRef<Path>,
+        space: Arc<GlobalSpace>,
+    ) -> Result<Self> {
+        let creds = Credentials::current_process();
+        let stream = UnixStream::connect(path.as_ref())?;
+        let endpoint = Box::new(UdsEndpoint {
+            stream: Mutex::new(stream),
+        });
+        Self::finish_connect(endpoint, Some(space), creds)
+    }
+
+    fn finish_connect(
+        endpoint: Box<dyn Endpoint>,
+        shared_space: Option<Arc<GlobalSpace>>,
+        creds: Credentials,
+    ) -> Result<Self> {
+        let resp = endpoint
+            .call(&Request::Hello { creds })?
+            .into_result()?;
+        let (space_base, space_size) = match resp {
+            Response::Welcome {
+                space_base,
+                space_size,
+            } => (space_base, space_size),
+            other => return Err(Error::UnexpectedResponse(format!("{other:?}"))),
+        };
+        let gspace = match shared_space {
+            Some(space) => space,
+            None => {
+                let space = GlobalSpace::reserve(Some(space_base as usize), space_size as usize)
+                    .map_err(Error::from)?;
+                if space.base() as u64 != space_base {
+                    return Err(Error::UnexpectedResponse(format!(
+                        "cannot reserve global puddle space at {space_base:#x} (got {:#x})",
+                        space.base()
+                    )));
+                }
+                Arc::new(space)
+            }
+        };
+        Ok(PuddleClient {
+            inner: Arc::new(ClientInner {
+                endpoint,
+                gspace,
+                types: Mutex::new(TypeRegistry::new()),
+                registered_types: Mutex::new(HashSet::new()),
+                logging: Mutex::new(LoggingState::default()),
+                thread_logs: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// Creates a pool with the given options.
+    pub fn create_pool(&self, name: &str, options: PoolOptions) -> Result<Pool> {
+        let resp = self
+            .inner
+            .call(&Request::CreatePool {
+                name: name.to_string(),
+                root_size: options.puddle_size,
+                mode: options.mode,
+            })?;
+        let info = expect_pool(resp)?;
+        Pool::from_info(self.inner.clone(), info, options)
+    }
+
+    /// Opens an existing pool.
+    pub fn open_pool(&self, name: &str) -> Result<Pool> {
+        self.open_pool_with(name, PoolOptions::default())
+    }
+
+    /// Opens an existing pool with explicit options.
+    pub fn open_pool_with(&self, name: &str, options: PoolOptions) -> Result<Pool> {
+        let resp = self.inner.call(&Request::OpenPool {
+            name: name.to_string(),
+        })?;
+        let info = expect_pool(resp)?;
+        Pool::from_info(self.inner.clone(), info, options)
+    }
+
+    /// Opens the pool if it exists, creating it otherwise.
+    pub fn open_or_create_pool(&self, name: &str, options: PoolOptions) -> Result<Pool> {
+        match self.open_pool_with(name, options.clone()) {
+            Ok(pool) => Ok(pool),
+            Err(Error::Daemon(e)) if e.code == puddles_proto::ErrorCode::NotFound => {
+                self.create_pool(name, options)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Deletes a pool and all of its puddles.
+    pub fn drop_pool(&self, name: &str) -> Result<()> {
+        self.inner.call(&Request::DropPool {
+            name: name.to_string(),
+        })?;
+        Ok(())
+    }
+
+    /// Exports a pool (raw in-memory representation plus manifest) to a
+    /// directory, so it can be shipped to another machine or re-imported as
+    /// a copy.
+    pub fn export_pool(&self, name: &str, dest: impl AsRef<Path>) -> Result<()> {
+        self.inner.call(&Request::ExportPool {
+            name: name.to_string(),
+            dest: dest.as_ref().to_string_lossy().into_owned(),
+        })?;
+        Ok(())
+    }
+
+    /// Imports a previously exported pool under a new name and opens it.
+    ///
+    /// Conflicting addresses are resolved by the daemon; pointers are
+    /// rewritten incrementally as the imported puddles are mapped.
+    pub fn import_pool(&self, src: impl AsRef<Path>, new_name: &str) -> Result<Pool> {
+        let resp = self.inner.call(&Request::ImportPool {
+            src: src.as_ref().to_string_lossy().into_owned(),
+            new_name: new_name.to_string(),
+        })?;
+        let info = match resp {
+            Response::Imported { pool, .. } => pool,
+            other => return Err(Error::UnexpectedResponse(format!("{other:?}"))),
+        };
+        Pool::from_info(self.inner.clone(), info, PoolOptions::default())
+    }
+
+    /// Runs a failure-atomic transaction (the Rust spelling of
+    /// `TX_BEGIN(pool) { ... } TX_END`).
+    ///
+    /// Unlike PMDK, the transaction may modify data in *any* pool opened by
+    /// this client (cross-pool transactions, §3.6).
+    pub fn tx<R>(&self, body: impl FnOnce(&mut Transaction<'_>) -> Result<R>) -> Result<R> {
+        tx::run_tx(&self.inner, body)
+    }
+
+    /// Registers a persistent type's pointer map with the daemon (done
+    /// automatically on first allocation of the type).
+    pub fn register_type<T: PmType>(&self) -> Result<()> {
+        self.inner.register_type::<T>()
+    }
+
+    /// Asks the daemon to run a recovery pass now.
+    pub fn recover(&self) -> Result<RecoveryReport> {
+        match self.inner.call(&Request::Recover)? {
+            Response::Recovered(report) => Ok(report),
+            other => Err(Error::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches daemon statistics.
+    pub fn stats(&self) -> Result<puddles_proto::DaemonStats> {
+        match self.inner.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(Error::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// A no-op round trip to the daemon (used to measure daemon latency).
+    pub fn ping(&self) -> Result<()> {
+        self.inner.call(&Request::Ping)?;
+        Ok(())
+    }
+
+    /// Base address of the global puddle space.
+    pub fn space_base(&self) -> u64 {
+        self.inner.gspace.base() as u64
+    }
+}
+
+fn expect_pool(resp: Response) -> Result<PoolInfo> {
+    match resp {
+        Response::Pool(info) => Ok(info),
+        other => Err(Error::UnexpectedResponse(format!("{other:?}"))),
+    }
+}
+
+impl ClientInner {
+    /// Sends one request, converting daemon errors.
+    pub(crate) fn call(&self, req: &Request) -> Result<Response> {
+        Ok(self.endpoint.call(req)?.into_result()?)
+    }
+
+    /// Fetches puddle metadata, asking for write access when possible and
+    /// falling back to read-only access.
+    pub(crate) fn get_puddle(&self, id: PuddleId) -> Result<PuddleInfo> {
+        match self.call(&Request::GetPuddle { id, writable: true }) {
+            Ok(Response::Puddle(info)) => Ok(info),
+            Ok(other) => Err(Error::UnexpectedResponse(format!("{other:?}"))),
+            Err(Error::Daemon(e)) if e.code == puddles_proto::ErrorCode::PermissionDenied => {
+                match self.call(&Request::GetPuddle { id, writable: false })? {
+                    Response::Puddle(info) => Ok(info),
+                    other => Err(Error::UnexpectedResponse(format!("{other:?}"))),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Maps a puddle into the global space, returning its base address.
+    pub(crate) fn map_puddle_raw(&self, info: &PuddleInfo) -> Result<usize> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(info.writable)
+            .open(&info.path)
+            .map_err(Error::Io)?;
+        let offset = (info.assigned_addr - self.gspace.base() as u64) as usize;
+        Ok(self
+            .gspace
+            .map_puddle(&file, offset, info.size as usize, info.writable)?)
+    }
+
+    /// Releases one mapping reference for a puddle.
+    pub(crate) fn unmap_puddle(&self, info: &PuddleInfo) {
+        let offset = (info.assigned_addr - self.gspace.base() as u64) as usize;
+        // SAFETY: callers only unmap when they hold the last user of their
+        // mapping and no references into it remain (MappedPuddle::drop).
+        unsafe {
+            let _ = self.gspace.unmap_puddle(offset);
+        }
+    }
+
+    /// Registers a persistent type once per client.
+    pub(crate) fn register_type<T: PmType>(&self) -> Result<()> {
+        self.register_decl(T::decl())
+    }
+
+    pub(crate) fn register_decl(&self, decl: puddles_proto::PtrMapDecl) -> Result<()> {
+        {
+            let mut types = self.types.lock();
+            types.insert(decl.clone());
+        }
+        let mut registered = self.registered_types.lock();
+        if registered.insert(decl.type_id) {
+            self.call(&Request::RegisterPtrMap { decl })?;
+        }
+        Ok(())
+    }
+
+    /// Returns a merged view of locally declared and daemon-registered
+    /// pointer maps (needed to rewrite imported data of foreign types).
+    pub(crate) fn merged_types(&self) -> Result<TypeRegistry> {
+        let mut merged = self.types.lock().clone();
+        if let Response::PtrMaps(maps) = self.call(&Request::GetPtrMaps)? {
+            merged.merge(maps);
+        }
+        Ok(merged)
+    }
+
+    /// Returns this thread's cached log, creating the log space and the log
+    /// puddle on first use.
+    pub(crate) fn thread_log(&self) -> Result<LogRef> {
+        let tid = std::thread::current().id();
+        {
+            let logs = self.thread_logs.lock();
+            if let Some(tl) = logs.get(&tid) {
+                return Ok(tl.log);
+            }
+        }
+        // Slow path: make sure the log space exists, then create a log
+        // puddle for this thread.
+        let log_id = self.ensure_logspace()?;
+        let info = match self.call(&Request::CreatePuddle {
+            size: LOG_PUDDLE_SIZE,
+            pool: None,
+            purpose: PuddlePurpose::Log,
+            mode: 0o600,
+        })? {
+            Response::Puddle(info) => info,
+            other => return Err(Error::UnexpectedResponse(format!("{other:?}"))),
+        };
+        let addr = self.map_puddle_raw(&info)?;
+        // SAFETY: the puddle was just mapped writable for `info.size` bytes
+        // and stays mapped for the client's lifetime (thread logs are never
+        // unmapped).
+        let log = unsafe {
+            LogRef::from_raw(
+                (addr + LOG_REGION_OFFSET) as *mut u8,
+                info.size as usize - LOG_REGION_OFFSET,
+            )
+        };
+        log.init();
+        {
+            let logging = self.logging.lock();
+            if let Some(ls) = &logging.logspace {
+                ls.ls.register(info.id.0, log_id, 0).map_err(Error::from)?;
+            }
+        }
+        let mut logs = self.thread_logs.lock();
+        logs.insert(tid, ThreadLog { info, log });
+        Ok(log)
+    }
+
+    fn ensure_logspace(&self) -> Result<u64> {
+        let mut logging = self.logging.lock();
+        if logging.logspace.is_none() {
+            let info = match self.call(&Request::CreatePuddle {
+                size: LOGSPACE_PUDDLE_SIZE,
+                pool: None,
+                purpose: PuddlePurpose::LogSpace,
+                mode: 0o600,
+            })? {
+                Response::Puddle(info) => info,
+                other => return Err(Error::UnexpectedResponse(format!("{other:?}"))),
+            };
+            let addr = self.map_puddle_raw(&info)?;
+            // SAFETY: mapped writable just above; stays mapped for the
+            // client's lifetime.
+            let ls = unsafe {
+                LogSpaceRef::from_raw(
+                    (addr + LOG_REGION_OFFSET) as *mut u8,
+                    info.size as usize - LOG_REGION_OFFSET,
+                )
+            };
+            ls.init();
+            self.call(&Request::RegLogSpace { puddle: info.id })?;
+            logging.logspace = Some(MappedLogSpace { info, ls });
+        }
+        logging.next_log_id += 1;
+        Ok(logging.next_log_id)
+    }
+}
+
+/// Client-side endpoint speaking the framed protocol over a UNIX socket.
+struct UdsEndpoint {
+    stream: Mutex<UnixStream>,
+}
+
+impl Endpoint for UdsEndpoint {
+    fn call(&self, req: &Request) -> std::io::Result<Response> {
+        let mut stream = self.stream.lock();
+        puddles_proto::write_frame(&mut *stream, req)?;
+        puddles_proto::read_frame(&mut *stream)
+    }
+}

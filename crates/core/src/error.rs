@@ -1,0 +1,114 @@
+//! Error type for the Puddles client library.
+
+use puddles_pmem::PmError;
+use puddles_proto::ProtoError;
+use std::fmt;
+use std::io;
+
+/// Result alias for client-library operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the Puddles client library.
+#[derive(Debug)]
+pub enum Error {
+    /// An error from the persistent-memory substrate.
+    Pm(PmError),
+    /// The daemon rejected a request.
+    Daemon(ProtoError),
+    /// Transport-level I/O failure while talking to the daemon.
+    Io(io::Error),
+    /// The daemon returned a response of an unexpected kind.
+    UnexpectedResponse(String),
+    /// A pool or puddle ran out of space and could not grow.
+    OutOfMemory(String),
+    /// The requested object or address does not belong to this pool.
+    InvalidAddress(u64),
+    /// Persistent data failed a validity check.
+    Corruption(String),
+    /// A crash was injected by a failpoint (tests only); persistent state is
+    /// intentionally left as-is for recovery.
+    CrashInjected(&'static str),
+    /// A transaction was aborted by the user closure.
+    Aborted(String),
+    /// Transactions cannot be nested.
+    NestedTransaction,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Pm(e) => write!(f, "persistent memory error: {e}"),
+            Error::Daemon(e) => write!(f, "{e}"),
+            Error::Io(e) => write!(f, "daemon transport error: {e}"),
+            Error::UnexpectedResponse(msg) => write!(f, "unexpected daemon response: {msg}"),
+            Error::OutOfMemory(msg) => write!(f, "out of persistent memory: {msg}"),
+            Error::InvalidAddress(addr) => write!(f, "address {addr:#x} is not managed here"),
+            Error::Corruption(msg) => write!(f, "corruption detected: {msg}"),
+            Error::CrashInjected(name) => write!(f, "crash injected at failpoint `{name}`"),
+            Error::Aborted(msg) => write!(f, "transaction aborted: {msg}"),
+            Error::NestedTransaction => write!(f, "transactions cannot be nested"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Pm(e) => Some(e),
+            Error::Daemon(e) => Some(e),
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PmError> for Error {
+    fn from(e: PmError) -> Self {
+        match e {
+            PmError::CrashInjected(name) => Error::CrashInjected(name),
+            other => Error::Pm(other),
+        }
+    }
+}
+
+impl From<ProtoError> for Error {
+    fn from(e: ProtoError) -> Self {
+        Error::Daemon(e)
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// Returns `true` if this error represents an injected crash, in which
+    /// case persistent state must be left untouched for recovery.
+    pub fn is_injected_crash(&self) -> bool {
+        matches!(self, Error::CrashInjected(_))
+            || matches!(self, Error::Pm(PmError::CrashInjected(_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_injection_is_detected_through_conversions() {
+        let e: Error = PmError::CrashInjected("x").into();
+        assert!(e.is_injected_crash());
+        let e: Error = PmError::Corruption("y".into()).into();
+        assert!(!e.is_injected_crash());
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::InvalidAddress(0x1234);
+        assert!(e.to_string().contains("0x1234"));
+        let e = Error::OutOfMemory("pool q".into());
+        assert!(e.to_string().contains("pool q"));
+    }
+}

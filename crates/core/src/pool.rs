@@ -1,0 +1,362 @@
+//! Pools: named collections of puddles with a single allocation interface
+//! (§3.1, §4.4).
+//!
+//! Programmers allocate from a pool with a `malloc()`-like API and never
+//! manage individual puddles: the pool requests new puddles from the daemon
+//! when it runs out of space, maps member puddles on demand (the explicit
+//! stand-in for the paper's page-fault-driven mapping), and exposes the
+//! pool's *root object* stored in the root puddle.
+
+use crate::alloc::MetaLogger;
+use crate::client::ClientInner;
+use crate::error::{Error, Result};
+use crate::ptr::PmPtr;
+use crate::puddle::MappedPuddle;
+use crate::tx::Transaction;
+use crate::types::PmType;
+use parking_lot::Mutex;
+use puddles_pmem::persist;
+use puddles_pmem::util::align_up;
+use puddles_pmem::PAGE_SIZE;
+use puddles_proto::{PoolInfo, PuddleId, PuddleInfo, PuddlePurpose, Request, Response};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Options controlling pool creation and growth.
+#[derive(Debug, Clone)]
+pub struct PoolOptions {
+    /// Size of each puddle the pool allocates (bytes).
+    pub puddle_size: u64,
+    /// UNIX-like permission bits for the pool's puddles.
+    pub mode: u32,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        PoolOptions {
+            puddle_size: 8 << 20,
+            mode: 0o600,
+        }
+    }
+}
+
+impl PoolOptions {
+    /// Sets the per-puddle size.
+    pub fn puddle_size(mut self, bytes: u64) -> Self {
+        self.puddle_size = bytes;
+        self
+    }
+
+    /// Sets the permission bits.
+    pub fn mode(mut self, mode: u32) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+struct PoolState {
+    info: PoolInfo,
+    infos: HashMap<PuddleId, PuddleInfo>,
+    mapped: HashMap<PuddleId, Arc<MappedPuddle>>,
+    /// Index (into `info.puddles`) of the puddle that satisfied the last
+    /// allocation; tried first for the next one.
+    alloc_cursor: usize,
+}
+
+/// An open pool.
+pub struct Pool {
+    client: Arc<ClientInner>,
+    options: PoolOptions,
+    state: Mutex<PoolState>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("Pool")
+            .field("name", &state.info.name)
+            .field("puddles", &state.info.puddles.len())
+            .field("mapped", &state.mapped.len())
+            .finish()
+    }
+}
+
+impl Pool {
+    pub(crate) fn from_info(
+        client: Arc<ClientInner>,
+        info: PoolInfo,
+        options: PoolOptions,
+    ) -> Result<Pool> {
+        let root = info.root_puddle;
+        let pool = Pool {
+            client,
+            options,
+            state: Mutex::new(PoolState {
+                info,
+                infos: HashMap::new(),
+                mapped: HashMap::new(),
+                alloc_cursor: 0,
+            }),
+        };
+        // The root puddle is mapped eagerly: it holds the root object and is
+        // the entry point for on-demand mapping of the rest of the pool.
+        pool.map_puddle(root)?;
+        Ok(pool)
+    }
+
+    /// The pool's name.
+    pub fn name(&self) -> String {
+        self.state.lock().info.name.clone()
+    }
+
+    /// Number of puddles currently in the pool.
+    pub fn puddle_count(&self) -> usize {
+        self.state.lock().info.puddles.len()
+    }
+
+    /// Number of puddles currently mapped into this process.
+    pub fn mapped_count(&self) -> usize {
+        self.state.lock().mapped.len()
+    }
+
+    /// Runs a failure-atomic transaction (convenience wrapper around
+    /// [`crate::PuddleClient::tx`]; the transaction may also touch other
+    /// pools).
+    pub fn tx<R>(&self, body: impl FnOnce(&mut Transaction<'_>) -> Result<R>) -> Result<R> {
+        crate::tx::run_tx(&self.client, body)
+    }
+
+    fn puddle_info(&self, id: PuddleId) -> Result<PuddleInfo> {
+        {
+            let state = self.state.lock();
+            if let Some(info) = state.infos.get(&id) {
+                return Ok(info.clone());
+            }
+        }
+        let info = self.client.get_puddle(id)?;
+        self.state.lock().infos.insert(id, info.clone());
+        Ok(info)
+    }
+
+    /// Maps a member puddle (idempotent), returning its handle.
+    pub fn map_puddle(&self, id: PuddleId) -> Result<Arc<MappedPuddle>> {
+        {
+            let state = self.state.lock();
+            if let Some(p) = state.mapped.get(&id) {
+                return Ok(Arc::clone(p));
+            }
+        }
+        let info = self.puddle_info(id)?;
+        let mapped = MappedPuddle::map(Arc::clone(&self.client), info)?;
+        let mut state = self.state.lock();
+        let entry = state.mapped.entry(id).or_insert_with(|| Arc::clone(&mapped));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Maps every puddle in the pool (pre-faulting; hot loops that
+    /// dereference [`PmPtr`] directly call this once instead of paying an
+    /// `ensure_mapped` check per access).
+    pub fn ensure_all_mapped(&self) -> Result<()> {
+        let ids: Vec<PuddleId> = self.state.lock().info.puddles.clone();
+        for id in ids {
+            self.map_puddle(id)?;
+        }
+        Ok(())
+    }
+
+    /// The root puddle of the pool.
+    pub fn root_puddle(&self) -> Arc<MappedPuddle> {
+        let root = self.state.lock().info.root_puddle;
+        self.map_puddle(root).expect("root puddle was mapped at open")
+    }
+
+    /// Returns the pool's root object pointer, or `None` if no root has been
+    /// created yet.
+    pub fn root<T: PmType>(&self) -> Option<PmPtr<T>> {
+        let root = self.root_puddle();
+        let off = root.root_offset();
+        if off == 0 {
+            None
+        } else {
+            Some(PmPtr::from_addr(root.addr() as u64 + off))
+        }
+    }
+
+    /// Allocates the pool's root object inside the root puddle and records
+    /// it in the puddle header.
+    pub fn create_root<T: PmType>(&self, tx: &mut Transaction<'_>, value: T) -> Result<PmPtr<T>> {
+        self.client.register_type::<T>()?;
+        let root = self.root_puddle();
+        if !root.writable() {
+            return Err(Error::Corruption("root puddle is read-only".into()));
+        }
+        let addr = root
+            .alloc()
+            .alloc(std::mem::size_of::<T>().max(1), T::type_id(), tx)?;
+        // SAFETY: `addr` is a fresh allocation of at least `size_of::<T>()`
+        // bytes inside a writable mapping.
+        unsafe { std::ptr::write(addr as *mut T, value) };
+        persist::persist(addr as *const u8, std::mem::size_of::<T>());
+        root.set_root_offset((addr - root.addr()) as u64, tx)?;
+        Ok(PmPtr::from_addr(addr as u64))
+    }
+
+    /// Allocates and initializes an object of type `T` (the pool's typed
+    /// `malloc`), returning a native pointer to it.
+    pub fn alloc_value<T: PmType>(&self, tx: &mut Transaction<'_>, value: T) -> Result<PmPtr<T>> {
+        self.client.register_type::<T>()?;
+        let addr = self.alloc_raw(tx, std::mem::size_of::<T>().max(1), T::type_id())?;
+        // SAFETY: fresh allocation of the right size in a writable mapping.
+        unsafe { std::ptr::write(addr as *mut T, value) };
+        persist::persist(addr as *const u8, std::mem::size_of::<T>());
+        Ok(PmPtr::from_addr(addr as u64))
+    }
+
+    /// Allocates `size` bytes tagged with `type_id` (the pool's raw
+    /// `malloc`), growing the pool with a fresh puddle if necessary.
+    pub fn alloc_raw(
+        &self,
+        tx: &mut Transaction<'_>,
+        size: usize,
+        type_id: u64,
+    ) -> Result<usize> {
+        let (ids, cursor) = {
+            let state = self.state.lock();
+            (state.info.puddles.clone(), state.alloc_cursor)
+        };
+        let n = ids.len();
+        for step in 0..n {
+            let idx = (cursor + step) % n;
+            let puddle = self.map_puddle(ids[idx])?;
+            if !puddle.writable() {
+                continue;
+            }
+            match puddle.alloc().alloc(size, type_id, tx) {
+                Ok(addr) => {
+                    self.state.lock().alloc_cursor = idx;
+                    return Ok(addr);
+                }
+                Err(Error::OutOfMemory(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        // Grow the pool: acquire a new puddle sized for the allocation.
+        let puddle_size = self
+            .options
+            .puddle_size
+            .max(align_up(size + 64 * 1024, PAGE_SIZE) as u64);
+        let name = self.name();
+        let info = match self.client.call(&Request::CreatePuddle {
+            size: puddle_size,
+            pool: Some(name.clone()),
+            purpose: PuddlePurpose::Data,
+            mode: self.options.mode,
+        })? {
+            Response::Puddle(info) => info,
+            other => return Err(Error::UnexpectedResponse(format!("{other:?}"))),
+        };
+        {
+            let mut state = self.state.lock();
+            state.info.puddles.push(info.id);
+            state.infos.insert(info.id, info.clone());
+            state.alloc_cursor = state.info.puddles.len() - 1;
+        }
+        let puddle = self.map_puddle(info.id)?;
+        puddle.alloc().alloc(size, type_id, tx)
+    }
+
+    /// Frees an object previously allocated from this pool.
+    pub fn dealloc<T>(&self, tx: &mut Transaction<'_>, ptr: PmPtr<T>) -> Result<()> {
+        self.free_raw(tx, ptr.addr() as usize)
+    }
+
+    /// Frees a raw allocation previously returned by [`Pool::alloc_raw`].
+    pub fn free_raw(&self, tx: &mut Transaction<'_>, addr: usize) -> Result<()> {
+        let puddle = self
+            .puddle_containing(addr)?
+            .ok_or(Error::InvalidAddress(addr as u64))?;
+        puddle.alloc().dealloc(addr, tx)
+    }
+
+    /// Ensures the puddle containing `addr` is mapped (the explicit
+    /// equivalent of the paper's fault-driven frontier mapping), returning
+    /// an error if the address belongs to no member puddle.
+    pub fn ensure_mapped(&self, addr: u64) -> Result<()> {
+        self.puddle_containing(addr as usize)?
+            .map(|_| ())
+            .ok_or(Error::InvalidAddress(addr))
+    }
+
+    /// Finds (mapping on demand) the member puddle containing `addr`.
+    pub fn puddle_containing(&self, addr: usize) -> Result<Option<Arc<MappedPuddle>>> {
+        // Fast path: already mapped.
+        {
+            let state = self.state.lock();
+            for p in state.mapped.values() {
+                if p.contains(addr) {
+                    return Ok(Some(Arc::clone(p)));
+                }
+            }
+        }
+        // Slow path: consult puddle metadata and map on demand.
+        let ids: Vec<PuddleId> = self.state.lock().info.puddles.clone();
+        for id in ids {
+            let info = self.puddle_info(id)?;
+            let start = info.assigned_addr as usize;
+            if addr >= start && addr < start + info.size as usize {
+                return Ok(Some(self.map_puddle(id)?));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Dereferences a persistent pointer, mapping its puddle if needed.
+    pub fn deref<T>(&self, ptr: PmPtr<T>) -> Result<&T> {
+        if ptr.is_null() {
+            return Err(Error::InvalidAddress(0));
+        }
+        self.ensure_mapped(ptr.addr())?;
+        // SAFETY: the target puddle is mapped (checked above) and the
+        // address was produced by this pool's allocator for a `T`.
+        Ok(unsafe { ptr.as_ref() })
+    }
+
+    /// Mutably dereferences a persistent pointer, mapping its puddle if
+    /// needed. The caller is responsible for undo-logging the object before
+    /// modifying it.
+    #[allow(clippy::mut_from_ref)]
+    pub fn deref_mut<T>(&self, ptr: PmPtr<T>) -> Result<&mut T> {
+        if ptr.is_null() {
+            return Err(Error::InvalidAddress(0));
+        }
+        self.ensure_mapped(ptr.addr())?;
+        // SAFETY: as in `deref`, plus pool puddles are mapped writable when
+        // the credentials allow it; aliasing discipline is the caller's.
+        Ok(unsafe { ptr.as_mut() })
+    }
+
+    /// Total free bytes across the currently mapped puddles.
+    pub fn free_bytes(&self) -> usize {
+        let state = self.state.lock();
+        state.mapped.values().map(|p| p.alloc().free_bytes()).sum()
+    }
+
+    /// Records `logger`-visible metadata for tests; returns every live
+    /// object in the mapped puddles.
+    pub fn live_objects(&self) -> Vec<crate::alloc::ObjRef> {
+        let state = self.state.lock();
+        let mut out = Vec::new();
+        for p in state.mapped.values() {
+            out.extend(p.alloc().walk());
+        }
+        out
+    }
+}
+
+/// Blanket helper so `&mut Transaction` can be passed where a `MetaLogger`
+/// is expected without an explicit cast at call sites inside this crate.
+impl<'a> MetaLogger for &mut Transaction<'a> {
+    fn log_range(&mut self, addr: usize, len: usize) -> Result<()> {
+        (**self).log_range(addr, len)
+    }
+}

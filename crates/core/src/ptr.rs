@@ -1,0 +1,168 @@
+//! Native persistent pointers.
+//!
+//! The defining choice of Puddles (§3.5) is that persistent data holds
+//! *ordinary virtual addresses* — not fat (pool-id + offset) pointers and
+//! not self-relative offsets. [`PmPtr<T>`] is a `#[repr(transparent)]`
+//! 8-byte wrapper around such an address: dereferencing it is a single
+//! load, non-PM-aware code (and debuggers) can follow it, and the relocation
+//! machinery can rewrite it in place because the type's pointer map records
+//! where it lives.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A native persistent pointer to a `T` living in the global puddle space.
+///
+/// `PmPtr` is exactly 8 bytes (one machine word) and stores the target's
+/// virtual address, so the in-memory and on-PM representations are
+/// identical. Dereferencing is `unsafe` because the compiler cannot know
+/// whether the target puddle is currently mapped; higher layers
+/// (`Pool::deref`, data-structure wrappers) provide safe access patterns.
+#[repr(transparent)]
+pub struct PmPtr<T> {
+    addr: u64,
+    _marker: PhantomData<T>,
+}
+
+impl<T> PmPtr<T> {
+    /// The null persistent pointer.
+    pub const fn null() -> Self {
+        PmPtr {
+            addr: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates a pointer from a raw virtual address.
+    pub const fn from_addr(addr: u64) -> Self {
+        PmPtr {
+            addr,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates a pointer from a raw Rust pointer.
+    pub fn from_raw(ptr: *const T) -> Self {
+        PmPtr {
+            addr: ptr as usize as u64,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Returns the stored virtual address.
+    pub const fn addr(self) -> u64 {
+        self.addr
+    }
+
+    /// Returns `true` if this is the null pointer.
+    pub const fn is_null(self) -> bool {
+        self.addr == 0
+    }
+
+    /// Converts to a raw mutable pointer.
+    pub const fn as_ptr(self) -> *mut T {
+        self.addr as *mut T
+    }
+
+    /// Dereferences the pointer.
+    ///
+    /// # Safety
+    ///
+    /// The target puddle must be mapped at this address with at least read
+    /// access, the address must point to a valid, initialized `T`, and the
+    /// returned reference must not outlive the mapping or alias a mutable
+    /// reference.
+    pub unsafe fn as_ref<'a>(self) -> &'a T {
+        debug_assert!(!self.is_null());
+        // SAFETY: forwarded from the caller.
+        unsafe { &*self.as_ptr() }
+    }
+
+    /// Mutably dereferences the pointer.
+    ///
+    /// # Safety
+    ///
+    /// As for [`PmPtr::as_ref`], plus the mapping must be writable and no
+    /// other reference to the target may exist.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn as_mut<'a>(self) -> &'a mut T {
+        debug_assert!(!self.is_null());
+        // SAFETY: forwarded from the caller.
+        unsafe { &mut *self.as_ptr() }
+    }
+}
+
+// Manual impls so `PmPtr<T>` is Copy/Clone/etc. even when `T` is not.
+impl<T> Clone for PmPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for PmPtr<T> {}
+
+impl<T> PartialEq for PmPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.addr == other.addr
+    }
+}
+impl<T> Eq for PmPtr<T> {}
+
+impl<T> Default for PmPtr<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> fmt::Debug for PmPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PmPtr({:#x})", self.addr)
+    }
+}
+
+// SAFETY: a `PmPtr` is just an address; whether dereferencing it from
+// another thread is sound is decided at the (unsafe) dereference site, the
+// same as for `*mut T` wrapped in higher-level structures. Making it Send +
+// Sync mirrors how native pointers embedded in persistent structures are
+// shared across the paper's multithreaded workloads.
+unsafe impl<T> Send for PmPtr<T> {}
+// SAFETY: see above.
+unsafe impl<T> Sync for PmPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmptr_is_one_word() {
+        assert_eq!(std::mem::size_of::<PmPtr<u64>>(), 8);
+        assert_eq!(std::mem::size_of::<Option<PmPtr<u64>>>(), 16);
+        assert_eq!(std::mem::align_of::<PmPtr<u64>>(), 8);
+    }
+
+    #[test]
+    fn null_and_roundtrip() {
+        let p: PmPtr<u32> = PmPtr::null();
+        assert!(p.is_null());
+        assert_eq!(p.addr(), 0);
+
+        let mut value = 17u32;
+        let p = PmPtr::from_raw(&mut value as *mut u32);
+        assert!(!p.is_null());
+        // SAFETY: `value` is live on the stack and exclusively ours.
+        unsafe {
+            assert_eq!(*p.as_ref(), 17);
+            *p.as_mut() = 42;
+        }
+        assert_eq!(value, 42);
+    }
+
+    #[test]
+    fn equality_compares_addresses() {
+        let a: PmPtr<u8> = PmPtr::from_addr(0x100);
+        let b: PmPtr<u8> = PmPtr::from_addr(0x100);
+        let c: PmPtr<u8> = PmPtr::from_addr(0x200);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(PmPtr::<u8>::default(), PmPtr::<u8>::null());
+    }
+}

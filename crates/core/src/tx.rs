@@ -1,0 +1,213 @@
+//! Failure-atomic transactions (`libtx`, §3.6 and §4.1).
+//!
+//! Transactions are thread-local: each thread lazily acquires one log puddle
+//! from the daemon and reuses it for every subsequent transaction. Inside a
+//! transaction the application (and the allocator) record undo entries
+//! ([`Transaction::add`], the analogue of `TX_ADD`) and redo entries
+//! ([`Transaction::redo_set`], the analogue of `TX_REDO_SET`); commit then
+//! runs the three stages of Fig. 7:
+//!
+//! 1. flush every undo-logged location, fence, publish sequence range
+//!    `(2,4)`;
+//! 2. copy every redo entry to its target, flush, fence, publish `(4,4)`;
+//! 3. the transaction is complete; the log is reset.
+//!
+//! A crash anywhere in this sequence leaves the log in a state from which
+//! the daemon's recovery (stage-aware replay) produces a consistent result:
+//! before `(2,4)` the undo entries roll the transaction back, after it the
+//! redo entries roll it forward.
+
+use crate::alloc::MetaLogger;
+use crate::client::ClientInner;
+use crate::error::{Error, Result};
+use puddles_logfmt::{
+    replay_log, DirectMemoryTarget, EntryKind, LogRef, ReplayOrder, RANGE_EXEC, RANGE_REDO,
+    SEQ_REDO, SEQ_UNDO,
+};
+use puddles_pmem::failpoint;
+use puddles_pmem::persist;
+use std::cell::Cell;
+use std::sync::Arc;
+
+thread_local! {
+    static IN_TX: Cell<bool> = const { Cell::new(false) };
+}
+
+/// An open failure-atomic transaction.
+///
+/// Obtained through [`crate::PuddleClient::tx`] (or `Pool::tx`); all undo /
+/// redo records of one transaction go to this thread's cached log puddle.
+pub struct Transaction<'c> {
+    #[allow(dead_code)]
+    client: &'c ClientInner,
+    log: LogRef,
+    undo_locations: Vec<(u64, u32)>,
+}
+
+impl<'c> Transaction<'c> {
+    /// Undo-logs the current contents of `*target` so the transaction can
+    /// roll it back (the analogue of `TX_ADD`). The caller then updates the
+    /// location in place.
+    pub fn add<T>(&mut self, target: &T) -> Result<()> {
+        self.add_range(target as *const T as usize, std::mem::size_of::<T>())
+    }
+
+    /// Undo-logs `[addr, addr + len)`.
+    pub fn add_range(&mut self, addr: usize, len: usize) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        // SAFETY: the caller asserts (by passing the location to a logging
+        // call) that `[addr, addr+len)` is a mapped, readable persistent
+        // location it owns for the duration of the transaction.
+        let data = unsafe { std::slice::from_raw_parts(addr as *const u8, len) };
+        self.log
+            .append(addr as u64, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, data)?;
+        self.undo_locations.push((addr as u64, len as u32));
+        Ok(())
+    }
+
+    /// Undo-logs `*target` and then stores `value` into it: the common
+    /// "logged store" idiom.
+    pub fn set<T: Copy>(&mut self, target: &mut T, value: T) -> Result<()> {
+        self.add(&*target)?;
+        *target = value;
+        Ok(())
+    }
+
+    /// Redo-logs a store of `value` into `*target` (the analogue of
+    /// `TX_REDO_SET`): the location is untouched now and updated when the
+    /// transaction commits.
+    pub fn redo_set<T: Copy>(&mut self, target: &T, value: T) -> Result<()> {
+        // SAFETY: `value` is a live local; viewing it as bytes is sound for
+        // Copy types.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(&value as *const T as *const u8, std::mem::size_of::<T>())
+        };
+        self.redo_set_bytes(target as *const T as usize, bytes)
+    }
+
+    /// Redo-logs a store of `bytes` at `addr`.
+    pub fn redo_set_bytes(&mut self, addr: usize, bytes: &[u8]) -> Result<()> {
+        self.log
+            .append(addr as u64, SEQ_REDO, ReplayOrder::Forward, EntryKind::Redo, bytes)?;
+        Ok(())
+    }
+
+    /// Logs the current contents of a *volatile* location so an abort can
+    /// restore it; ignored by post-crash recovery (§4.1).
+    pub fn add_volatile<T>(&mut self, target: &T) -> Result<()> {
+        let addr = target as *const T as usize;
+        let len = std::mem::size_of::<T>();
+        // SAFETY: as in `add_range`, for a volatile location.
+        let data = unsafe { std::slice::from_raw_parts(addr as *const u8, len) };
+        self.log.append(
+            addr as u64,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Volatile,
+            data,
+        )?;
+        Ok(())
+    }
+
+    /// Returns the number of log entries recorded so far.
+    pub fn entries(&self) -> u64 {
+        self.log.num_entries()
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        // Stage 1: make every undo-logged location durable.
+        for &(addr, len) in &self.undo_locations {
+            persist::flush(addr as *const u8, len as usize);
+        }
+        persist::sfence();
+        if failpoint::should_fail(failpoint::names::COMMIT_AFTER_UNDO_FLUSH) {
+            return Err(Error::CrashInjected(failpoint::names::COMMIT_AFTER_UNDO_FLUSH));
+        }
+        // Publish stage 2: only redo entries are live from here on.
+        self.log.set_seq_range(RANGE_REDO);
+        if failpoint::should_fail(failpoint::names::COMMIT_BEFORE_REDO_APPLY) {
+            return Err(Error::CrashInjected(failpoint::names::COMMIT_BEFORE_REDO_APPLY));
+        }
+
+        // Stage 2: apply the redo entries in logging order.
+        let mut applied = 0usize;
+        for (hdr, data) in self.log.live_entries() {
+            // SAFETY: the application redo-logged this address inside the
+            // transaction, asserting it owns a writable mapping of it.
+            unsafe {
+                std::ptr::copy_nonoverlapping(data.as_ptr(), hdr.addr as *mut u8, data.len());
+            }
+            persist::flush(hdr.addr as *const u8, data.len());
+            applied += 1;
+            if applied == 1 && failpoint::should_fail(failpoint::names::COMMIT_MID_REDO_APPLY) {
+                persist::sfence();
+                return Err(Error::CrashInjected(failpoint::names::COMMIT_MID_REDO_APPLY));
+            }
+        }
+        persist::sfence();
+        if failpoint::should_fail(failpoint::names::COMMIT_BEFORE_INVALIDATE) {
+            return Err(Error::CrashInjected(failpoint::names::COMMIT_BEFORE_INVALIDATE));
+        }
+
+        // Stage 3: the transaction is complete; drop the log.
+        self.log.reset();
+        Ok(())
+    }
+
+    fn abort(&mut self) {
+        // Roll back in-place (undo-logged) updates and volatile locations.
+        let mut target = DirectMemoryTarget::unrestricted();
+        replay_log(&self.log, &mut target, true);
+        self.log.reset();
+    }
+}
+
+impl MetaLogger for Transaction<'_> {
+    fn log_range(&mut self, addr: usize, len: usize) -> Result<()> {
+        self.add_range(addr, len)
+    }
+}
+
+/// Runs `body` inside a failure-atomic transaction on the calling thread.
+pub(crate) fn run_tx<R>(
+    client: &Arc<ClientInner>,
+    body: impl FnOnce(&mut Transaction<'_>) -> Result<R>,
+) -> Result<R> {
+    if IN_TX.with(|flag| flag.get()) {
+        return Err(Error::NestedTransaction);
+    }
+    let log = client.thread_log()?;
+    IN_TX.with(|flag| flag.set(true));
+    let result = run_tx_inner(client, log, body);
+    IN_TX.with(|flag| flag.set(false));
+    result
+}
+
+fn run_tx_inner<R>(
+    client: &Arc<ClientInner>,
+    log: LogRef,
+    body: impl FnOnce(&mut Transaction<'_>) -> Result<R>,
+) -> Result<R> {
+    log.reset();
+    log.set_seq_range(RANGE_EXEC);
+    let mut tx = Transaction {
+        client,
+        log,
+        undo_locations: Vec::new(),
+    };
+    match body(&mut tx) {
+        Ok(value) => match tx.commit() {
+            Ok(()) => Ok(value),
+            Err(e) => Err(e),
+        },
+        // An injected crash must leave persistent state exactly as the
+        // "power failure" found it: no abort processing.
+        Err(e) if e.is_injected_crash() => Err(e),
+        Err(e) => {
+            tx.abort();
+            Err(e)
+        }
+    }
+}

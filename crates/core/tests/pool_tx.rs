@@ -1,0 +1,401 @@
+//! End-to-end tests of the client library: pools, allocation, transactions,
+//! aborts, crash injection + system recovery, and relocation on import.
+
+use puddled::{Daemon, DaemonConfig};
+use puddles::{impl_pm_type, Error, PmPtr, PmType, PoolOptions, PuddleClient};
+
+#[repr(C)]
+struct Counter {
+    value: u64,
+    touched: u64,
+}
+impl_pm_type!(Counter, "pool_tx::Counter", []);
+
+#[repr(C)]
+struct Node {
+    value: u64,
+    next: PmPtr<Node>,
+}
+impl_pm_type!(Node, "pool_tx::Node", [next => Node]);
+
+#[repr(C)]
+struct ListRoot {
+    head: PmPtr<Node>,
+    len: u64,
+}
+impl_pm_type!(ListRoot, "pool_tx::ListRoot", [head => Node]);
+
+fn setup() -> (tempfile::TempDir, DaemonConfig, Daemon, PuddleClient) {
+    let tmp = tempfile::tempdir().unwrap();
+    let config = DaemonConfig::for_testing(tmp.path());
+    let daemon = Daemon::start(config.clone()).unwrap();
+    let client = PuddleClient::connect_local(&daemon).unwrap();
+    (tmp, config, daemon, client)
+}
+
+fn push_front(pool: &puddles::Pool, value: u64) {
+    let root: PmPtr<ListRoot> = pool.root().unwrap();
+    pool.tx(|tx| {
+        let head = pool.deref(root)?.head;
+        let node = pool.alloc_value(tx, Node { value, next: head })?;
+        let root_ref = pool.deref_mut(root)?;
+        let new_len = root_ref.len + 1;
+        tx.set(&mut root_ref.head, node)?;
+        tx.set(&mut root_ref.len, new_len)?;
+        Ok(())
+    })
+    .unwrap();
+}
+
+fn list_values(pool: &puddles::Pool) -> Vec<u64> {
+    let root: PmPtr<ListRoot> = pool.root().unwrap();
+    let mut out = Vec::new();
+    let mut cur = pool.deref(root).unwrap().head;
+    while !cur.is_null() {
+        let node = pool.deref(cur).unwrap();
+        out.push(node.value);
+        cur = node.next;
+    }
+    out
+}
+
+#[test]
+fn transactional_updates_survive_reopen() {
+    let (_tmp, config, daemon, client) = setup();
+    {
+        let pool = client.create_pool("counters", PoolOptions::default()).unwrap();
+        pool.tx(|tx| pool.create_root(tx, Counter { value: 0, touched: 0 })).unwrap();
+        let root: PmPtr<Counter> = pool.root().unwrap();
+        for i in 1..=10u64 {
+            pool.tx(|tx| {
+                let c = pool.deref_mut(root)?;
+                let touched = c.touched + 1;
+                tx.set(&mut c.value, i)?;
+                tx.set(&mut c.touched, touched)?;
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(pool.deref(root).unwrap().value, 10);
+        assert_eq!(pool.deref(root).unwrap().touched, 10);
+    }
+    drop(client);
+    drop(daemon);
+
+    // A different "application" (new daemon instance + new client) reads the
+    // data back.
+    let daemon = Daemon::start(config).unwrap();
+    let client = PuddleClient::connect_local(&daemon).unwrap();
+    let pool = client.open_pool("counters").unwrap();
+    let root: PmPtr<Counter> = pool.root().unwrap();
+    assert_eq!(pool.deref(root).unwrap().value, 10);
+    assert_eq!(pool.deref(root).unwrap().touched, 10);
+}
+
+#[test]
+fn aborted_transactions_roll_back_data_and_allocations() {
+    let (_tmp, _config, _daemon, client) = setup();
+    let pool = client.create_pool("abort", PoolOptions::default()).unwrap();
+    pool.tx(|tx| pool.create_root(tx, ListRoot { head: PmPtr::null(), len: 0 })).unwrap();
+    push_front(&pool, 1);
+    push_front(&pool, 2);
+    let objects_before = pool.live_objects().len();
+    let root: PmPtr<ListRoot> = pool.root().unwrap();
+
+    // A transaction that allocates, links, and then fails must leave no
+    // trace: the list is unchanged and the allocation is rolled back.
+    let err = pool
+        .tx(|tx| {
+            let head = pool.deref(root)?.head;
+            let node = pool.alloc_value(tx, Node { value: 99, next: head })?;
+            let root_ref = pool.deref_mut(root)?;
+            let new_len = root_ref.len + 1;
+            tx.set(&mut root_ref.head, node)?;
+            tx.set(&mut root_ref.len, new_len)?;
+            Err::<(), _>(Error::Aborted("simulated failure".into()))
+        })
+        .unwrap_err();
+    assert!(matches!(err, Error::Aborted(_)));
+
+    assert_eq!(list_values(&pool), vec![2, 1]);
+    assert_eq!(pool.deref(root).unwrap().len, 2);
+    assert_eq!(pool.live_objects().len(), objects_before);
+}
+
+#[test]
+fn nested_transactions_are_rejected() {
+    let (_tmp, _config, _daemon, client) = setup();
+    let pool = client.create_pool("nested", PoolOptions::default()).unwrap();
+    let err = pool
+        .tx(|_outer| {
+            let inner = pool.tx(|_tx| Ok(()));
+            match inner {
+                Err(Error::NestedTransaction) => Err::<(), _>(Error::Aborted("saw nested".into())),
+                other => panic!("expected NestedTransaction, got {other:?}"),
+            }
+        })
+        .unwrap_err();
+    assert!(matches!(err, Error::Aborted(_)));
+}
+
+#[test]
+fn redo_logged_updates_apply_only_at_commit() {
+    let (_tmp, _config, _daemon, client) = setup();
+    let pool = client.create_pool("redo", PoolOptions::default()).unwrap();
+    pool.tx(|tx| pool.create_root(tx, Counter { value: 5, touched: 0 })).unwrap();
+    let root: PmPtr<Counter> = pool.root().unwrap();
+    pool.tx(|tx| {
+        let c = pool.deref(root)?;
+        tx.redo_set(&c.value, 77u64)?;
+        // The in-place value is unchanged inside the transaction body.
+        assert_eq!(pool.deref(root)?.value, 5);
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(pool.deref(root).unwrap().value, 77);
+}
+
+#[test]
+fn pool_grows_beyond_one_puddle() {
+    let (_tmp, _config, _daemon, client) = setup();
+    // Small puddles force growth.
+    let options = PoolOptions::default().puddle_size(256 * 1024);
+    let pool = client.create_pool("grow", options).unwrap();
+    pool.tx(|tx| pool.create_root(tx, ListRoot { head: PmPtr::null(), len: 0 })).unwrap();
+    // Allocate ~2 MiB of 4 KiB objects in several transactions.
+    let root: PmPtr<ListRoot> = pool.root().unwrap();
+    for chunk in 0..8 {
+        pool.tx(|tx| {
+            for i in 0..64u64 {
+                let addr = pool.alloc_raw(tx, 4096, 0)?;
+                // SAFETY: fresh 4 KiB allocation in a writable mapping.
+                unsafe { std::ptr::write_bytes(addr as *mut u8, (chunk * 64 + i) as u8, 4096) };
+            }
+            let root_ref = pool.deref_mut(root)?;
+            let new_len = root_ref.len + 64;
+            tx.set(&mut root_ref.len, new_len)?;
+            Ok(())
+        })
+        .unwrap();
+    }
+    assert!(pool.puddle_count() > 1, "pool should have grown");
+    assert_eq!(pool.deref(root).unwrap().len, 512);
+}
+
+#[test]
+fn crash_during_commit_is_recovered_by_the_system() {
+    use puddles_pmem::failpoint;
+
+    let failpoints = [
+        failpoint::names::COMMIT_AFTER_UNDO_FLUSH,
+        failpoint::names::COMMIT_BEFORE_REDO_APPLY,
+        failpoint::names::COMMIT_MID_REDO_APPLY,
+        failpoint::names::COMMIT_BEFORE_INVALIDATE,
+    ];
+    for (i, fp) in failpoints.iter().enumerate() {
+        let tmp = tempfile::tempdir().unwrap();
+        let config = DaemonConfig::for_testing(tmp.path());
+        let pool_name = format!("crash-{i}");
+        {
+            let daemon = Daemon::start(config.clone()).unwrap();
+            let client = PuddleClient::connect_local(&daemon).unwrap();
+            let pool = client.create_pool(&pool_name, PoolOptions::default()).unwrap();
+            pool.tx(|tx| pool.create_root(tx, Counter { value: 100, touched: 1 })).unwrap();
+            let root: PmPtr<Counter> = pool.root().unwrap();
+
+            // A hybrid transaction: undo-logged update of `value`,
+            // redo-logged update of `touched`; crash at the chosen stage.
+            failpoint::arm(fp, 0);
+            let err = pool
+                .tx(|tx| {
+                    let c = pool.deref_mut(root)?;
+                    tx.set(&mut c.value, 200)?;
+                    tx.redo_set(&c.touched, 2u64)?;
+                    Ok(())
+                })
+                .unwrap_err();
+            failpoint::clear_all();
+            assert!(err.is_injected_crash(), "{fp}: expected injected crash, got {err}");
+            // The "crashed" client is dropped without any cleanup.
+        }
+
+        // Restart: the daemon recovers before any application maps the data.
+        let daemon = Daemon::start(config).unwrap();
+        let client = PuddleClient::connect_local(&daemon).unwrap();
+        let pool = client.open_pool(&pool_name).unwrap();
+        let root: PmPtr<Counter> = pool.root().unwrap();
+        let counter = pool.deref(root).unwrap();
+        // Atomicity: either the whole transaction happened or none of it.
+        let consistent = (counter.value == 100 && counter.touched == 1)
+            || (counter.value == 200 && counter.touched == 2);
+        assert!(
+            consistent,
+            "{fp}: inconsistent state value={} touched={}",
+            counter.value, counter.touched
+        );
+        // Stage-specific expectation: before the redo stage is published the
+        // transaction must roll back; at or after it, it must roll forward.
+        match *fp {
+            x if x == failpoint::names::COMMIT_AFTER_UNDO_FLUSH => {
+                assert_eq!(counter.value, 100, "{fp}: expected rollback");
+            }
+            x if x == failpoint::names::COMMIT_BEFORE_INVALIDATE => {
+                assert_eq!(counter.value, 200, "{fp}: expected roll-forward");
+                assert_eq!(counter.touched, 2);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn export_import_rewrites_pointers_and_keeps_both_copies_open() {
+    let (tmp, _config, _daemon, client) = setup();
+    let pool = client.create_pool("source", PoolOptions::default()).unwrap();
+    pool.tx(|tx| pool.create_root(tx, ListRoot { head: PmPtr::null(), len: 0 })).unwrap();
+    for v in 0..50 {
+        push_front(&pool, v);
+    }
+    let original: Vec<u64> = list_values(&pool);
+
+    // Export, then import as a copy into the same machine: every address
+    // conflicts with the original, so all pointers must be rewritten.
+    let export_dir = tmp.path().join("export");
+    client.export_pool("source", &export_dir).unwrap();
+    let copy = client.import_pool(&export_dir, "copy").unwrap();
+
+    // Both copies are open simultaneously — impossible in PMDK.
+    let copied: Vec<u64> = {
+        let root: PmPtr<ListRoot> = copy.root().unwrap();
+        let mut out = Vec::new();
+        let mut cur = copy.deref(root).unwrap().head;
+        while !cur.is_null() {
+            let node = copy.deref(cur).unwrap();
+            out.push(node.value);
+            cur = node.next;
+        }
+        out
+    };
+    assert_eq!(copied, original);
+
+    // The copies are independent: modifying one does not affect the other.
+    push_front(&copy, 999);
+    assert_eq!(list_values(&pool), original);
+    assert_eq!(copy.deref(copy.root::<ListRoot>().unwrap()).unwrap().len, 51);
+}
+
+#[test]
+fn cross_pool_transaction_updates_two_pools_atomically() {
+    let (_tmp, _config, _daemon, client) = setup();
+    let accounts = client.create_pool("accounts", PoolOptions::default()).unwrap();
+    let audit = client.create_pool("audit", PoolOptions::default()).unwrap();
+    accounts
+        .tx(|tx| accounts.create_root(tx, Counter { value: 1000, touched: 0 }))
+        .unwrap();
+    audit
+        .tx(|tx| audit.create_root(tx, Counter { value: 0, touched: 0 }))
+        .unwrap();
+    let acc: PmPtr<Counter> = accounts.root().unwrap();
+    let log: PmPtr<Counter> = audit.root().unwrap();
+
+    // One transaction touches both pools (cross-pool transaction, §3.6).
+    client
+        .tx(|tx| {
+            let a = accounts.deref_mut(acc)?;
+            let debited = a.value - 100;
+            tx.set(&mut a.value, debited)?;
+            let l = audit.deref_mut(log)?;
+            let credited = l.value + 1;
+            tx.set(&mut l.value, credited)?;
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(accounts.deref(acc).unwrap().value, 900);
+    assert_eq!(audit.deref(log).unwrap().value, 1);
+
+    // An aborted cross-pool transaction rolls back both pools.
+    let _ = client.tx(|tx| {
+        let a = accounts.deref_mut(acc)?;
+        tx.set(&mut a.value, 0)?;
+        let l = audit.deref_mut(log)?;
+        tx.set(&mut l.value, 999)?;
+        Err::<(), _>(Error::Aborted("no".into()))
+    });
+    assert_eq!(accounts.deref(acc).unwrap().value, 900);
+    assert_eq!(audit.deref(log).unwrap().value, 1);
+}
+
+#[test]
+fn read_only_client_can_read_but_not_write() {
+    let (_tmp, _config, daemon, client) = setup();
+    // Owner creates a world-readable pool.
+    let options = PoolOptions::default().mode(0o644);
+    let pool = client.create_pool("shared", options).unwrap();
+    pool.tx(|tx| pool.create_root(tx, Counter { value: 7, touched: 0 })).unwrap();
+    drop(pool);
+
+    // Another user (different uid) opens it read-only and reads the data
+    // without any PM-awareness of who wrote it.
+    let other = PuddleClient::connect_local_as(
+        &daemon,
+        puddles_proto::Credentials {
+            uid: puddles_proto::Credentials::current_process().uid + 1,
+            gid: puddles_proto::Credentials::current_process().gid + 1,
+        },
+    )
+    .unwrap();
+    let pool = other.open_pool("shared").unwrap();
+    let root: PmPtr<Counter> = pool.root().unwrap();
+    assert_eq!(pool.deref(root).unwrap().value, 7);
+}
+
+#[test]
+fn multithreaded_transactions_use_per_thread_logs() {
+    let (_tmp, _config, _daemon, client) = setup();
+    let pool = std::sync::Arc::new(client.create_pool("mt", PoolOptions::default()).unwrap());
+    pool.tx(|tx| pool.create_root(tx, Counter { value: 0, touched: 0 })).unwrap();
+
+    // Each thread allocates and writes its own objects; the shared counter
+    // is updated under a mutex (transactions provide failure atomicity, not
+    // isolation, exactly like the paper).
+    let lock = std::sync::Arc::new(parking_lot::Mutex::new(()));
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let pool = std::sync::Arc::clone(&pool);
+            let client = client.clone();
+            let lock = std::sync::Arc::clone(&lock);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let root: PmPtr<Counter> = pool.root().unwrap();
+                    let _guard = lock.lock();
+                    client
+                        .tx(|tx| {
+                            let c = pool.deref_mut(root)?;
+                            let next = c.value + 1;
+                            tx.set(&mut c.value, next)?;
+                            Ok(())
+                        })
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let root: PmPtr<Counter> = pool.root().unwrap();
+    assert_eq!(pool.deref(root).unwrap().value, 200);
+}
+
+#[test]
+fn type_ids_and_pointer_maps_are_registered_with_the_daemon() {
+    let (_tmp, _config, _daemon, client) = setup();
+    let pool = client.create_pool("types", PoolOptions::default()).unwrap();
+    pool.tx(|tx| pool.create_root(tx, ListRoot { head: PmPtr::null(), len: 0 })).unwrap();
+    push_front(&pool, 1);
+    let stats = client.stats().unwrap();
+    assert!(stats.ptr_maps >= 2, "expected ListRoot and Node maps, got {}", stats.ptr_maps);
+    // The maps round-trip through the daemon with the right offsets.
+    let node_decl = Node::decl();
+    assert_eq!(node_decl.fields[0].offset, 8);
+}

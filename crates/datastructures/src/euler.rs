@@ -1,0 +1,174 @@
+//! The multithreaded-scaling workload of Fig. 12: an embarrassingly parallel
+//! computation over a persistent floating-point array, each thread updating
+//! its slice inside its own (thread-local) transactions.
+
+use puddles::{impl_pm_type, PmPtr, Pool, PoolOptions, PuddleClient};
+
+/// The persistent array root.
+#[repr(C)]
+pub struct EulerRoot {
+    /// Pointer to the first element of the f64 array.
+    data: PmPtr<f64>,
+    /// Number of elements.
+    len: u64,
+}
+impl_pm_type!(EulerRoot, "datastructures::euler::EulerRoot", [data => ()]);
+
+/// A persistent f64 array processed in parallel transactions.
+pub struct EulerArray {
+    client: PuddleClient,
+    pool: Pool,
+}
+
+/// How many elements one transaction processes.
+pub const CHUNK: usize = 256;
+
+impl EulerArray {
+    /// Creates the array with `len` elements initialized to their index.
+    pub fn create(client: &PuddleClient, name: &str, len: usize) -> puddles::Result<Self> {
+        let bytes = len * std::mem::size_of::<f64>();
+        let options = PoolOptions::default().puddle_size((bytes as u64 + (1 << 20)).max(8 << 20));
+        let pool = client.open_or_create_pool(name, options)?;
+        if pool.root::<EulerRoot>().is_none() {
+            pool.tx(|tx| {
+                let data = pool.alloc_raw(tx, bytes, 0)?;
+                // SAFETY: fresh allocation of `bytes` writable bytes.
+                unsafe {
+                    let slice = std::slice::from_raw_parts_mut(data as *mut f64, len);
+                    for (i, v) in slice.iter_mut().enumerate() {
+                        *v = i as f64;
+                    }
+                }
+                pool.create_root(
+                    tx,
+                    EulerRoot {
+                        data: PmPtr::from_addr(data as u64),
+                        len: len as u64,
+                    },
+                )?;
+                Ok(())
+            })?;
+        }
+        Ok(EulerArray {
+            client: client.clone(),
+            pool,
+        })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.pool
+            .root::<EulerRoot>()
+            .and_then(|r| self.pool.deref(r).ok().map(|r| r.len as usize))
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` if the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A clone of the underlying client (each worker thread needs one so its
+    /// transactions get their own log puddle).
+    pub fn client(&self) -> PuddleClient {
+        self.client.clone()
+    }
+
+    fn data(&self) -> *mut f64 {
+        let root = self.pool.root::<EulerRoot>().expect("created");
+        self.pool.deref(root).expect("mapped").data.addr() as *mut f64
+    }
+
+    /// Processes `[start, end)`: each CHUNK of elements is updated in one
+    /// transaction with the "Euler identity" computation of Fig. 12
+    /// (`x ← |e^{iπ·x} + 1|`, evaluated via cos/sin).
+    pub fn process_range(&self, start: usize, end: usize) -> puddles::Result<()> {
+        let data = self.data();
+        let mut chunk_start = start;
+        while chunk_start < end {
+            let chunk_end = (chunk_start + CHUNK).min(end);
+            self.client.tx(|tx| {
+                for i in chunk_start..chunk_end {
+                    // SAFETY: `i < len`, inside the mapped array.
+                    unsafe {
+                        let slot = data.add(i);
+                        tx.add(&*slot)?;
+                        let x = *slot;
+                        let re = (std::f64::consts::PI * x).cos() + 1.0;
+                        let im = (std::f64::consts::PI * x).sin();
+                        *slot = (re * re + im * im).sqrt();
+                    }
+                }
+                Ok(())
+            })?;
+            chunk_start = chunk_end;
+        }
+        Ok(())
+    }
+
+    /// Runs the whole array with `threads` worker threads, each processing
+    /// 1/n-th of the array (the Fig. 12 setup). Returns the elapsed time.
+    pub fn run_parallel(self: &std::sync::Arc<Self>, threads: usize) -> std::time::Duration {
+        let len = self.len();
+        let per = len.div_ceil(threads);
+        let start_time = std::time::Instant::now();
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let this = std::sync::Arc::clone(self);
+                std::thread::spawn(move || {
+                    let start = t * per;
+                    let end = ((t + 1) * per).min(len);
+                    if start < end {
+                        this.process_range(start, end).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        start_time.elapsed()
+    }
+
+    /// Reads element `i` (test helper).
+    pub fn get(&self, i: usize) -> f64 {
+        // SAFETY: `i < len` is the caller's responsibility in tests.
+        unsafe { *self.data().add(i) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puddled::{Daemon, DaemonConfig};
+
+    #[test]
+    fn parallel_processing_touches_every_element() {
+        let tmp = tempfile::tempdir().unwrap();
+        let daemon = Daemon::start(DaemonConfig::for_testing(tmp.path())).unwrap();
+        let client = PuddleClient::connect_local(&daemon).unwrap();
+        let array = std::sync::Arc::new(EulerArray::create(&client, "euler", 4096).unwrap());
+        assert_eq!(array.len(), 4096);
+        assert_eq!(array.get(3), 3.0);
+        array.run_parallel(4);
+        // |e^{iπx}+1| for integer x is 2 for even x and 0 for odd x.
+        for i in 0..4096 {
+            let expected = if i % 2 == 0 { 2.0 } else { 0.0 };
+            assert!((array.get(i) - expected).abs() < 1e-9, "element {i}");
+        }
+    }
+
+    #[test]
+    fn single_threaded_and_multithreaded_agree() {
+        let tmp = tempfile::tempdir().unwrap();
+        let daemon = Daemon::start(DaemonConfig::for_testing(tmp.path())).unwrap();
+        let client = PuddleClient::connect_local(&daemon).unwrap();
+        let a = std::sync::Arc::new(EulerArray::create(&client, "a", 1024).unwrap());
+        let b = std::sync::Arc::new(EulerArray::create(&client, "b", 1024).unwrap());
+        a.run_parallel(1);
+        b.run_parallel(8);
+        for i in 0..1024 {
+            assert!((a.get(i) - b.get(i)).abs() < 1e-12);
+        }
+    }
+}

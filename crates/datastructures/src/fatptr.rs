@@ -1,0 +1,306 @@
+//! Fat-pointer vs native-pointer microbenchmark structures (Fig. 1).
+//!
+//! The paper's Fig. 1 measures the overhead of 128-bit base+offset pointers
+//! over native pointers when creating and traversing a linked list (2^16
+//! nodes) and a binary tree (height 16). These structures isolate exactly
+//! that difference: the *native* variants link nodes with raw addresses, the
+//! *fat* variants link them with `(region id, offset)` pairs resolved
+//! through a registry on every dereference — the same translation PMDK-style
+//! libraries perform.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// A 128-bit fat pointer: (region id, offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(C)]
+pub struct FatPtr {
+    /// Region identifier, resolved through the global registry.
+    pub region: u64,
+    /// Offset within the region.
+    pub off: u64,
+}
+
+impl FatPtr {
+    /// The null fat pointer.
+    pub const NULL: FatPtr = FatPtr { region: 0, off: 0 };
+
+    /// Returns `true` if this is the null pointer.
+    pub fn is_null(self) -> bool {
+        self.region == 0
+    }
+
+    /// Resolves the pointer to a native address (base lookup + add).
+    #[inline]
+    pub fn resolve(self) -> *mut u8 {
+        if self.is_null() {
+            return std::ptr::null_mut();
+        }
+        let registry = region_registry().read();
+        match registry.get(&self.region) {
+            Some(&base) => (base + self.off as usize) as *mut u8,
+            None => std::ptr::null_mut(),
+        }
+    }
+}
+
+fn region_registry() -> &'static RwLock<HashMap<u64, usize>> {
+    static REG: OnceLock<RwLock<HashMap<u64, usize>>> = OnceLock::new();
+    REG.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// A bump-allocated arena standing in for a mapped PM region.
+pub struct Arena {
+    id: u64,
+    buf: Vec<u8>,
+    used: usize,
+}
+
+impl Arena {
+    /// Creates an arena of `capacity` bytes and registers it for fat-pointer
+    /// translation.
+    pub fn new(capacity: usize) -> Self {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let buf = vec![0u8; capacity];
+        region_registry().write().insert(id, buf.as_ptr() as usize);
+        Arena { id, buf, used: 64 }
+    }
+
+    /// Allocates `size` bytes, returning (fat pointer, native pointer).
+    pub fn alloc(&mut self, size: usize) -> (FatPtr, *mut u8) {
+        let size = (size + 15) & !15;
+        assert!(self.used + size <= self.buf.len(), "arena exhausted");
+        let off = self.used;
+        self.used += size;
+        let native = self.buf[off..].as_mut_ptr();
+        (
+            FatPtr {
+                region: self.id,
+                off: off as u64,
+            },
+            native,
+        )
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        region_registry().write().remove(&self.id);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Linked list variants.
+// ---------------------------------------------------------------------
+
+/// Linked-list node with a native next pointer.
+#[repr(C)]
+pub struct NativeListNode {
+    /// Payload.
+    pub value: u64,
+    /// Next node.
+    pub next: *mut NativeListNode,
+}
+
+/// Linked-list node with a fat next pointer (16 bytes; worse locality).
+#[repr(C)]
+pub struct FatListNode {
+    /// Payload.
+    pub value: u64,
+    /// Next node (fat).
+    pub next: FatPtr,
+}
+
+/// Builds a native-pointer list of `n` nodes in `arena`; returns the head.
+pub fn build_native_list(arena: &mut Arena, n: usize) -> *mut NativeListNode {
+    let mut head: *mut NativeListNode = std::ptr::null_mut();
+    for i in (0..n).rev() {
+        let (_, raw) = arena.alloc(std::mem::size_of::<NativeListNode>());
+        let node = raw as *mut NativeListNode;
+        // SAFETY: fresh allocation of node size.
+        unsafe {
+            (*node).value = i as u64;
+            (*node).next = head;
+        }
+        head = node;
+    }
+    head
+}
+
+/// Sums a native-pointer list.
+pub fn traverse_native_list(head: *mut NativeListNode) -> u64 {
+    let mut sum = 0u64;
+    let mut cur = head;
+    while !cur.is_null() {
+        // SAFETY: nodes live in the arena for the duration of the call.
+        unsafe {
+            sum = sum.wrapping_add((*cur).value);
+            cur = (*cur).next;
+        }
+    }
+    sum
+}
+
+/// Builds a fat-pointer list of `n` nodes in `arena`; returns the head.
+pub fn build_fat_list(arena: &mut Arena, n: usize) -> FatPtr {
+    let mut head = FatPtr::NULL;
+    for i in (0..n).rev() {
+        let (fat, raw) = arena.alloc(std::mem::size_of::<FatListNode>());
+        let node = raw as *mut FatListNode;
+        // SAFETY: fresh allocation of node size.
+        unsafe {
+            (*node).value = i as u64;
+            (*node).next = head;
+        }
+        head = fat;
+    }
+    head
+}
+
+/// Sums a fat-pointer list (one registry lookup per hop).
+pub fn traverse_fat_list(head: FatPtr) -> u64 {
+    let mut sum = 0u64;
+    let mut cur = head;
+    while !cur.is_null() {
+        let node = cur.resolve() as *mut FatListNode;
+        // SAFETY: nodes live in the arena for the duration of the call.
+        unsafe {
+            sum = sum.wrapping_add((*node).value);
+            cur = (*node).next;
+        }
+    }
+    sum
+}
+
+// ---------------------------------------------------------------------
+// Binary tree variants.
+// ---------------------------------------------------------------------
+
+/// Binary-tree node with native child pointers.
+#[repr(C)]
+pub struct NativeTreeNode {
+    /// Key.
+    pub key: u64,
+    /// Left child.
+    pub left: *mut NativeTreeNode,
+    /// Right child.
+    pub right: *mut NativeTreeNode,
+}
+
+/// Binary-tree node with fat child pointers.
+#[repr(C)]
+pub struct FatTreeNode {
+    /// Key.
+    pub key: u64,
+    /// Left child.
+    pub left: FatPtr,
+    /// Right child.
+    pub right: FatPtr,
+}
+
+/// Builds a complete native-pointer binary tree of the given height.
+pub fn build_native_tree(arena: &mut Arena, height: u32) -> *mut NativeTreeNode {
+    fn build(arena: &mut Arena, level: u32, counter: &mut u64) -> *mut NativeTreeNode {
+        if level == 0 {
+            return std::ptr::null_mut();
+        }
+        let (_, raw) = arena.alloc(std::mem::size_of::<NativeTreeNode>());
+        let node = raw as *mut NativeTreeNode;
+        *counter += 1;
+        // SAFETY: fresh allocation.
+        unsafe {
+            (*node).key = *counter;
+            (*node).left = build(arena, level - 1, counter);
+            (*node).right = build(arena, level - 1, counter);
+        }
+        node
+    }
+    let mut counter = 0;
+    build(arena, height, &mut counter)
+}
+
+/// Depth-first sum of a native-pointer tree.
+pub fn traverse_native_tree(root: *mut NativeTreeNode) -> u64 {
+    if root.is_null() {
+        return 0;
+    }
+    // SAFETY: nodes live in the arena.
+    unsafe {
+        (*root)
+            .key
+            .wrapping_add(traverse_native_tree((*root).left))
+            .wrapping_add(traverse_native_tree((*root).right))
+    }
+}
+
+/// Builds a complete fat-pointer binary tree of the given height.
+pub fn build_fat_tree(arena: &mut Arena, height: u32) -> FatPtr {
+    fn build(arena: &mut Arena, level: u32, counter: &mut u64) -> FatPtr {
+        if level == 0 {
+            return FatPtr::NULL;
+        }
+        let (fat, raw) = arena.alloc(std::mem::size_of::<FatTreeNode>());
+        let node = raw as *mut FatTreeNode;
+        *counter += 1;
+        // SAFETY: fresh allocation.
+        unsafe {
+            (*node).key = *counter;
+            (*node).left = build(arena, level - 1, counter);
+            (*node).right = build(arena, level - 1, counter);
+        }
+        fat
+    }
+    let mut counter = 0;
+    build(arena, height, &mut counter)
+}
+
+/// Depth-first sum of a fat-pointer tree.
+pub fn traverse_fat_tree(root: FatPtr) -> u64 {
+    if root.is_null() {
+        return 0;
+    }
+    let node = root.resolve() as *mut FatTreeNode;
+    // SAFETY: nodes live in the arena.
+    unsafe {
+        (*node)
+            .key
+            .wrapping_add(traverse_fat_tree((*node).left))
+            .wrapping_add(traverse_fat_tree((*node).right))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_and_fat_lists_compute_the_same_sum() {
+        let mut a1 = Arena::new(8 << 20);
+        let mut a2 = Arena::new(8 << 20);
+        let native = build_native_list(&mut a1, 10_000);
+        let fat = build_fat_list(&mut a2, 10_000);
+        assert_eq!(traverse_native_list(native), traverse_fat_list(fat));
+        assert_eq!(traverse_native_list(native), (0..10_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn native_and_fat_trees_compute_the_same_sum() {
+        let mut a1 = Arena::new(32 << 20);
+        let mut a2 = Arena::new(32 << 20);
+        let native = build_native_tree(&mut a1, 10);
+        let fat = build_fat_tree(&mut a2, 10);
+        let nodes = (1u64 << 10) - 1;
+        assert_eq!(traverse_native_tree(native), (1..=nodes).sum::<u64>());
+        assert_eq!(traverse_native_tree(native), traverse_fat_tree(fat));
+    }
+
+    #[test]
+    fn fat_pointers_are_twice_the_size_of_native_pointers() {
+        assert_eq!(std::mem::size_of::<FatPtr>(), 16);
+        assert_eq!(std::mem::size_of::<*mut NativeListNode>(), 8);
+        assert!(std::mem::size_of::<FatListNode>() > std::mem::size_of::<NativeListNode>());
+    }
+}

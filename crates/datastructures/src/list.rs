@@ -1,0 +1,466 @@
+//! Singly linked lists (Fig. 9): insert a tail node, delete a node, sum all
+//! values — implemented for Puddles, PMDK-sim and Romulus-sim.
+//!
+//! Deletion removes the *head* node so the operation is O(1) on a singly
+//! linked list (deleting the true tail would be O(n) per operation and make
+//! the 10 M-operation benchmark quadratic); insert and traversal match the
+//! paper.
+
+use puddles::{impl_pm_type, PmPtr, Pool, PuddleClient};
+
+// ---------------------------------------------------------------------
+// Puddles implementation (native pointers).
+// ---------------------------------------------------------------------
+
+/// A linked-list node stored in a puddle.
+#[repr(C)]
+pub struct PNode {
+    /// Payload.
+    pub value: u64,
+    /// Next node (native pointer).
+    pub next: PmPtr<PNode>,
+}
+impl_pm_type!(PNode, "datastructures::list::PNode", [next => PNode]);
+
+/// The list root stored in the pool's root puddle.
+#[repr(C)]
+pub struct PListRoot {
+    /// First node.
+    pub head: PmPtr<PNode>,
+    /// Last node.
+    pub tail: PmPtr<PNode>,
+    /// Number of nodes.
+    pub len: u64,
+}
+impl_pm_type!(
+    PListRoot,
+    "datastructures::list::PListRoot",
+    [head => PNode, tail => PNode]
+);
+
+/// Singly linked list over the Puddles library.
+pub struct PuddlesList {
+    client: PuddleClient,
+    pool: Pool,
+}
+
+impl PuddlesList {
+    /// Creates (or opens) the list in pool `name`.
+    pub fn new(client: &PuddleClient, name: &str) -> puddles::Result<Self> {
+        let pool = client.open_or_create_pool(name, Default::default())?;
+        if pool.root::<PListRoot>().is_none() {
+            pool.tx(|tx| {
+                pool.create_root(
+                    tx,
+                    PListRoot {
+                        head: PmPtr::null(),
+                        tail: PmPtr::null(),
+                        len: 0,
+                    },
+                )
+            })?;
+        }
+        Ok(PuddlesList {
+            client: client.clone(),
+            pool,
+        })
+    }
+
+    fn root(&self) -> PmPtr<PListRoot> {
+        self.pool.root().expect("root created in new()")
+    }
+
+    /// Appends a node with `value` at the tail.
+    pub fn insert_tail(&self, value: u64) -> puddles::Result<()> {
+        let root = self.root();
+        self.client.tx(|tx| {
+            let node = self.pool.alloc_value(
+                tx,
+                PNode {
+                    value,
+                    next: PmPtr::null(),
+                },
+            )?;
+            let r = self.pool.deref_mut(root)?;
+            if r.tail.is_null() {
+                tx.set(&mut r.head, node)?;
+                tx.set(&mut r.tail, node)?;
+            } else {
+                // SAFETY: tail is a live node in a mapped, writable puddle.
+                let tail = unsafe { r.tail.as_mut() };
+                tx.set(&mut tail.next, node)?;
+                tx.set(&mut r.tail, node)?;
+            }
+            let len = r.len + 1;
+            tx.set(&mut r.len, len)?;
+            Ok(())
+        })
+    }
+
+    /// Removes the head node, returning its value.
+    pub fn delete_head(&self) -> puddles::Result<Option<u64>> {
+        let root = self.root();
+        self.client.tx(|tx| {
+            let r = self.pool.deref_mut(root)?;
+            if r.head.is_null() {
+                return Ok(None);
+            }
+            let head_ptr = r.head;
+            // SAFETY: head is a live node.
+            let head = unsafe { head_ptr.as_ref() };
+            let value = head.value;
+            let next = head.next;
+            tx.set(&mut r.head, next)?;
+            if next.is_null() {
+                tx.set(&mut r.tail, PmPtr::null())?;
+            }
+            let len = r.len - 1;
+            tx.set(&mut r.len, len)?;
+            self.pool.dealloc(tx, head_ptr)?;
+            Ok(Some(value))
+        })
+    }
+
+    /// Sums every node's value (the traversal benchmark: one load per hop).
+    pub fn sum(&self) -> u64 {
+        let root = self.root();
+        let r = self.pool.deref(root).expect("root mapped");
+        let mut sum = 0u64;
+        let mut cur = r.head;
+        while !cur.is_null() {
+            // SAFETY: list nodes stay mapped while the pool is open; the
+            // traversal is the native-pointer fast path the paper measures.
+            let node = unsafe { cur.as_ref() };
+            sum = sum.wrapping_add(node.value);
+            cur = node.next;
+        }
+        sum
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> u64 {
+        self.pool.deref(self.root()).map(|r| r.len).unwrap_or(0)
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// PMDK-sim implementation (fat pointers).
+// ---------------------------------------------------------------------
+
+/// A linked-list node stored in a PMDK pool (16-byte fat pointer).
+#[repr(C)]
+pub struct MNode {
+    /// Payload.
+    pub value: u64,
+    /// Next node (fat pointer, translated on every dereference).
+    pub next: pmdk_sim::Toid<MNode>,
+}
+
+/// The list root object in a PMDK pool.
+#[repr(C)]
+pub struct MListRoot {
+    /// First node.
+    pub head: pmdk_sim::Toid<MNode>,
+    /// Last node.
+    pub tail: pmdk_sim::Toid<MNode>,
+    /// Number of nodes.
+    pub len: u64,
+}
+
+/// Singly linked list over the PMDK baseline.
+pub struct PmdkList {
+    pool: pmdk_sim::PmdkPool,
+}
+
+impl PmdkList {
+    /// Creates the list in a new pool file at `path`.
+    pub fn create(path: impl AsRef<std::path::Path>, pool_size: usize) -> pmdk_sim::Result<Self> {
+        let pool = pmdk_sim::PmdkPool::create(path, pool_size)?;
+        pool.tx(|tx| {
+            let root = tx.alloc(MListRoot {
+                head: pmdk_sim::Toid::null(),
+                tail: pmdk_sim::Toid::null(),
+                len: 0,
+            })?;
+            tx.set_root(root)?;
+            Ok(())
+        })?;
+        Ok(PmdkList { pool })
+    }
+
+    fn root(&self) -> pmdk_sim::Toid<MListRoot> {
+        self.pool.root()
+    }
+
+    /// Appends a node with `value` at the tail.
+    pub fn insert_tail(&self, value: u64) -> pmdk_sim::Result<()> {
+        let root = self.root();
+        self.pool.tx(|tx| {
+            let node = tx.alloc(MNode {
+                value,
+                next: pmdk_sim::Toid::null(),
+            })?;
+            // SAFETY: the root object is live for the pool's lifetime.
+            let r = unsafe { root.as_mut() };
+            tx.add(r)?;
+            if r.tail.is_null() {
+                r.head = node;
+                r.tail = node;
+            } else {
+                // SAFETY: tail is a live node.
+                let tail = unsafe { r.tail.as_mut() };
+                tx.add(tail)?;
+                tail.next = node;
+                r.tail = node;
+            }
+            r.len += 1;
+            Ok(())
+        })
+    }
+
+    /// Removes the head node, returning its value.
+    pub fn delete_head(&self) -> pmdk_sim::Result<Option<u64>> {
+        let root = self.root();
+        self.pool.tx(|tx| {
+            // SAFETY: root is live.
+            let r = unsafe { root.as_mut() };
+            if r.head.is_null() {
+                return Ok(None);
+            }
+            tx.add(r)?;
+            let head = r.head;
+            // SAFETY: head is live.
+            let head_ref = unsafe { head.as_ref() };
+            let value = head_ref.value;
+            let next = head_ref.next;
+            r.head = next;
+            if next.is_null() {
+                r.tail = pmdk_sim::Toid::null();
+            }
+            r.len -= 1;
+            tx.free(head)?;
+            Ok(Some(value))
+        })
+    }
+
+    /// Sums every node's value: each hop pays the fat-pointer translation.
+    pub fn sum(&self) -> u64 {
+        let root = self.root();
+        // SAFETY: root is live.
+        let r = unsafe { root.as_ref() };
+        let mut sum = 0u64;
+        let mut cur = r.head;
+        while !cur.is_null() {
+            // SAFETY: nodes are live while the pool is open.
+            let node = unsafe { cur.as_ref() };
+            sum = sum.wrapping_add(node.value);
+            cur = node.next;
+        }
+        sum
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> u64 {
+        // SAFETY: root is live.
+        unsafe { self.root().as_ref() }.len
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Romulus-sim implementation (offsets into the main replica).
+// ---------------------------------------------------------------------
+
+const RNODE_VALUE: u64 = 0;
+const RNODE_NEXT: u64 = 8;
+const RNODE_SIZE: usize = 16;
+const RROOT_HEAD: u64 = 0;
+const RROOT_TAIL: u64 = 8;
+const RROOT_LEN: u64 = 16;
+const RROOT_SIZE: usize = 24;
+
+/// Singly linked list over the Romulus baseline (offset-based links).
+pub struct RomulusList {
+    pool: romulus_sim::RomulusPool,
+    root: u64,
+}
+
+impl RomulusList {
+    /// Creates the list in a new pool file at `path`.
+    pub fn create(
+        path: impl AsRef<std::path::Path>,
+        region_size: usize,
+    ) -> romulus_sim::pool::Result<Self> {
+        let pool = romulus_sim::RomulusPool::create(path, region_size)?;
+        let root = pool.tx(|tx| {
+            let root = tx.alloc(RROOT_SIZE)?;
+            tx.store(root + RROOT_HEAD, 0u64);
+            tx.store(root + RROOT_TAIL, 0u64);
+            tx.store(root + RROOT_LEN, 0u64);
+            tx.set_root(root);
+            Ok(root)
+        })?;
+        Ok(RomulusList { pool, root })
+    }
+
+    /// Appends a node with `value` at the tail.
+    pub fn insert_tail(&self, value: u64) -> romulus_sim::pool::Result<()> {
+        let root = self.root;
+        self.pool.tx(|tx| {
+            let node = tx.alloc(RNODE_SIZE)?;
+            tx.store(node + RNODE_VALUE, value);
+            tx.store(node + RNODE_NEXT, 0u64);
+            let tail: u64 = tx.load(root + RROOT_TAIL);
+            if tail == 0 {
+                tx.store(root + RROOT_HEAD, node);
+            } else {
+                tx.store(tail + RNODE_NEXT, node);
+            }
+            tx.store(root + RROOT_TAIL, node);
+            let len: u64 = tx.load(root + RROOT_LEN);
+            tx.store(root + RROOT_LEN, len + 1);
+            Ok(())
+        })
+    }
+
+    /// Removes the head node, returning its value (the node's space is not
+    /// reclaimed — romulus-sim uses a bump allocator).
+    pub fn delete_head(&self) -> romulus_sim::pool::Result<Option<u64>> {
+        let root = self.root;
+        self.pool.tx(|tx| {
+            let head: u64 = tx.load(root + RROOT_HEAD);
+            if head == 0 {
+                return Ok(None);
+            }
+            let value: u64 = tx.load(head + RNODE_VALUE);
+            let next: u64 = tx.load(head + RNODE_NEXT);
+            tx.store(root + RROOT_HEAD, next);
+            if next == 0 {
+                tx.store(root + RROOT_TAIL, 0u64);
+            }
+            let len: u64 = tx.load(root + RROOT_LEN);
+            tx.store(root + RROOT_LEN, len - 1);
+            Ok(Some(value))
+        })
+    }
+
+    /// Sums every node's value.
+    pub fn sum(&self) -> u64 {
+        let mut sum = 0u64;
+        // SAFETY: offsets were produced by this list's allocator.
+        unsafe {
+            let mut cur = std::ptr::read_unaligned(self.pool.at::<u64>(self.root + RROOT_HEAD));
+            while cur != 0 {
+                sum = sum
+                    .wrapping_add(std::ptr::read_unaligned(self.pool.at::<u64>(cur + RNODE_VALUE)));
+                cur = std::ptr::read_unaligned(self.pool.at::<u64>(cur + RNODE_NEXT));
+            }
+        }
+        sum
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> u64 {
+        // SAFETY: the root object is live.
+        unsafe { std::ptr::read_unaligned(self.pool.at::<u64>(self.root + RROOT_LEN)) }
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puddled::{Daemon, DaemonConfig};
+
+    fn puddles_client() -> (tempfile::TempDir, Daemon, PuddleClient) {
+        let tmp = tempfile::tempdir().unwrap();
+        let daemon = Daemon::start(DaemonConfig::for_testing(tmp.path())).unwrap();
+        let client = PuddleClient::connect_local(&daemon).unwrap();
+        (tmp, daemon, client)
+    }
+
+    #[test]
+    fn puddles_list_insert_delete_sum() {
+        let (_tmp, _daemon, client) = puddles_client();
+        let list = PuddlesList::new(&client, "list").unwrap();
+        for i in 1..=100 {
+            list.insert_tail(i).unwrap();
+        }
+        assert_eq!(list.len(), 100);
+        assert_eq!(list.sum(), (1..=100).sum::<u64>());
+        assert_eq!(list.delete_head().unwrap(), Some(1));
+        assert_eq!(list.delete_head().unwrap(), Some(2));
+        assert_eq!(list.len(), 98);
+        assert_eq!(list.sum(), (3..=100).sum::<u64>());
+        while list.delete_head().unwrap().is_some() {}
+        assert!(list.is_empty());
+        assert_eq!(list.sum(), 0);
+    }
+
+    #[test]
+    fn pmdk_list_insert_delete_sum() {
+        let tmp = tempfile::tempdir().unwrap();
+        let list = PmdkList::create(tmp.path().join("list.pmdk"), 16 << 20).unwrap();
+        for i in 1..=100 {
+            list.insert_tail(i).unwrap();
+        }
+        assert_eq!(list.len(), 100);
+        assert_eq!(list.sum(), (1..=100).sum::<u64>());
+        assert_eq!(list.delete_head().unwrap(), Some(1));
+        assert_eq!(list.len(), 99);
+    }
+
+    #[test]
+    fn romulus_list_insert_delete_sum() {
+        let tmp = tempfile::tempdir().unwrap();
+        let list = RomulusList::create(tmp.path().join("list.rom"), 16 << 20).unwrap();
+        for i in 1..=100 {
+            list.insert_tail(i).unwrap();
+        }
+        assert_eq!(list.len(), 100);
+        assert_eq!(list.sum(), (1..=100).sum::<u64>());
+        assert_eq!(list.delete_head().unwrap(), Some(1));
+        assert_eq!(list.sum(), (2..=100).sum::<u64>());
+    }
+
+    #[test]
+    fn all_three_lists_agree_on_a_random_workload() {
+        use rand::Rng;
+        let (_tmp, _daemon, client) = puddles_client();
+        let p = PuddlesList::new(&client, "agree").unwrap();
+        let tmp = tempfile::tempdir().unwrap();
+        let m = PmdkList::create(tmp.path().join("m.pmdk"), 16 << 20).unwrap();
+        let r = RomulusList::create(tmp.path().join("r.rom"), 16 << 20).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        use rand::SeedableRng;
+        for _ in 0..300 {
+            if rng.gen_bool(0.7) {
+                let v = rng.gen_range(0..1000);
+                p.insert_tail(v).unwrap();
+                m.insert_tail(v).unwrap();
+                r.insert_tail(v).unwrap();
+            } else {
+                let a = p.delete_head().unwrap();
+                let b = m.delete_head().unwrap();
+                let c = r.delete_head().unwrap();
+                assert_eq!(a, b);
+                assert_eq!(a, c);
+            }
+            assert_eq!(p.sum(), m.sum());
+            assert_eq!(p.sum(), r.sum());
+        }
+    }
+}

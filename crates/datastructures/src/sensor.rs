@@ -1,0 +1,398 @@
+//! The sensor-network data-aggregation workload (Fig. 13/14).
+//!
+//! A home node distributes a pointer-rich state structure to independent
+//! sensor nodes (each modelled as its own daemon instance with its own PM
+//! directory and global-space base — the stand-in for the paper's docker
+//! containers). Each sensor modifies its copy and exports it; the home node
+//! aggregates all copies.
+//!
+//! * With **Puddles**, the home node simply imports each exported pool —
+//!   the daemon assigns fresh addresses and the library rewrites pointers —
+//!   and then walks the imported structure in place.
+//! * With **PMDK**, copies of a pool cannot be opened alongside each other
+//!   (same UUID), so the home node must open each copy sequentially and
+//!   *reallocate* every state variable into its own pool, rebuilding the
+//!   structure — the cost Fig. 14 shows growing with the state size.
+
+use puddles::{impl_pm_type, PmPtr, Pool, PuddleClient};
+
+/// One sensor state variable (a node in a linked structure).
+#[repr(C)]
+pub struct StateVar {
+    /// Variable identifier.
+    pub id: u64,
+    /// Observation value.
+    pub value: u64,
+    /// Next variable.
+    pub next: PmPtr<StateVar>,
+}
+impl_pm_type!(StateVar, "datastructures::sensor::StateVar", [next => StateVar]);
+
+/// The sensor-state root: a linked list of state variables.
+#[repr(C)]
+pub struct SensorRoot {
+    /// First state variable.
+    pub head: PmPtr<StateVar>,
+    /// Number of variables.
+    pub count: u64,
+}
+impl_pm_type!(SensorRoot, "datastructures::sensor::SensorRoot", [head => StateVar]);
+
+/// A sensor (or home) node's state stored in a Puddles pool.
+pub struct SensorState {
+    client: PuddleClient,
+    pool: Pool,
+}
+
+impl SensorState {
+    /// Creates the state with `vars` variables, all zero.
+    pub fn create(client: &PuddleClient, pool_name: &str, vars: u64) -> puddles::Result<Self> {
+        let pool = client.open_or_create_pool(pool_name, Default::default())?;
+        if pool.root::<SensorRoot>().is_none() {
+            pool.tx(|tx| {
+                pool.create_root(
+                    tx,
+                    SensorRoot {
+                        head: PmPtr::null(),
+                        count: 0,
+                    },
+                )
+            })?;
+            let state = SensorState {
+                client: client.clone(),
+                pool,
+            };
+            for id in 0..vars {
+                state.push_var(id, 0)?;
+            }
+            return Ok(state);
+        }
+        Ok(SensorState {
+            client: client.clone(),
+            pool,
+        })
+    }
+
+    /// Opens existing state (e.g. an imported pool).
+    pub fn open(client: &PuddleClient, pool: Pool) -> Self {
+        SensorState {
+            client: client.clone(),
+            pool,
+        }
+    }
+
+    fn root(&self) -> PmPtr<SensorRoot> {
+        self.pool.root().expect("root created")
+    }
+
+    fn push_var(&self, id: u64, value: u64) -> puddles::Result<()> {
+        let root = self.root();
+        self.client.tx(|tx| {
+            let r = self.pool.deref_mut(root)?;
+            let node = self.pool.alloc_value(
+                tx,
+                StateVar {
+                    id,
+                    value,
+                    next: r.head,
+                },
+            )?;
+            let count = r.count + 1;
+            tx.set(&mut r.head, node)?;
+            tx.set(&mut r.count, count)?;
+            Ok(())
+        })
+    }
+
+    /// Number of state variables.
+    pub fn count(&self) -> u64 {
+        self.pool.deref(self.root()).map(|r| r.count).unwrap_or(0)
+    }
+
+    /// The sensor's measurement step: every variable is updated in
+    /// transactions (modelling the paper's "independent nodes modify these
+    /// copies").
+    pub fn observe(&self, delta: u64) -> puddles::Result<()> {
+        let root = self.root();
+        let head = self.pool.deref(root)?.head;
+        let mut cur = head;
+        while !cur.is_null() {
+            self.client.tx(|tx| {
+                // SAFETY: state variables stay mapped while the pool is open.
+                let var = unsafe { cur.as_mut() };
+                let new = var.value + delta + var.id;
+                tx.set(&mut var.value, new)?;
+                Ok(())
+            })?;
+            // SAFETY: as above.
+            cur = unsafe { cur.as_ref() }.next;
+        }
+        Ok(())
+    }
+
+    /// Reads all (id, value) pairs.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        let root = self.root();
+        let mut out = Vec::new();
+        let mut cur = self.pool.deref(root).map(|r| r.head).unwrap_or(PmPtr::null());
+        while !cur.is_null() {
+            // SAFETY: as above; imported puddles are mapped through
+            // `Pool::deref` below before raw traversal starts.
+            let var = self.pool.deref(cur).expect("state var mapped");
+            out.push((var.id, var.value));
+            cur = var.next;
+        }
+        out
+    }
+
+    /// Aggregates (sums per-variable values of) another state into this one.
+    pub fn aggregate_from(&self, other: &SensorState) -> puddles::Result<()> {
+        let snapshot = other.snapshot();
+        let root = self.root();
+        // Index our variables by id once.
+        let mut ours = std::collections::HashMap::new();
+        {
+            let mut cur = self.pool.deref(root)?.head;
+            while !cur.is_null() {
+                let var = self.pool.deref(cur)?;
+                ours.insert(var.id, cur);
+                cur = var.next;
+            }
+        }
+        self.client.tx(|tx| {
+            for (id, value) in &snapshot {
+                if let Some(ptr) = ours.get(id) {
+                    // SAFETY: our own live state variable.
+                    let var = unsafe { ptr.as_mut() };
+                    let new = var.value + value;
+                    tx.set(&mut var.value, new)?;
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Exports this state's pool to `dest` (Puddles path: raw in-memory
+    /// representation, no serialization).
+    pub fn export(&self, dest: impl AsRef<std::path::Path>) -> puddles::Result<()> {
+        self.client.export_pool(&self.pool.name(), dest)
+    }
+}
+
+/// The Puddles home-node aggregation: import every exported sensor state and
+/// merge it. Returns (import time, rewrite+walk+merge time).
+pub fn puddles_aggregate(
+    home_client: &PuddleClient,
+    home: &SensorState,
+    exports: &[std::path::PathBuf],
+) -> puddles::Result<(std::time::Duration, std::time::Duration)> {
+    let mut import_time = std::time::Duration::ZERO;
+    let mut merge_time = std::time::Duration::ZERO;
+    for (i, dir) in exports.iter().enumerate() {
+        let t0 = std::time::Instant::now();
+        let imported = home_client.import_pool(dir, &format!("import-{i}-{}", rand_suffix()))?;
+        import_time += t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let imported_state = SensorState::open(home_client, imported);
+        home.aggregate_from(&imported_state)?;
+        merge_time += t1.elapsed();
+    }
+    Ok((import_time, merge_time))
+}
+
+fn rand_suffix() -> u64 {
+    rand::random()
+}
+
+// ---------------------------------------------------------------------
+// PMDK home-node path: sequential open + full reallocation.
+// ---------------------------------------------------------------------
+
+/// A sensor state stored in a PMDK pool (used to model the PMDK home node).
+pub struct PmdkSensorState {
+    pool: pmdk_sim::PmdkPool,
+}
+
+/// One state variable in the PMDK layout.
+#[repr(C)]
+pub struct PmdkStateVar {
+    /// Variable identifier.
+    pub id: u64,
+    /// Observation value.
+    pub value: u64,
+    /// Next variable.
+    pub next: pmdk_sim::Toid<PmdkStateVar>,
+}
+
+/// Root of the PMDK sensor state.
+#[repr(C)]
+pub struct PmdkSensorRoot {
+    /// First variable.
+    pub head: pmdk_sim::Toid<PmdkStateVar>,
+    /// Number of variables.
+    pub count: u64,
+}
+
+impl PmdkSensorState {
+    /// Creates the state with `vars` variables.
+    pub fn create(path: impl AsRef<std::path::Path>, vars: u64, pool_size: usize) -> pmdk_sim::Result<Self> {
+        let pool = pmdk_sim::PmdkPool::create(path, pool_size)?;
+        pool.tx(|tx| {
+            let root = tx.alloc(PmdkSensorRoot {
+                head: pmdk_sim::Toid::null(),
+                count: 0,
+            })?;
+            tx.set_root(root)?;
+            Ok(())
+        })?;
+        let state = PmdkSensorState { pool };
+        for id in 0..vars {
+            state.push_var(id, id)?;
+        }
+        Ok(state)
+    }
+
+    /// Opens an existing state file.
+    pub fn open(path: impl AsRef<std::path::Path>) -> pmdk_sim::Result<Self> {
+        Ok(PmdkSensorState {
+            pool: pmdk_sim::PmdkPool::open(path)?,
+        })
+    }
+
+    fn root(&self) -> pmdk_sim::Toid<PmdkSensorRoot> {
+        self.pool.root()
+    }
+
+    /// Appends a variable.
+    pub fn push_var(&self, id: u64, value: u64) -> pmdk_sim::Result<()> {
+        let root = self.root();
+        self.pool.tx(|tx| {
+            // SAFETY: root object is live.
+            let r = unsafe { root.as_mut() };
+            let node = tx.alloc(PmdkStateVar {
+                id,
+                value,
+                next: r.head,
+            })?;
+            tx.add(r)?;
+            r.head = node;
+            r.count += 1;
+            Ok(())
+        })
+    }
+
+    /// Reads all (id, value) pairs.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        // SAFETY: root and nodes are live while the pool is open.
+        unsafe {
+            let mut cur = self.root().as_ref().head;
+            while !cur.is_null() {
+                let var = cur.as_ref();
+                out.push((var.id, var.value));
+                cur = var.next;
+            }
+        }
+        out
+    }
+
+    /// Number of variables.
+    pub fn count(&self) -> u64 {
+        // SAFETY: root is live.
+        unsafe { self.root().as_ref() }.count
+    }
+
+    /// The PMDK home-node aggregation: each sensor's pool file is opened
+    /// *sequentially* (copies cannot be open together), its variables are
+    /// read out and *reallocated/merged* into the home pool.
+    pub fn aggregate_from_file(&self, path: impl AsRef<std::path::Path>) -> pmdk_sim::Result<()> {
+        let other = PmdkSensorState::open(path)?;
+        let snapshot = other.snapshot();
+        drop(other);
+        // Merge: existing ids are summed, new ids are reallocated here (the
+        // rebuild cost the paper attributes to PMDK).
+        let root = self.root();
+        self.pool.tx(|tx| {
+            for (id, value) in &snapshot {
+                // SAFETY: root and nodes are live.
+                let r = unsafe { root.as_mut() };
+                let mut cur = r.head;
+                let mut found = false;
+                while !cur.is_null() {
+                    let var = unsafe { cur.as_mut() };
+                    if var.id == *id {
+                        tx.add(var)?;
+                        var.value += value;
+                        found = true;
+                        break;
+                    }
+                    cur = var.next;
+                }
+                if !found {
+                    let node = tx.alloc(PmdkStateVar {
+                        id: *id,
+                        value: *value,
+                        next: r.head,
+                    })?;
+                    tx.add(r)?;
+                    r.head = node;
+                    r.count += 1;
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puddled::{Daemon, DaemonConfig};
+
+    #[test]
+    fn sensors_export_and_home_aggregates_with_pointer_rewrite() {
+        // Two "machines": a sensor node and a home node.
+        let sensor_dir = tempfile::tempdir().unwrap();
+        let home_dir = tempfile::tempdir().unwrap();
+        let export_dir = tempfile::tempdir().unwrap();
+
+        let sensor_daemon = Daemon::start(DaemonConfig::for_testing(sensor_dir.path())).unwrap();
+        let sensor_client = PuddleClient::connect_local(&sensor_daemon).unwrap();
+        let sensor = SensorState::create(&sensor_client, "state", 50).unwrap();
+        sensor.observe(10).unwrap();
+        let export_path = export_dir.path().join("sensor-0");
+        sensor.export(&export_path).unwrap();
+
+        let home_daemon = Daemon::start(DaemonConfig::for_testing(home_dir.path())).unwrap();
+        let home_client = PuddleClient::connect_local(&home_daemon).unwrap();
+        let home = SensorState::create(&home_client, "home", 50).unwrap();
+
+        let (_, _) =
+            puddles_aggregate(&home_client, &home, &[export_path]).unwrap();
+
+        // Aggregated values match the sensor's observation (id + 10 each).
+        let mut snap = home.snapshot();
+        snap.sort();
+        for (id, value) in snap {
+            assert_eq!(value, id + 10, "variable {id}");
+        }
+    }
+
+    #[test]
+    fn pmdk_home_merges_by_reallocating() {
+        let tmp = tempfile::tempdir().unwrap();
+        let sensor_path = tmp.path().join("sensor.pmdk");
+        {
+            let sensor = PmdkSensorState::create(&sensor_path, 20, 8 << 20).unwrap();
+            assert_eq!(sensor.count(), 20);
+        }
+        let home = PmdkSensorState::create(tmp.path().join("home.pmdk"), 20, 8 << 20).unwrap();
+        home.aggregate_from_file(&sensor_path).unwrap();
+        let mut snap = home.snapshot();
+        snap.sort();
+        // Home started with value = id, sensor contributed value = id.
+        for (id, value) in snap {
+            assert_eq!(value, 2 * id);
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! The log: a bounded sequence of log entries plus control metadata
+//! (Fig. 6a).
+
+use crate::entry::{EntryKind, LogEntryHeader, ReplayOrder, ENTRY_ALIGN, ENTRY_HEADER_SIZE};
+use puddles_pmem::failpoint;
+use puddles_pmem::persist;
+use puddles_pmem::util::align_up;
+use puddles_pmem::{PmError, Result};
+
+/// Magic number identifying an initialized log area.
+pub const LOG_MAGIC: u64 = 0x5055_4444_4c4f_4731; // "PUDDLOG1"
+
+/// The sequence range of a log: entries whose sequence number lies strictly
+/// between `lo` and `hi` are replayed after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqRange {
+    /// Exclusive lower bound.
+    pub lo: u32,
+    /// Exclusive upper bound.
+    pub hi: u32,
+}
+
+impl SeqRange {
+    /// Returns `true` if entries with sequence number `seq` are live.
+    pub fn contains(&self, seq: u32) -> bool {
+        seq > self.lo && seq < self.hi
+    }
+}
+
+/// On-PM header at the start of a log area.
+#[derive(Debug, Clone, Copy)]
+#[repr(C)]
+struct LogHeader {
+    magic: u64,
+    seq_lo: u32,
+    seq_hi: u32,
+    /// Offset (from the log base) of the next free byte.
+    head_off: u64,
+    /// Offset of the most recently appended entry, or `u64::MAX` if none.
+    tail_off: u64,
+    /// Total capacity of the log area in bytes, including this header.
+    capacity: u64,
+    /// Number of entries appended since the last reset.
+    num_entries: u64,
+}
+
+/// Size of the log header in bytes.
+pub const LOG_HEADER_SIZE: usize = std::mem::size_of::<LogHeader>();
+
+/// A view over a log area in (persistent) memory.
+///
+/// `LogRef` does not own the memory; it is created over a log puddle's heap
+/// by `libtx`, or over a mapped log puddle by the daemon during recovery.
+#[derive(Debug, Clone, Copy)]
+pub struct LogRef {
+    base: *mut u8,
+    capacity: usize,
+}
+
+// SAFETY: `LogRef` is a typed pointer+length pair; the memory it points to
+// is only mutated through `&mut`-free raw-pointer writes that the owners
+// (one thread per log, or the daemon during single-threaded recovery)
+// serialize externally.
+unsafe impl Send for LogRef {}
+
+impl LogRef {
+    /// Creates a view over `capacity` bytes of log memory at `base`.
+    ///
+    /// # Safety
+    ///
+    /// `base` must be valid for reads and writes of `capacity` bytes for the
+    /// lifetime of the returned value, and no other code may concurrently
+    /// mutate the range.
+    pub unsafe fn from_raw(base: *mut u8, capacity: usize) -> Self {
+        assert!(capacity >= LOG_HEADER_SIZE + ENTRY_HEADER_SIZE);
+        LogRef { base, capacity }
+    }
+
+    fn header(&self) -> *mut LogHeader {
+        self.base as *mut LogHeader
+    }
+
+    fn read_header(&self) -> LogHeader {
+        // SAFETY: `base` is valid for `capacity >= LOG_HEADER_SIZE` bytes per
+        // the `from_raw` contract; `LogHeader` is plain old data.
+        unsafe { std::ptr::read_unaligned(self.header()) }
+    }
+
+    fn write_header(&self, hdr: LogHeader) {
+        // SAFETY: as in `read_header`.
+        unsafe { std::ptr::write_unaligned(self.header(), hdr) };
+        persist::persist(self.base, LOG_HEADER_SIZE);
+    }
+
+    /// Initializes (or re-initializes) the log area, erasing prior contents.
+    pub fn init(&self) {
+        let hdr = LogHeader {
+            magic: LOG_MAGIC,
+            seq_lo: crate::RANGE_DONE.lo,
+            seq_hi: crate::RANGE_DONE.hi,
+            head_off: LOG_HEADER_SIZE as u64,
+            tail_off: u64::MAX,
+            capacity: self.capacity as u64,
+            num_entries: 0,
+        };
+        self.write_header(hdr);
+    }
+
+    /// Returns `true` if the area carries an initialized log.
+    pub fn is_initialized(&self) -> bool {
+        self.read_header().magic == LOG_MAGIC
+    }
+
+    /// Returns the log capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the number of payload bytes still available for appends.
+    pub fn free_bytes(&self) -> usize {
+        let hdr = self.read_header();
+        self.capacity.saturating_sub(hdr.head_off as usize)
+    }
+
+    /// Returns the number of entries appended since the last reset.
+    pub fn num_entries(&self) -> u64 {
+        self.read_header().num_entries
+    }
+
+    /// Returns the current sequence range.
+    pub fn seq_range(&self) -> SeqRange {
+        let hdr = self.read_header();
+        SeqRange {
+            lo: hdr.seq_lo,
+            hi: hdr.seq_hi,
+        }
+    }
+
+    /// Atomically publishes a new sequence range and persists it.
+    ///
+    /// This is the single store that moves a committing transaction between
+    /// the stages of Fig. 7.
+    pub fn set_seq_range(&self, range: SeqRange) {
+        let mut hdr = self.read_header();
+        hdr.seq_lo = range.lo;
+        hdr.seq_hi = range.hi;
+        self.write_header(hdr);
+    }
+
+    /// Appends an entry recording `data` for target address `addr`.
+    ///
+    /// The entry payload and header are persisted before the log header
+    /// advances, so a crash mid-append leaves the log ending at the previous
+    /// entry (or at a checksum-invalid torn entry which replay skips).
+    pub fn append(
+        &self,
+        addr: u64,
+        seq: u32,
+        order: ReplayOrder,
+        kind: EntryKind,
+        data: &[u8],
+    ) -> Result<()> {
+        let mut hdr = self.read_header();
+        if hdr.magic != LOG_MAGIC {
+            return Err(PmError::Corruption("append to uninitialized log".into()));
+        }
+        let entry = LogEntryHeader::new(addr, seq, order, kind, data);
+        let need = entry.stored_size();
+        let off = hdr.head_off as usize;
+        if off + need > self.capacity {
+            return Err(PmError::OutOfRange {
+                offset: off,
+                len: need,
+            });
+        }
+        // SAFETY: `off + need <= capacity`, so the destination lies inside
+        // the log area covered by the `from_raw` contract; the source is a
+        // valid local value / caller-provided slice.
+        unsafe {
+            let dst = self.base.add(off);
+            std::ptr::write_unaligned(dst as *mut LogEntryHeader, entry);
+            std::ptr::copy_nonoverlapping(data.as_ptr(), dst.add(ENTRY_HEADER_SIZE), data.len());
+        }
+
+        let torn = failpoint::should_fail(failpoint::names::LOG_APPEND_TORN);
+        if torn {
+            // Simulate a power failure that persisted the header and part of
+            // the payload: corrupt one payload byte (as if the tail cache
+            // line never reached PM), advance the head so replay encounters
+            // the entry, and report the crash.
+            if !data.is_empty() {
+                // SAFETY: same destination range as above.
+                unsafe {
+                    let dst = self.base.add(off + ENTRY_HEADER_SIZE + data.len() - 1);
+                    *dst ^= 0xff;
+                }
+            }
+            persist::persist(
+                // SAFETY: in-range pointer arithmetic as above.
+                unsafe { self.base.add(off) },
+                need,
+            );
+            hdr.head_off = (off + need) as u64;
+            hdr.tail_off = off as u64;
+            hdr.num_entries += 1;
+            self.write_header(hdr);
+            return Err(PmError::CrashInjected(failpoint::names::LOG_APPEND_TORN));
+        }
+
+        // SAFETY: in-range pointer as established above.
+        persist::flush(unsafe { self.base.add(off) }, need);
+        persist::sfence();
+
+        hdr.head_off = (off + need) as u64;
+        hdr.tail_off = off as u64;
+        hdr.num_entries += 1;
+        self.write_header(hdr);
+        Ok(())
+    }
+
+    /// Resets the log: publishes [`crate::RANGE_DONE`] and rewinds the head.
+    pub fn reset(&self) {
+        let mut hdr = self.read_header();
+        hdr.seq_lo = crate::RANGE_DONE.lo;
+        hdr.seq_hi = crate::RANGE_DONE.hi;
+        hdr.head_off = LOG_HEADER_SIZE as u64;
+        hdr.tail_off = u64::MAX;
+        hdr.num_entries = 0;
+        self.write_header(hdr);
+    }
+
+    /// Reads every structurally valid entry in append order.
+    ///
+    /// Iteration stops at the first entry whose checksum does not verify
+    /// (its length field cannot be trusted, so later entries are
+    /// unreachable), mirroring PMDK's behaviour for torn log tails. Entries
+    /// are returned regardless of the current sequence range; callers filter
+    /// with [`SeqRange::contains`].
+    pub fn entries(&self) -> Vec<(LogEntryHeader, Vec<u8>)> {
+        let hdr = self.read_header();
+        let mut out = Vec::new();
+        if hdr.magic != LOG_MAGIC {
+            return out;
+        }
+        let mut off = LOG_HEADER_SIZE;
+        let head = (hdr.head_off as usize).min(self.capacity);
+        while off + ENTRY_HEADER_SIZE <= head {
+            // SAFETY: `off + ENTRY_HEADER_SIZE <= head <= capacity`.
+            let entry: LogEntryHeader =
+                unsafe { std::ptr::read_unaligned(self.base.add(off) as *const LogEntryHeader) };
+            let payload_len = entry.size as usize;
+            if off + ENTRY_HEADER_SIZE + payload_len > head {
+                break;
+            }
+            // SAFETY: bounds checked against `head` just above.
+            let data = unsafe {
+                std::slice::from_raw_parts(self.base.add(off + ENTRY_HEADER_SIZE), payload_len)
+            }
+            .to_vec();
+            if !entry.verify(&data) {
+                break;
+            }
+            out.push((entry, data));
+            off += ENTRY_HEADER_SIZE + align_up(payload_len, ENTRY_ALIGN);
+        }
+        out
+    }
+
+    /// Returns the entries that are live under the current sequence range.
+    pub fn live_entries(&self) -> Vec<(LogEntryHeader, Vec<u8>)> {
+        let range = self.seq_range();
+        self.entries()
+            .into_iter()
+            .filter(|(e, _)| range.contains(e.seq))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RANGE_DONE, RANGE_EXEC, SEQ_REDO, SEQ_UNDO};
+
+    fn make_log(buf: &mut Vec<u8>) -> LogRef {
+        // SAFETY: the Vec outlives the LogRef in every test below and is not
+        // otherwise accessed while the LogRef is in use.
+        unsafe { LogRef::from_raw(buf.as_mut_ptr(), buf.len()) }
+    }
+
+    #[test]
+    fn init_and_reset_roundtrip() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        assert!(!log.is_initialized());
+        log.init();
+        assert!(log.is_initialized());
+        assert_eq!(log.num_entries(), 0);
+        assert_eq!(log.seq_range(), RANGE_DONE);
+        log.set_seq_range(RANGE_EXEC);
+        assert_eq!(log.seq_range(), RANGE_EXEC);
+        log.reset();
+        assert_eq!(log.seq_range(), RANGE_DONE);
+        assert!(log.entries().is_empty());
+    }
+
+    #[test]
+    fn append_and_read_back_entries() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        log.init();
+        log.set_seq_range(RANGE_EXEC);
+        log.append(0x100, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[1, 2, 3])
+            .unwrap();
+        log.append(0x200, SEQ_REDO, ReplayOrder::Forward, EntryKind::Redo, &[9; 40])
+            .unwrap();
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0.addr, 0x100);
+        assert_eq!(entries[0].1, vec![1, 2, 3]);
+        assert_eq!(entries[1].0.addr, 0x200);
+        assert_eq!(entries[1].1.len(), 40);
+        assert_eq!(log.num_entries(), 2);
+    }
+
+    #[test]
+    fn live_entries_follow_sequence_range() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        log.init();
+        log.set_seq_range(RANGE_EXEC);
+        log.append(0x1, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[1])
+            .unwrap();
+        log.append(0x2, SEQ_REDO, ReplayOrder::Forward, EntryKind::Redo, &[2])
+            .unwrap();
+        // Exec stage: only the undo entry is live.
+        let live: Vec<u64> = log.live_entries().iter().map(|(e, _)| e.addr).collect();
+        assert_eq!(live, vec![0x1]);
+        // Redo stage: only the redo entry is live.
+        log.set_seq_range(crate::RANGE_REDO);
+        let live: Vec<u64> = log.live_entries().iter().map(|(e, _)| e.addr).collect();
+        assert_eq!(live, vec![0x2]);
+        // Done: nothing is live.
+        log.set_seq_range(RANGE_DONE);
+        assert!(log.live_entries().is_empty());
+    }
+
+    #[test]
+    fn append_fails_when_full() {
+        let mut buf = vec![0u8; 256];
+        let log = make_log(&mut buf);
+        log.init();
+        let data = [0u8; 64];
+        let mut appended = 0;
+        loop {
+            match log.append(0, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &data) {
+                Ok(()) => appended += 1,
+                Err(PmError::OutOfRange { .. }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(appended >= 1);
+        assert_eq!(log.entries().len(), appended);
+    }
+
+    #[test]
+    fn torn_append_is_skipped_by_entries() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        log.init();
+        log.append(0x10, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[1; 16])
+            .unwrap();
+        failpoint::arm(failpoint::names::LOG_APPEND_TORN, 0);
+        let err = log
+            .append(0x20, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[2; 16])
+            .unwrap_err();
+        assert!(matches!(err, PmError::CrashInjected(_)));
+        failpoint::clear_all();
+        // The torn entry fails its checksum and truncates iteration.
+        let entries = log.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0.addr, 0x10);
+    }
+
+    #[test]
+    fn append_to_uninitialized_log_is_rejected() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        assert!(log
+            .append(0, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[1])
+            .is_err());
+    }
+
+    #[test]
+    fn seq_range_contains_is_exclusive() {
+        assert!(!RANGE_EXEC.contains(0));
+        assert!(RANGE_EXEC.contains(1));
+        assert!(!RANGE_EXEC.contains(2));
+        assert!(!RANGE_DONE.contains(4));
+        assert!(crate::RANGE_REDO.contains(3));
+        assert!(!crate::RANGE_REDO.contains(2));
+    }
+}

@@ -1,0 +1,336 @@
+//! Stage-aware log replay, shared by commit (roll forward) and recovery.
+//!
+//! The key property of the Puddles log format is that replay is *uniform*:
+//! regardless of whether an entry is an undo or a redo entry, applying it
+//! means copying its payload to its target address (§4.1 "Recovery"). What
+//! differs is *which* entries are live (the sequence range) and in *what
+//! order* they are applied (reverse for undo, forward for redo).
+//!
+//! Replay writes through a [`ReplayTarget`], which is how the daemon
+//! enforces access control during recovery: a [`DirectMemoryTarget`]
+//! restricted to the address ranges the crashed client could write refuses
+//! entries that fall outside them.
+
+use crate::entry::{EntryKind, LogEntryHeader, ReplayOrder};
+use crate::log::LogRef;
+use puddles_pmem::persist;
+
+/// Destination for replayed log entries.
+pub trait ReplayTarget {
+    /// Returns `true` if the target accepts writes to `[addr, addr + len)`.
+    fn allows(&self, addr: u64, len: usize) -> bool;
+
+    /// Copies `data` to `addr`.
+    ///
+    /// Only called when [`ReplayTarget::allows`] returned `true`.
+    fn apply(&mut self, addr: u64, data: &[u8]);
+}
+
+/// Replays into raw memory: the daemon (and commit) use this once the
+/// relevant puddles are mapped at the addresses the entries refer to.
+#[derive(Debug, Default)]
+pub struct DirectMemoryTarget {
+    /// Allowed `[start, start + len)` ranges; an empty list allows nothing,
+    /// `None` allows everything (library-internal commit path).
+    allowed: Option<Vec<(u64, u64)>>,
+}
+
+impl DirectMemoryTarget {
+    /// Creates a target that accepts any address (the in-process commit
+    /// path, where the transaction only ever logged addresses it owns).
+    pub fn unrestricted() -> Self {
+        DirectMemoryTarget { allowed: None }
+    }
+
+    /// Creates a target restricted to the given `(start, len)` ranges.
+    pub fn restricted(ranges: Vec<(u64, u64)>) -> Self {
+        DirectMemoryTarget {
+            allowed: Some(ranges),
+        }
+    }
+}
+
+impl ReplayTarget for DirectMemoryTarget {
+    fn allows(&self, addr: u64, len: usize) -> bool {
+        match &self.allowed {
+            None => true,
+            Some(ranges) => ranges.iter().any(|&(start, rlen)| {
+                addr >= start && addr.saturating_add(len as u64) <= start.saturating_add(rlen)
+            }),
+        }
+    }
+
+    fn apply(&mut self, addr: u64, data: &[u8]) {
+        // SAFETY: `allows` confirmed the range lies inside a region the
+        // caller declared mapped and writable (or the caller opted into the
+        // unrestricted mode, taking responsibility for every logged address).
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), addr as *mut u8, data.len());
+        }
+        persist::flush(addr as *const u8, data.len());
+    }
+}
+
+/// Replays into an owned byte buffer standing in for a mapped region;
+/// used by unit and property tests.
+#[derive(Debug)]
+pub struct BufferTarget {
+    base: u64,
+    buf: Vec<u8>,
+}
+
+impl BufferTarget {
+    /// Creates a buffer of `len` bytes modelling memory at `[base, base+len)`.
+    pub fn new(base: u64, len: usize) -> Self {
+        BufferTarget {
+            base,
+            buf: vec![0; len],
+        }
+    }
+
+    /// Creates the target from existing contents.
+    pub fn from_bytes(base: u64, buf: Vec<u8>) -> Self {
+        BufferTarget { base, buf }
+    }
+
+    /// Returns the backing bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Returns a mutable view of the backing bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+
+    /// Reads `len` bytes at absolute address `addr`.
+    pub fn read(&self, addr: u64, len: usize) -> &[u8] {
+        let off = (addr - self.base) as usize;
+        &self.buf[off..off + len]
+    }
+
+    /// Writes `data` at absolute address `addr` (test setup helper).
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let off = (addr - self.base) as usize;
+        self.buf[off..off + data.len()].copy_from_slice(data);
+    }
+}
+
+impl ReplayTarget for BufferTarget {
+    fn allows(&self, addr: u64, len: usize) -> bool {
+        addr >= self.base && addr + len as u64 <= self.base + self.buf.len() as u64
+    }
+
+    fn apply(&mut self, addr: u64, data: &[u8]) {
+        let off = (addr - self.base) as usize;
+        self.buf[off..off + data.len()].copy_from_slice(data);
+    }
+}
+
+/// Outcome counters of a replay pass.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Entries copied to their target address.
+    pub applied: usize,
+    /// Entries whose sequence number was outside the live range.
+    pub skipped_sequence: usize,
+    /// Volatile entries ignored because this is post-crash recovery.
+    pub skipped_volatile: usize,
+    /// Entries denied by the target's access control.
+    pub denied: usize,
+    /// Entries with undecodable kind/order bytes.
+    pub malformed: usize,
+}
+
+/// Replays the live entries of `log` into `target`.
+///
+/// * `apply_volatile` — the in-process abort path applies volatile entries
+///   (to keep DRAM state consistent with PM); post-crash recovery passes
+///   `false` because the volatile state no longer exists.
+///
+/// Reverse-order (undo) entries are applied last-logged-first, then
+/// forward-order (redo) entries first-logged-first; under the staged
+/// sequence ranges of Fig. 7 only one of the two groups is live at a time.
+pub fn replay_log<T: ReplayTarget>(log: &LogRef, target: &mut T, apply_volatile: bool) -> ReplayStats {
+    let range = log.seq_range();
+    let entries = log.entries();
+    let mut stats = ReplayStats::default();
+
+    let mut reverse_group: Vec<&(LogEntryHeader, Vec<u8>)> = Vec::new();
+    let mut forward_group: Vec<&(LogEntryHeader, Vec<u8>)> = Vec::new();
+
+    for pair in &entries {
+        let (hdr, _) = pair;
+        if !range.contains(hdr.seq) {
+            stats.skipped_sequence += 1;
+            continue;
+        }
+        let (kind, order) = match (hdr.entry_kind(), hdr.replay_order()) {
+            (Some(k), Some(o)) => (k, o),
+            _ => {
+                stats.malformed += 1;
+                continue;
+            }
+        };
+        if kind == EntryKind::Volatile && !apply_volatile {
+            stats.skipped_volatile += 1;
+            continue;
+        }
+        match order {
+            ReplayOrder::Reverse => reverse_group.push(pair),
+            ReplayOrder::Forward => forward_group.push(pair),
+        }
+    }
+
+    for (hdr, data) in reverse_group.into_iter().rev() {
+        if target.allows(hdr.addr, data.len()) {
+            target.apply(hdr.addr, data);
+            stats.applied += 1;
+        } else {
+            stats.denied += 1;
+        }
+    }
+    for (hdr, data) in forward_group {
+        if target.allows(hdr.addr, data.len()) {
+            target.apply(hdr.addr, data);
+            stats.applied += 1;
+        } else {
+            stats.denied += 1;
+        }
+    }
+    persist::sfence();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RANGE_DONE, RANGE_EXEC, RANGE_REDO, SEQ_REDO, SEQ_UNDO};
+
+    fn make_log(buf: &mut Vec<u8>) -> LogRef {
+        // SAFETY: the Vec outlives the LogRef in every test.
+        unsafe { LogRef::from_raw(buf.as_mut_ptr(), buf.len()) }
+    }
+
+    #[test]
+    fn undo_entries_roll_back_in_reverse_order() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        log.init();
+        log.set_seq_range(RANGE_EXEC);
+        // Two undo records for the same address: the first holds the oldest
+        // value; reverse replay must leave that oldest value in place.
+        log.append(0x1000, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[0xAA; 8])
+            .unwrap();
+        log.append(0x1000, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[0xBB; 8])
+            .unwrap();
+
+        let mut target = BufferTarget::new(0x1000, 64);
+        target.write(0x1000, &[0xFF; 8]);
+        let stats = replay_log(&log, &mut target, false);
+        assert_eq!(stats.applied, 2);
+        assert_eq!(target.read(0x1000, 8), &[0xAA; 8]);
+    }
+
+    #[test]
+    fn redo_entries_roll_forward_in_order() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        log.init();
+        log.set_seq_range(RANGE_REDO);
+        log.append(0x2000, SEQ_REDO, ReplayOrder::Forward, EntryKind::Redo, &[1; 4])
+            .unwrap();
+        log.append(0x2000, SEQ_REDO, ReplayOrder::Forward, EntryKind::Redo, &[2; 4])
+            .unwrap();
+        let mut target = BufferTarget::new(0x2000, 64);
+        let stats = replay_log(&log, &mut target, false);
+        assert_eq!(stats.applied, 2);
+        // The later redo record wins under forward replay.
+        assert_eq!(target.read(0x2000, 4), &[2; 4]);
+    }
+
+    #[test]
+    fn sequence_range_selects_the_stage() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        log.init();
+        log.append(0x100, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[0xAA])
+            .unwrap();
+        log.append(0x101, SEQ_REDO, ReplayOrder::Forward, EntryKind::Redo, &[0xBB])
+            .unwrap();
+
+        // Stage 1 (exec / undo): only the undo entry is applied.
+        log.set_seq_range(RANGE_EXEC);
+        let mut t1 = BufferTarget::new(0x100, 16);
+        let s1 = replay_log(&log, &mut t1, false);
+        assert_eq!((s1.applied, s1.skipped_sequence), (1, 1));
+        assert_eq!(t1.read(0x100, 1), &[0xAA]);
+        assert_eq!(t1.read(0x101, 1), &[0x00]);
+
+        // Stage 2 (redo): only the redo entry is applied.
+        log.set_seq_range(RANGE_REDO);
+        let mut t2 = BufferTarget::new(0x100, 16);
+        let s2 = replay_log(&log, &mut t2, false);
+        assert_eq!((s2.applied, s2.skipped_sequence), (1, 1));
+        assert_eq!(t2.read(0x101, 1), &[0xBB]);
+
+        // Stage 3 (done): nothing is applied.
+        log.set_seq_range(RANGE_DONE);
+        let mut t3 = BufferTarget::new(0x100, 16);
+        let s3 = replay_log(&log, &mut t3, false);
+        assert_eq!(s3.applied, 0);
+        assert_eq!(s3.skipped_sequence, 2);
+    }
+
+    #[test]
+    fn volatile_entries_are_ignored_by_recovery_but_applied_on_abort() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        log.init();
+        log.set_seq_range(RANGE_EXEC);
+        log.append(0x300, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Volatile, &[7; 4])
+            .unwrap();
+        let mut recovery = BufferTarget::new(0x300, 16);
+        let s = replay_log(&log, &mut recovery, false);
+        assert_eq!(s.applied, 0);
+        assert_eq!(s.skipped_volatile, 1);
+
+        let mut abort = BufferTarget::new(0x300, 16);
+        let s = replay_log(&log, &mut abort, true);
+        assert_eq!(s.applied, 1);
+        assert_eq!(abort.read(0x300, 4), &[7; 4]);
+    }
+
+    #[test]
+    fn access_control_denies_out_of_range_entries() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        log.init();
+        log.set_seq_range(RANGE_EXEC);
+        log.append(0x500, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[1; 8])
+            .unwrap();
+        log.append(0x9000, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[2; 8])
+            .unwrap();
+        let mut target = BufferTarget::new(0x500, 64);
+        let stats = replay_log(&log, &mut target, false);
+        assert_eq!(stats.applied, 1);
+        assert_eq!(stats.denied, 1);
+        assert_eq!(target.read(0x500, 8), &[1; 8]);
+    }
+
+    #[test]
+    fn direct_memory_target_respects_ranges() {
+        let mut data = vec![0u8; 128];
+        let base = data.as_mut_ptr() as u64;
+        let mut allowed = DirectMemoryTarget::restricted(vec![(base, 64)]);
+        assert!(allowed.allows(base, 64));
+        assert!(!allowed.allows(base + 32, 64));
+        allowed.apply(base, &[9; 16]);
+        assert_eq!(&data[..16], &[9; 16]);
+
+        let none = DirectMemoryTarget::restricted(vec![]);
+        assert!(!none.allows(base, 1));
+        let all = DirectMemoryTarget::unrestricted();
+        assert!(all.allows(base, 128));
+    }
+}

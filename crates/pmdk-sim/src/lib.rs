@@ -1,0 +1,27 @@
+//! `pmdk-sim`: a clean-room, simplified PMDK-style baseline.
+//!
+//! The Puddles paper compares against PMDK (libpmemobj), whose defining
+//! architectural choices are:
+//!
+//! * **fat pointers**: a persistent pointer is a 128-bit `(pool uuid,
+//!   offset)` pair; every dereference translates it through a process-global
+//!   pool table (`pmemobj_direct`);
+//! * **per-pool isolation**: pointers cannot cross pools, a pool cannot be
+//!   opened twice (the UUID is registered on open), and a cloned pool file
+//!   still carries the old UUID so the clone cannot be opened alongside the
+//!   original;
+//! * **application-dependent recovery**: the undo log is replayed only when
+//!   the same pool is reopened (with write access) by some application.
+//!
+//! This crate reproduces exactly those choices (the properties §2 of the
+//! paper criticizes) on top of the same `puddles-pmem` substrate used by the
+//! Puddles implementation, so the benchmark comparisons isolate the
+//! architectural differences rather than implementation quality.
+
+pub mod oid;
+pub mod pool;
+pub mod tx;
+
+pub use oid::{PmdkOid, Toid};
+pub use pool::{PmdkError, PmdkPool, Result};
+pub use tx::PmdkTx;

@@ -1,0 +1,165 @@
+//! Fat persistent pointers: `(pool id, offset)` pairs translated on every
+//! dereference (PMDK's `PMEMoid` / `TOID`).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::OnceLock;
+
+/// The process-global pool table used to translate fat pointers
+/// (the analogue of PMDK's cached pool set).
+pub(crate) fn pool_table() -> &'static RwLock<HashMap<u64, usize>> {
+    static TABLE: OnceLock<RwLock<HashMap<u64, usize>>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// A fat persistent pointer: 16 bytes of (pool id, offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(C)]
+pub struct PmdkOid {
+    /// Identifier of the pool the target lives in.
+    pub pool_id: u64,
+    /// Byte offset of the target within the pool.
+    pub off: u64,
+}
+
+impl PmdkOid {
+    /// The null fat pointer.
+    pub const NULL: PmdkOid = PmdkOid { pool_id: 0, off: 0 };
+
+    /// Returns `true` if this is the null pointer.
+    pub fn is_null(self) -> bool {
+        self.off == 0
+    }
+
+    /// Translates the fat pointer to a native address
+    /// (the analogue of `pmemobj_direct`): one lock acquisition plus a hash
+    /// lookup per dereference — the cost the paper's Fig. 1 measures.
+    #[inline]
+    pub fn direct(self) -> *mut u8 {
+        if self.is_null() {
+            return std::ptr::null_mut();
+        }
+        let table = pool_table().read();
+        match table.get(&self.pool_id) {
+            Some(&base) => (base + self.off as usize) as *mut u8,
+            None => std::ptr::null_mut(),
+        }
+    }
+}
+
+/// A typed fat pointer (the analogue of PMDK's `TOID(T)`).
+#[repr(C)]
+pub struct Toid<T> {
+    /// The underlying fat pointer.
+    pub oid: PmdkOid,
+    _marker: PhantomData<T>,
+}
+
+impl<T> Toid<T> {
+    /// The null typed pointer.
+    pub const fn null() -> Self {
+        Toid {
+            oid: PmdkOid { pool_id: 0, off: 0 },
+            _marker: PhantomData,
+        }
+    }
+
+    /// Wraps a raw fat pointer.
+    pub const fn from_oid(oid: PmdkOid) -> Self {
+        Toid {
+            oid,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Returns `true` if this is the null pointer.
+    pub fn is_null(&self) -> bool {
+        self.oid.is_null()
+    }
+
+    /// Translates to a typed native pointer (`D_RW`).
+    #[inline]
+    pub fn direct(&self) -> *mut T {
+        self.oid.direct() as *mut T
+    }
+
+    /// Dereferences the pointer.
+    ///
+    /// # Safety
+    ///
+    /// The pool must be open, the offset must refer to a live `T`, and the
+    /// reference must not outlive the pool mapping or alias a `&mut`.
+    pub unsafe fn as_ref<'a>(&self) -> &'a T {
+        // SAFETY: forwarded from the caller.
+        unsafe { &*self.direct() }
+    }
+
+    /// Mutably dereferences the pointer.
+    ///
+    /// # Safety
+    ///
+    /// As [`Toid::as_ref`], plus no other reference to the target may exist.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn as_mut<'a>(&self) -> &'a mut T {
+        // SAFETY: forwarded from the caller.
+        unsafe { &mut *self.direct() }
+    }
+}
+
+impl<T> Clone for Toid<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Toid<T> {}
+impl<T> Default for Toid<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+impl<T> PartialEq for Toid<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.oid == other.oid
+    }
+}
+impl<T> Eq for Toid<T> {}
+
+impl<T> std::fmt::Debug for Toid<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Toid({:#x}:{:#x})", self.oid.pool_id, self.oid.off)
+    }
+}
+
+// SAFETY: a Toid is just (id, offset); dereference safety is decided at the
+// unsafe call sites, as with PmPtr.
+unsafe impl<T> Send for Toid<T> {}
+// SAFETY: see above.
+unsafe impl<T> Sync for Toid<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oid_is_16_bytes_twice_the_size_of_a_native_pointer() {
+        assert_eq!(std::mem::size_of::<PmdkOid>(), 16);
+        assert_eq!(std::mem::size_of::<Toid<u64>>(), 16);
+    }
+
+    #[test]
+    fn null_oids_translate_to_null() {
+        assert!(PmdkOid::NULL.is_null());
+        assert!(PmdkOid::NULL.direct().is_null());
+        assert!(Toid::<u32>::null().direct().is_null());
+    }
+
+    #[test]
+    fn unknown_pool_translates_to_null() {
+        let oid = PmdkOid {
+            pool_id: 0xdead_beef,
+            off: 64,
+        };
+        assert!(oid.direct().is_null());
+    }
+}

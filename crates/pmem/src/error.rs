@@ -1,0 +1,66 @@
+//! Error type shared by the persistent-memory substrate.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for substrate operations.
+pub type Result<T> = std::result::Result<T, PmError>;
+
+/// Errors produced by the persistent-memory substrate.
+#[derive(Debug)]
+pub enum PmError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// A `mmap`/`munmap`/`mprotect` call failed.
+    Mmap(io::Error),
+    /// The requested range is not inside the reserved global space.
+    OutOfRange {
+        /// Requested offset inside the space.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+    },
+    /// A size or offset did not satisfy an alignment requirement.
+    Misaligned {
+        /// The offending value.
+        value: usize,
+        /// The required alignment.
+        align: usize,
+    },
+    /// Persistent data failed a validity check (bad magic, bad checksum...).
+    Corruption(String),
+    /// A crash was injected by an armed failpoint.
+    CrashInjected(&'static str),
+}
+
+impl fmt::Display for PmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmError::Io(e) => write!(f, "I/O error: {e}"),
+            PmError::Mmap(e) => write!(f, "mmap error: {e}"),
+            PmError::OutOfRange { offset, len } => {
+                write!(f, "range [{offset:#x}, +{len:#x}) outside reservation")
+            }
+            PmError::Misaligned { value, align } => {
+                write!(f, "value {value:#x} not aligned to {align:#x}")
+            }
+            PmError::Corruption(msg) => write!(f, "corruption detected: {msg}"),
+            PmError::CrashInjected(name) => write!(f, "crash injected at failpoint `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for PmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PmError::Io(e) | PmError::Mmap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PmError {
+    fn from(e: io::Error) -> Self {
+        PmError::Io(e)
+    }
+}

@@ -1,0 +1,155 @@
+//! Named crash-injection points.
+//!
+//! The paper validates recovery by "injecting crashes into Puddles' runtime"
+//! (§5.1 Correctness Check). We reproduce that with a tiny process-global
+//! failpoint registry: tests arm a named point (optionally after N hits),
+//! the commit/allocation/recovery code calls [`should_fail`] at each stage
+//! boundary, and when the point fires the caller aborts the operation
+//! exactly as a power failure would, leaving persistent state as-is for the
+//! daemon's recovery to repair.
+//!
+//! Failpoints are compiled in unconditionally (they are a handful of hash
+//! lookups guarded by a fast atomic emptiness check), so integration tests
+//! and the crash-consistency harness can use them against release builds.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of currently armed failpoints; fast path check.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+struct Registry {
+    points: HashMap<String, usize>,
+    log: Vec<String>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    use std::sync::OnceLock;
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| {
+        Mutex::new(Registry {
+            points: HashMap::new(),
+            log: Vec::new(),
+        })
+    })
+}
+
+/// Arms `name` so that the `after`-th call to [`should_fail`] fires
+/// (`after == 0` fires on the first call).
+pub fn arm(name: &str, after: usize) {
+    let mut reg = registry().lock();
+    if reg.points.insert(name.to_string(), after).is_none() {
+        ARMED.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Disarms `name`; does nothing if it was not armed.
+pub fn disarm(name: &str) {
+    let mut reg = registry().lock();
+    if reg.points.remove(name).is_some() {
+        ARMED.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Disarms every failpoint and clears the hit log.
+pub fn clear_all() {
+    let mut reg = registry().lock();
+    if !reg.points.is_empty() {
+        ARMED.store(0, Ordering::SeqCst);
+    }
+    reg.points.clear();
+    reg.log.clear();
+}
+
+/// Returns `true` when the named failpoint fires on this call.
+///
+/// The armed counter is decremented on every call; the point fires (and is
+/// disarmed) when the counter reaches zero.
+pub fn should_fail(name: &str) -> bool {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    let mut reg = registry().lock();
+    let fire = match reg.points.get_mut(name) {
+        Some(remaining) => {
+            if *remaining == 0 {
+                true
+            } else {
+                *remaining -= 1;
+                false
+            }
+        }
+        None => false,
+    };
+    if fire {
+        reg.points.remove(name);
+        ARMED.fetch_sub(1, Ordering::SeqCst);
+        reg.log.push(name.to_string());
+    }
+    fire
+}
+
+/// Returns the names of failpoints that have fired since the last
+/// [`clear_all`], in firing order.
+pub fn fired() -> Vec<String> {
+    registry().lock().log.clone()
+}
+
+/// Standard failpoint names used throughout the workspace, collected here so
+/// tests and implementation cannot drift apart.
+pub mod names {
+    /// After undo-logged locations are flushed, before the sequence range
+    /// advances to the redo stage (end of Fig. 7 stage 1).
+    pub const COMMIT_AFTER_UNDO_FLUSH: &str = "tx.commit.after_undo_flush";
+    /// After the sequence range advances to (2,4), before any redo entry is
+    /// applied (start of Fig. 7 stage 2).
+    pub const COMMIT_BEFORE_REDO_APPLY: &str = "tx.commit.before_redo_apply";
+    /// In the middle of applying redo entries.
+    pub const COMMIT_MID_REDO_APPLY: &str = "tx.commit.mid_redo_apply";
+    /// After redo entries are applied, before the log is invalidated
+    /// (end of Fig. 7 stage 2).
+    pub const COMMIT_BEFORE_INVALIDATE: &str = "tx.commit.before_invalidate";
+    /// In the middle of writing a log entry (models a torn log append).
+    pub const LOG_APPEND_TORN: &str = "log.append.torn";
+    /// During transaction body execution, before commit begins.
+    pub const TX_BODY: &str = "tx.body";
+    /// While the allocator mutates persistent metadata inside a transaction.
+    pub const ALLOC_METADATA: &str = "alloc.metadata";
+    /// While the daemon rewrites pointers during relocation.
+    pub const RELOC_MID_REWRITE: &str = "reloc.mid_rewrite";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_points_never_fire() {
+        clear_all();
+        assert!(!should_fail("nope"));
+        assert!(fired().is_empty());
+    }
+
+    #[test]
+    fn armed_point_fires_once_after_count() {
+        clear_all();
+        arm("p", 2);
+        assert!(!should_fail("p"));
+        assert!(!should_fail("p"));
+        assert!(should_fail("p"));
+        // Disarmed after firing.
+        assert!(!should_fail("p"));
+        assert_eq!(fired(), vec!["p".to_string()]);
+        clear_all();
+    }
+
+    #[test]
+    fn disarm_prevents_firing() {
+        clear_all();
+        arm("q", 0);
+        disarm("q");
+        assert!(!should_fail("q"));
+        clear_all();
+    }
+}

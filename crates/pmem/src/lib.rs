@@ -1,0 +1,46 @@
+//! Persistent-memory substrate for the Puddles reproduction.
+//!
+//! The paper runs on Intel Optane DC-PMM exposed through a DAX filesystem;
+//! this crate provides the equivalent substrate on commodity hardware:
+//!
+//! * [`space::VaReservation`] — a large reserved virtual-address range (the
+//!   *global puddle space*) into which puddle files are mapped with
+//!   `MAP_FIXED`, so persistent data keeps stable native-pointer addresses.
+//! * [`pmdir::PmDir`] — the "DAX filesystem": a directory of fixed-size
+//!   puddle files plus atomically-updated metadata files.
+//! * [`persist`] — cache-line flush and store-fence primitives (`clwb` /
+//!   `clflush` when available, portable fences otherwise).
+//! * [`failpoint`] — named crash-injection points used by the transaction
+//!   commit path, the allocator and the daemon to simulate power failures.
+//! * [`shadow::ShadowBuffer`] — a working/durable twin buffer that models
+//!   loss of unflushed cache lines for torn-write property tests.
+//! * [`checksum`] — FNV-1a 64-bit checksums used by log entries and
+//!   manifests.
+
+pub mod checksum;
+pub mod error;
+pub mod failpoint;
+pub mod persist;
+pub mod pmdir;
+pub mod shadow;
+pub mod space;
+pub mod util;
+
+pub use error::{PmError, Result};
+
+/// Size of a CPU cache line in bytes; flush granularity.
+pub const CACHELINE: usize = 64;
+
+/// Size of an OS page in bytes; puddles are multiples of this.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Default size of the global puddle address space (1 TiB, reserved but not
+/// committed), mirroring the paper's reservation (§3.4).
+pub const DEFAULT_SPACE_SIZE: usize = 1 << 40;
+
+/// Default base address hint for the global puddle space.
+///
+/// The paper fixes the range and disables ASLR for it; we *request* this
+/// base and fall back to a kernel-chosen address (puddles are relocatable,
+/// so a moved base only triggers pointer rewriting).
+pub const DEFAULT_SPACE_BASE: usize = 0x5000_0000_0000;

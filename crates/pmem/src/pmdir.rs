@@ -1,0 +1,204 @@
+//! The "DAX filesystem": a directory of puddle files plus daemon metadata.
+//!
+//! The paper stores each puddle as a file owned by `puddled` on a DAX
+//! filesystem mounted at `/mnt/pmem0`. We reproduce the same structure in an
+//! ordinary directory: fixed-size puddle files that are mapped with
+//! `MAP_SHARED`, and small metadata files that are updated atomically
+//! (write-to-temp + `rename`) so the daemon's own records survive crashes.
+
+use crate::{PmError, Result, PAGE_SIZE};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// A directory acting as the persistent-memory device.
+#[derive(Debug, Clone)]
+pub struct PmDir {
+    root: PathBuf,
+}
+
+impl PmDir {
+    /// Opens (creating if necessary) a PM directory rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        fs::create_dir_all(root.join("puddles"))?;
+        fs::create_dir_all(root.join("meta"))?;
+        fs::create_dir_all(root.join("exports"))?;
+        Ok(PmDir { root })
+    }
+
+    /// Returns the root path of the PM directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Returns the path that stores the puddle file named `name`.
+    pub fn puddle_path(&self, name: &str) -> PathBuf {
+        self.root.join("puddles").join(name)
+    }
+
+    /// Returns the directory used for exported pools.
+    pub fn exports_dir(&self) -> PathBuf {
+        self.root.join("exports")
+    }
+
+    /// Creates a zero-filled puddle file of `size` bytes and returns its path.
+    ///
+    /// `size` must be a multiple of the page size; puddles are "regions of
+    /// memory ... of any size in multiples of an OS page" (§4.3).
+    pub fn create_puddle_file(&self, name: &str, size: usize) -> Result<PathBuf> {
+        if size == 0 || size % PAGE_SIZE != 0 {
+            return Err(PmError::Misaligned {
+                value: size,
+                align: PAGE_SIZE,
+            });
+        }
+        let path = self.puddle_path(name);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        file.set_len(size as u64)?;
+        file.sync_all()?;
+        Ok(path)
+    }
+
+    /// Opens an existing puddle file, verifying its recorded size.
+    pub fn open_puddle_file(&self, name: &str, expect_size: usize) -> Result<(File, PathBuf)> {
+        let path = self.puddle_path(name);
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let len = file.metadata()?.len() as usize;
+        if len != expect_size {
+            return Err(PmError::Corruption(format!(
+                "puddle file {name} has size {len}, expected {expect_size}"
+            )));
+        }
+        Ok((file, path))
+    }
+
+    /// Deletes a puddle file.
+    pub fn delete_puddle_file(&self, name: &str) -> Result<()> {
+        fs::remove_file(self.puddle_path(name))?;
+        Ok(())
+    }
+
+    /// Returns `true` if a puddle file with this name exists.
+    pub fn puddle_exists(&self, name: &str) -> bool {
+        self.puddle_path(name).exists()
+    }
+
+    /// Copies a puddle file into an arbitrary destination path (used by pool
+    /// export).
+    pub fn copy_puddle_file(&self, name: &str, dest: &Path) -> Result<u64> {
+        Ok(fs::copy(self.puddle_path(name), dest)?)
+    }
+
+    /// Lists the names of all puddle files.
+    pub fn list_puddles(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(self.root.join("puddles"))? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Atomically replaces the metadata file `name` with `bytes`.
+    ///
+    /// Uses the classic write-temp + fsync + rename sequence so a crash never
+    /// leaves a half-written metadata file.
+    pub fn write_meta(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        let dir = self.root.join("meta");
+        let tmp = dir.join(format!("{name}.tmp"));
+        let dst = dir.join(name);
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &dst)?;
+        Ok(())
+    }
+
+    /// Reads the metadata file `name`, or `Ok(None)` if it does not exist.
+    pub fn read_meta(&self, name: &str) -> Result<Option<Vec<u8>>> {
+        let path = self.root.join("meta").join(name);
+        match File::open(&path) {
+            Ok(mut file) => {
+                let mut buf = Vec::new();
+                file.read_to_end(&mut buf)?;
+                Ok(Some(buf))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(PmError::Io(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> (tempfile::TempDir, PmDir) {
+        let tmp = tempfile::tempdir().unwrap();
+        let pm = PmDir::open(tmp.path()).unwrap();
+        (tmp, pm)
+    }
+
+    #[test]
+    fn create_and_open_puddle_file() {
+        let (_tmp, pm) = dir();
+        let path = pm.create_puddle_file("p0", 2 * PAGE_SIZE).unwrap();
+        assert!(path.exists());
+        let (file, _) = pm.open_puddle_file("p0", 2 * PAGE_SIZE).unwrap();
+        assert_eq!(file.metadata().unwrap().len(), (2 * PAGE_SIZE) as u64);
+    }
+
+    #[test]
+    fn create_rejects_unaligned_and_zero_sizes() {
+        let (_tmp, pm) = dir();
+        assert!(pm.create_puddle_file("bad", 100).is_err());
+        assert!(pm.create_puddle_file("bad", 0).is_err());
+    }
+
+    #[test]
+    fn create_rejects_duplicate_names() {
+        let (_tmp, pm) = dir();
+        pm.create_puddle_file("dup", PAGE_SIZE).unwrap();
+        assert!(pm.create_puddle_file("dup", PAGE_SIZE).is_err());
+    }
+
+    #[test]
+    fn open_detects_size_mismatch() {
+        let (_tmp, pm) = dir();
+        pm.create_puddle_file("p", PAGE_SIZE).unwrap();
+        assert!(pm.open_puddle_file("p", 2 * PAGE_SIZE).is_err());
+    }
+
+    #[test]
+    fn list_and_delete_puddles() {
+        let (_tmp, pm) = dir();
+        pm.create_puddle_file("a", PAGE_SIZE).unwrap();
+        pm.create_puddle_file("b", PAGE_SIZE).unwrap();
+        assert_eq!(pm.list_puddles().unwrap(), vec!["a", "b"]);
+        pm.delete_puddle_file("a").unwrap();
+        assert_eq!(pm.list_puddles().unwrap(), vec!["b"]);
+        assert!(!pm.puddle_exists("a"));
+        assert!(pm.puddle_exists("b"));
+    }
+
+    #[test]
+    fn meta_roundtrip_and_missing() {
+        let (_tmp, pm) = dir();
+        assert!(pm.read_meta("registry.json").unwrap().is_none());
+        pm.write_meta("registry.json", b"{\"v\":1}").unwrap();
+        assert_eq!(pm.read_meta("registry.json").unwrap().unwrap(), b"{\"v\":1}");
+        pm.write_meta("registry.json", b"{\"v\":2}").unwrap();
+        assert_eq!(pm.read_meta("registry.json").unwrap().unwrap(), b"{\"v\":2}");
+    }
+}

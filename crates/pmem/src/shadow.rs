@@ -1,0 +1,196 @@
+//! Torn-write simulation for crash-consistency property tests.
+//!
+//! Real power failures lose the contents of CPU caches: only cache lines
+//! that were explicitly flushed (and fenced) before the failure are
+//! guaranteed durable, and un-flushed lines may persist *partially* or in
+//! any order. [`ShadowBuffer`] models exactly that: writes land in a
+//! *working* image and are marked dirty per cache line; `flush` copies the
+//! named lines into the *durable* image; `crash` produces an image where
+//! every still-dirty line independently either made it to PM or did not.
+//!
+//! The log format's checksums are the mechanism that makes recovery safe in
+//! the presence of such torn writes, so the logfmt property tests run
+//! against this buffer.
+
+use crate::CACHELINE;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// A twin working/durable byte buffer with cache-line flush tracking.
+#[derive(Debug, Clone)]
+pub struct ShadowBuffer {
+    working: Vec<u8>,
+    durable: Vec<u8>,
+    dirty_lines: BTreeSet<usize>,
+}
+
+impl ShadowBuffer {
+    /// Creates a zero-filled shadow buffer of `len` bytes.
+    pub fn new(len: usize) -> Self {
+        ShadowBuffer {
+            working: vec![0; len],
+            durable: vec![0; len],
+            dirty_lines: BTreeSet::new(),
+        }
+    }
+
+    /// Returns the buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.working.len()
+    }
+
+    /// Returns `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.working.is_empty()
+    }
+
+    /// Writes `data` at `offset` into the working image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write would run past the end of the buffer.
+    pub fn write(&mut self, offset: usize, data: &[u8]) {
+        assert!(offset + data.len() <= self.working.len(), "write out of bounds");
+        self.working[offset..offset + data.len()].copy_from_slice(data);
+        if data.is_empty() {
+            return;
+        }
+        let first = offset / CACHELINE;
+        let last = (offset + data.len() - 1) / CACHELINE;
+        for line in first..=last {
+            self.dirty_lines.insert(line);
+        }
+    }
+
+    /// Reads `len` bytes at `offset` from the working image.
+    pub fn read(&self, offset: usize, len: usize) -> &[u8] {
+        &self.working[offset..offset + len]
+    }
+
+    /// Flushes every cache line overlapping `[offset, offset + len)` to the
+    /// durable image (models `clwb` + `sfence` over the range).
+    pub fn flush(&mut self, offset: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = offset / CACHELINE;
+        let last = (offset + len - 1) / CACHELINE;
+        for line in first..=last {
+            self.flush_line(line);
+        }
+    }
+
+    /// Flushes the whole buffer.
+    pub fn flush_all(&mut self) {
+        let lines: Vec<usize> = self.dirty_lines.iter().copied().collect();
+        for line in lines {
+            self.flush_line(line);
+        }
+    }
+
+    fn flush_line(&mut self, line: usize) {
+        let start = line * CACHELINE;
+        let end = (start + CACHELINE).min(self.working.len());
+        if start >= end {
+            return;
+        }
+        self.durable[start..end].copy_from_slice(&self.working[start..end]);
+        self.dirty_lines.remove(&line);
+    }
+
+    /// Returns the number of cache lines written but not yet flushed.
+    pub fn dirty_line_count(&self) -> usize {
+        self.dirty_lines.len()
+    }
+
+    /// Produces a crash image: the durable image plus a random subset of the
+    /// still-dirty cache lines (each survives with probability
+    /// `survival_prob`), modelling lines that happened to be evicted before
+    /// the power failure.
+    pub fn crash_image<R: Rng>(&self, rng: &mut R, survival_prob: f64) -> Vec<u8> {
+        let mut image = self.durable.clone();
+        for &line in &self.dirty_lines {
+            if rng.gen_bool(survival_prob.clamp(0.0, 1.0)) {
+                let start = line * CACHELINE;
+                let end = (start + CACHELINE).min(self.working.len());
+                image[start..end].copy_from_slice(&self.working[start..end]);
+            }
+        }
+        image
+    }
+
+    /// Returns the durable image only (crash with no surviving dirty lines).
+    pub fn durable_image(&self) -> Vec<u8> {
+        self.durable.clone()
+    }
+
+    /// Returns the working image (a crash-free shutdown).
+    pub fn working_image(&self) -> Vec<u8> {
+        self.working.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unflushed_writes_do_not_reach_durable_image() {
+        let mut buf = ShadowBuffer::new(256);
+        buf.write(0, &[1, 2, 3, 4]);
+        assert_eq!(buf.read(0, 4), &[1, 2, 3, 4]);
+        assert_eq!(buf.durable_image()[0..4], [0, 0, 0, 0]);
+        assert_eq!(buf.dirty_line_count(), 1);
+    }
+
+    #[test]
+    fn flush_makes_lines_durable() {
+        let mut buf = ShadowBuffer::new(256);
+        buf.write(60, &[9; 10]); // spans two cache lines
+        assert_eq!(buf.dirty_line_count(), 2);
+        buf.flush(60, 10);
+        assert_eq!(buf.dirty_line_count(), 0);
+        assert_eq!(&buf.durable_image()[60..70], &[9; 10]);
+    }
+
+    #[test]
+    fn crash_image_with_zero_survival_equals_durable() {
+        let mut buf = ShadowBuffer::new(1024);
+        buf.write(0, &[7; 512]);
+        buf.flush(0, 128);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let img = buf.crash_image(&mut rng, 0.0);
+        assert_eq!(img, buf.durable_image());
+        assert_eq!(&img[0..128], &[7; 128]);
+        assert_eq!(&img[128..512], &[0; 384]);
+    }
+
+    #[test]
+    fn crash_image_with_full_survival_equals_working() {
+        let mut buf = ShadowBuffer::new(512);
+        buf.write(3, &[5; 100]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let img = buf.crash_image(&mut rng, 1.0);
+        assert_eq!(img, buf.working_image());
+    }
+
+    #[test]
+    fn flush_all_clears_dirty_lines() {
+        let mut buf = ShadowBuffer::new(4096);
+        for i in 0..16 {
+            buf.write(i * 200, &[i as u8; 50]);
+        }
+        assert!(buf.dirty_line_count() > 0);
+        buf.flush_all();
+        assert_eq!(buf.dirty_line_count(), 0);
+        assert_eq!(buf.durable_image(), buf.working_image());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_write_panics() {
+        let mut buf = ShadowBuffer::new(64);
+        buf.write(60, &[0; 10]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Small alignment and arithmetic helpers shared across the workspace.
+
+/// Rounds `value` up to the next multiple of `align`.
+///
+/// `align` must be a power of two.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(puddles_pmem::util::align_up(10, 8), 16);
+/// assert_eq!(puddles_pmem::util::align_up(16, 8), 16);
+/// ```
+#[inline]
+pub const fn align_up(value: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    (value + align - 1) & !(align - 1)
+}
+
+/// Rounds `value` down to the previous multiple of `align`.
+///
+/// `align` must be a power of two.
+#[inline]
+pub const fn align_down(value: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    value & !(align - 1)
+}
+
+/// Returns `true` if `value` is a multiple of `align`.
+#[inline]
+pub const fn is_aligned(value: usize, align: usize) -> bool {
+    value % align == 0
+}
+
+/// Returns the smallest power of two greater than or equal to `value`
+/// (and at least `min`).
+#[inline]
+pub fn next_pow2_at_least(value: usize, min: usize) -> usize {
+    value.max(min).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_rounds_to_multiple() {
+        assert_eq!(align_up(0, 64), 0);
+        assert_eq!(align_up(1, 64), 64);
+        assert_eq!(align_up(64, 64), 64);
+        assert_eq!(align_up(65, 64), 128);
+    }
+
+    #[test]
+    fn align_down_rounds_to_multiple() {
+        assert_eq!(align_down(0, 64), 0);
+        assert_eq!(align_down(63, 64), 0);
+        assert_eq!(align_down(64, 64), 64);
+        assert_eq!(align_down(127, 64), 64);
+    }
+
+    #[test]
+    fn is_aligned_checks_multiples() {
+        assert!(is_aligned(0, 4096));
+        assert!(is_aligned(8192, 4096));
+        assert!(!is_aligned(8193, 4096));
+    }
+
+    #[test]
+    fn next_pow2_honours_minimum() {
+        assert_eq!(next_pow2_at_least(3, 16), 16);
+        assert_eq!(next_pow2_at_least(17, 16), 32);
+        assert_eq!(next_pow2_at_least(1024, 16), 1024);
+    }
+}

@@ -1,0 +1,72 @@
+//! Length-prefixed JSON framing for the UNIX-domain-socket transport.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame size (16 MiB); guards against corrupt prefixes.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame<W: Write, T: Serialize>(writer: &mut W, value: &T) -> io::Result<()> {
+    let body = serde_json::to_vec(value).map_err(io::Error::other)?;
+    let len = u32::try_from(body.len()).map_err(|_| io::Error::other("frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::other("frame too large"));
+    }
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(&body)?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed JSON frame.
+pub fn read_frame<R: Read, T: DeserializeOwned>(reader: &mut R) -> io::Result<T> {
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds limit",
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    reader.read_exact(&mut body)?;
+    serde_json::from_slice(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Request, Response};
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Ping).unwrap();
+        write_frame(&mut buf, &Response::Ok).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let req: Request = read_frame(&mut cursor).unwrap();
+        let resp: Response = read_frame(&mut cursor).unwrap();
+        assert_eq!(req, Request::Ping);
+        assert_eq!(resp, Response::Ok);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        buf.extend_from_slice(&[0; 16]);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame::<_, Request>(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Ping).unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame::<_, Request>(&mut cursor).is_err());
+    }
+}

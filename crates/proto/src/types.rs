@@ -1,0 +1,280 @@
+//! Shared data types for the client/daemon protocol.
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// A 128-bit universally unique puddle identifier (§4.3).
+///
+/// Serialized as a 32-character lowercase hex string so every JSON consumer
+/// (including non-Rust tooling) can parse it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PuddleId(pub u128);
+
+impl PuddleId {
+    /// Formats the identifier as 32 hex characters.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses a 32-character hex string.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        u128::from_str_radix(s, 16).ok().map(PuddleId)
+    }
+}
+
+impl std::fmt::Display for PuddleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+impl Serialize for PuddleId {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_hex())
+    }
+}
+
+impl<'de> Deserialize<'de> for PuddleId {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        PuddleId::from_hex(&s).ok_or_else(|| D::Error::custom("invalid puddle id"))
+    }
+}
+
+/// Client credentials presented in `Hello`, used for access control.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Credentials {
+    /// Numeric user id.
+    pub uid: u32,
+    /// Numeric group id.
+    pub gid: u32,
+}
+
+impl Credentials {
+    /// Credentials of the calling process.
+    pub fn current_process() -> Self {
+        // SAFETY: getuid/getgid have no preconditions.
+        unsafe {
+            Credentials {
+                uid: sys::getuid(),
+                gid: sys::getgid(),
+            }
+        }
+    }
+}
+
+/// Minimal libc declarations so `puddles-proto` does not depend on the full
+/// `libc` crate: only `getuid`/`getgid` are needed, for
+/// [`Credentials::current_process`].
+mod sys {
+    extern "C" {
+        pub fn getuid() -> u32;
+        pub fn getgid() -> u32;
+    }
+}
+
+/// What a puddle is used for; the daemon treats log and log-space puddles
+/// specially during recovery.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub enum PuddlePurpose {
+    /// Ordinary data puddle (part of a pool heap).
+    Data,
+    /// Holds a client's crash-consistency log.
+    Log,
+    /// Holds a client's log space (directory of log puddles).
+    LogSpace,
+}
+
+/// Metadata describing one puddle, as returned by the daemon.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct PuddleInfo {
+    /// The puddle's UUID.
+    pub id: PuddleId,
+    /// Total size in bytes (header + heap).
+    pub size: u64,
+    /// Assigned address in the global puddle space.
+    pub assigned_addr: u64,
+    /// Path of the backing file (capability grant; see DESIGN.md).
+    pub path: String,
+    /// What the puddle is used for.
+    pub purpose: PuddlePurpose,
+    /// Owning user id.
+    pub owner_uid: u32,
+    /// Owning group id.
+    pub owner_gid: u32,
+    /// UNIX-like permission bits (rw for owner/group/other).
+    pub mode: u32,
+    /// `true` if the puddle's pointers must be rewritten before use.
+    pub needs_rewrite: bool,
+    /// `true` if the requesting client was granted write access.
+    pub writable: bool,
+}
+
+/// Metadata describing a pool: a named collection of puddles with a root.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct PoolInfo {
+    /// Pool name.
+    pub name: String,
+    /// UUID of the root puddle (holds the pool's root object).
+    pub root_puddle: PuddleId,
+    /// Every puddle belonging to the pool, root first.
+    pub puddles: Vec<PuddleId>,
+}
+
+/// One pointer field inside a persistent type.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct PtrField {
+    /// Byte offset of the pointer within the object.
+    pub offset: u64,
+    /// Type id of the pointed-to type (0 if unknown / opaque).
+    pub target_type: u64,
+}
+
+/// A pointer map registered for a persistent type (§4.2 "Pointer maps").
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct PtrMapDecl {
+    /// Stable 64-bit type identifier (hash of the type name).
+    pub type_id: u64,
+    /// Human-readable type name (diagnostics only).
+    pub type_name: String,
+    /// Size of the type in bytes.
+    pub size: u64,
+    /// Offsets of every pointer field.
+    pub fields: Vec<PtrField>,
+}
+
+/// An old→new address translation produced by relocation on import.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Translation {
+    /// Base address the puddle was assigned when it was exported.
+    pub old_addr: u64,
+    /// Base address assigned in this machine's global space.
+    pub new_addr: u64,
+    /// Length of the translated range.
+    pub len: u64,
+}
+
+impl Translation {
+    /// Translates `addr` if it falls inside this range.
+    pub fn translate(&self, addr: u64) -> Option<u64> {
+        if addr >= self.old_addr && addr < self.old_addr + self.len {
+            Some(self.new_addr + (addr - self.old_addr))
+        } else {
+            None
+        }
+    }
+}
+
+/// Summary of a recovery pass.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Log spaces examined.
+    pub log_spaces: u64,
+    /// Logs examined.
+    pub logs: u64,
+    /// Log entries applied.
+    pub entries_applied: u64,
+    /// Log entries denied by access control.
+    pub entries_denied: u64,
+    /// Logs that were already complete (nothing to do).
+    pub logs_clean: u64,
+    /// Logs marked invalid because replay was not permitted.
+    pub logs_invalidated: u64,
+}
+
+/// Daemon statistics (puddle/pool counts and space usage).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Number of live puddles.
+    pub puddles: u64,
+    /// Number of pools.
+    pub pools: u64,
+    /// Number of registered pointer maps.
+    pub ptr_maps: u64,
+    /// Number of registered log spaces.
+    pub log_spaces: u64,
+    /// Bytes of global puddle space handed out.
+    pub space_used: u64,
+    /// Total bytes of global puddle space.
+    pub space_total: u64,
+}
+
+/// Machine-readable error categories returned by the daemon.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The named object does not exist.
+    NotFound,
+    /// An object with this name already exists.
+    AlreadyExists,
+    /// The caller lacks permission.
+    PermissionDenied,
+    /// The request was malformed or violated an invariant.
+    InvalidRequest,
+    /// The global puddle space (or a puddle file) is exhausted.
+    OutOfSpace,
+    /// An internal daemon error (I/O, corruption...).
+    Internal,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn puddle_id_hex_roundtrip() {
+        let id = PuddleId(12345678901234567890123456789012345678u128);
+        assert_eq!(PuddleId::from_hex(&id.to_hex()), Some(id));
+        assert_eq!(PuddleId::from_hex("zz"), None);
+        assert_eq!(id.to_hex().len(), 32);
+    }
+
+    #[test]
+    fn translation_translates_only_inside_range() {
+        let t = Translation {
+            old_addr: 0x1000,
+            new_addr: 0x9000,
+            len: 0x100,
+        };
+        assert_eq!(t.translate(0x1000), Some(0x9000));
+        assert_eq!(t.translate(0x10ff), Some(0x90ff));
+        assert_eq!(t.translate(0x1100), None);
+        assert_eq!(t.translate(0xfff), None);
+    }
+
+    #[test]
+    fn current_process_credentials_are_consistent() {
+        let a = Credentials::current_process();
+        let b = Credentials::current_process();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn info_types_roundtrip_through_json() {
+        let info = PuddleInfo {
+            id: PuddleId(7),
+            size: 4096,
+            assigned_addr: 0x5000_0000_0000,
+            path: "/tmp/x".into(),
+            purpose: PuddlePurpose::Log,
+            owner_uid: 0,
+            owner_gid: 0,
+            mode: 0o640,
+            needs_rewrite: true,
+            writable: false,
+        };
+        let json = serde_json::to_string(&info).unwrap();
+        let back: PuddleInfo = serde_json::from_str(&json).unwrap();
+        assert_eq!(info, back);
+
+        let report = RecoveryReport {
+            log_spaces: 1,
+            logs: 2,
+            entries_applied: 3,
+            entries_denied: 0,
+            logs_clean: 1,
+            logs_invalidated: 0,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        assert_eq!(serde_json::from_str::<RecoveryReport>(&json).unwrap(), report);
+    }
+}

@@ -1,0 +1,84 @@
+//! UNIX-like access control for puddles (§4.6).
+//!
+//! The daemon owns every puddle file; applications never touch the files
+//! directly. Instead the daemon keeps a per-puddle owner uid/gid and a
+//! permission mode, and checks the requesting client's credentials against
+//! them — the same owner/group/other read-write model as UNIX files.
+
+use puddles_proto::Credentials;
+
+/// The kind of access being requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Read-only mapping.
+    Read,
+    /// Read-write mapping (required to log against the puddle).
+    Write,
+}
+
+/// Returns `true` if `creds` may access a puddle owned by
+/// (`owner_uid`, `owner_gid`) with permission bits `mode`.
+///
+/// `mode` uses the standard octal layout (e.g. `0o640`): owner bits in the
+/// hundreds place, group bits in the tens, other bits in the ones. Only the
+/// read (4) and write (2) bits are interpreted. Uid 0 bypasses the check,
+/// matching the usual superuser convention.
+pub fn check(creds: Credentials, owner_uid: u32, owner_gid: u32, mode: u32, access: Access) -> bool {
+    if creds.uid == 0 {
+        return true;
+    }
+    let bits = if creds.uid == owner_uid {
+        (mode >> 6) & 0o7
+    } else if creds.gid == owner_gid {
+        (mode >> 3) & 0o7
+    } else {
+        mode & 0o7
+    };
+    match access {
+        Access::Read => bits & 0o4 != 0,
+        Access::Write => bits & 0o2 != 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OWNER: Credentials = Credentials { uid: 100, gid: 10 };
+    const GROUP: Credentials = Credentials { uid: 200, gid: 10 };
+    const OTHER: Credentials = Credentials { uid: 300, gid: 30 };
+    const ROOT: Credentials = Credentials { uid: 0, gid: 0 };
+
+    #[test]
+    fn owner_group_other_bits_are_respected() {
+        let mode = 0o640;
+        assert!(check(OWNER, 100, 10, mode, Access::Read));
+        assert!(check(OWNER, 100, 10, mode, Access::Write));
+        assert!(check(GROUP, 100, 10, mode, Access::Read));
+        assert!(!check(GROUP, 100, 10, mode, Access::Write));
+        assert!(!check(OTHER, 100, 10, mode, Access::Read));
+        assert!(!check(OTHER, 100, 10, mode, Access::Write));
+    }
+
+    #[test]
+    fn root_bypasses_checks() {
+        assert!(check(ROOT, 100, 10, 0o000, Access::Write));
+    }
+
+    #[test]
+    fn world_readable_puddle() {
+        let mode = 0o644;
+        assert!(check(OTHER, 100, 10, mode, Access::Read));
+        assert!(!check(OTHER, 100, 10, mode, Access::Write));
+    }
+
+    #[test]
+    fn owner_without_write_bit_cannot_write() {
+        // Models the paper's "credentials expired" scenario: the user can no
+        // longer obtain write access, yet recovery must still be possible
+        // because the daemon (not the user) replays the logs.
+        let mode = 0o400;
+        assert!(check(OWNER, 100, 10, mode, Access::Read));
+        assert!(!check(OWNER, 100, 10, mode, Access::Write));
+    }
+}

@@ -1,0 +1,204 @@
+//! Pool export and import: shipping PM data between machines (§4.2
+//! "Relocation on import").
+//!
+//! Export copies a pool's puddle files plus a manifest (pool structure,
+//! assigned addresses, pointer maps) into a directory; the data keeps its
+//! raw in-memory representation — no serialization. Import registers fresh
+//! copies of those puddles in this machine's global space, assigns them new
+//! addresses, and records the old→new translations so the client library
+//! can rewrite pointers incrementally when the puddles are first mapped.
+
+use crate::acl;
+use crate::registry::{PoolRecord, PuddleRecord};
+use crate::service::{DaemonError, DaemonInner, DaemonResult};
+use puddles_proto::{
+    Credentials, ErrorCode, PoolInfo, PtrMapDecl, PuddleId, PuddlePurpose, Translation,
+};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One puddle inside an export manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExportedPuddle {
+    /// UUID the puddle had on the exporting machine.
+    pub id: PuddleId,
+    /// Size in bytes.
+    pub size: u64,
+    /// Address the puddle's pointers are written for.
+    pub assigned_addr: u64,
+    /// File name of the copied puddle inside the export directory.
+    pub file: String,
+    /// Permission bits to apply on import.
+    pub mode: u32,
+}
+
+/// The manifest written alongside exported puddle files.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExportManifest {
+    /// Name of the exported pool.
+    pub pool: String,
+    /// UUID (on the exporting machine) of the root puddle.
+    pub root: PuddleId,
+    /// Every puddle in the pool.
+    pub puddles: Vec<ExportedPuddle>,
+    /// Pointer maps needed to rewrite pointers in the pool.
+    pub ptr_maps: Vec<PtrMapDecl>,
+}
+
+/// File name of the manifest inside an export directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Exports `pool_name` into directory `dest`.
+pub(crate) fn export_pool(
+    inner: &DaemonInner,
+    creds: Credentials,
+    pool_name: &str,
+    dest: &str,
+) -> DaemonResult<PathBuf> {
+    let dest = Path::new(dest).to_path_buf();
+    fs::create_dir_all(&dest).map_err(|e| DaemonError::new(ErrorCode::Internal, e.to_string()))?;
+
+    let (pool, records) = {
+        let reg = inner.registry.lock();
+        let pool = reg
+            .pool(pool_name)
+            .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "pool not found"))?
+            .clone();
+        let mut records = Vec::new();
+        for id in &pool.puddles {
+            let record = reg
+                .puddle(*id)
+                .ok_or_else(|| DaemonError::new(ErrorCode::Internal, "pool references missing puddle"))?;
+            if !acl::check(creds, record.owner_uid, record.owner_gid, record.mode, acl::Access::Read) {
+                return Err(DaemonError::new(
+                    ErrorCode::PermissionDenied,
+                    "cannot export a pool you cannot read",
+                ));
+            }
+            records.push(record.clone());
+        }
+        (pool, records)
+    };
+
+    let base = inner.gspace.base() as u64;
+    let mut manifest = ExportManifest {
+        pool: pool.name.clone(),
+        root: pool.root,
+        puddles: Vec::new(),
+        ptr_maps: inner.registry.lock().ptr_maps(),
+    };
+    for record in &records {
+        let file_name = format!("{}.pud", record.id.to_hex());
+        inner
+            .pmdir
+            .copy_puddle_file(&record.file, &dest.join(&file_name))
+            .map_err(DaemonError::from)?;
+        manifest.puddles.push(ExportedPuddle {
+            id: record.id,
+            size: record.size,
+            assigned_addr: base + record.offset,
+            file: file_name,
+            mode: record.mode,
+        });
+    }
+    let manifest_bytes = serde_json::to_vec_pretty(&manifest)
+        .map_err(|e| DaemonError::new(ErrorCode::Internal, e.to_string()))?;
+    fs::write(dest.join(MANIFEST_FILE), manifest_bytes)
+        .map_err(|e| DaemonError::new(ErrorCode::Internal, e.to_string()))?;
+    Ok(dest)
+}
+
+/// Imports the pool exported at `src` under the name `new_name`.
+///
+/// Returns the new pool plus the address translations the client library
+/// needs while rewriting pointers.
+pub(crate) fn import_pool(
+    inner: &DaemonInner,
+    creds: Credentials,
+    src: &str,
+    new_name: &str,
+) -> DaemonResult<(PoolInfo, Vec<Translation>)> {
+    let src = Path::new(src);
+    let manifest_bytes = fs::read(src.join(MANIFEST_FILE))
+        .map_err(|e| DaemonError::new(ErrorCode::NotFound, format!("manifest: {e}")))?;
+    let manifest: ExportManifest = serde_json::from_slice(&manifest_bytes)
+        .map_err(|e| DaemonError::new(ErrorCode::InvalidRequest, format!("manifest: {e}")))?;
+
+    {
+        let reg = inner.registry.lock();
+        if reg.pool(new_name).is_some() {
+            return Err(DaemonError::new(
+                ErrorCode::AlreadyExists,
+                format!("pool `{new_name}` already exists"),
+            ));
+        }
+    }
+
+    let base = inner.gspace.base() as u64;
+    let mut reg = inner.registry.lock();
+
+    // Pass 1: assign every imported puddle a fresh UUID and a fresh address,
+    // building the old→new translation table.
+    let mut assignments: Vec<(PuddleId, &ExportedPuddle, u64)> = Vec::new();
+    let mut translations: Vec<Translation> = Vec::new();
+    for exported in &manifest.puddles {
+        let new_id = reg.fresh_id();
+        let offset = reg
+            .alloc_space(exported.size)
+            .map_err(|_| DaemonError::new(ErrorCode::OutOfSpace, "global puddle space exhausted"))?;
+        translations.push(Translation {
+            old_addr: exported.assigned_addr,
+            new_addr: base + offset,
+            len: exported.size,
+        });
+        assignments.push((new_id, exported, offset));
+    }
+
+    // Pass 2: copy files and create records; every imported puddle needs a
+    // pointer rewrite against the full translation table.
+    let mut new_ids = Vec::new();
+    let mut root_id = None;
+    for (new_id, exported, offset) in &assignments {
+        let file = new_id.to_hex();
+        let dest_path = inner.pmdir.puddle_path(&file);
+        fs::copy(src.join(&exported.file), &dest_path)
+            .map_err(|e| DaemonError::new(ErrorCode::Internal, e.to_string()))?;
+        let needs_rewrite = translations
+            .iter()
+            .any(|t| t.old_addr != t.new_addr);
+        reg.insert_puddle(PuddleRecord {
+            id: *new_id,
+            size: exported.size,
+            offset: *offset,
+            file,
+            purpose: PuddlePurpose::Data,
+            owner_uid: creds.uid,
+            owner_gid: creds.gid,
+            mode: exported.mode,
+            pool: Some(new_name.to_string()),
+            needs_rewrite,
+            translations: translations.clone(),
+        });
+        new_ids.push(*new_id);
+        if exported.id == manifest.root {
+            root_id = Some(*new_id);
+        }
+    }
+    let root_id = root_id
+        .ok_or_else(|| DaemonError::new(ErrorCode::InvalidRequest, "manifest root not in puddle list"))?;
+
+    for decl in manifest.ptr_maps {
+        reg.register_ptr_map(decl);
+    }
+
+    let pool = PoolRecord {
+        name: new_name.to_string(),
+        root: root_id,
+        puddles: new_ids,
+    };
+    let info = pool.to_info();
+    reg.insert_pool(pool);
+    reg.save()?;
+    Ok((info, translations))
+}

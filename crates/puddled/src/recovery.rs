@@ -1,0 +1,186 @@
+//! System-supported crash recovery (§4.1 "Recovery", §4.6 "Recovery").
+//!
+//! On startup (or on an explicit `Recover` request) the daemon walks every
+//! registered log space, maps the log puddles it lists, and replays the live
+//! entries of each log *before any application maps the data*. Replay is
+//! restricted to puddles the registering client could write at the time of
+//! the crash: the daemon recreates that client's writable mapping and
+//! refuses entries that fall outside it. A log containing such entries is
+//! marked invalid and never replayed (the data it covers may be corrupt, but
+//! other clients' data is protected).
+
+use crate::gspace::GlobalSpace;
+use crate::layout::LOG_REGION_OFFSET;
+use crate::registry::PuddleRecord;
+use crate::service::DaemonInner;
+use puddles_logfmt::{replay_log, DirectMemoryTarget, LogRef, LogSpaceRef, RANGE_DONE};
+use puddles_pmem::Result;
+use puddles_proto::{Credentials, PuddlePurpose, RecoveryReport};
+
+/// Runs one recovery pass over every registered log space.
+pub fn run_recovery(inner: &DaemonInner) -> Result<RecoveryReport> {
+    let mut report = RecoveryReport::default();
+
+    // Snapshot the records we need so the registry lock is not held across
+    // mapping operations.
+    let (log_spaces, all_puddles) = {
+        let reg = inner.registry.lock();
+        (
+            reg.log_spaces().to_vec(),
+            reg.puddles().cloned().collect::<Vec<PuddleRecord>>(),
+        )
+    };
+
+    let mut invalidated = Vec::new();
+
+    for ls in &log_spaces {
+        if ls.invalid {
+            continue;
+        }
+        let Some(ls_record) = all_puddles.iter().find(|p| p.id == ls.puddle) else {
+            continue;
+        };
+        let owner = Credentials {
+            uid: ls.owner_uid,
+            gid: ls.owner_gid,
+        };
+        report.log_spaces += 1;
+
+        let outcome = recover_log_space(inner, ls_record, owner, &all_puddles, &mut report)?;
+        if let LogSpaceOutcome::Invalidate = outcome {
+            invalidated.push(ls.puddle);
+        }
+    }
+
+    if !invalidated.is_empty() {
+        let mut reg = inner.registry.lock();
+        for id in invalidated {
+            reg.invalidate_log_space(id);
+            report.logs_invalidated += 1;
+        }
+        reg.save()?;
+    }
+    Ok(report)
+}
+
+enum LogSpaceOutcome {
+    Ok,
+    Invalidate,
+}
+
+fn recover_log_space(
+    inner: &DaemonInner,
+    ls_record: &PuddleRecord,
+    owner: Credentials,
+    all_puddles: &[PuddleRecord],
+    report: &mut RecoveryReport,
+) -> Result<LogSpaceOutcome> {
+    let gspace = &inner.gspace;
+    let mut mapped: Vec<usize> = Vec::new();
+    let result = (|| -> Result<LogSpaceOutcome> {
+        // Map the log-space puddle.
+        let ls_addr = map_record(inner, gspace, ls_record, true, &mut mapped)?;
+        // SAFETY: the puddle is mapped writable for `ls_record.size` bytes;
+        // the log space occupies its heap.
+        let ls_ref = unsafe {
+            LogSpaceRef::from_raw(
+                (ls_addr + LOG_REGION_OFFSET) as *mut u8,
+                ls_record.size as usize - LOG_REGION_OFFSET,
+            )
+        };
+        if !ls_ref.is_initialized() {
+            return Ok(LogSpaceOutcome::Ok);
+        }
+
+        // Recreate the crashed client's writable mapping: every data puddle
+        // it had write permission to.
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for record in all_puddles {
+            if record.purpose != PuddlePurpose::Data {
+                continue;
+            }
+            if !crate::acl::check(
+                owner,
+                record.owner_uid,
+                record.owner_gid,
+                record.mode,
+                crate::acl::Access::Write,
+            ) {
+                continue;
+            }
+            let addr = map_record(inner, gspace, record, true, &mut mapped)?;
+            ranges.push((addr as u64, record.size));
+        }
+
+        // Replay each registered log.
+        let mut outcome = LogSpaceOutcome::Ok;
+        for log_puddle_id in ls_ref.log_puddles() {
+            let Some(log_record) = all_puddles
+                .iter()
+                .find(|p| p.id == puddles_proto::PuddleId(log_puddle_id))
+            else {
+                continue;
+            };
+            report.logs += 1;
+            let log_addr = map_record(inner, gspace, log_record, true, &mut mapped)?;
+            // SAFETY: mapped writable for the puddle's full size; the log
+            // occupies the heap region.
+            let log = unsafe {
+                LogRef::from_raw(
+                    (log_addr + LOG_REGION_OFFSET) as *mut u8,
+                    log_record.size as usize - LOG_REGION_OFFSET,
+                )
+            };
+            if !log.is_initialized() || log.seq_range() == RANGE_DONE {
+                report.logs_clean += 1;
+                continue;
+            }
+            // Validate first: if any live entry targets memory the client
+            // could not write, do not replay anything from this log space.
+            let live = log.live_entries();
+            let denied = live.iter().any(|(hdr, data)| {
+                hdr.entry_kind() != Some(puddles_logfmt::EntryKind::Volatile)
+                    && !ranges.iter().any(|&(start, len)| {
+                        hdr.addr >= start && hdr.addr + data.len() as u64 <= start + len
+                    })
+            });
+            if denied {
+                report.entries_denied += live.len() as u64;
+                outcome = LogSpaceOutcome::Invalidate;
+                continue;
+            }
+            let mut target = DirectMemoryTarget::restricted(ranges.clone());
+            let stats = replay_log(&log, &mut target, false);
+            report.entries_applied += stats.applied as u64;
+            report.entries_denied += stats.denied as u64;
+            // The transaction is resolved; drop the log.
+            log.reset();
+        }
+        Ok(outcome)
+    })();
+
+    // Unmap everything this pass mapped, regardless of outcome.
+    for offset in mapped {
+        // SAFETY: recovery holds no references into the mappings at this
+        // point; the replay targets borrowed raw addresses only transiently.
+        unsafe {
+            let _ = gspace.unmap_puddle(offset);
+        }
+    }
+    result
+}
+
+fn map_record(
+    inner: &DaemonInner,
+    gspace: &GlobalSpace,
+    record: &PuddleRecord,
+    writable: bool,
+    mapped: &mut Vec<usize>,
+) -> Result<usize> {
+    let (file, _) = inner
+        .pmdir
+        .open_puddle_file(&record.file, record.size as usize)?;
+    let addr = gspace.map_puddle(&file, record.offset as usize, record.size as usize, writable)?;
+    mapped.push(record.offset as usize);
+    Ok(addr)
+}

@@ -1,0 +1,402 @@
+//! The daemon's persistent metadata: puddles, pools, pointer maps, log
+//! spaces, and global-space address allocation.
+//!
+//! The paper stores this metadata in a persistent hash map owned by the
+//! daemon (§4.2); we store it as an atomically replaced JSON document in the
+//! PM directory (`meta/registry.json`), which gives the same crash safety
+//! (the document is either the old or the new version, never torn) without
+//! needing a self-hosted persistent allocator inside the daemon.
+
+use puddles_pmem::pmdir::PmDir;
+use puddles_pmem::util::align_up;
+use puddles_pmem::{PmError, Result, PAGE_SIZE};
+use puddles_proto::{PoolInfo, PtrMapDecl, PuddleId, PuddlePurpose, Translation};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Persistent record of one puddle.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct PuddleRecord {
+    /// The puddle's UUID.
+    pub id: PuddleId,
+    /// Total size in bytes.
+    pub size: u64,
+    /// Offset of the puddle within the global puddle space.
+    pub offset: u64,
+    /// Name of the backing file inside the PM directory.
+    pub file: String,
+    /// What the puddle is used for.
+    pub purpose: PuddlePurpose,
+    /// Owning user id.
+    pub owner_uid: u32,
+    /// Owning group id.
+    pub owner_gid: u32,
+    /// UNIX-like permission bits.
+    pub mode: u32,
+    /// The pool this puddle belongs to, if any.
+    pub pool: Option<String>,
+    /// `true` if the puddle's pointers must be rewritten before use.
+    pub needs_rewrite: bool,
+    /// Old→new translations to apply while rewriting (the persisted
+    /// "frontier" state of §4.2).
+    pub translations: Vec<Translation>,
+}
+
+/// Persistent record of one pool.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct PoolRecord {
+    /// Pool name.
+    pub name: String,
+    /// Root puddle UUID.
+    pub root: PuddleId,
+    /// All puddles in the pool, root first.
+    pub puddles: Vec<PuddleId>,
+}
+
+impl PoolRecord {
+    /// Converts the record into the protocol representation.
+    pub fn to_info(&self) -> PoolInfo {
+        PoolInfo {
+            name: self.name.clone(),
+            root_puddle: self.root,
+            puddles: self.puddles.clone(),
+        }
+    }
+}
+
+/// Persistent record of a registered log space.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct LogSpaceRecord {
+    /// The log-space puddle.
+    pub puddle: PuddleId,
+    /// Credentials of the registering client; recovery replays its logs with
+    /// exactly this client's permissions.
+    pub owner_uid: u32,
+    /// Group id of the registering client.
+    pub owner_gid: u32,
+    /// Set when recovery found the log targeting unwritable memory; such
+    /// logs are never replayed again (§4.6 "Recovery").
+    pub invalid: bool,
+}
+
+/// The daemon's complete persistent state.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct RegistryData {
+    /// Base address of the global space when this registry was last saved.
+    pub space_base: u64,
+    /// Size of the global space.
+    pub space_size: u64,
+    /// Bump pointer for address allocation (offset within the space).
+    pub next_offset: u64,
+    /// Freed `[offset, len)` ranges available for reuse.
+    pub free_list: Vec<(u64, u64)>,
+    /// Puddles keyed by UUID (hex).
+    pub puddles: BTreeMap<String, PuddleRecord>,
+    /// Pools keyed by name.
+    pub pools: BTreeMap<String, PoolRecord>,
+    /// Pointer maps keyed by decimal type id.
+    pub ptr_maps: BTreeMap<String, PtrMapDecl>,
+    /// Registered log spaces.
+    pub log_spaces: Vec<LogSpaceRecord>,
+    /// Monotonic counter used to derive fresh UUIDs.
+    pub next_seq: u64,
+}
+
+/// The registry plus its persistence handle.
+#[derive(Debug)]
+pub struct Registry {
+    data: RegistryData,
+    pmdir: PmDir,
+}
+
+/// Name of the registry document inside the PM directory.
+const REGISTRY_FILE: &str = "registry.json";
+
+impl Registry {
+    /// Loads the registry from `pmdir`, or creates a fresh one.
+    pub fn load_or_create(pmdir: &PmDir, space_base: u64, space_size: u64) -> Result<Self> {
+        let data = match pmdir.read_meta(REGISTRY_FILE)? {
+            Some(bytes) => serde_json::from_slice::<RegistryData>(&bytes)
+                .map_err(|e| PmError::Corruption(format!("registry parse error: {e}")))?,
+            None => RegistryData {
+                space_base,
+                space_size,
+                next_offset: PAGE_SIZE as u64,
+                ..RegistryData::default()
+            },
+        };
+        let mut reg = Registry {
+            data,
+            pmdir: pmdir.clone(),
+        };
+        if reg.data.space_size == 0 {
+            reg.data.space_size = space_size;
+        }
+        reg.save()?;
+        Ok(reg)
+    }
+
+    /// Persists the registry atomically.
+    pub fn save(&self) -> Result<()> {
+        let bytes = serde_json::to_vec_pretty(&self.data)
+            .map_err(|e| PmError::Corruption(format!("registry encode error: {e}")))?;
+        self.pmdir.write_meta(REGISTRY_FILE, &bytes)
+    }
+
+    /// Read access to the raw data (tests and stats).
+    pub fn data(&self) -> &RegistryData {
+        &self.data
+    }
+
+    /// Records the global-space base for this run and returns the previous
+    /// one (callers relocate every puddle if it moved).
+    pub fn update_space_base(&mut self, new_base: u64) -> u64 {
+        let old = self.data.space_base;
+        self.data.space_base = new_base;
+        old
+    }
+
+    /// Allocates a fresh UUID.
+    pub fn fresh_id(&mut self) -> PuddleId {
+        self.data.next_seq += 1;
+        // Mix a per-daemon random salt with a sequence number so ids from
+        // different daemon instances (different "machines") do not collide.
+        let salt: u64 = rand::random();
+        PuddleId(((salt as u128) << 64) | self.data.next_seq as u128)
+    }
+
+    /// Allocates `size` bytes of the global space, returning the offset.
+    pub fn alloc_space(&mut self, size: u64) -> Result<u64> {
+        let size = align_up(size as usize, PAGE_SIZE) as u64;
+        // First fit from the free list.
+        if let Some(pos) = self
+            .data
+            .free_list
+            .iter()
+            .position(|&(_, len)| len >= size)
+        {
+            let (off, len) = self.data.free_list[pos];
+            if len == size {
+                self.data.free_list.remove(pos);
+            } else {
+                self.data.free_list[pos] = (off + size, len - size);
+            }
+            return Ok(off);
+        }
+        let off = self.data.next_offset;
+        if off + size > self.data.space_size {
+            return Err(PmError::OutOfRange {
+                offset: off as usize,
+                len: size as usize,
+            });
+        }
+        self.data.next_offset = off + size;
+        Ok(off)
+    }
+
+    /// Returns `size` bytes at `offset` to the free list.
+    pub fn free_space(&mut self, offset: u64, size: u64) {
+        let size = align_up(size as usize, PAGE_SIZE) as u64;
+        self.data.free_list.push((offset, size));
+        // Coalesce adjacent ranges to keep the list short.
+        self.data.free_list.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.data.free_list.len());
+        for (off, len) in self.data.free_list.drain(..) {
+            match merged.last_mut() {
+                Some((moff, mlen)) if *moff + *mlen == off => *mlen += len,
+                _ => merged.push((off, len)),
+            }
+        }
+        self.data.free_list = merged;
+    }
+
+    /// Inserts a puddle record.
+    pub fn insert_puddle(&mut self, record: PuddleRecord) {
+        self.data.puddles.insert(record.id.to_hex(), record);
+    }
+
+    /// Looks up a puddle record.
+    pub fn puddle(&self, id: PuddleId) -> Option<&PuddleRecord> {
+        self.data.puddles.get(&id.to_hex())
+    }
+
+    /// Mutable lookup of a puddle record.
+    pub fn puddle_mut(&mut self, id: PuddleId) -> Option<&mut PuddleRecord> {
+        self.data.puddles.get_mut(&id.to_hex())
+    }
+
+    /// Removes a puddle record, returning it.
+    pub fn remove_puddle(&mut self, id: PuddleId) -> Option<PuddleRecord> {
+        self.data.puddles.remove(&id.to_hex())
+    }
+
+    /// Iterates over every puddle record.
+    pub fn puddles(&self) -> impl Iterator<Item = &PuddleRecord> {
+        self.data.puddles.values()
+    }
+
+    /// Inserts a pool record.
+    pub fn insert_pool(&mut self, record: PoolRecord) {
+        self.data.pools.insert(record.name.clone(), record);
+    }
+
+    /// Looks up a pool by name.
+    pub fn pool(&self, name: &str) -> Option<&PoolRecord> {
+        self.data.pools.get(name)
+    }
+
+    /// Mutable lookup of a pool.
+    pub fn pool_mut(&mut self, name: &str) -> Option<&mut PoolRecord> {
+        self.data.pools.get_mut(name)
+    }
+
+    /// Removes a pool record.
+    pub fn remove_pool(&mut self, name: &str) -> Option<PoolRecord> {
+        self.data.pools.remove(name)
+    }
+
+    /// Registers (or replaces) a pointer map.
+    pub fn register_ptr_map(&mut self, decl: PtrMapDecl) {
+        self.data.ptr_maps.insert(decl.type_id.to_string(), decl);
+    }
+
+    /// Returns every registered pointer map.
+    pub fn ptr_maps(&self) -> Vec<PtrMapDecl> {
+        self.data.ptr_maps.values().cloned().collect()
+    }
+
+    /// Registers a log space for a client, replacing an older registration
+    /// of the same puddle.
+    pub fn register_log_space(&mut self, record: LogSpaceRecord) {
+        self.data
+            .log_spaces
+            .retain(|existing| existing.puddle != record.puddle);
+        self.data.log_spaces.push(record);
+    }
+
+    /// Returns every registered log space.
+    pub fn log_spaces(&self) -> &[LogSpaceRecord] {
+        &self.data.log_spaces
+    }
+
+    /// Marks a log space invalid (its logs will never be replayed).
+    pub fn invalidate_log_space(&mut self, puddle: PuddleId) {
+        for ls in &mut self.data.log_spaces {
+            if ls.puddle == puddle {
+                ls.invalid = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> (tempfile::TempDir, Registry) {
+        let tmp = tempfile::tempdir().unwrap();
+        let pm = PmDir::open(tmp.path()).unwrap();
+        let reg = Registry::load_or_create(&pm, 0x5000_0000_0000, 1 << 30).unwrap();
+        (tmp, reg)
+    }
+
+    #[test]
+    fn allocation_is_page_aligned_and_disjoint() {
+        let (_tmp, mut reg) = registry();
+        let a = reg.alloc_space(100).unwrap();
+        let b = reg.alloc_space(8192).unwrap();
+        let c = reg.alloc_space(1).unwrap();
+        assert_eq!(a % PAGE_SIZE as u64, 0);
+        assert_eq!(b % PAGE_SIZE as u64, 0);
+        assert!(b >= a + PAGE_SIZE as u64);
+        assert!(c >= b + 8192);
+    }
+
+    #[test]
+    fn freed_space_is_reused_and_coalesced() {
+        let (_tmp, mut reg) = registry();
+        let a = reg.alloc_space(PAGE_SIZE as u64).unwrap();
+        let b = reg.alloc_space(PAGE_SIZE as u64).unwrap();
+        reg.free_space(a, PAGE_SIZE as u64);
+        reg.free_space(b, PAGE_SIZE as u64);
+        assert_eq!(reg.data().free_list.len(), 1);
+        assert_eq!(reg.data().free_list[0], (a, 2 * PAGE_SIZE as u64));
+        let c = reg.alloc_space(2 * PAGE_SIZE as u64).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn allocation_fails_when_space_is_exhausted() {
+        let tmp = tempfile::tempdir().unwrap();
+        let pm = PmDir::open(tmp.path()).unwrap();
+        let mut reg = Registry::load_or_create(&pm, 0, (4 * PAGE_SIZE) as u64).unwrap();
+        reg.alloc_space(2 * PAGE_SIZE as u64).unwrap();
+        assert!(reg.alloc_space(2 * PAGE_SIZE as u64).is_err());
+    }
+
+    #[test]
+    fn registry_persists_across_reloads() {
+        let tmp = tempfile::tempdir().unwrap();
+        let pm = PmDir::open(tmp.path()).unwrap();
+        let id;
+        {
+            let mut reg = Registry::load_or_create(&pm, 7, 1 << 30).unwrap();
+            id = reg.fresh_id();
+            let off = reg.alloc_space(1 << 20).unwrap();
+            reg.insert_puddle(PuddleRecord {
+                id,
+                size: 1 << 20,
+                offset: off,
+                file: id.to_hex(),
+                purpose: PuddlePurpose::Data,
+                owner_uid: 1,
+                owner_gid: 2,
+                mode: 0o600,
+                pool: Some("p".into()),
+                needs_rewrite: false,
+                translations: vec![],
+            });
+            reg.insert_pool(PoolRecord {
+                name: "p".into(),
+                root: id,
+                puddles: vec![id],
+            });
+            reg.save().unwrap();
+        }
+        let reg = Registry::load_or_create(&pm, 7, 1 << 30).unwrap();
+        assert!(reg.puddle(id).is_some());
+        assert_eq!(reg.pool("p").unwrap().root, id);
+        assert_eq!(reg.data().space_base, 7);
+    }
+
+    #[test]
+    fn fresh_ids_are_unique() {
+        let (_tmp, mut reg) = registry();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            assert!(seen.insert(reg.fresh_id()));
+        }
+    }
+
+    #[test]
+    fn log_space_registration_replaces_duplicates() {
+        let (_tmp, mut reg) = registry();
+        let id = reg.fresh_id();
+        reg.register_log_space(LogSpaceRecord {
+            puddle: id,
+            owner_uid: 1,
+            owner_gid: 1,
+            invalid: false,
+        });
+        reg.register_log_space(LogSpaceRecord {
+            puddle: id,
+            owner_uid: 2,
+            owner_gid: 2,
+            invalid: false,
+        });
+        assert_eq!(reg.log_spaces().len(), 1);
+        assert_eq!(reg.log_spaces()[0].owner_uid, 2);
+        reg.invalidate_log_space(id);
+        assert!(reg.log_spaces()[0].invalid);
+    }
+}

@@ -1,0 +1,561 @@
+//! The daemon proper: configuration, startup, and the request handler.
+
+use crate::gspace::GlobalSpace;
+use crate::importexport;
+use crate::recovery;
+use crate::registry::{LogSpaceRecord, PoolRecord, PuddleRecord, Registry};
+use crate::{acl, layout};
+use parking_lot::Mutex;
+use puddles_pmem::pmdir::PmDir;
+use puddles_pmem::util::align_up;
+use puddles_pmem::{PmError, Result, DEFAULT_SPACE_BASE, PAGE_SIZE};
+use puddles_proto::{
+    Credentials, Endpoint, ErrorCode, PuddleId, PuddleInfo, PuddlePurpose, Request, Response,
+    Translation,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Configuration for a daemon instance (one per "machine").
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Directory acting as the persistent-memory device.
+    pub pm_dir: PathBuf,
+    /// Preferred base address of the global puddle space.
+    pub space_base: Option<usize>,
+    /// Size of the global puddle space in bytes.
+    pub space_size: usize,
+    /// Run crash recovery automatically at startup (the paper's behaviour).
+    pub auto_recover: bool,
+}
+
+impl DaemonConfig {
+    /// Configuration with the paper's defaults: 1 TiB space at the fixed
+    /// base, automatic recovery at startup.
+    pub fn new(pm_dir: impl Into<PathBuf>) -> Self {
+        DaemonConfig {
+            pm_dir: pm_dir.into(),
+            space_base: Some(DEFAULT_SPACE_BASE),
+            space_size: puddles_pmem::DEFAULT_SPACE_SIZE,
+            auto_recover: true,
+        }
+    }
+
+    /// Configuration for tests and benchmarks: a smaller space at a unique
+    /// base, so many daemon instances ("machines") can coexist in one test
+    /// process without their reservations colliding.
+    pub fn for_testing(pm_dir: impl Into<PathBuf>) -> Self {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let slot = NEXT.fetch_add(1, Ordering::Relaxed);
+        let space_size = 8usize << 30;
+        let base = 0x5100_0000_0000 + slot * (space_size + (1 << 30));
+        DaemonConfig {
+            pm_dir: pm_dir.into(),
+            space_base: Some(base),
+            space_size,
+            auto_recover: true,
+        }
+    }
+
+    /// Disables automatic recovery at startup (used by crash tests that want
+    /// to inspect the pre-recovery state).
+    pub fn no_auto_recover(mut self) -> Self {
+        self.auto_recover = false;
+        self
+    }
+}
+
+/// Shared daemon state.
+#[derive(Debug)]
+pub struct DaemonInner {
+    pub(crate) config: DaemonConfig,
+    pub(crate) pmdir: PmDir,
+    pub(crate) gspace: Arc<GlobalSpace>,
+    pub(crate) registry: Mutex<Registry>,
+}
+
+/// The Puddles daemon: a privileged service managing every puddle on the
+/// machine (§3.2).
+///
+/// Cloning a `Daemon` clones a handle to the same instance.
+#[derive(Debug, Clone)]
+pub struct Daemon {
+    pub(crate) inner: Arc<DaemonInner>,
+}
+
+/// Internal error carrying a protocol error code.
+pub(crate) struct DaemonError {
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+impl DaemonError {
+    pub(crate) fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        DaemonError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<PmError> for DaemonError {
+    fn from(e: PmError) -> Self {
+        DaemonError::new(ErrorCode::Internal, e.to_string())
+    }
+}
+
+pub(crate) type DaemonResult<T> = std::result::Result<T, DaemonError>;
+
+impl Daemon {
+    /// Starts the daemon: opens the PM directory, reserves the global space,
+    /// loads the registry, relocates puddles if the space base moved, and
+    /// (by default) runs crash recovery before any client can connect.
+    pub fn start(config: DaemonConfig) -> Result<Self> {
+        let pmdir = PmDir::open(&config.pm_dir)?;
+        let gspace = Arc::new(GlobalSpace::reserve(config.space_base, config.space_size)?);
+        let registry = Registry::load_or_create(&pmdir, gspace.base() as u64, gspace.size() as u64)?;
+        let daemon = Daemon {
+            inner: Arc::new(DaemonInner {
+                config,
+                pmdir,
+                gspace,
+                registry: Mutex::new(registry),
+            }),
+        };
+        daemon.relocate_if_base_moved()?;
+        if daemon.inner.config.auto_recover {
+            let _ = recovery::run_recovery(&daemon.inner)?;
+        }
+        Ok(daemon)
+    }
+
+    /// If the global space landed at a different base than the one recorded
+    /// in the registry, mark every puddle for pointer rewrite with the
+    /// corresponding translations (the "relocated global space" path).
+    fn relocate_if_base_moved(&self) -> Result<()> {
+        let mut reg = self.inner.registry.lock();
+        let old_base = reg.data().space_base;
+        let new_base = self.inner.gspace.base() as u64;
+        if old_base == new_base {
+            return Ok(());
+        }
+        let translations: Vec<Translation> = reg
+            .puddles()
+            .map(|p| Translation {
+                old_addr: old_base + p.offset,
+                new_addr: new_base + p.offset,
+                len: p.size,
+            })
+            .collect();
+        let ids: Vec<PuddleId> = reg.puddles().map(|p| p.id).collect();
+        for id in ids {
+            if let Some(p) = reg.puddle_mut(id) {
+                p.needs_rewrite = true;
+                p.translations = translations.clone();
+            }
+        }
+        reg.update_space_base(new_base);
+        reg.save()
+    }
+
+    /// Returns the global puddle space shared with in-process clients.
+    pub fn global_space(&self) -> Arc<GlobalSpace> {
+        Arc::clone(&self.inner.gspace)
+    }
+
+    /// Returns the PM directory backing this daemon.
+    pub fn pm_dir(&self) -> &PmDir {
+        &self.inner.pmdir
+    }
+
+    /// Creates an in-process endpoint acting with the given credentials.
+    pub fn endpoint(&self, creds: Credentials) -> LocalEndpoint {
+        LocalEndpoint {
+            daemon: self.clone(),
+            creds,
+        }
+    }
+
+    /// Creates an in-process endpoint using this process's credentials.
+    pub fn endpoint_for_current_process(&self) -> LocalEndpoint {
+        self.endpoint(Credentials::current_process())
+    }
+
+    /// Handles one request on behalf of a client with credentials `creds`.
+    pub fn handle(&self, creds: Credentials, req: Request) -> Response {
+        match self.dispatch(creds, req) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error {
+                code: e.code,
+                message: e.message,
+            },
+        }
+    }
+
+    fn dispatch(&self, creds: Credentials, req: Request) -> DaemonResult<Response> {
+        match req {
+            Request::Hello { .. } | Request::Ping => Ok(self.welcome()),
+            Request::CreatePuddle {
+                size,
+                pool,
+                purpose,
+                mode,
+            } => {
+                let info = self.create_puddle(creds, size, pool, purpose, mode)?;
+                Ok(Response::Puddle(info))
+            }
+            Request::GetPuddle { id, writable } => {
+                let info = self.get_puddle(creds, id, writable)?;
+                Ok(Response::Puddle(info))
+            }
+            Request::FreePuddle { id } => {
+                self.free_puddle(creds, id)?;
+                Ok(Response::Ok)
+            }
+            Request::CreatePool {
+                name,
+                root_size,
+                mode,
+            } => {
+                let info = self.create_pool(creds, &name, root_size, mode)?;
+                Ok(Response::Pool(info))
+            }
+            Request::OpenPool { name } => {
+                let info = self.open_pool(creds, &name)?;
+                Ok(Response::Pool(info))
+            }
+            Request::DropPool { name } => {
+                self.drop_pool(creds, &name)?;
+                Ok(Response::Ok)
+            }
+            Request::RegLogSpace { puddle } => {
+                self.register_log_space(creds, puddle)?;
+                Ok(Response::Ok)
+            }
+            Request::RegisterPtrMap { decl } => {
+                let mut reg = self.inner.registry.lock();
+                reg.register_ptr_map(decl);
+                reg.save()?;
+                Ok(Response::Ok)
+            }
+            Request::GetPtrMaps => {
+                let reg = self.inner.registry.lock();
+                Ok(Response::PtrMaps(reg.ptr_maps()))
+            }
+            Request::ExportPool { name, dest } => {
+                importexport::export_pool(&self.inner, creds, &name, &dest)?;
+                Ok(Response::Ok)
+            }
+            Request::ImportPool { src, new_name } => {
+                let (pool, translations) =
+                    importexport::import_pool(&self.inner, creds, &src, &new_name)?;
+                Ok(Response::Imported { pool, translations })
+            }
+            Request::GetRelocation { id } => {
+                let reg = self.inner.registry.lock();
+                let p = reg
+                    .puddle(id)
+                    .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "no such puddle"))?;
+                Ok(Response::Relocation {
+                    needs_rewrite: p.needs_rewrite,
+                    translations: p.translations.clone(),
+                })
+            }
+            Request::MarkRewritten { id } => {
+                let mut reg = self.inner.registry.lock();
+                let p = reg
+                    .puddle_mut(id)
+                    .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "no such puddle"))?;
+                p.needs_rewrite = false;
+                p.translations.clear();
+                reg.save()?;
+                Ok(Response::Ok)
+            }
+            Request::Recover => {
+                let report = recovery::run_recovery(&self.inner)?;
+                Ok(Response::Recovered(report))
+            }
+            Request::Stats => Ok(Response::Stats(self.stats())),
+        }
+    }
+
+    fn welcome(&self) -> Response {
+        Response::Welcome {
+            space_base: self.inner.gspace.base() as u64,
+            space_size: self.inner.gspace.size() as u64,
+        }
+    }
+
+    fn stats(&self) -> puddles_proto::DaemonStats {
+        let reg = self.inner.registry.lock();
+        let data = reg.data();
+        puddles_proto::DaemonStats {
+            puddles: data.puddles.len() as u64,
+            pools: data.pools.len() as u64,
+            ptr_maps: data.ptr_maps.len() as u64,
+            log_spaces: data.log_spaces.len() as u64,
+            space_used: data
+                .puddles
+                .values()
+                .map(|p| p.size)
+                .sum::<u64>(),
+            space_total: data.space_size,
+        }
+    }
+
+    pub(crate) fn puddle_info(&self, record: &PuddleRecord, writable: bool) -> PuddleInfo {
+        PuddleInfo {
+            id: record.id,
+            size: record.size,
+            assigned_addr: self.inner.gspace.base() as u64 + record.offset,
+            path: self
+                .inner
+                .pmdir
+                .puddle_path(&record.file)
+                .to_string_lossy()
+                .into_owned(),
+            purpose: record.purpose,
+            owner_uid: record.owner_uid,
+            owner_gid: record.owner_gid,
+            mode: record.mode,
+            needs_rewrite: record.needs_rewrite,
+            writable,
+        }
+    }
+
+    pub(crate) fn create_puddle(
+        &self,
+        creds: Credentials,
+        size: u64,
+        pool: Option<String>,
+        purpose: PuddlePurpose,
+        mode: u32,
+    ) -> DaemonResult<PuddleInfo> {
+        let size = align_up(size.max((2 * PAGE_SIZE) as u64) as usize, PAGE_SIZE) as u64;
+        let mut reg = self.inner.registry.lock();
+        if let Some(pool_name) = &pool {
+            if reg.pool(pool_name).is_none() {
+                return Err(DaemonError::new(
+                    ErrorCode::NotFound,
+                    format!("pool `{pool_name}` does not exist"),
+                ));
+            }
+        }
+        let id = reg.fresh_id();
+        let offset = reg
+            .alloc_space(size)
+            .map_err(|_| DaemonError::new(ErrorCode::OutOfSpace, "global puddle space exhausted"))?;
+        let file = id.to_hex();
+        self.inner
+            .pmdir
+            .create_puddle_file(&file, size as usize)
+            .map_err(DaemonError::from)?;
+        let record = PuddleRecord {
+            id,
+            size,
+            offset,
+            file,
+            purpose,
+            owner_uid: creds.uid,
+            owner_gid: creds.gid,
+            mode,
+            pool: pool.clone(),
+            needs_rewrite: false,
+            translations: Vec::new(),
+        };
+        let info = self.puddle_info(&record, true);
+        reg.insert_puddle(record);
+        if let Some(pool_name) = &pool {
+            if let Some(p) = reg.pool_mut(pool_name) {
+                p.puddles.push(id);
+            }
+        }
+        reg.save()?;
+        Ok(info)
+    }
+
+    fn get_puddle(
+        &self,
+        creds: Credentials,
+        id: PuddleId,
+        writable: bool,
+    ) -> DaemonResult<PuddleInfo> {
+        let reg = self.inner.registry.lock();
+        let record = reg
+            .puddle(id)
+            .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "no such puddle"))?;
+        let access = if writable { acl::Access::Write } else { acl::Access::Read };
+        if !acl::check(creds, record.owner_uid, record.owner_gid, record.mode, access) {
+            return Err(DaemonError::new(
+                ErrorCode::PermissionDenied,
+                format!("access to puddle {id} denied"),
+            ));
+        }
+        Ok(self.puddle_info(record, writable))
+    }
+
+    fn free_puddle(&self, creds: Credentials, id: PuddleId) -> DaemonResult<()> {
+        let mut reg = self.inner.registry.lock();
+        let record = reg
+            .puddle(id)
+            .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "no such puddle"))?
+            .clone();
+        if !acl::check(
+            creds,
+            record.owner_uid,
+            record.owner_gid,
+            record.mode,
+            acl::Access::Write,
+        ) {
+            return Err(DaemonError::new(ErrorCode::PermissionDenied, "not owner"));
+        }
+        if let Some(pool_name) = &record.pool {
+            if let Some(pool) = reg.pool_mut(pool_name) {
+                pool.puddles.retain(|p| *p != id);
+            }
+        }
+        reg.remove_puddle(id);
+        reg.free_space(record.offset, record.size);
+        reg.save()?;
+        self.inner
+            .pmdir
+            .delete_puddle_file(&record.file)
+            .map_err(DaemonError::from)?;
+        Ok(())
+    }
+
+    fn create_pool(
+        &self,
+        creds: Credentials,
+        name: &str,
+        root_size: u64,
+        mode: u32,
+    ) -> DaemonResult<puddles_proto::PoolInfo> {
+        {
+            let reg = self.inner.registry.lock();
+            if reg.pool(name).is_some() {
+                return Err(DaemonError::new(
+                    ErrorCode::AlreadyExists,
+                    format!("pool `{name}` already exists"),
+                ));
+            }
+        }
+        // Create the pool record first so the root puddle can reference it.
+        {
+            let mut reg = self.inner.registry.lock();
+            reg.insert_pool(PoolRecord {
+                name: name.to_string(),
+                root: PuddleId(0),
+                puddles: Vec::new(),
+            });
+            reg.save()?;
+        }
+        let root =
+            self.create_puddle(creds, root_size, Some(name.to_string()), PuddlePurpose::Data, mode)?;
+        let mut reg = self.inner.registry.lock();
+        let pool = reg
+            .pool_mut(name)
+            .ok_or_else(|| DaemonError::new(ErrorCode::Internal, "pool vanished"))?;
+        pool.root = root.id;
+        let info = pool.to_info();
+        reg.save()?;
+        Ok(info)
+    }
+
+    fn open_pool(&self, creds: Credentials, name: &str) -> DaemonResult<puddles_proto::PoolInfo> {
+        let reg = self.inner.registry.lock();
+        let pool = reg
+            .pool(name)
+            .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, format!("pool `{name}` not found")))?;
+        let root = reg
+            .puddle(pool.root)
+            .ok_or_else(|| DaemonError::new(ErrorCode::Internal, "pool root missing"))?;
+        if !acl::check(creds, root.owner_uid, root.owner_gid, root.mode, acl::Access::Read) {
+            return Err(DaemonError::new(ErrorCode::PermissionDenied, "pool access denied"));
+        }
+        Ok(pool.to_info())
+    }
+
+    fn drop_pool(&self, creds: Credentials, name: &str) -> DaemonResult<()> {
+        let puddles: Vec<PuddleId> = {
+            let reg = self.inner.registry.lock();
+            let pool = reg
+                .pool(name)
+                .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "pool not found"))?;
+            pool.puddles.clone()
+        };
+        for id in puddles {
+            self.free_puddle(creds, id)?;
+        }
+        let mut reg = self.inner.registry.lock();
+        reg.remove_pool(name);
+        reg.save()?;
+        Ok(())
+    }
+
+    fn register_log_space(&self, creds: Credentials, puddle: PuddleId) -> DaemonResult<()> {
+        let mut reg = self.inner.registry.lock();
+        let record = reg
+            .puddle(puddle)
+            .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "no such puddle"))?;
+        if !acl::check(
+            creds,
+            record.owner_uid,
+            record.owner_gid,
+            record.mode,
+            acl::Access::Write,
+        ) {
+            return Err(DaemonError::new(
+                ErrorCode::PermissionDenied,
+                "cannot register a log space you cannot write",
+            ));
+        }
+        if record.purpose != PuddlePurpose::LogSpace {
+            return Err(DaemonError::new(
+                ErrorCode::InvalidRequest,
+                "puddle was not created as a log space",
+            ));
+        }
+        reg.register_log_space(LogSpaceRecord {
+            puddle,
+            owner_uid: creds.uid,
+            owner_gid: creds.gid,
+            invalid: false,
+        });
+        reg.save()?;
+        Ok(())
+    }
+
+    /// Test/benchmark helper: returns the fixed puddle header size so other
+    /// crates do not need to import the layout module directly.
+    pub fn puddle_header_size() -> usize {
+        layout::PUDDLE_HEADER_SIZE
+    }
+}
+
+/// In-process endpoint: calls the daemon directly with fixed credentials.
+#[derive(Debug, Clone)]
+pub struct LocalEndpoint {
+    daemon: Daemon,
+    creds: Credentials,
+}
+
+impl LocalEndpoint {
+    /// Returns the daemon behind this endpoint (in-process clients use it to
+    /// share the global space).
+    pub fn daemon(&self) -> &Daemon {
+        &self.daemon
+    }
+
+    /// Returns the credentials this endpoint presents.
+    pub fn credentials(&self) -> Credentials {
+        self.creds
+    }
+}
+
+impl Endpoint for LocalEndpoint {
+    fn call(&self, req: &Request) -> std::io::Result<Response> {
+        Ok(self.daemon.handle(self.creds, req.clone()))
+    }
+}

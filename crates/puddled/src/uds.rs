@@ -1,0 +1,140 @@
+//! UNIX-domain-socket server exposing the daemon to other processes.
+//!
+//! The paper's clients talk to `puddled` over a UNIX domain socket and
+//! receive puddle file descriptors via `sendmsg(SCM_RIGHTS)`; here the
+//! responses carry file paths instead (see DESIGN.md). Credentials are taken
+//! from the client's `Hello` message; on Linux the kernel-verified
+//! `SO_PEERCRED` uid/gid are preferred when available.
+
+use crate::service::Daemon;
+use puddles_proto::{read_frame, write_frame, Credentials, Request};
+use std::io;
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running UNIX-domain-socket server for one daemon instance.
+#[derive(Debug)]
+pub struct UdsServer {
+    path: PathBuf,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl UdsServer {
+    /// Starts serving `daemon` on a socket at `path` (any stale socket file
+    /// is replaced).
+    pub fn start(daemon: Daemon, path: impl AsRef<Path>) -> io::Result<UdsServer> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name("puddled-accept".into())
+            .spawn(move || accept_loop(daemon, listener, accept_shutdown))?;
+        Ok(UdsServer {
+            path,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Returns the socket path clients should connect to.
+    pub fn socket_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stops accepting connections and waits for the accept loop to exit.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Drop for UdsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(daemon: Daemon, listener: UnixListener, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let daemon = daemon.clone();
+                let _ = std::thread::Builder::new()
+                    .name("puddled-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(daemon, stream);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads SO_PEERCRED credentials from a connected UNIX socket.
+fn peer_credentials(stream: &UnixStream) -> Option<Credentials> {
+    let mut ucred = libc::ucred {
+        pid: 0,
+        uid: 0,
+        gid: 0,
+    };
+    let mut len = std::mem::size_of::<libc::ucred>() as libc::socklen_t;
+    // SAFETY: `ucred`/`len` are valid for writes of the requested size and
+    // the fd is a live socket owned by `stream`.
+    let rc = unsafe {
+        libc::getsockopt(
+            stream.as_raw_fd(),
+            libc::SOL_SOCKET,
+            libc::SO_PEERCRED,
+            &mut ucred as *mut libc::ucred as *mut libc::c_void,
+            &mut len,
+        )
+    };
+    if rc == 0 {
+        Some(Credentials {
+            uid: ucred.uid,
+            gid: ucred.gid,
+        })
+    } else {
+        None
+    }
+}
+
+fn serve_connection(daemon: Daemon, stream: UnixStream) -> io::Result<()> {
+    let peer = peer_credentials(&stream);
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    // First frame must be Hello; kernel-verified peer credentials override
+    // whatever the client claims.
+    let first: Request = read_frame(&mut reader)?;
+    let creds = match (&first, peer) {
+        (_, Some(peer)) => peer,
+        (Request::Hello { creds }, None) => *creds,
+        _ => Credentials::current_process(),
+    };
+    let resp = daemon.handle(creds, first);
+    write_frame(&mut writer, &resp)?;
+    loop {
+        let req: Request = match read_frame(&mut reader) {
+            Ok(req) => req,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let resp = daemon.handle(creds, req);
+        write_frame(&mut writer, &resp)?;
+    }
+}

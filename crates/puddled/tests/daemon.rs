@@ -1,0 +1,588 @@
+//! Daemon-level integration tests: puddle/pool lifecycle, access control,
+//! export/import, system-supported recovery, and the UDS server.
+
+use puddled::{Daemon, DaemonConfig, LOG_REGION_OFFSET};
+use puddles_logfmt::{
+    EntryKind, LogRef, LogSpaceRef, ReplayOrder, RANGE_DONE, RANGE_EXEC, SEQ_UNDO,
+};
+use puddles_proto::{
+    Credentials, Endpoint, ErrorCode, PuddleId, PuddlePurpose, Request, Response,
+};
+
+const USER_A: Credentials = Credentials { uid: 1000, gid: 100 };
+const USER_B: Credentials = Credentials { uid: 2000, gid: 200 };
+
+fn start_daemon() -> (tempfile::TempDir, Daemon) {
+    let tmp = tempfile::tempdir().unwrap();
+    let daemon = Daemon::start(DaemonConfig::for_testing(tmp.path())).unwrap();
+    (tmp, daemon)
+}
+
+fn expect_puddle(resp: Response) -> puddles_proto::PuddleInfo {
+    match resp {
+        Response::Puddle(info) => info,
+        other => panic!("expected Puddle, got {other:?}"),
+    }
+}
+
+fn expect_pool(resp: Response) -> puddles_proto::PoolInfo {
+    match resp {
+        Response::Pool(info) => info,
+        other => panic!("expected Pool, got {other:?}"),
+    }
+}
+
+#[test]
+fn hello_reports_global_space() {
+    let (_tmp, daemon) = start_daemon();
+    let ep = daemon.endpoint(USER_A);
+    let resp = ep.call(&Request::Hello { creds: USER_A }).unwrap();
+    match resp {
+        Response::Welcome {
+            space_base,
+            space_size,
+        } => {
+            assert_eq!(space_base, daemon.global_space().base() as u64);
+            assert_eq!(space_size, daemon.global_space().size() as u64);
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+#[test]
+fn pool_and_puddle_lifecycle() {
+    let (_tmp, daemon) = start_daemon();
+    let pool = expect_pool(daemon.handle(
+        USER_A,
+        Request::CreatePool {
+            name: "db".into(),
+            root_size: 1 << 20,
+            mode: 0o640,
+        },
+    ));
+    assert_eq!(pool.puddles.len(), 1);
+    assert_eq!(pool.root_puddle, pool.puddles[0]);
+
+    // Add a second puddle to the pool.
+    let p2 = expect_puddle(daemon.handle(
+        USER_A,
+        Request::CreatePuddle {
+            size: 1 << 20,
+            pool: Some("db".into()),
+            purpose: PuddlePurpose::Data,
+            mode: 0o640,
+        },
+    ));
+    let pool = expect_pool(daemon.handle(USER_A, Request::OpenPool { name: "db".into() }));
+    assert_eq!(pool.puddles.len(), 2);
+    assert!(pool.puddles.contains(&p2.id));
+
+    // Assigned addresses are disjoint and inside the global space.
+    let root = expect_puddle(daemon.handle(
+        USER_A,
+        Request::GetPuddle {
+            id: pool.root_puddle,
+            writable: true,
+        },
+    ));
+    assert_ne!(root.assigned_addr, p2.assigned_addr);
+    let base = daemon.global_space().base() as u64;
+    let size = daemon.global_space().size() as u64;
+    for info in [&root, &p2] {
+        assert!(info.assigned_addr >= base && info.assigned_addr + info.size <= base + size);
+    }
+
+    // Free the second puddle; the pool shrinks.
+    assert_eq!(
+        daemon.handle(USER_A, Request::FreePuddle { id: p2.id }),
+        Response::Ok
+    );
+    let pool = expect_pool(daemon.handle(USER_A, Request::OpenPool { name: "db".into() }));
+    assert_eq!(pool.puddles.len(), 1);
+
+    // Dropping the pool removes everything.
+    assert_eq!(
+        daemon.handle(USER_A, Request::DropPool { name: "db".into() }),
+        Response::Ok
+    );
+    match daemon.handle(USER_A, Request::OpenPool { name: "db".into() }) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::NotFound),
+        other => panic!("expected error, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_pool_names_are_rejected() {
+    let (_tmp, daemon) = start_daemon();
+    daemon.handle(
+        USER_A,
+        Request::CreatePool {
+            name: "p".into(),
+            root_size: 1 << 20,
+            mode: 0o600,
+        },
+    );
+    match daemon.handle(
+        USER_A,
+        Request::CreatePool {
+            name: "p".into(),
+            root_size: 1 << 20,
+            mode: 0o600,
+        },
+    ) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::AlreadyExists),
+        other => panic!("expected error, got {other:?}"),
+    }
+}
+
+#[test]
+fn access_control_is_enforced() {
+    let (_tmp, daemon) = start_daemon();
+    let pool = expect_pool(daemon.handle(
+        USER_A,
+        Request::CreatePool {
+            name: "private".into(),
+            root_size: 1 << 20,
+            mode: 0o600,
+        },
+    ));
+    // User B cannot read or write user A's private puddle.
+    match daemon.handle(
+        USER_B,
+        Request::GetPuddle {
+            id: pool.root_puddle,
+            writable: false,
+        },
+    ) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::PermissionDenied),
+        other => panic!("expected denial, got {other:?}"),
+    }
+    match daemon.handle(USER_B, Request::OpenPool { name: "private".into() }) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::PermissionDenied),
+        other => panic!("expected denial, got {other:?}"),
+    }
+    // A world-readable pool can be read but not written by others.
+    let shared = expect_pool(daemon.handle(
+        USER_A,
+        Request::CreatePool {
+            name: "shared".into(),
+            root_size: 1 << 20,
+            mode: 0o644,
+        },
+    ));
+    let info = expect_puddle(daemon.handle(
+        USER_B,
+        Request::GetPuddle {
+            id: shared.root_puddle,
+            writable: false,
+        },
+    ));
+    assert!(!info.writable);
+    match daemon.handle(
+        USER_B,
+        Request::GetPuddle {
+            id: shared.root_puddle,
+            writable: true,
+        },
+    ) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::PermissionDenied),
+        other => panic!("expected denial, got {other:?}"),
+    }
+}
+
+#[test]
+fn registry_survives_daemon_restart() {
+    let tmp = tempfile::tempdir().unwrap();
+    let config = DaemonConfig::for_testing(tmp.path());
+    let root_id;
+    {
+        let daemon = Daemon::start(config.clone()).unwrap();
+        let pool = expect_pool(daemon.handle(
+            USER_A,
+            Request::CreatePool {
+                name: "persist".into(),
+                root_size: 1 << 20,
+                mode: 0o600,
+            },
+        ));
+        root_id = pool.root_puddle;
+    }
+    let daemon = Daemon::start(config).unwrap();
+    let pool = expect_pool(daemon.handle(USER_A, Request::OpenPool { name: "persist".into() }));
+    assert_eq!(pool.root_puddle, root_id);
+    // Same base ⇒ no rewrite needed.
+    match daemon.handle(USER_A, Request::GetRelocation { id: root_id }) {
+        Response::Relocation { needs_rewrite, .. } => assert!(!needs_rewrite),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn moving_the_space_base_marks_puddles_for_rewrite() {
+    let tmp = tempfile::tempdir().unwrap();
+    let config1 = DaemonConfig::for_testing(tmp.path());
+    let root_id;
+    {
+        let daemon = Daemon::start(config1.clone()).unwrap();
+        let pool = expect_pool(daemon.handle(
+            USER_A,
+            Request::CreatePool {
+                name: "mv".into(),
+                root_size: 1 << 20,
+                mode: 0o600,
+            },
+        ));
+        root_id = pool.root_puddle;
+    }
+    // Restart with a different base (a different "machine" layout).
+    let config2 = DaemonConfig::for_testing(tmp.path());
+    assert_ne!(config1.space_base, config2.space_base);
+    let daemon = Daemon::start(config2).unwrap();
+    match daemon.handle(USER_A, Request::GetRelocation { id: root_id }) {
+        Response::Relocation {
+            needs_rewrite,
+            translations,
+        } => {
+            assert!(needs_rewrite);
+            assert!(!translations.is_empty());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn export_and_import_assign_new_ids_and_translations() {
+    let (tmp, daemon) = start_daemon();
+    let pool = expect_pool(daemon.handle(
+        USER_A,
+        Request::CreatePool {
+            name: "orig".into(),
+            root_size: 1 << 20,
+            mode: 0o600,
+        },
+    ));
+    daemon.handle(
+        USER_A,
+        Request::CreatePuddle {
+            size: 1 << 20,
+            pool: Some("orig".into()),
+            purpose: PuddlePurpose::Data,
+            mode: 0o600,
+        },
+    );
+    let dest = tmp.path().join("export");
+    assert_eq!(
+        daemon.handle(
+            USER_A,
+            Request::ExportPool {
+                name: "orig".into(),
+                dest: dest.to_string_lossy().into_owned(),
+            },
+        ),
+        Response::Ok
+    );
+    assert!(dest.join("manifest.json").exists());
+
+    match daemon.handle(
+        USER_A,
+        Request::ImportPool {
+            src: dest.to_string_lossy().into_owned(),
+            new_name: "copy".into(),
+        },
+    ) {
+        Response::Imported { pool: copy, translations } => {
+            assert_eq!(copy.puddles.len(), 2);
+            assert_eq!(translations.len(), 2);
+            // Fresh UUIDs, fresh addresses.
+            for id in &copy.puddles {
+                assert!(!pool.puddles.contains(id));
+            }
+            for t in &translations {
+                assert_ne!(t.old_addr, t.new_addr);
+            }
+            // The imported puddles are flagged for rewrite.
+            match daemon.handle(USER_A, Request::GetRelocation { id: copy.root_puddle }) {
+                Response::Relocation { needs_rewrite, translations } => {
+                    assert!(needs_rewrite);
+                    assert_eq!(translations.len(), 2);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            // MarkRewritten clears the flag.
+            daemon.handle(USER_A, Request::MarkRewritten { id: copy.root_puddle });
+            match daemon.handle(USER_A, Request::GetRelocation { id: copy.root_puddle }) {
+                Response::Relocation { needs_rewrite, .. } => assert!(!needs_rewrite),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Importing under an existing name fails.
+    match daemon.handle(
+        USER_A,
+        Request::ImportPool {
+            src: dest.to_string_lossy().into_owned(),
+            new_name: "orig".into(),
+        },
+    ) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::AlreadyExists),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// Builds a data puddle, a log-space puddle and a log puddle by hand (the
+/// client library normally does this), writes an incomplete transaction,
+/// and checks that daemon recovery rolls it back even though the "writer
+/// application" is gone.
+#[test]
+fn recovery_replays_registered_logs_without_the_application() {
+    let tmp = tempfile::tempdir().unwrap();
+    let config = DaemonConfig::for_testing(tmp.path());
+    let daemon = Daemon::start(config.clone()).unwrap();
+    let gspace = daemon.global_space();
+
+    // One data puddle, one log-space puddle, one log puddle.
+    let data = expect_puddle(daemon.handle(
+        USER_A,
+        Request::CreatePuddle {
+            size: 1 << 20,
+            pool: None,
+            purpose: PuddlePurpose::Data,
+            mode: 0o600,
+        },
+    ));
+    let ls = expect_puddle(daemon.handle(
+        USER_A,
+        Request::CreatePuddle {
+            size: 1 << 20,
+            pool: None,
+            purpose: PuddlePurpose::LogSpace,
+            mode: 0o600,
+        },
+    ));
+    let lp = expect_puddle(daemon.handle(
+        USER_A,
+        Request::CreatePuddle {
+            size: 1 << 20,
+            pool: None,
+            purpose: PuddlePurpose::Log,
+            mode: 0o600,
+        },
+    ));
+    assert_eq!(
+        daemon.handle(USER_A, Request::RegLogSpace { puddle: ls.id }),
+        Response::Ok
+    );
+
+    let base = gspace.base() as u64;
+    let map = |info: &puddles_proto::PuddleInfo| -> usize {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&info.path)
+            .unwrap();
+        gspace
+            .map_puddle(
+                &file,
+                (info.assigned_addr - base) as usize,
+                info.size as usize,
+                true,
+            )
+            .unwrap()
+    };
+    let data_addr = map(&data);
+    let ls_addr = map(&ls);
+    let lp_addr = map(&lp);
+
+    // Simulate the writer: value 0xAA is durable, an in-flight transaction
+    // undo-logged it and then overwrote it with 0xBB before "crashing".
+    let target = data_addr + 0x8000;
+    // SAFETY: `target` lies inside the freshly mapped writable data puddle.
+    unsafe {
+        std::ptr::write_bytes(target as *mut u8, 0xAA, 8);
+    }
+    // SAFETY: the log-space/log puddles are mapped writable for their size.
+    let ls_ref = unsafe {
+        LogSpaceRef::from_raw(
+            (ls_addr + LOG_REGION_OFFSET) as *mut u8,
+            ls.size as usize - LOG_REGION_OFFSET,
+        )
+    };
+    ls_ref.init();
+    ls_ref.register(lp.id.0, 1, 0).unwrap();
+    let log = unsafe {
+        LogRef::from_raw(
+            (lp_addr + LOG_REGION_OFFSET) as *mut u8,
+            lp.size as usize - LOG_REGION_OFFSET,
+        )
+    };
+    log.init();
+    log.set_seq_range(RANGE_EXEC);
+    log.append(
+        target as u64,
+        SEQ_UNDO,
+        ReplayOrder::Reverse,
+        EntryKind::Undo,
+        &[0xAA; 8],
+    )
+    .unwrap();
+    // The crash happens after the in-place update.
+    // SAFETY: same mapped range as above.
+    unsafe {
+        std::ptr::write_bytes(target as *mut u8, 0xBB, 8);
+    }
+
+    // "Crash": drop every mapping and the daemon handle.
+    // SAFETY: no references into the mappings remain.
+    unsafe {
+        gspace.unmap_puddle((data.assigned_addr - base) as usize).unwrap();
+        gspace.unmap_puddle((ls.assigned_addr - base) as usize).unwrap();
+        gspace.unmap_puddle((lp.assigned_addr - base) as usize).unwrap();
+    }
+    drop(gspace);
+    drop(daemon);
+
+    // Restart the daemon: recovery runs before any application maps data.
+    let daemon = Daemon::start(config).unwrap();
+    let gspace = daemon.global_space();
+    let data2 = expect_puddle(daemon.handle(
+        USER_A,
+        Request::GetPuddle {
+            id: data.id,
+            writable: false,
+        },
+    ));
+    let file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&data2.path)
+        .unwrap();
+    let addr = gspace
+        .map_puddle(
+            &file,
+            (data2.assigned_addr - gspace.base() as u64) as usize,
+            data2.size as usize,
+            false,
+        )
+        .unwrap();
+    // SAFETY: mapped read-only just above.
+    let recovered = unsafe { std::slice::from_raw_parts((addr + 0x8000) as *const u8, 8) };
+    assert_eq!(recovered, &[0xAA; 8], "undo log must have rolled back the write");
+    // SAFETY: `recovered` is not used past this point.
+    unsafe {
+        gspace
+            .unmap_puddle((data2.assigned_addr - gspace.base() as u64) as usize)
+            .unwrap();
+    }
+
+    // The log was reset by recovery.
+    let lp2 = expect_puddle(daemon.handle(
+        USER_A,
+        Request::GetPuddle {
+            id: lp.id,
+            writable: true,
+        },
+    ));
+    let file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&lp2.path)
+        .unwrap();
+    let lp_addr = gspace
+        .map_puddle(
+            &file,
+            (lp2.assigned_addr - gspace.base() as u64) as usize,
+            lp2.size as usize,
+            true,
+        )
+        .unwrap();
+    // SAFETY: mapped writable above.
+    let log = unsafe {
+        LogRef::from_raw(
+            (lp_addr + LOG_REGION_OFFSET) as *mut u8,
+            lp2.size as usize - LOG_REGION_OFFSET,
+        )
+    };
+    assert_eq!(log.seq_range(), RANGE_DONE);
+    assert_eq!(log.num_entries(), 0);
+    // SAFETY: `log` is not used past this point.
+    unsafe {
+        gspace
+            .unmap_puddle((lp2.assigned_addr - gspace.base() as u64) as usize)
+            .unwrap();
+    }
+}
+
+#[test]
+fn stats_reflect_daemon_state() {
+    let (_tmp, daemon) = start_daemon();
+    daemon.handle(
+        USER_A,
+        Request::CreatePool {
+            name: "s".into(),
+            root_size: 1 << 20,
+            mode: 0o600,
+        },
+    );
+    match daemon.handle(USER_A, Request::Stats) {
+        Response::Stats(stats) => {
+            assert_eq!(stats.pools, 1);
+            assert_eq!(stats.puddles, 1);
+            assert!(stats.space_used >= 1 << 20);
+            assert!(stats.space_total > stats.space_used);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn uds_server_answers_requests_from_another_connection() {
+    let (tmp, daemon) = start_daemon();
+    let socket = tmp.path().join("puddled.sock");
+    let mut server = puddled::UdsServer::start(daemon.clone(), &socket).unwrap();
+
+    let stream = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+    let mut reader = stream.try_clone().unwrap();
+    let mut writer = stream;
+    puddles_proto::write_frame(
+        &mut writer,
+        &Request::Hello {
+            creds: Credentials::current_process(),
+        },
+    )
+    .unwrap();
+    let resp: Response = puddles_proto::read_frame(&mut reader).unwrap();
+    assert!(matches!(resp, Response::Welcome { .. }));
+
+    puddles_proto::write_frame(
+        &mut writer,
+        &Request::CreatePool {
+            name: "over-uds".into(),
+            root_size: 1 << 20,
+            mode: 0o600,
+        },
+    )
+    .unwrap();
+    let resp: Response = puddles_proto::read_frame(&mut reader).unwrap();
+    assert!(matches!(resp, Response::Pool(_)));
+
+    // The pool is visible through the in-process endpoint too.
+    let pool = daemon.handle(
+        Credentials::current_process(),
+        Request::OpenPool {
+            name: "over-uds".into(),
+        },
+    );
+    assert!(matches!(pool, Response::Pool(_)));
+    server.shutdown();
+}
+
+#[test]
+fn get_relocation_for_unknown_puddle_is_not_found() {
+    let (_tmp, daemon) = start_daemon();
+    match daemon.handle(USER_A, Request::GetRelocation { id: PuddleId(12345) }) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::NotFound),
+        other => panic!("unexpected {other:?}"),
+    }
+}

@@ -1,0 +1,163 @@
+//! Key-selection distributions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The zipfian constant used by standard YCSB.
+pub const ZIPFIAN_CONSTANT: f64 = 0.99;
+
+/// A Gray et al. "Quickly generating billion-record synthetic databases"
+/// zipfian generator over `[0, n)`, as used by YCSB.
+#[derive(Debug, Clone)]
+pub struct ZipfianGenerator {
+    items: u64,
+    theta: f64,
+    zeta_n: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl ZipfianGenerator {
+    /// Creates a generator over `[0, items)`.
+    pub fn new(items: u64) -> Self {
+        assert!(items > 0);
+        let theta = ZIPFIAN_CONSTANT;
+        let zeta_n = Self::zeta(items, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zeta_n);
+        ZipfianGenerator {
+            items,
+            theta,
+            zeta_n,
+            alpha,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact up to a bound, then the standard integral approximation —
+        // keeps construction O(1)-ish even for millions of keys.
+        const EXACT: u64 = 100_000;
+        let exact_n = n.min(EXACT);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > EXACT {
+            // ∫ x^-theta dx from EXACT to n.
+            sum += ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta);
+        }
+        sum
+    }
+
+    /// Draws the next zipfian-distributed value in `[0, items)`.
+    pub fn next<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let value = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        value.min(self.items - 1)
+    }
+
+    /// Number of items the generator draws from.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+}
+
+/// How keys are chosen for requests.
+#[derive(Debug, Clone)]
+pub enum KeyGenerator {
+    /// Uniformly random over the key space.
+    Uniform,
+    /// Zipfian-skewed (the YCSB default).
+    Zipfian(ZipfianGenerator),
+    /// Skewed toward the most recently inserted keys (workload D).
+    Latest(ZipfianGenerator),
+}
+
+impl KeyGenerator {
+    /// Creates the generator for `record_count` keys.
+    pub fn zipfian(record_count: u64) -> Self {
+        KeyGenerator::Zipfian(ZipfianGenerator::new(record_count))
+    }
+
+    /// Draws a key index given the current number of records.
+    pub fn next<R: Rng>(&self, rng: &mut R, record_count: u64) -> u64 {
+        match self {
+            KeyGenerator::Uniform => rng.gen_range(0..record_count.max(1)),
+            KeyGenerator::Zipfian(z) => z.next(rng).min(record_count.saturating_sub(1)),
+            KeyGenerator::Latest(z) => {
+                let offset = z.next(rng);
+                record_count.saturating_sub(1).saturating_sub(offset)
+            }
+        }
+    }
+}
+
+/// Deterministic RNG for reproducible request streams.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_values_are_in_range_and_skewed() {
+        let gen = ZipfianGenerator::new(1000);
+        let mut rng = seeded_rng(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            let v = gen.next(&mut rng);
+            assert!(v < 1000);
+            counts[v as usize] += 1;
+        }
+        // Head of the distribution is much hotter than the tail.
+        let head: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[990..].iter().sum();
+        assert!(head > 20 * tail.max(1), "head={head} tail={tail}");
+    }
+
+    #[test]
+    fn uniform_covers_the_space_roughly_evenly() {
+        let gen = KeyGenerator::Uniform;
+        let mut rng = seeded_rng(2);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[gen.next(&mut rng, 100) as usize] += 1;
+        }
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(*min > 700 && *max < 1300, "min={min} max={max}");
+    }
+
+    #[test]
+    fn latest_prefers_recent_keys() {
+        let gen = KeyGenerator::Latest(ZipfianGenerator::new(1000));
+        let mut rng = seeded_rng(3);
+        let mut newer_half = 0;
+        for _ in 0..10_000 {
+            if gen.next(&mut rng, 1000) >= 500 {
+                newer_half += 1;
+            }
+        }
+        assert!(newer_half > 8_000, "newer_half={newer_half}");
+    }
+
+    #[test]
+    fn zipfian_handles_large_keyspaces() {
+        let gen = ZipfianGenerator::new(10_000_000);
+        let mut rng = seeded_rng(4);
+        for _ in 0..1000 {
+            assert!(gen.next(&mut rng) < 10_000_000);
+        }
+    }
+}

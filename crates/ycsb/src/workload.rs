@@ -1,0 +1,251 @@
+//! YCSB workload mixes A–G and request-stream generation.
+
+use crate::generator::{seeded_rng, KeyGenerator, ZipfianGenerator};
+use rand::Rng;
+
+/// One key-value operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Read one record.
+    Read,
+    /// Overwrite one record.
+    Update,
+    /// Insert a new record.
+    Insert,
+    /// Read a short range of records starting at the key.
+    Scan,
+    /// Read-modify-write one record.
+    ReadModifyWrite,
+}
+
+/// One generated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// The operation to perform.
+    pub op: Operation,
+    /// The key index the operation targets.
+    pub key: u64,
+    /// Scan length (only meaningful for [`Operation::Scan`]).
+    pub scan_len: u64,
+}
+
+/// The standard YCSB workload letters plus the paper's G.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// 50% read / 50% update, zipfian.
+    A,
+    /// 95% read / 5% update, zipfian.
+    B,
+    /// 100% read, zipfian.
+    C,
+    /// 95% read / 5% insert, latest.
+    D,
+    /// 95% scan / 5% insert, zipfian.
+    E,
+    /// 50% read / 50% read-modify-write, zipfian.
+    F,
+    /// Write-heavy: 100% update, zipfian (not defined by YCSB or the paper;
+    /// our stand-in for the paper's seventh workload).
+    G,
+}
+
+impl Workload {
+    /// All workloads in the order the paper plots them.
+    pub const ALL: [Workload; 7] = [
+        Workload::A,
+        Workload::B,
+        Workload::C,
+        Workload::D,
+        Workload::E,
+        Workload::F,
+        Workload::G,
+    ];
+
+    /// The workload letter as a string.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::A => "A",
+            Workload::B => "B",
+            Workload::C => "C",
+            Workload::D => "D",
+            Workload::E => "E",
+            Workload::F => "F",
+            Workload::G => "G",
+        }
+    }
+
+    /// The operation mix and key distribution for this workload.
+    pub fn spec(self) -> WorkloadSpec {
+        match self {
+            Workload::A => WorkloadSpec {
+                read: 0.5,
+                update: 0.5,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+                latest: false,
+            },
+            Workload::B => WorkloadSpec {
+                read: 0.95,
+                update: 0.05,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+                latest: false,
+            },
+            Workload::C => WorkloadSpec {
+                read: 1.0,
+                update: 0.0,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+                latest: false,
+            },
+            Workload::D => WorkloadSpec {
+                read: 0.95,
+                update: 0.0,
+                insert: 0.05,
+                scan: 0.0,
+                rmw: 0.0,
+                latest: true,
+            },
+            Workload::E => WorkloadSpec {
+                read: 0.0,
+                update: 0.0,
+                insert: 0.05,
+                scan: 0.95,
+                rmw: 0.0,
+                latest: false,
+            },
+            Workload::F => WorkloadSpec {
+                read: 0.5,
+                update: 0.0,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.5,
+                latest: false,
+            },
+            Workload::G => WorkloadSpec {
+                read: 0.0,
+                update: 1.0,
+                insert: 0.0,
+                scan: 0.0,
+                rmw: 0.0,
+                latest: false,
+            },
+        }
+    }
+
+    /// Generates `count` requests over an initial keyspace of
+    /// `record_count` records, using a fixed seed for reproducibility.
+    pub fn generate(self, record_count: u64, count: usize, seed: u64) -> Vec<Request> {
+        let spec = self.spec();
+        let mut rng = seeded_rng(seed ^ (self as u64) << 32);
+        let keygen = if spec.latest {
+            KeyGenerator::Latest(ZipfianGenerator::new(record_count))
+        } else {
+            KeyGenerator::Zipfian(ZipfianGenerator::new(record_count))
+        };
+        let mut records = record_count;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let p: f64 = rng.gen();
+            let (op, key) = if p < spec.read {
+                (Operation::Read, keygen.next(&mut rng, records))
+            } else if p < spec.read + spec.update {
+                (Operation::Update, keygen.next(&mut rng, records))
+            } else if p < spec.read + spec.update + spec.rmw {
+                (Operation::ReadModifyWrite, keygen.next(&mut rng, records))
+            } else if p < spec.read + spec.update + spec.rmw + spec.scan {
+                (Operation::Scan, keygen.next(&mut rng, records))
+            } else {
+                let key = records;
+                records += 1;
+                (Operation::Insert, key)
+            };
+            out.push(Request {
+                op,
+                key,
+                scan_len: 1 + (rng.gen::<u64>() % 100),
+            });
+        }
+        out
+    }
+}
+
+/// Operation mix of one workload (fractions sum to 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Fraction of reads.
+    pub read: f64,
+    /// Fraction of updates.
+    pub update: f64,
+    /// Fraction of inserts.
+    pub insert: f64,
+    /// Fraction of scans.
+    pub scan: f64,
+    /// Fraction of read-modify-writes.
+    pub rmw: f64,
+    /// Whether the key distribution favours recently inserted keys.
+    pub latest: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fraction(reqs: &[Request], op: Operation) -> f64 {
+        reqs.iter().filter(|r| r.op == op).count() as f64 / reqs.len() as f64
+    }
+
+    #[test]
+    fn workload_mixes_match_their_specs() {
+        for wl in Workload::ALL {
+            let reqs = wl.generate(10_000, 50_000, 42);
+            let spec = wl.spec();
+            assert!((fraction(&reqs, Operation::Read) - spec.read).abs() < 0.02, "{wl:?} read");
+            assert!(
+                (fraction(&reqs, Operation::Update) - spec.update).abs() < 0.02,
+                "{wl:?} update"
+            );
+            assert!(
+                (fraction(&reqs, Operation::Scan) - spec.scan).abs() < 0.02,
+                "{wl:?} scan"
+            );
+            assert!(
+                (fraction(&reqs, Operation::ReadModifyWrite) - spec.rmw).abs() < 0.02,
+                "{wl:?} rmw"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Workload::A.generate(1000, 1000, 7);
+        let b = Workload::A.generate(1000, 1000, 7);
+        let c = Workload::A.generate(1000, 1000, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn inserts_extend_the_keyspace() {
+        let reqs = Workload::D.generate(1000, 10_000, 1);
+        let max_insert = reqs
+            .iter()
+            .filter(|r| r.op == Operation::Insert)
+            .map(|r| r.key)
+            .max()
+            .unwrap();
+        assert!(max_insert >= 1000);
+        // All keys stay within the (possibly grown) keyspace.
+        let inserts = reqs.iter().filter(|r| r.op == Operation::Insert).count() as u64;
+        assert!(reqs.iter().all(|r| r.key < 1000 + inserts));
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let reqs = Workload::C.generate(1000, 5_000, 3);
+        assert!(reqs.iter().all(|r| r.op == Operation::Read));
+    }
+}

@@ -1,0 +1,41 @@
+//! A persistent key-value store under a YCSB workload — the application the
+//! paper's Fig. 11 evaluates, runnable end-to-end on the public API.
+//!
+//! Run with `cargo run --release --example kv_store`.
+
+use pm_datastructures::kv::{value_for, PuddlesKv};
+use puddled::{Daemon, DaemonConfig};
+use puddles::PuddleClient;
+use ycsb::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pm_dir = tempfile::tempdir()?;
+    let daemon = Daemon::start(DaemonConfig::for_testing(pm_dir.path()))?;
+    let client = PuddleClient::connect_local(&daemon)?;
+    let kv = PuddlesKv::new(&client, "ycsb-demo")?;
+
+    let records = 10_000u64;
+    let operations = 20_000usize;
+    println!("loading {records} records...");
+    for key in 0..records {
+        kv.put(key, &value_for(key, 0))?;
+    }
+
+    for workload in [Workload::A, Workload::B, Workload::C] {
+        let requests = workload.generate(records, operations, 7);
+        let start = std::time::Instant::now();
+        for request in &requests {
+            kv.execute(request)?;
+        }
+        let elapsed = start.elapsed();
+        println!(
+            "YCSB-{}: {} ops in {:?} ({:.0} ops/s)",
+            workload.name(),
+            operations,
+            elapsed,
+            operations as f64 / elapsed.as_secs_f64()
+        );
+    }
+    println!("store now holds {} records", kv.len());
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: start a daemon, open a pool, and update a persistent counter
+//! inside failure-atomic transactions.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use puddled::{Daemon, DaemonConfig};
+use puddles::{impl_pm_type, PmPtr, PoolOptions, PuddleClient};
+
+#[repr(C)]
+struct Counter {
+    value: u64,
+}
+impl_pm_type!(Counter, "examples::quickstart::Counter", []);
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The PM directory stands in for a DAX-mounted persistent-memory device.
+    let pm_dir = std::env::temp_dir().join("puddles-quickstart");
+    let _ = std::fs::remove_dir_all(&pm_dir);
+
+    // `puddled` runs crash recovery before any application maps data.
+    let daemon = Daemon::start(DaemonConfig::for_testing(&pm_dir))?;
+    let client = PuddleClient::connect_local(&daemon)?;
+
+    let pool = client.open_or_create_pool("quickstart", PoolOptions::default())?;
+    if pool.root::<Counter>().is_none() {
+        pool.tx(|tx| pool.create_root(tx, Counter { value: 0 }))?;
+        println!("created a fresh persistent counter");
+    }
+
+    let root: PmPtr<Counter> = pool.root().expect("root exists");
+    for _ in 0..5 {
+        pool.tx(|tx| {
+            let counter = pool.deref_mut(root)?;
+            let next = counter.value + 1;
+            tx.set(&mut counter.value, next)?;
+            Ok(())
+        })?;
+    }
+    println!("counter is now {}", pool.deref(root)?.value);
+    println!("reopen this example with the same PM directory to keep counting");
+    Ok(())
+}

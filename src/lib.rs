@@ -1,0 +1,1 @@
+//! Root crate re-exporting the workspace (examples and integration tests live here).
