@@ -53,7 +53,9 @@ fn bench_pointer_traversal(c: &mut Criterion) {
     c.bench_function("fig1/native_list_traverse", |b| {
         b.iter(|| traverse_native_list(native))
     });
-    c.bench_function("fig1/fat_list_traverse", |b| b.iter(|| traverse_fat_list(fat)));
+    c.bench_function("fig1/fat_list_traverse", |b| {
+        b.iter(|| traverse_fat_list(fat))
+    });
 }
 
 fn config() -> Criterion {

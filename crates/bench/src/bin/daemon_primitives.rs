@@ -18,7 +18,13 @@ fn main() {
             client.ping().unwrap();
         }
     });
-    emit_row("daemon", "local", "noop_rtt_us", "-", d.as_micros() as f64 / iters as f64);
+    emit_row(
+        "daemon",
+        "local",
+        "noop_rtt_us",
+        "-",
+        d.as_micros() as f64 / iters as f64,
+    );
 
     // UDS no-op round trip (the paper reports ~47 µs).
     let sock = _tmp.path().join("bench.sock");
@@ -30,7 +36,13 @@ fn main() {
             uds_client.ping().unwrap();
         }
     });
-    emit_row("daemon", "uds", "noop_rtt_us", "-", d.as_micros() as f64 / iters as f64);
+    emit_row(
+        "daemon",
+        "uds",
+        "noop_rtt_us",
+        "-",
+        d.as_micros() as f64 / iters as f64,
+    );
 
     // GetNewPuddle (puddle file creation) and GetExistPuddle.
     let ep = daemon.endpoint_for_current_process();
@@ -53,7 +65,13 @@ fn main() {
             }
         }
     });
-    emit_row("daemon", "local", "get_new_puddle_us", "-", d.as_micros() as f64 / new_iters as f64);
+    emit_row(
+        "daemon",
+        "local",
+        "get_new_puddle_us",
+        "-",
+        d.as_micros() as f64 / new_iters as f64,
+    );
 
     let (d, _) = time_it(|| {
         for id in &created {
@@ -96,11 +114,23 @@ fn main() {
             }
         }
     });
-    emit_row("daemon", "local", "reg_log_space_us", "-", d.as_micros() as f64 / reg_iters as f64);
+    emit_row(
+        "daemon",
+        "local",
+        "reg_log_space_us",
+        "-",
+        d.as_micros() as f64 / reg_iters as f64,
+    );
 
     // Recovery latency for a clean system (no pending logs).
     let (d, _) = time_it(|| {
         client.recover().unwrap();
     });
-    emit_row("daemon", "local", "recovery_us", "clean", d.as_micros() as f64);
+    emit_row(
+        "daemon",
+        "local",
+        "recovery_us",
+        "clean",
+        d.as_micros() as f64,
+    );
 }

@@ -19,8 +19,20 @@ fn main() {
         let elapsed = array.run_parallel(threads).as_secs_f64();
         let throughput = elements as f64 / elapsed;
         let base = *baseline.get_or_insert(throughput);
-        emit_row("fig12", "puddles", "throughput_norm", &threads.to_string(), throughput / base);
-        emit_row("fig12", "puddles", "elapsed_s", &threads.to_string(), elapsed);
+        emit_row(
+            "fig12",
+            "puddles",
+            "throughput_norm",
+            &threads.to_string(),
+            throughput / base,
+        );
+        emit_row(
+            "fig12",
+            "puddles",
+            "elapsed_s",
+            &threads.to_string(),
+            elapsed,
+        );
         threads *= 2;
     }
 }

@@ -12,7 +12,10 @@ fn main() {
     let scale = Scale::from_args();
     let nodes = scale.pick(8usize, 200usize);
     // Total state variables across all nodes (the paper sweeps 20k–320k).
-    let var_counts: Vec<u64> = scale.pick(vec![500, 1_000, 2_000], vec![20_000, 40_000, 80_000, 160_000, 320_000]);
+    let var_counts: Vec<u64> = scale.pick(
+        vec![500, 1_000, 2_000],
+        vec![20_000, 40_000, 80_000, 160_000, 320_000],
+    );
     emit_header();
 
     for total_vars in var_counts {
@@ -37,8 +40,20 @@ fn main() {
         let home = SensorState::create(&home_client, "home", per_node).unwrap();
         let (total, (import_t, merge_t)) =
             time_it(|| puddles_aggregate(&home_client, &home, &exports).unwrap());
-        emit_row("fig14", "puddles", "aggregate_s", &total_vars.to_string(), total.as_secs_f64());
-        emit_row("fig14", "puddles", "import_s", &total_vars.to_string(), import_t.as_secs_f64());
+        emit_row(
+            "fig14",
+            "puddles",
+            "aggregate_s",
+            &total_vars.to_string(),
+            total.as_secs_f64(),
+        );
+        emit_row(
+            "fig14",
+            "puddles",
+            "import_s",
+            &total_vars.to_string(),
+            import_t.as_secs_f64(),
+        );
         emit_row(
             "fig14",
             "puddles",
@@ -58,12 +73,19 @@ fn main() {
             sensor_files.push(path);
         }
         let home_size = (total_vars as usize * 128 + (16 << 20)).next_power_of_two();
-        let home = PmdkSensorState::create(pmdk_dir.path().join("home.pmdk"), per_node, home_size).unwrap();
+        let home = PmdkSensorState::create(pmdk_dir.path().join("home.pmdk"), per_node, home_size)
+            .unwrap();
         let (total, _) = time_it(|| {
             for path in &sensor_files {
                 home.aggregate_from_file(path).unwrap();
             }
         });
-        emit_row("fig14", "pmdk", "aggregate_s", &total_vars.to_string(), total.as_secs_f64());
+        emit_row(
+            "fig14",
+            "pmdk",
+            "aggregate_s",
+            &total_vars.to_string(),
+            total.as_secs_f64(),
+        );
     }
 }

@@ -31,10 +31,34 @@ fn main() {
             std::hint::black_box(traverse_fat_list(fat_head));
         });
     }
-    emit_row("fig1", "native", "list_create", &list_len.to_string(), native_create);
-    emit_row("fig1", "fat", "list_create", &list_len.to_string(), fat_create);
-    emit_row("fig1", "native", "list_traverse", &list_len.to_string(), native_traverse);
-    emit_row("fig1", "fat", "list_traverse", &list_len.to_string(), fat_traverse);
+    emit_row(
+        "fig1",
+        "native",
+        "list_create",
+        &list_len.to_string(),
+        native_create,
+    );
+    emit_row(
+        "fig1",
+        "fat",
+        "list_create",
+        &list_len.to_string(),
+        fat_create,
+    );
+    emit_row(
+        "fig1",
+        "native",
+        "list_traverse",
+        &list_len.to_string(),
+        native_traverse,
+    );
+    emit_row(
+        "fig1",
+        "fat",
+        "list_traverse",
+        &list_len.to_string(),
+        fat_traverse,
+    );
     emit_row(
         "fig1",
         "overhead_pct",
@@ -70,10 +94,34 @@ fn main() {
             std::hint::black_box(traverse_fat_tree(fat_root));
         });
     }
-    emit_row("fig1", "native", "tree_create", &tree_height.to_string(), native_create);
-    emit_row("fig1", "fat", "tree_create", &tree_height.to_string(), fat_create);
-    emit_row("fig1", "native", "tree_traverse", &tree_height.to_string(), native_traverse);
-    emit_row("fig1", "fat", "tree_traverse", &tree_height.to_string(), fat_traverse);
+    emit_row(
+        "fig1",
+        "native",
+        "tree_create",
+        &tree_height.to_string(),
+        native_create,
+    );
+    emit_row(
+        "fig1",
+        "fat",
+        "tree_create",
+        &tree_height.to_string(),
+        fat_create,
+    );
+    emit_row(
+        "fig1",
+        "native",
+        "tree_traverse",
+        &tree_height.to_string(),
+        native_traverse,
+    );
+    emit_row(
+        "fig1",
+        "fat",
+        "tree_traverse",
+        &tree_height.to_string(),
+        fat_traverse,
+    );
     emit_row(
         "fig1",
         "overhead_pct",

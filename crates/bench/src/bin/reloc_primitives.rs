@@ -19,17 +19,19 @@ fn main() {
         emit_row("reloc", "puddles", "export_s", label, d.as_secs_f64());
 
         let (d, imported) = time_it(|| client.import_pool(&dest, "import-copy").unwrap());
-        emit_row("reloc", "puddles", "import_and_rewrite_s", label, d.as_secs_f64());
+        emit_row(
+            "reloc",
+            "puddles",
+            "import_and_rewrite_s",
+            label,
+            d.as_secs_f64(),
+        );
         drop(imported);
     }
 
     // Pointer-rewrite cost vs number of pointers (20 / 2 000 / 2 000 000 in
     // the paper; scaled down by default).
-    let counts: &[u64] = &[
-        20,
-        scale.pick(2_000, 2_000),
-        scale.pick(20_000, 2_000_000),
-    ];
+    let counts: &[u64] = &[20, scale.pick(2_000, 2_000), scale.pick(20_000, 2_000_000)];
     for &count in counts {
         let (_tmp, _daemon, client) = test_env();
         let state = SensorState::create(&client, "rewrite-src", count).unwrap();

@@ -14,9 +14,7 @@ fn main() {
     let pool = client
         .create_pool("table3", puddles::PoolOptions::default())
         .unwrap();
-    let buffer = pool
-        .tx(|tx| pool.alloc_raw(tx, 8192, 0))
-        .unwrap();
+    let buffer = pool.tx(|tx| pool.alloc_raw(tx, 8192, 0)).unwrap();
 
     // TX NOP.
     let (d, _) = time_it(|| {
@@ -24,7 +22,13 @@ fn main() {
             client.tx(|_tx| Ok(())).unwrap();
         }
     });
-    emit_row("table3", "puddles", "tx_nop", "-", d.as_nanos() as f64 / iters as f64);
+    emit_row(
+        "table3",
+        "puddles",
+        "tx_nop",
+        "-",
+        d.as_nanos() as f64 / iters as f64,
+    );
 
     // TX_ADD 8 B / 4 KiB.
     for (label, len) in [("tx_add_8B", 8usize), ("tx_add_4KiB", 4096)] {
@@ -38,7 +42,13 @@ fn main() {
                     .unwrap();
             }
         });
-        emit_row("table3", "puddles", label, "-", d.as_nanos() as f64 / iters as f64);
+        emit_row(
+            "table3",
+            "puddles",
+            label,
+            "-",
+            d.as_nanos() as f64 / iters as f64,
+        );
     }
 
     // malloc (allocate only) and malloc+free, 8 B / 4 KiB.
@@ -53,7 +63,13 @@ fn main() {
                 })
                 .unwrap();
         });
-        emit_row("table3", "puddles", label, "-", d.as_nanos() as f64 / iters as f64);
+        emit_row(
+            "table3",
+            "puddles",
+            label,
+            "-",
+            d.as_nanos() as f64 / iters as f64,
+        );
     }
     for (label, len) in [("malloc_free_8B", 8usize), ("malloc_free_4KiB", 4096)] {
         let (d, _) = time_it(|| {
@@ -67,7 +83,13 @@ fn main() {
                     .unwrap();
             }
         });
-        emit_row("table3", "puddles", label, "-", d.as_nanos() as f64 / iters as f64);
+        emit_row(
+            "table3",
+            "puddles",
+            label,
+            "-",
+            d.as_nanos() as f64 / iters as f64,
+        );
     }
 
     // ----- PMDK-sim -----
@@ -80,7 +102,13 @@ fn main() {
             pmdk.tx(|_tx| Ok(())).unwrap();
         }
     });
-    emit_row("table3", "pmdk", "tx_nop", "-", d.as_nanos() as f64 / iters as f64);
+    emit_row(
+        "table3",
+        "pmdk",
+        "tx_nop",
+        "-",
+        d.as_nanos() as f64 / iters as f64,
+    );
 
     for (label, len) in [("tx_add_8B", 8usize), ("tx_add_4KiB", 4096)] {
         let (d, _) = time_it(|| {
@@ -92,7 +120,13 @@ fn main() {
                 .unwrap();
             }
         });
-        emit_row("table3", "pmdk", label, "-", d.as_nanos() as f64 / iters as f64);
+        emit_row(
+            "table3",
+            "pmdk",
+            label,
+            "-",
+            d.as_nanos() as f64 / iters as f64,
+        );
     }
     for (label, len) in [("malloc_8B", 8usize), ("malloc_4KiB", 4096)] {
         let (d, _) = time_it(|| {
@@ -104,7 +138,13 @@ fn main() {
             })
             .unwrap();
         });
-        emit_row("table3", "pmdk", label, "-", d.as_nanos() as f64 / iters as f64);
+        emit_row(
+            "table3",
+            "pmdk",
+            label,
+            "-",
+            d.as_nanos() as f64 / iters as f64,
+        );
     }
     for (label, len) in [("malloc_free_8B", 8usize), ("malloc_free_4KiB", 4096)] {
         let (d, _) = time_it(|| {
@@ -117,6 +157,12 @@ fn main() {
                 .unwrap();
             }
         });
-        emit_row("table3", "pmdk", label, "-", d.as_nanos() as f64 / iters as f64);
+        emit_row(
+            "table3",
+            "pmdk",
+            label,
+            "-",
+            d.as_nanos() as f64 / iters as f64,
+        );
     }
 }

@@ -1,0 +1,149 @@
+//! In-workspace stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use: [`Criterion`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is a simple
+//! warm-up + timed-batch loop reporting mean ns/iter — enough to compare
+//! configurations locally, without criterion's statistics machinery.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measurement samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark, printing a mean-ns/iter summary line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up_time,
+            budget: self.measurement_time,
+            samples: self.sample_size,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        println!(
+            "bench: {name:<40} {:>12.1} ns/iter ({} iters)",
+            bencher.mean_ns, bencher.iters
+        );
+        self
+    }
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    warm_up: Duration,
+    budget: Duration,
+    samples: usize,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it repeatedly for the configured budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch = ((self.budget.as_nanos() as f64 / self.samples as f64 / per_iter.max(1.0))
+            as u64)
+            .max(1);
+        let mut total_ns = 0f64;
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_ns += start.elapsed().as_nanos() as f64;
+            total_iters += batch;
+        }
+        self.mean_ns = total_ns / total_iters.max(1) as f64;
+        self.iters = total_iters;
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

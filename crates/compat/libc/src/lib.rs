@@ -1,0 +1,113 @@
+//! In-workspace stand-in for the `libc` crate (Linux x86_64/aarch64).
+//!
+//! The build environment has no access to crates.io, so this crate declares
+//! exactly the C types, constants, and functions the workspace uses:
+//! memory mapping (`mmap`/`munmap`/`msync`), and `SO_PEERCRED` credential
+//! lookup on UNIX sockets. Constant values match the Linux UAPI headers.
+
+#![allow(non_camel_case_types)]
+
+pub use core::ffi::c_void;
+
+pub type c_char = i8;
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type off_t = i64;
+pub type socklen_t = u32;
+pub type pid_t = i32;
+pub type uid_t = u32;
+pub type gid_t = u32;
+
+// mmap protection bits (asm-generic/mman-common.h).
+pub const PROT_NONE: c_int = 0x0;
+pub const PROT_READ: c_int = 0x1;
+pub const PROT_WRITE: c_int = 0x2;
+pub const PROT_EXEC: c_int = 0x4;
+
+// mmap flags (asm-generic/mman.h, identical on x86_64 and aarch64).
+pub const MAP_SHARED: c_int = 0x01;
+pub const MAP_PRIVATE: c_int = 0x02;
+pub const MAP_FIXED: c_int = 0x10;
+pub const MAP_ANONYMOUS: c_int = 0x20;
+pub const MAP_NORESERVE: c_int = 0x4000;
+
+/// Error return of `mmap`.
+pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+// msync flags.
+pub const MS_ASYNC: c_int = 1;
+pub const MS_INVALIDATE: c_int = 2;
+pub const MS_SYNC: c_int = 4;
+
+// Socket options (asm-generic/socket.h).
+pub const SOL_SOCKET: c_int = 1;
+pub const SO_PEERCRED: c_int = 17;
+
+/// Kernel-reported peer credentials (`struct ucred`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ucred {
+    pub pid: pid_t,
+    pub uid: uid_t,
+    pub gid: gid_t,
+}
+
+extern "C" {
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn msync(addr: *mut c_void, len: size_t, flags: c_int) -> c_int;
+    pub fn getsockopt(
+        sockfd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *mut c_void,
+        optlen: *mut socklen_t,
+    ) -> c_int;
+    pub fn getuid() -> uid_t;
+    pub fn getgid() -> gid_t;
+    pub fn getpid() -> pid_t;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anonymous_mmap_roundtrip() {
+        // SAFETY: anonymous private mapping with no preconditions.
+        unsafe {
+            let p = mmap(
+                core::ptr::null_mut(),
+                4096,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            assert_ne!(p, MAP_FAILED);
+            *(p as *mut u8) = 42;
+            assert_eq!(*(p as *const u8), 42);
+            assert_eq!(munmap(p, 4096), 0);
+        }
+    }
+
+    #[test]
+    fn uid_gid_are_stable() {
+        // SAFETY: getuid/getgid have no preconditions.
+        unsafe {
+            assert_eq!(getuid(), getuid());
+            assert_eq!(getgid(), getgid());
+        }
+    }
+}

@@ -316,7 +316,13 @@ impl PuddleAlloc {
         Ok(obj_base + OBJ_HEADER_SIZE)
     }
 
-    fn find_free_run(&self, table: usize, n_blocks: usize, span: usize, start: usize) -> Option<usize> {
+    fn find_free_run(
+        &self,
+        table: usize,
+        n_blocks: usize,
+        span: usize,
+        start: usize,
+    ) -> Option<usize> {
         let mut i = start - (start % span);
         while i + span <= n_blocks {
             let mut all_free = true;
@@ -410,10 +416,7 @@ impl PuddleAlloc {
 
         // Try an existing chunk with a free slot.
         let key = (type_id, class);
-        loop {
-            let Some(head) = cache.slabs.get(&key).and_then(|v| v.last().copied()) else {
-                break;
-            };
+        while let Some(head) = cache.slabs.get(&key).and_then(|v| v.last().copied()) {
             // SAFETY: indexed slab heads carry valid headers.
             let mut hdr = unsafe { std::ptr::read_unaligned(self.slab_header(heap, head)) };
             if hdr.allocated >= hdr.slot_count {
@@ -443,7 +446,11 @@ impl PuddleAlloc {
             .or_else(|| self.find_free_run(table, n_blocks, span, 0))
             .ok_or_else(|| Error::OutOfMemory("no room for a new slab chunk".into()))?;
         logger.log_range(table + head, span)?;
-        self.set_entry(table, head, B_SLAB | (span.trailing_zeros() as u8 & B_ORDER_MASK));
+        self.set_entry(
+            table,
+            head,
+            B_SLAB | (span.trailing_zeros() as u8 & B_ORDER_MASK),
+        );
         for i in 1..span {
             self.set_entry(table, head + i, B_CONT);
         }
@@ -470,12 +477,7 @@ impl PuddleAlloc {
     }
 
     fn first_clear_bit(bitmap: &[u64; 2], limit: usize) -> Option<usize> {
-        for slot in 0..limit {
-            if bitmap[slot / 64] & (1u64 << (slot % 64)) == 0 {
-                return Some(slot);
-            }
-        }
-        None
+        (0..limit).find(|&slot| bitmap[slot / 64] & (1u64 << (slot % 64)) == 0)
     }
 
     fn slab_dealloc(
@@ -491,7 +493,7 @@ impl PuddleAlloc {
         let mut hdr = unsafe { std::ptr::read_unaligned(self.slab_header(heap, head)) };
         let class = hdr.slot_size as usize;
         let slots_start = slab_base + SLAB_HEADER_SIZE;
-        if addr < slots_start || (addr - slots_start) % class != 0 {
+        if addr < slots_start || !(addr - slots_start).is_multiple_of(class) {
             return Err(Error::InvalidAddress(addr as u64));
         }
         let slot = (addr - slots_start) / class;

@@ -10,7 +10,7 @@ use crate::error::{Error, Result};
 use crate::pool::{Pool, PoolOptions};
 use crate::tx::{self, Transaction};
 use crate::types::{PmType, TypeRegistry};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use puddled::{Daemon, GlobalSpace, LOG_REGION_OFFSET};
 use puddles_logfmt::{LogRef, LogSpaceRef};
 use puddles_proto::{
@@ -43,7 +43,9 @@ pub(crate) struct ClientInner {
     pub(crate) types: Mutex<TypeRegistry>,
     registered_types: Mutex<HashSet<u64>>,
     logging: Mutex<LoggingState>,
-    thread_logs: Mutex<HashMap<ThreadId, ThreadLog>>,
+    /// Per-thread cached logs; read-locked on the transaction fast path so
+    /// concurrent transactions on different threads never serialize here.
+    thread_logs: RwLock<HashMap<ThreadId, ThreadLog>>,
 }
 
 #[derive(Default)]
@@ -58,10 +60,15 @@ struct MappedLogSpace {
     ls: LogSpaceRef,
 }
 
+/// One thread's cached log, stored as the raw parts of its `LogRef` (plain
+/// integers, so the map is `Sync` without any unsafe impl). The `LogRef` is
+/// reconstructed on fetch; the owning thread is the only one that looks its
+/// entry up, and the mapping lives for the client's lifetime.
 struct ThreadLog {
     #[allow(dead_code)]
     info: PuddleInfo,
-    log: LogRef,
+    log_base: usize,
+    log_capacity: usize,
 }
 
 impl PuddleClient {
@@ -86,10 +93,7 @@ impl PuddleClient {
     /// process of the "machine").
     pub fn connect_uds(path: impl AsRef<Path>) -> Result<Self> {
         let creds = Credentials::current_process();
-        let stream = UnixStream::connect(path.as_ref())?;
-        let endpoint = Box::new(UdsEndpoint {
-            stream: Mutex::new(stream),
-        });
+        let endpoint = Box::new(UdsEndpoint::new(path.as_ref()));
         Self::finish_connect(endpoint, None, creds)
     }
 
@@ -100,15 +104,9 @@ impl PuddleClient {
     /// daemon already reserved the global space, so the client cannot
     /// reserve it again); out-of-process clients use
     /// [`PuddleClient::connect_uds`].
-    pub fn connect_uds_shared(
-        path: impl AsRef<Path>,
-        space: Arc<GlobalSpace>,
-    ) -> Result<Self> {
+    pub fn connect_uds_shared(path: impl AsRef<Path>, space: Arc<GlobalSpace>) -> Result<Self> {
         let creds = Credentials::current_process();
-        let stream = UnixStream::connect(path.as_ref())?;
-        let endpoint = Box::new(UdsEndpoint {
-            stream: Mutex::new(stream),
-        });
+        let endpoint = Box::new(UdsEndpoint::new(path.as_ref()));
         Self::finish_connect(endpoint, Some(space), creds)
     }
 
@@ -117,9 +115,7 @@ impl PuddleClient {
         shared_space: Option<Arc<GlobalSpace>>,
         creds: Credentials,
     ) -> Result<Self> {
-        let resp = endpoint
-            .call(&Request::Hello { creds })?
-            .into_result()?;
+        let resp = endpoint.call(&Request::Hello { creds })?.into_result()?;
         let (space_base, space_size) = match resp {
             Response::Welcome {
                 space_base,
@@ -148,20 +144,18 @@ impl PuddleClient {
                 types: Mutex::new(TypeRegistry::new()),
                 registered_types: Mutex::new(HashSet::new()),
                 logging: Mutex::new(LoggingState::default()),
-                thread_logs: Mutex::new(HashMap::new()),
+                thread_logs: RwLock::new(HashMap::new()),
             }),
         })
     }
 
     /// Creates a pool with the given options.
     pub fn create_pool(&self, name: &str, options: PoolOptions) -> Result<Pool> {
-        let resp = self
-            .inner
-            .call(&Request::CreatePool {
-                name: name.to_string(),
-                root_size: options.puddle_size,
-                mode: options.mode,
-            })?;
+        let resp = self.inner.call(&Request::CreatePool {
+            name: name.to_string(),
+            root_size: options.puddle_size,
+            mode: options.mode,
+        })?;
         let info = expect_pool(resp)?;
         Pool::from_info(self.inner.clone(), info, options)
     }
@@ -289,7 +283,10 @@ impl ClientInner {
             Ok(Response::Puddle(info)) => Ok(info),
             Ok(other) => Err(Error::UnexpectedResponse(format!("{other:?}"))),
             Err(Error::Daemon(e)) if e.code == puddles_proto::ErrorCode::PermissionDenied => {
-                match self.call(&Request::GetPuddle { id, writable: false })? {
+                match self.call(&Request::GetPuddle {
+                    id,
+                    writable: false,
+                })? {
                     Response::Puddle(info) => Ok(info),
                     other => Err(Error::UnexpectedResponse(format!("{other:?}"))),
                 }
@@ -353,9 +350,15 @@ impl ClientInner {
     pub(crate) fn thread_log(&self) -> Result<LogRef> {
         let tid = std::thread::current().id();
         {
-            let logs = self.thread_logs.lock();
+            // Fast path: a shared read lock, so transactions on different
+            // threads acquire their cached logs in parallel.
+            let logs = self.thread_logs.read();
             if let Some(tl) = logs.get(&tid) {
-                return Ok(tl.log);
+                // SAFETY: the parts were taken from a `LogRef` over a puddle
+                // mapped writable for the client's lifetime (thread logs are
+                // never unmapped), and only the owning thread reaches this
+                // entry (the map is keyed by the calling thread's id).
+                return Ok(unsafe { LogRef::from_raw(tl.log_base as *mut u8, tl.log_capacity) });
             }
         }
         // Slow path: make sure the log space exists, then create a log
@@ -387,8 +390,15 @@ impl ClientInner {
                 ls.ls.register(info.id.0, log_id, 0).map_err(Error::from)?;
             }
         }
-        let mut logs = self.thread_logs.lock();
-        logs.insert(tid, ThreadLog { info, log });
+        let mut logs = self.thread_logs.write();
+        logs.insert(
+            tid,
+            ThreadLog {
+                info,
+                log_base: (addr + LOG_REGION_OFFSET),
+                log_capacity: log.capacity(),
+            },
+        );
         Ok(log)
     }
 
@@ -422,15 +432,59 @@ impl ClientInner {
     }
 }
 
+/// Idle connections kept per client; one connection per concurrently
+/// calling thread is created on demand, so this only bounds the cached set.
+const MAX_IDLE_CONNECTIONS: usize = 16;
+
 /// Client-side endpoint speaking the framed protocol over a UNIX socket.
+///
+/// Maintains a pool of daemon connections instead of one mutex-guarded
+/// stream: each call checks out an idle connection (or opens a fresh one),
+/// so threads issue requests to the daemon in parallel and the daemon's
+/// per-connection handler threads serve them concurrently.
 struct UdsEndpoint {
-    stream: Mutex<UnixStream>,
+    path: std::path::PathBuf,
+    idle: Mutex<Vec<UnixStream>>,
+}
+
+impl UdsEndpoint {
+    fn new(path: &Path) -> Self {
+        UdsEndpoint {
+            path: path.to_path_buf(),
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes an idle connection or opens (and handshakes) a new one.
+    fn checkout(&self) -> std::io::Result<UnixStream> {
+        if let Some(stream) = self.idle.lock().pop() {
+            return Ok(stream);
+        }
+        let mut stream = UnixStream::connect(&self.path)?;
+        // Introduce the connection; the daemon replies with Welcome, which
+        // the pool consumes (the space geometry was recorded at connect).
+        puddles_proto::write_frame(
+            &mut stream,
+            &Request::Hello {
+                creds: Credentials::current_process(),
+            },
+        )?;
+        let _: Response = puddles_proto::read_frame(&mut stream)?;
+        Ok(stream)
+    }
 }
 
 impl Endpoint for UdsEndpoint {
     fn call(&self, req: &Request) -> std::io::Result<Response> {
-        let mut stream = self.stream.lock();
-        puddles_proto::write_frame(&mut *stream, req)?;
-        puddles_proto::read_frame(&mut *stream)
+        let mut stream = self.checkout()?;
+        puddles_proto::write_frame(&mut stream, req)?;
+        let resp = puddles_proto::read_frame(&mut stream)?;
+        // Only a connection that completed a full round trip returns to the
+        // pool; an errored one is dropped (closed) above via `?`.
+        let mut idle = self.idle.lock();
+        if idle.len() < MAX_IDLE_CONNECTIONS {
+            idle.push(stream);
+        }
+        Ok(resp)
     }
 }

@@ -149,7 +149,10 @@ impl Pool {
         let info = self.puddle_info(id)?;
         let mapped = MappedPuddle::map(Arc::clone(&self.client), info)?;
         let mut state = self.state.lock();
-        let entry = state.mapped.entry(id).or_insert_with(|| Arc::clone(&mapped));
+        let entry = state
+            .mapped
+            .entry(id)
+            .or_insert_with(|| Arc::clone(&mapped));
         Ok(Arc::clone(entry))
     }
 
@@ -167,7 +170,8 @@ impl Pool {
     /// The root puddle of the pool.
     pub fn root_puddle(&self) -> Arc<MappedPuddle> {
         let root = self.state.lock().info.root_puddle;
-        self.map_puddle(root).expect("root puddle was mapped at open")
+        self.map_puddle(root)
+            .expect("root puddle was mapped at open")
     }
 
     /// Returns the pool's root object pointer, or `None` if no root has been
@@ -214,12 +218,7 @@ impl Pool {
 
     /// Allocates `size` bytes tagged with `type_id` (the pool's raw
     /// `malloc`), growing the pool with a fresh puddle if necessary.
-    pub fn alloc_raw(
-        &self,
-        tx: &mut Transaction<'_>,
-        size: usize,
-        type_id: u64,
-    ) -> Result<usize> {
+    pub fn alloc_raw(&self, tx: &mut Transaction<'_>, size: usize, type_id: u64) -> Result<usize> {
         let (ids, cursor) = {
             let state = self.state.lock();
             (state.info.puddles.clone(), state.alloc_cursor)

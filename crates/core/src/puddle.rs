@@ -85,7 +85,10 @@ impl MappedPuddle {
                 self.info.id
             )));
         }
-        let translations = match self.client.call(&Request::GetRelocation { id: self.info.id })? {
+        let translations = match self
+            .client
+            .call(&Request::GetRelocation { id: self.info.id })?
+        {
             Response::Relocation {
                 needs_rewrite: true,
                 translations,
@@ -105,7 +108,8 @@ impl MappedPuddle {
             header.current_addr = self.addr as u64;
             header.write_to(self.addr as *mut u8);
         }
-        self.client.call(&Request::MarkRewritten { id: self.info.id })?;
+        self.client
+            .call(&Request::MarkRewritten { id: self.info.id })?;
         Ok(())
     }
 

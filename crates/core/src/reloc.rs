@@ -120,8 +120,14 @@ mod tests {
     #[test]
     fn pointers_matching_a_translation_are_rewritten() {
         let h = heap();
-        let a = h.alloc.alloc(std::mem::size_of::<Node>(), Node::type_id(), &mut NoLog).unwrap();
-        let b = h.alloc.alloc(std::mem::size_of::<Node>(), Node::type_id(), &mut NoLog).unwrap();
+        let a = h
+            .alloc
+            .alloc(std::mem::size_of::<Node>(), Node::type_id(), &mut NoLog)
+            .unwrap();
+        let b = h
+            .alloc
+            .alloc(std::mem::size_of::<Node>(), Node::type_id(), &mut NoLog)
+            .unwrap();
         // Write pointers as if the puddle lived at old base 0x1000_0000.
         let old_base = 0x1000_0000u64;
         // SAFETY: `a` and `b` are valid allocations of Node size.
@@ -154,7 +160,10 @@ mod tests {
     #[test]
     fn rewrite_is_idempotent() {
         let h = heap();
-        let a = h.alloc.alloc(std::mem::size_of::<Node>(), Node::type_id(), &mut NoLog).unwrap();
+        let a = h
+            .alloc
+            .alloc(std::mem::size_of::<Node>(), Node::type_id(), &mut NoLog)
+            .unwrap();
         // SAFETY: valid allocation.
         unsafe {
             (*(a as *mut Node)).next = PmPtr::from_addr(0x1000_0100);

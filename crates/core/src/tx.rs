@@ -61,8 +61,13 @@ impl<'c> Transaction<'c> {
         // call) that `[addr, addr+len)` is a mapped, readable persistent
         // location it owns for the duration of the transaction.
         let data = unsafe { std::slice::from_raw_parts(addr as *const u8, len) };
-        self.log
-            .append(addr as u64, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, data)?;
+        self.log.append(
+            addr as u64,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Undo,
+            data,
+        )?;
         self.undo_locations.push((addr as u64, len as u32));
         Ok(())
     }
@@ -89,8 +94,13 @@ impl<'c> Transaction<'c> {
 
     /// Redo-logs a store of `bytes` at `addr`.
     pub fn redo_set_bytes(&mut self, addr: usize, bytes: &[u8]) -> Result<()> {
-        self.log
-            .append(addr as u64, SEQ_REDO, ReplayOrder::Forward, EntryKind::Redo, bytes)?;
+        self.log.append(
+            addr as u64,
+            SEQ_REDO,
+            ReplayOrder::Forward,
+            EntryKind::Redo,
+            bytes,
+        )?;
         Ok(())
     }
 
@@ -123,12 +133,16 @@ impl<'c> Transaction<'c> {
         }
         persist::sfence();
         if failpoint::should_fail(failpoint::names::COMMIT_AFTER_UNDO_FLUSH) {
-            return Err(Error::CrashInjected(failpoint::names::COMMIT_AFTER_UNDO_FLUSH));
+            return Err(Error::CrashInjected(
+                failpoint::names::COMMIT_AFTER_UNDO_FLUSH,
+            ));
         }
         // Publish stage 2: only redo entries are live from here on.
         self.log.set_seq_range(RANGE_REDO);
         if failpoint::should_fail(failpoint::names::COMMIT_BEFORE_REDO_APPLY) {
-            return Err(Error::CrashInjected(failpoint::names::COMMIT_BEFORE_REDO_APPLY));
+            return Err(Error::CrashInjected(
+                failpoint::names::COMMIT_BEFORE_REDO_APPLY,
+            ));
         }
 
         // Stage 2: apply the redo entries in logging order.
@@ -143,12 +157,16 @@ impl<'c> Transaction<'c> {
             applied += 1;
             if applied == 1 && failpoint::should_fail(failpoint::names::COMMIT_MID_REDO_APPLY) {
                 persist::sfence();
-                return Err(Error::CrashInjected(failpoint::names::COMMIT_MID_REDO_APPLY));
+                return Err(Error::CrashInjected(
+                    failpoint::names::COMMIT_MID_REDO_APPLY,
+                ));
             }
         }
         persist::sfence();
         if failpoint::should_fail(failpoint::names::COMMIT_BEFORE_INVALIDATE) {
-            return Err(Error::CrashInjected(failpoint::names::COMMIT_BEFORE_INVALIDATE));
+            return Err(Error::CrashInjected(
+                failpoint::names::COMMIT_BEFORE_INVALIDATE,
+            ));
         }
 
         // Stage 3: the transaction is complete; drop the log.

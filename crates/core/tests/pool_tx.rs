@@ -63,8 +63,19 @@ fn list_values(pool: &puddles::Pool) -> Vec<u64> {
 fn transactional_updates_survive_reopen() {
     let (_tmp, config, daemon, client) = setup();
     {
-        let pool = client.create_pool("counters", PoolOptions::default()).unwrap();
-        pool.tx(|tx| pool.create_root(tx, Counter { value: 0, touched: 0 })).unwrap();
+        let pool = client
+            .create_pool("counters", PoolOptions::default())
+            .unwrap();
+        pool.tx(|tx| {
+            pool.create_root(
+                tx,
+                Counter {
+                    value: 0,
+                    touched: 0,
+                },
+            )
+        })
+        .unwrap();
         let root: PmPtr<Counter> = pool.root().unwrap();
         for i in 1..=10u64 {
             pool.tx(|tx| {
@@ -96,7 +107,16 @@ fn transactional_updates_survive_reopen() {
 fn aborted_transactions_roll_back_data_and_allocations() {
     let (_tmp, _config, _daemon, client) = setup();
     let pool = client.create_pool("abort", PoolOptions::default()).unwrap();
-    pool.tx(|tx| pool.create_root(tx, ListRoot { head: PmPtr::null(), len: 0 })).unwrap();
+    pool.tx(|tx| {
+        pool.create_root(
+            tx,
+            ListRoot {
+                head: PmPtr::null(),
+                len: 0,
+            },
+        )
+    })
+    .unwrap();
     push_front(&pool, 1);
     push_front(&pool, 2);
     let objects_before = pool.live_objects().len();
@@ -107,7 +127,13 @@ fn aborted_transactions_roll_back_data_and_allocations() {
     let err = pool
         .tx(|tx| {
             let head = pool.deref(root)?.head;
-            let node = pool.alloc_value(tx, Node { value: 99, next: head })?;
+            let node = pool.alloc_value(
+                tx,
+                Node {
+                    value: 99,
+                    next: head,
+                },
+            )?;
             let root_ref = pool.deref_mut(root)?;
             let new_len = root_ref.len + 1;
             tx.set(&mut root_ref.head, node)?;
@@ -125,7 +151,9 @@ fn aborted_transactions_roll_back_data_and_allocations() {
 #[test]
 fn nested_transactions_are_rejected() {
     let (_tmp, _config, _daemon, client) = setup();
-    let pool = client.create_pool("nested", PoolOptions::default()).unwrap();
+    let pool = client
+        .create_pool("nested", PoolOptions::default())
+        .unwrap();
     let err = pool
         .tx(|_outer| {
             let inner = pool.tx(|_tx| Ok(()));
@@ -142,7 +170,16 @@ fn nested_transactions_are_rejected() {
 fn redo_logged_updates_apply_only_at_commit() {
     let (_tmp, _config, _daemon, client) = setup();
     let pool = client.create_pool("redo", PoolOptions::default()).unwrap();
-    pool.tx(|tx| pool.create_root(tx, Counter { value: 5, touched: 0 })).unwrap();
+    pool.tx(|tx| {
+        pool.create_root(
+            tx,
+            Counter {
+                value: 5,
+                touched: 0,
+            },
+        )
+    })
+    .unwrap();
     let root: PmPtr<Counter> = pool.root().unwrap();
     pool.tx(|tx| {
         let c = pool.deref(root)?;
@@ -161,7 +198,16 @@ fn pool_grows_beyond_one_puddle() {
     // Small puddles force growth.
     let options = PoolOptions::default().puddle_size(256 * 1024);
     let pool = client.create_pool("grow", options).unwrap();
-    pool.tx(|tx| pool.create_root(tx, ListRoot { head: PmPtr::null(), len: 0 })).unwrap();
+    pool.tx(|tx| {
+        pool.create_root(
+            tx,
+            ListRoot {
+                head: PmPtr::null(),
+                len: 0,
+            },
+        )
+    })
+    .unwrap();
     // Allocate ~2 MiB of 4 KiB objects in several transactions.
     let root: PmPtr<ListRoot> = pool.root().unwrap();
     for chunk in 0..8 {
@@ -199,8 +245,19 @@ fn crash_during_commit_is_recovered_by_the_system() {
         {
             let daemon = Daemon::start(config.clone()).unwrap();
             let client = PuddleClient::connect_local(&daemon).unwrap();
-            let pool = client.create_pool(&pool_name, PoolOptions::default()).unwrap();
-            pool.tx(|tx| pool.create_root(tx, Counter { value: 100, touched: 1 })).unwrap();
+            let pool = client
+                .create_pool(&pool_name, PoolOptions::default())
+                .unwrap();
+            pool.tx(|tx| {
+                pool.create_root(
+                    tx,
+                    Counter {
+                        value: 100,
+                        touched: 1,
+                    },
+                )
+            })
+            .unwrap();
             let root: PmPtr<Counter> = pool.root().unwrap();
 
             // A hybrid transaction: undo-logged update of `value`,
@@ -215,7 +272,10 @@ fn crash_during_commit_is_recovered_by_the_system() {
                 })
                 .unwrap_err();
             failpoint::clear_all();
-            assert!(err.is_injected_crash(), "{fp}: expected injected crash, got {err}");
+            assert!(
+                err.is_injected_crash(),
+                "{fp}: expected injected crash, got {err}"
+            );
             // The "crashed" client is dropped without any cleanup.
         }
 
@@ -251,8 +311,19 @@ fn crash_during_commit_is_recovered_by_the_system() {
 #[test]
 fn export_import_rewrites_pointers_and_keeps_both_copies_open() {
     let (tmp, _config, _daemon, client) = setup();
-    let pool = client.create_pool("source", PoolOptions::default()).unwrap();
-    pool.tx(|tx| pool.create_root(tx, ListRoot { head: PmPtr::null(), len: 0 })).unwrap();
+    let pool = client
+        .create_pool("source", PoolOptions::default())
+        .unwrap();
+    pool.tx(|tx| {
+        pool.create_root(
+            tx,
+            ListRoot {
+                head: PmPtr::null(),
+                len: 0,
+            },
+        )
+    })
+    .unwrap();
     for v in 0..50 {
         push_front(&pool, v);
     }
@@ -281,19 +352,40 @@ fn export_import_rewrites_pointers_and_keeps_both_copies_open() {
     // The copies are independent: modifying one does not affect the other.
     push_front(&copy, 999);
     assert_eq!(list_values(&pool), original);
-    assert_eq!(copy.deref(copy.root::<ListRoot>().unwrap()).unwrap().len, 51);
+    assert_eq!(
+        copy.deref(copy.root::<ListRoot>().unwrap()).unwrap().len,
+        51
+    );
 }
 
 #[test]
 fn cross_pool_transaction_updates_two_pools_atomically() {
     let (_tmp, _config, _daemon, client) = setup();
-    let accounts = client.create_pool("accounts", PoolOptions::default()).unwrap();
+    let accounts = client
+        .create_pool("accounts", PoolOptions::default())
+        .unwrap();
     let audit = client.create_pool("audit", PoolOptions::default()).unwrap();
     accounts
-        .tx(|tx| accounts.create_root(tx, Counter { value: 1000, touched: 0 }))
+        .tx(|tx| {
+            accounts.create_root(
+                tx,
+                Counter {
+                    value: 1000,
+                    touched: 0,
+                },
+            )
+        })
         .unwrap();
     audit
-        .tx(|tx| audit.create_root(tx, Counter { value: 0, touched: 0 }))
+        .tx(|tx| {
+            audit.create_root(
+                tx,
+                Counter {
+                    value: 0,
+                    touched: 0,
+                },
+            )
+        })
         .unwrap();
     let acc: PmPtr<Counter> = accounts.root().unwrap();
     let log: PmPtr<Counter> = audit.root().unwrap();
@@ -331,7 +423,16 @@ fn read_only_client_can_read_but_not_write() {
     // Owner creates a world-readable pool.
     let options = PoolOptions::default().mode(0o644);
     let pool = client.create_pool("shared", options).unwrap();
-    pool.tx(|tx| pool.create_root(tx, Counter { value: 7, touched: 0 })).unwrap();
+    pool.tx(|tx| {
+        pool.create_root(
+            tx,
+            Counter {
+                value: 7,
+                touched: 0,
+            },
+        )
+    })
+    .unwrap();
     drop(pool);
 
     // Another user (different uid) opens it read-only and reads the data
@@ -353,7 +454,16 @@ fn read_only_client_can_read_but_not_write() {
 fn multithreaded_transactions_use_per_thread_logs() {
     let (_tmp, _config, _daemon, client) = setup();
     let pool = std::sync::Arc::new(client.create_pool("mt", PoolOptions::default()).unwrap());
-    pool.tx(|tx| pool.create_root(tx, Counter { value: 0, touched: 0 })).unwrap();
+    pool.tx(|tx| {
+        pool.create_root(
+            tx,
+            Counter {
+                value: 0,
+                touched: 0,
+            },
+        )
+    })
+    .unwrap();
 
     // Each thread allocates and writes its own objects; the shared counter
     // is updated under a mutex (transactions provide failure atomicity, not
@@ -391,10 +501,23 @@ fn multithreaded_transactions_use_per_thread_logs() {
 fn type_ids_and_pointer_maps_are_registered_with_the_daemon() {
     let (_tmp, _config, _daemon, client) = setup();
     let pool = client.create_pool("types", PoolOptions::default()).unwrap();
-    pool.tx(|tx| pool.create_root(tx, ListRoot { head: PmPtr::null(), len: 0 })).unwrap();
+    pool.tx(|tx| {
+        pool.create_root(
+            tx,
+            ListRoot {
+                head: PmPtr::null(),
+                len: 0,
+            },
+        )
+    })
+    .unwrap();
     push_front(&pool, 1);
     let stats = client.stats().unwrap();
-    assert!(stats.ptr_maps >= 2, "expected ListRoot and Node maps, got {}", stats.ptr_maps);
+    assert!(
+        stats.ptr_maps >= 2,
+        "expected ListRoot and Node maps, got {}",
+        stats.ptr_maps
+    );
     // The maps round-trip through the daemon with the right offsets.
     let node_decl = Node::decl();
     assert_eq!(node_decl.fields[0].offset, 8);

@@ -223,6 +223,11 @@ pub fn build_native_tree(arena: &mut Arena, height: u32) -> *mut NativeTreeNode 
 }
 
 /// Depth-first sum of a native-pointer tree.
+///
+/// Not `unsafe fn`: the benchmark harness passes pointers produced by
+/// [`build_native_tree`] into the same arena, mirroring the fat-pointer
+/// variant's safe signature so the two traversals are called identically.
+#[allow(clippy::not_unsafe_ptr_arg_deref)]
 pub fn traverse_native_tree(root: *mut NativeTreeNode) -> u64 {
     if root.is_null() {
         return 0;

@@ -164,7 +164,11 @@ impl PuddlesKv {
 
     /// Executes one YCSB request.
     pub fn execute(&self, req: &Request) -> puddles::Result<u64> {
-        execute_generic(req, |k| self.get(k).map(|v| v[8] as u64), |k, v| self.put(k, v))
+        execute_generic(
+            req,
+            |k| self.get(k).map(|v| v[8] as u64),
+            |k, v| self.put(k, v),
+        )
     }
 }
 
@@ -290,7 +294,11 @@ impl PmdkKv {
 
     /// Executes one YCSB request.
     pub fn execute(&self, req: &Request) -> pmdk_sim::Result<u64> {
-        execute_generic(req, |k| self.get(k).map(|v| v[8] as u64), |k, v| self.put(k, v))
+        execute_generic(
+            req,
+            |k| self.get(k).map(|v| v[8] as u64),
+            |k, v| self.put(k, v),
+        )
     }
 }
 
@@ -371,7 +379,8 @@ impl RomulusKv {
             tx.store_bytes(entry + RENTRY_VALUE, value);
             tx.store(entry + RENTRY_NEXT, head);
             tx.store(slot, entry);
-            self.count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.count
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             Ok(())
         })
     }
@@ -388,7 +397,11 @@ impl RomulusKv {
 
     /// Executes one YCSB request.
     pub fn execute(&self, req: &Request) -> romulus_sim::pool::Result<u64> {
-        execute_generic(req, |k| self.get(k).map(|v| v[8] as u64), |k, v| self.put(k, v))
+        execute_generic(
+            req,
+            |k| self.get(k).map(|v| v[8] as u64),
+            |k, v| self.put(k, v),
+        )
     }
 }
 

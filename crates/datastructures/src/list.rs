@@ -360,8 +360,9 @@ impl RomulusList {
         unsafe {
             let mut cur = std::ptr::read_unaligned(self.pool.at::<u64>(self.root + RROOT_HEAD));
             while cur != 0 {
-                sum = sum
-                    .wrapping_add(std::ptr::read_unaligned(self.pool.at::<u64>(cur + RNODE_VALUE)));
+                sum = sum.wrapping_add(std::ptr::read_unaligned(
+                    self.pool.at::<u64>(cur + RNODE_VALUE),
+                ));
                 cur = std::ptr::read_unaligned(self.pool.at::<u64>(cur + RNODE_NEXT));
             }
         }

@@ -134,7 +134,11 @@ impl SensorState {
     pub fn snapshot(&self) -> Vec<(u64, u64)> {
         let root = self.root();
         let mut out = Vec::new();
-        let mut cur = self.pool.deref(root).map(|r| r.head).unwrap_or(PmPtr::null());
+        let mut cur = self
+            .pool
+            .deref(root)
+            .map(|r| r.head)
+            .unwrap_or(PmPtr::null());
         while !cur.is_null() {
             // SAFETY: as above; imported puddles are mapped through
             // `Pool::deref` below before raw traversal starts.
@@ -235,7 +239,11 @@ pub struct PmdkSensorRoot {
 
 impl PmdkSensorState {
     /// Creates the state with `vars` variables.
-    pub fn create(path: impl AsRef<std::path::Path>, vars: u64, pool_size: usize) -> pmdk_sim::Result<Self> {
+    pub fn create(
+        path: impl AsRef<std::path::Path>,
+        vars: u64,
+        pool_size: usize,
+    ) -> pmdk_sim::Result<Self> {
         let pool = pmdk_sim::PmdkPool::create(path, pool_size)?;
         pool.tx(|tx| {
             let root = tx.alloc(PmdkSensorRoot {
@@ -367,8 +375,7 @@ mod tests {
         let home_client = PuddleClient::connect_local(&home_daemon).unwrap();
         let home = SensorState::create(&home_client, "home", 50).unwrap();
 
-        let (_, _) =
-            puddles_aggregate(&home_client, &home, &[export_path]).unwrap();
+        let (_, _) = puddles_aggregate(&home_client, &home, &[export_path]).unwrap();
 
         // Aggregated values match the sensor's observation (id + 10 each).
         let mut snap = home.snapshot();

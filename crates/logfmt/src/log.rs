@@ -288,6 +288,53 @@ mod tests {
     }
 
     #[test]
+    fn seq_range_bounds_are_exclusive() {
+        let r = SeqRange { lo: 0, hi: 2 };
+        assert!(!r.contains(0), "lower bound is exclusive");
+        assert!(r.contains(1));
+        assert!(!r.contains(2), "upper bound is exclusive");
+        assert!(!r.contains(3));
+    }
+
+    #[test]
+    fn seq_range_adjacent_bounds_are_empty() {
+        // (n, n+1) holds no integer strictly between its bounds: logs in
+        // this state replay nothing.
+        for n in [0u32, 1, 7, u32::MAX - 1] {
+            let r = SeqRange { lo: n, hi: n + 1 };
+            for seq in [0, n.saturating_sub(1), n, n + 1, n.saturating_add(2)] {
+                assert!(!r.contains(seq), "({n}, {}) must not contain {seq}", n + 1);
+            }
+        }
+        // RANGE_DONE is degenerate (lo == hi) and contains nothing either.
+        assert_eq!(RANGE_DONE.lo, RANGE_DONE.hi);
+        for seq in [0, RANGE_DONE.lo, u32::MAX] {
+            assert!(!RANGE_DONE.contains(seq));
+        }
+    }
+
+    #[test]
+    fn seq_range_at_u32_extremes_does_not_wrap() {
+        // A range touching the top of the u32 domain: the bounds stay
+        // exclusive and nothing wraps around to small sequence numbers.
+        let top = SeqRange {
+            lo: u32::MAX - 1,
+            hi: u32::MAX,
+        };
+        for seq in [0, 1, u32::MAX - 2, u32::MAX - 1, u32::MAX] {
+            assert!(!top.contains(seq));
+        }
+        let wide = SeqRange {
+            lo: 0,
+            hi: u32::MAX,
+        };
+        assert!(wide.contains(1));
+        assert!(wide.contains(u32::MAX - 1));
+        assert!(!wide.contains(0));
+        assert!(!wide.contains(u32::MAX));
+    }
+
+    #[test]
     fn init_and_reset_roundtrip() {
         let mut buf = vec![0u8; 4096];
         let log = make_log(&mut buf);
@@ -309,10 +356,22 @@ mod tests {
         let log = make_log(&mut buf);
         log.init();
         log.set_seq_range(RANGE_EXEC);
-        log.append(0x100, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[1, 2, 3])
-            .unwrap();
-        log.append(0x200, SEQ_REDO, ReplayOrder::Forward, EntryKind::Redo, &[9; 40])
-            .unwrap();
+        log.append(
+            0x100,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Undo,
+            &[1, 2, 3],
+        )
+        .unwrap();
+        log.append(
+            0x200,
+            SEQ_REDO,
+            ReplayOrder::Forward,
+            EntryKind::Redo,
+            &[9; 40],
+        )
+        .unwrap();
         let entries = log.entries();
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].0.addr, 0x100);
@@ -367,11 +426,23 @@ mod tests {
         let mut buf = vec![0u8; 4096];
         let log = make_log(&mut buf);
         log.init();
-        log.append(0x10, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[1; 16])
-            .unwrap();
+        log.append(
+            0x10,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Undo,
+            &[1; 16],
+        )
+        .unwrap();
         failpoint::arm(failpoint::names::LOG_APPEND_TORN, 0);
         let err = log
-            .append(0x20, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[2; 16])
+            .append(
+                0x20,
+                SEQ_UNDO,
+                ReplayOrder::Reverse,
+                EntryKind::Undo,
+                &[2; 16],
+            )
             .unwrap_err();
         assert!(matches!(err, PmError::CrashInjected(_)));
         failpoint::clear_all();

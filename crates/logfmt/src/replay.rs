@@ -151,7 +151,11 @@ pub struct ReplayStats {
 /// Reverse-order (undo) entries are applied last-logged-first, then
 /// forward-order (redo) entries first-logged-first; under the staged
 /// sequence ranges of Fig. 7 only one of the two groups is live at a time.
-pub fn replay_log<T: ReplayTarget>(log: &LogRef, target: &mut T, apply_volatile: bool) -> ReplayStats {
+pub fn replay_log<T: ReplayTarget>(
+    log: &LogRef,
+    target: &mut T,
+    apply_volatile: bool,
+) -> ReplayStats {
     let range = log.seq_range();
     let entries = log.entries();
     let mut stats = ReplayStats::default();
@@ -220,10 +224,22 @@ mod tests {
         log.set_seq_range(RANGE_EXEC);
         // Two undo records for the same address: the first holds the oldest
         // value; reverse replay must leave that oldest value in place.
-        log.append(0x1000, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[0xAA; 8])
-            .unwrap();
-        log.append(0x1000, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[0xBB; 8])
-            .unwrap();
+        log.append(
+            0x1000,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Undo,
+            &[0xAA; 8],
+        )
+        .unwrap();
+        log.append(
+            0x1000,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Undo,
+            &[0xBB; 8],
+        )
+        .unwrap();
 
         let mut target = BufferTarget::new(0x1000, 64);
         target.write(0x1000, &[0xFF; 8]);
@@ -238,10 +254,22 @@ mod tests {
         let log = make_log(&mut buf);
         log.init();
         log.set_seq_range(RANGE_REDO);
-        log.append(0x2000, SEQ_REDO, ReplayOrder::Forward, EntryKind::Redo, &[1; 4])
-            .unwrap();
-        log.append(0x2000, SEQ_REDO, ReplayOrder::Forward, EntryKind::Redo, &[2; 4])
-            .unwrap();
+        log.append(
+            0x2000,
+            SEQ_REDO,
+            ReplayOrder::Forward,
+            EntryKind::Redo,
+            &[1; 4],
+        )
+        .unwrap();
+        log.append(
+            0x2000,
+            SEQ_REDO,
+            ReplayOrder::Forward,
+            EntryKind::Redo,
+            &[2; 4],
+        )
+        .unwrap();
         let mut target = BufferTarget::new(0x2000, 64);
         let stats = replay_log(&log, &mut target, false);
         assert_eq!(stats.applied, 2);
@@ -254,10 +282,22 @@ mod tests {
         let mut buf = vec![0u8; 4096];
         let log = make_log(&mut buf);
         log.init();
-        log.append(0x100, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[0xAA])
-            .unwrap();
-        log.append(0x101, SEQ_REDO, ReplayOrder::Forward, EntryKind::Redo, &[0xBB])
-            .unwrap();
+        log.append(
+            0x100,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Undo,
+            &[0xAA],
+        )
+        .unwrap();
+        log.append(
+            0x101,
+            SEQ_REDO,
+            ReplayOrder::Forward,
+            EntryKind::Redo,
+            &[0xBB],
+        )
+        .unwrap();
 
         // Stage 1 (exec / undo): only the undo entry is applied.
         log.set_seq_range(RANGE_EXEC);
@@ -288,8 +328,14 @@ mod tests {
         let log = make_log(&mut buf);
         log.init();
         log.set_seq_range(RANGE_EXEC);
-        log.append(0x300, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Volatile, &[7; 4])
-            .unwrap();
+        log.append(
+            0x300,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Volatile,
+            &[7; 4],
+        )
+        .unwrap();
         let mut recovery = BufferTarget::new(0x300, 16);
         let s = replay_log(&log, &mut recovery, false);
         assert_eq!(s.applied, 0);
@@ -307,10 +353,22 @@ mod tests {
         let log = make_log(&mut buf);
         log.init();
         log.set_seq_range(RANGE_EXEC);
-        log.append(0x500, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[1; 8])
-            .unwrap();
-        log.append(0x9000, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[2; 8])
-            .unwrap();
+        log.append(
+            0x500,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Undo,
+            &[1; 8],
+        )
+        .unwrap();
+        log.append(
+            0x9000,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Undo,
+            &[2; 8],
+        )
+        .unwrap();
         let mut target = BufferTarget::new(0x500, 64);
         let stats = replay_log(&log, &mut target, false);
         assert_eq!(stats.applied, 1);

@@ -105,7 +105,8 @@ impl PmdkPool {
             .create_new(true)
             .open(path.as_ref())
             .map_err(|e| PmdkError::Io(e.to_string()))?;
-        file.set_len(size as u64).map_err(|e| PmdkError::Io(e.to_string()))?;
+        file.set_len(size as u64)
+            .map_err(|e| PmdkError::Io(e.to_string()))?;
         let base = VaReservation::map_file_anywhere(&file, size, true)
             .map_err(|e| PmdkError::Io(e.to_string()))?;
         let uuid: u64 = rand::random::<u64>() | 1;
@@ -216,10 +217,7 @@ impl PmdkPool {
     }
 
     /// Runs a failure-atomic (undo-logged) transaction against this pool.
-    pub fn tx<R>(
-        &self,
-        body: impl FnOnce(&mut PmdkTx<'_>) -> Result<R>,
-    ) -> Result<R> {
+    pub fn tx<R>(&self, body: impl FnOnce(&mut PmdkTx<'_>) -> Result<R>) -> Result<R> {
         crate::tx::run_tx(self, body)
     }
 
@@ -234,8 +232,9 @@ impl PmdkPool {
         while cur != 0 {
             // SAFETY: free-list offsets were produced by this allocator and
             // stay within the pool.
-            let chunk =
-                unsafe { std::ptr::read_unaligned((self.base + cur as usize) as *const ChunkHeader) };
+            let chunk = unsafe {
+                std::ptr::read_unaligned((self.base + cur as usize) as *const ChunkHeader)
+            };
             if chunk.size as usize >= need {
                 tx.log_range(self.base, std::mem::size_of::<PoolHeader>())?;
                 if prev == 0 {

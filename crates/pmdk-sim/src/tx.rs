@@ -299,7 +299,10 @@ mod tests {
             std::mem::forget(tx);
             // Value is now inconsistent on "PM".
             // SAFETY: as above.
-            assert_eq!(unsafe { std::ptr::read_unaligned(addr as *const u64) }, 7777);
+            assert_eq!(
+                unsafe { std::ptr::read_unaligned(addr as *const u64) },
+                7777
+            );
             drop(pool);
         }
         // Recovery happens only because the application reopens the pool.

@@ -169,7 +169,11 @@ mod tests {
             b: u64,
             c: [u8; 3],
         }
-        let odd = Odd { a: 1, b: 2, c: [3; 3] };
+        let odd = Odd {
+            a: 1,
+            b: 2,
+            c: [3; 3],
+        };
         persist_obj(&odd);
         flush_obj(&odd);
     }

@@ -48,7 +48,7 @@ impl PmDir {
     /// `size` must be a multiple of the page size; puddles are "regions of
     /// memory ... of any size in multiples of an OS page" (§4.3).
     pub fn create_puddle_file(&self, name: &str, size: usize) -> Result<PathBuf> {
-        if size == 0 || size % PAGE_SIZE != 0 {
+        if size == 0 || !size.is_multiple_of(PAGE_SIZE) {
             return Err(PmError::Misaligned {
                 value: size,
                 align: PAGE_SIZE,
@@ -197,8 +197,14 @@ mod tests {
         let (_tmp, pm) = dir();
         assert!(pm.read_meta("registry.json").unwrap().is_none());
         pm.write_meta("registry.json", b"{\"v\":1}").unwrap();
-        assert_eq!(pm.read_meta("registry.json").unwrap().unwrap(), b"{\"v\":1}");
+        assert_eq!(
+            pm.read_meta("registry.json").unwrap().unwrap(),
+            b"{\"v\":1}"
+        );
         pm.write_meta("registry.json", b"{\"v\":2}").unwrap();
-        assert_eq!(pm.read_meta("registry.json").unwrap().unwrap(), b"{\"v\":2}");
+        assert_eq!(
+            pm.read_meta("registry.json").unwrap().unwrap(),
+            b"{\"v\":2}"
+        );
     }
 }

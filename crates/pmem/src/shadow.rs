@@ -50,7 +50,10 @@ impl ShadowBuffer {
     ///
     /// Panics if the write would run past the end of the buffer.
     pub fn write(&mut self, offset: usize, data: &[u8]) {
-        assert!(offset + data.len() <= self.working.len(), "write out of bounds");
+        assert!(
+            offset + data.len() <= self.working.len(),
+            "write out of bounds"
+        );
         self.working[offset..offset + data.len()].copy_from_slice(data);
         if data.is_empty() {
             return;

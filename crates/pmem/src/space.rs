@@ -42,7 +42,7 @@ impl VaReservation {
     /// therefore always use [`VaReservation::base`] rather than assuming the
     /// hint was honoured.
     pub fn reserve(base_hint: Option<usize>, len: usize) -> Result<Self> {
-        if len == 0 || len % PAGE_SIZE != 0 {
+        if len == 0 || !len.is_multiple_of(PAGE_SIZE) {
             return Err(PmError::Misaligned {
                 value: len,
                 align: PAGE_SIZE,
@@ -114,17 +114,20 @@ impl VaReservation {
     /// Returns `true` if `[addr, addr + len)` falls entirely inside the
     /// reservation.
     pub fn contains(&self, addr: usize, len: usize) -> bool {
-        addr >= self.base && addr.checked_add(len).is_some_and(|end| end <= self.base + self.len)
+        addr >= self.base
+            && addr
+                .checked_add(len)
+                .is_some_and(|end| end <= self.base + self.len)
     }
 
     fn check_range(&self, offset: usize, len: usize) -> Result<()> {
-        if offset % PAGE_SIZE != 0 {
+        if !offset.is_multiple_of(PAGE_SIZE) {
             return Err(PmError::Misaligned {
                 value: offset,
                 align: PAGE_SIZE,
             });
         }
-        if len == 0 || len % PAGE_SIZE != 0 {
+        if len == 0 || !len.is_multiple_of(PAGE_SIZE) {
             return Err(PmError::Misaligned {
                 value: len,
                 align: PAGE_SIZE,
@@ -313,9 +316,7 @@ mod tests {
         let (file, _) = pm.open_puddle_file("p", PAGE_SIZE).unwrap();
         assert!(res.map_file_fixed(1, &file, PAGE_SIZE, true).is_err());
         assert!(res.map_file_fixed(0, &file, 17, true).is_err());
-        assert!(res
-            .map_file_fixed(1 << 20, &file, PAGE_SIZE, true)
-            .is_err());
+        assert!(res.map_file_fixed(1 << 20, &file, PAGE_SIZE, true).is_err());
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub const fn align_down(value: usize, align: usize) -> usize {
 /// Returns `true` if `value` is a multiple of `align`.
 #[inline]
 pub const fn is_aligned(value: usize, align: usize) -> bool {
-    value % align == 0
+    value.is_multiple_of(align)
 }
 
 /// Returns the smallest power of two greater than or equal to `value`

@@ -7,22 +7,31 @@ use std::io::{self, Read, Write};
 /// Maximum accepted frame size (16 MiB); guards against corrupt prefixes.
 pub const MAX_FRAME: u32 = 16 << 20;
 
-/// Writes one length-prefixed JSON frame.
-pub fn write_frame<W: Write, T: Serialize>(writer: &mut W, value: &T) -> io::Result<()> {
+/// Encodes one length-prefixed JSON frame into a byte buffer (prefix
+/// included). The single place that knows the frame encoding; writers that
+/// need custom I/O (e.g. interruptible writes) send these bytes verbatim.
+pub fn encode_frame<T: Serialize>(value: &T) -> io::Result<Vec<u8>> {
     let body = serde_json::to_vec(value).map_err(io::Error::other)?;
     let len = u32::try_from(body.len()).map_err(|_| io::Error::other("frame too large"))?;
     if len > MAX_FRAME {
         return Err(io::Error::other("frame too large"));
     }
-    writer.write_all(&len.to_le_bytes())?;
-    writer.write_all(&body)?;
+    let mut bytes = Vec::with_capacity(4 + body.len());
+    bytes.extend_from_slice(&len.to_le_bytes());
+    bytes.extend_from_slice(&body);
+    Ok(bytes)
+}
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame<W: Write, T: Serialize>(writer: &mut W, value: &T) -> io::Result<()> {
+    writer.write_all(&encode_frame(value)?)?;
     writer.flush()
 }
 
-/// Reads one length-prefixed JSON frame.
-pub fn read_frame<R: Read, T: DeserializeOwned>(reader: &mut R) -> io::Result<T> {
-    let mut len_buf = [0u8; 4];
-    reader.read_exact(&mut len_buf)?;
+/// Decodes and bounds-checks a frame's length prefix. The single place that
+/// knows the prefix encoding; every reader (blocking or interruptible) goes
+/// through it.
+pub fn frame_len(len_buf: [u8; 4]) -> io::Result<usize> {
     let len = u32::from_le_bytes(len_buf);
     if len > MAX_FRAME {
         return Err(io::Error::new(
@@ -30,9 +39,22 @@ pub fn read_frame<R: Read, T: DeserializeOwned>(reader: &mut R) -> io::Result<T>
             "frame length exceeds limit",
         ));
     }
-    let mut body = vec![0u8; len as usize];
+    Ok(len as usize)
+}
+
+/// Decodes a frame body into a message.
+pub fn decode_frame<T: DeserializeOwned>(body: &[u8]) -> io::Result<T> {
+    serde_json::from_slice(body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Reads one length-prefixed JSON frame.
+pub fn read_frame<R: Read, T: DeserializeOwned>(reader: &mut R) -> io::Result<T> {
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf)?;
+    let len = frame_len(len_buf)?;
+    let mut body = vec![0u8; len];
     reader.read_exact(&mut body)?;
-    serde_json::from_slice(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    decode_frame(&body)
 }
 
 #[cfg(test)]

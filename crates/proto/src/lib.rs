@@ -200,7 +200,10 @@ mod tests {
     fn request_roundtrips_through_json() {
         let reqs = vec![
             Request::Hello {
-                creds: Credentials { uid: 1000, gid: 100 },
+                creds: Credentials {
+                    uid: 1000,
+                    gid: 100,
+                },
             },
             Request::CreatePuddle {
                 size: 2 << 20,

@@ -1,7 +1,6 @@
 //! Shared data types for the client/daemon protocol.
 
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 /// A 128-bit universally unique puddle identifier (§4.3).
 ///
@@ -29,15 +28,15 @@ impl std::fmt::Display for PuddleId {
 }
 
 impl Serialize for PuddleId {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.to_hex())
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_hex())
     }
 }
 
-impl<'de> Deserialize<'de> for PuddleId {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        PuddleId::from_hex(&s).ok_or_else(|| D::Error::custom("invalid puddle id"))
+impl Deserialize for PuddleId {
+    fn deserialize(v: &Value) -> Result<Self, SerdeError> {
+        let s = String::deserialize(v)?;
+        PuddleId::from_hex(&s).ok_or_else(|| SerdeError::custom("invalid puddle id"))
     }
 }
 
@@ -275,6 +274,9 @@ mod tests {
             logs_invalidated: 0,
         };
         let json = serde_json::to_string(&report).unwrap();
-        assert_eq!(serde_json::from_str::<RecoveryReport>(&json).unwrap(), report);
+        assert_eq!(
+            serde_json::from_str::<RecoveryReport>(&json).unwrap(),
+            report
+        );
     }
 }

@@ -23,7 +23,13 @@ pub enum Access {
 /// hundreds place, group bits in the tens, other bits in the ones. Only the
 /// read (4) and write (2) bits are interpreted. Uid 0 bypasses the check,
 /// matching the usual superuser convention.
-pub fn check(creds: Credentials, owner_uid: u32, owner_gid: u32, mode: u32, access: Access) -> bool {
+pub fn check(
+    creds: Credentials,
+    owner_uid: u32,
+    owner_gid: u32,
+    mode: u32,
+    access: Access,
+) -> bool {
     if creds.uid == 0 {
         return true;
     }

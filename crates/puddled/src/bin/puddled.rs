@@ -94,10 +94,7 @@ fn main() {
             exit(1);
         }
     };
-    eprintln!(
-        "puddled: serving {} (pm dir {})",
-        args.socket, args.pm_dir
-    );
+    eprintln!("puddled: serving {} (pm dir {})", args.socket, args.pm_dir);
     // Serve until killed.
     loop {
         std::thread::park();

@@ -79,7 +79,7 @@ impl GlobalSpace {
         len: usize,
         writable: bool,
     ) -> Result<usize> {
-        if offset % PAGE_SIZE != 0 || len % PAGE_SIZE != 0 || len == 0 {
+        if !offset.is_multiple_of(PAGE_SIZE) || !len.is_multiple_of(PAGE_SIZE) || len == 0 {
             return Err(PmError::Misaligned {
                 value: offset | len,
                 align: PAGE_SIZE,
@@ -100,7 +100,9 @@ impl GlobalSpace {
             m.refcount += 1;
             return Ok(self.addr_of(offset));
         }
-        let addr = self.reservation.map_file_fixed(offset, file, len, writable)?;
+        let addr = self
+            .reservation
+            .map_file_fixed(offset, file, len, writable)?;
         mappings.insert(
             offset,
             Mapping {
@@ -177,7 +179,9 @@ mod tests {
         let (_tmp, pm, space) = setup();
         pm.create_puddle_file("p", PAGE_SIZE).unwrap();
         let (file, _) = pm.open_puddle_file("p", PAGE_SIZE).unwrap();
-        let addr = space.map_puddle(&file, PAGE_SIZE, PAGE_SIZE, false).unwrap();
+        let addr = space
+            .map_puddle(&file, PAGE_SIZE, PAGE_SIZE, false)
+            .unwrap();
         // Upgrade to writable on second map.
         let addr2 = space.map_puddle(&file, PAGE_SIZE, PAGE_SIZE, true).unwrap();
         assert_eq!(addr, addr2);

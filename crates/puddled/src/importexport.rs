@@ -59,34 +59,38 @@ pub(crate) fn export_pool(
     let dest = Path::new(dest).to_path_buf();
     fs::create_dir_all(&dest).map_err(|e| DaemonError::new(ErrorCode::Internal, e.to_string()))?;
 
-    let (pool, records) = {
-        let reg = inner.registry.lock();
-        let pool = reg
-            .pool(pool_name)
-            .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "pool not found"))?
-            .clone();
-        let mut records = Vec::new();
-        for id in &pool.puddles {
-            let record = reg
-                .puddle(*id)
-                .ok_or_else(|| DaemonError::new(ErrorCode::Internal, "pool references missing puddle"))?;
-            if !acl::check(creds, record.owner_uid, record.owner_gid, record.mode, acl::Access::Read) {
-                return Err(DaemonError::new(
-                    ErrorCode::PermissionDenied,
-                    "cannot export a pool you cannot read",
-                ));
-            }
-            records.push(record.clone());
+    let pool = inner
+        .registry
+        .pool(pool_name)
+        .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "pool not found"))?;
+    let mut records = Vec::new();
+    for id in &pool.puddles {
+        // A member freed concurrently between the pool read and here is a
+        // legal interleaving, not corruption: export the surviving members.
+        let Some(record) = inner.registry.puddle(*id) else {
+            continue;
+        };
+        if !acl::check(
+            creds,
+            record.owner_uid,
+            record.owner_gid,
+            record.mode,
+            acl::Access::Read,
+        ) {
+            return Err(DaemonError::new(
+                ErrorCode::PermissionDenied,
+                "cannot export a pool you cannot read",
+            ));
         }
-        (pool, records)
-    };
+        records.push(record);
+    }
 
     let base = inner.gspace.base() as u64;
     let mut manifest = ExportManifest {
         pool: pool.name.clone(),
         root: pool.root,
         puddles: Vec::new(),
-        ptr_maps: inner.registry.lock().ptr_maps(),
+        ptr_maps: inner.registry.ptr_maps(),
     };
     for record in &records {
         let file_name = format!("{}.pud", record.id.to_hex());
@@ -125,80 +129,111 @@ pub(crate) fn import_pool(
     let manifest: ExportManifest = serde_json::from_slice(&manifest_bytes)
         .map_err(|e| DaemonError::new(ErrorCode::InvalidRequest, format!("manifest: {e}")))?;
 
-    {
-        let reg = inner.registry.lock();
-        if reg.pool(new_name).is_some() {
-            return Err(DaemonError::new(
-                ErrorCode::AlreadyExists,
-                format!("pool `{new_name}` already exists"),
-            ));
-        }
+    // Claim the pool name up front: the atomic try-insert makes concurrent
+    // imports (or creates) of the same name race safely, and the placeholder
+    // lets the imported puddles reference the pool. It is replaced with the
+    // fully populated record at the end.
+    let claimed = inner.registry.try_insert_pool(PoolRecord {
+        name: new_name.to_string(),
+        root: PuddleId(0),
+        puddles: Vec::new(),
+    });
+    if !claimed {
+        return Err(DaemonError::new(
+            ErrorCode::AlreadyExists,
+            format!("pool `{new_name}` already exists"),
+        ));
     }
 
     let base = inner.gspace.base() as u64;
-    let mut reg = inner.registry.lock();
+    let reg = &inner.registry;
 
-    // Pass 1: assign every imported puddle a fresh UUID and a fresh address,
-    // building the old→new translation table.
-    let mut assignments: Vec<(PuddleId, &ExportedPuddle, u64)> = Vec::new();
-    let mut translations: Vec<Translation> = Vec::new();
-    for exported in &manifest.puddles {
-        let new_id = reg.fresh_id();
-        let offset = reg
-            .alloc_space(exported.size)
-            .map_err(|_| DaemonError::new(ErrorCode::OutOfSpace, "global puddle space exhausted"))?;
-        translations.push(Translation {
-            old_addr: exported.assigned_addr,
-            new_addr: base + offset,
-            len: exported.size,
-        });
-        assignments.push((new_id, exported, offset));
-    }
-
-    // Pass 2: copy files and create records; every imported puddle needs a
-    // pointer rewrite against the full translation table.
-    let mut new_ids = Vec::new();
-    let mut root_id = None;
-    for (new_id, exported, offset) in &assignments {
-        let file = new_id.to_hex();
-        let dest_path = inner.pmdir.puddle_path(&file);
-        fs::copy(src.join(&exported.file), &dest_path)
-            .map_err(|e| DaemonError::new(ErrorCode::Internal, e.to_string()))?;
-        let needs_rewrite = translations
-            .iter()
-            .any(|t| t.old_addr != t.new_addr);
-        reg.insert_puddle(PuddleRecord {
-            id: *new_id,
-            size: exported.size,
-            offset: *offset,
-            file,
-            purpose: PuddlePurpose::Data,
-            owner_uid: creds.uid,
-            owner_gid: creds.gid,
-            mode: exported.mode,
-            pool: Some(new_name.to_string()),
-            needs_rewrite,
-            translations: translations.clone(),
-        });
-        new_ids.push(*new_id);
-        if exported.id == manifest.root {
-            root_id = Some(*new_id);
+    // Everything below may fail halfway; collect what must be undone so an
+    // aborted import leaves no trace in the live registry.
+    let mut allocated: Vec<(u64, u64)> = Vec::new();
+    let mut inserted: Vec<PuddleId> = Vec::new();
+    let mut copied: Vec<String> = Vec::new();
+    let result = (|| -> DaemonResult<(PoolInfo, Vec<Translation>)> {
+        // Pass 1: assign every imported puddle a fresh UUID and a fresh
+        // address, building the old→new translation table.
+        let mut assignments: Vec<(PuddleId, &ExportedPuddle, u64)> = Vec::new();
+        let mut translations: Vec<Translation> = Vec::new();
+        for exported in &manifest.puddles {
+            let new_id = reg.fresh_id();
+            let offset = reg.alloc_space(exported.size).map_err(|_| {
+                DaemonError::new(ErrorCode::OutOfSpace, "global puddle space exhausted")
+            })?;
+            allocated.push((offset, exported.size));
+            translations.push(Translation {
+                old_addr: exported.assigned_addr,
+                new_addr: base + offset,
+                len: exported.size,
+            });
+            assignments.push((new_id, exported, offset));
         }
-    }
-    let root_id = root_id
-        .ok_or_else(|| DaemonError::new(ErrorCode::InvalidRequest, "manifest root not in puddle list"))?;
 
-    for decl in manifest.ptr_maps {
-        reg.register_ptr_map(decl);
-    }
+        // Pass 2: copy files and create records; every imported puddle needs
+        // a pointer rewrite against the full translation table.
+        let mut root_id = None;
+        for (new_id, exported, offset) in &assignments {
+            let file = new_id.to_hex();
+            let dest_path = inner.pmdir.puddle_path(&file);
+            fs::copy(src.join(&exported.file), &dest_path)
+                .map_err(|e| DaemonError::new(ErrorCode::Internal, e.to_string()))?;
+            copied.push(file.clone());
+            let needs_rewrite = translations.iter().any(|t| t.old_addr != t.new_addr);
+            reg.insert_puddle(PuddleRecord {
+                id: *new_id,
+                size: exported.size,
+                offset: *offset,
+                file,
+                purpose: PuddlePurpose::Data,
+                owner_uid: creds.uid,
+                owner_gid: creds.gid,
+                mode: exported.mode,
+                pool: Some(new_name.to_string()),
+                needs_rewrite,
+                translations: translations.clone(),
+            });
+            inserted.push(*new_id);
+            if exported.id == manifest.root {
+                root_id = Some(*new_id);
+            }
+        }
+        let root_id = root_id.ok_or_else(|| {
+            DaemonError::new(
+                ErrorCode::InvalidRequest,
+                "manifest root not in puddle list",
+            )
+        })?;
 
-    let pool = PoolRecord {
-        name: new_name.to_string(),
-        root: root_id,
-        puddles: new_ids,
-    };
-    let info = pool.to_info();
-    reg.insert_pool(pool);
-    reg.save()?;
-    Ok((info, translations))
+        for decl in manifest.ptr_maps {
+            reg.register_ptr_map(decl);
+        }
+
+        let pool = PoolRecord {
+            name: new_name.to_string(),
+            root: root_id,
+            puddles: inserted.clone(),
+        };
+        let info = pool.to_info();
+        reg.insert_pool(pool);
+        reg.save()?;
+        Ok((info, translations))
+    })();
+
+    if result.is_err() {
+        for id in inserted {
+            reg.unregister_puddle(id);
+        }
+        for file in copied {
+            let _ = inner.pmdir.delete_puddle_file(&file);
+        }
+        for (offset, size) in allocated {
+            reg.free_space(offset, size);
+        }
+        reg.remove_pool(new_name);
+        let _ = reg.save();
+    }
+    result
 }

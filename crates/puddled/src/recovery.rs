@@ -21,15 +21,10 @@ use puddles_proto::{Credentials, PuddlePurpose, RecoveryReport};
 pub fn run_recovery(inner: &DaemonInner) -> Result<RecoveryReport> {
     let mut report = RecoveryReport::default();
 
-    // Snapshot the records we need so the registry lock is not held across
+    // Snapshot the records we need so no registry lock is held across
     // mapping operations.
-    let (log_spaces, all_puddles) = {
-        let reg = inner.registry.lock();
-        (
-            reg.log_spaces().to_vec(),
-            reg.puddles().cloned().collect::<Vec<PuddleRecord>>(),
-        )
-    };
+    let log_spaces = inner.registry.log_spaces_snapshot();
+    let all_puddles: Vec<PuddleRecord> = inner.registry.puddles_snapshot();
 
     let mut invalidated = Vec::new();
 
@@ -53,12 +48,11 @@ pub fn run_recovery(inner: &DaemonInner) -> Result<RecoveryReport> {
     }
 
     if !invalidated.is_empty() {
-        let mut reg = inner.registry.lock();
         for id in invalidated {
-            reg.invalidate_log_space(id);
+            inner.registry.invalidate_log_space(id);
             report.logs_invalidated += 1;
         }
-        reg.save()?;
+        inner.registry.save()?;
     }
     Ok(report)
 }
@@ -180,7 +174,12 @@ fn map_record(
     let (file, _) = inner
         .pmdir
         .open_puddle_file(&record.file, record.size as usize)?;
-    let addr = gspace.map_puddle(&file, record.offset as usize, record.size as usize, writable)?;
+    let addr = gspace.map_puddle(
+        &file,
+        record.offset as usize,
+        record.size as usize,
+        writable,
+    )?;
     mapped.push(record.offset as usize);
     Ok(addr)
 }

@@ -6,13 +6,36 @@
 //! PM directory (`meta/registry.json`), which gives the same crash safety
 //! (the document is either the old or the new version, never torn) without
 //! needing a self-hosted persistent allocator inside the daemon.
+//!
+//! # Concurrency
+//!
+//! The registry is internally sharded so concurrent clients contend only on
+//! the tables they actually touch:
+//!
+//! * [`puddles`](Registry::puddle) — `RwLock`, read-mostly (`GetPuddle`,
+//!   `GetRelocation`/translation lookups run under a read lock and in
+//!   parallel);
+//! * pools — `RwLock`, separate from puddles so pool opens don't block
+//!   puddle lookups;
+//! * pointer maps and log spaces — their own `RwLock`s;
+//! * the global-space allocator — a `Mutex` held only for the bump/free-list
+//!   arithmetic.
+//!
+//! Cross-table operations (a puddle joining a pool, a pool drop) take the
+//! locks they need in a fixed order — **pools → puddles → ptr_maps →
+//! log_spaces → space → save** — which makes deadlock impossible; every
+//! multi-lock method in this file follows that order. Persistence snapshots
+//! the shards under short read locks while holding a dedicated save lock, so
+//! concurrent saves serialize but readers are never blocked for the I/O.
 
+use parking_lot::{Mutex, RwLock};
 use puddles_pmem::pmdir::PmDir;
 use puddles_pmem::util::align_up;
 use puddles_pmem::{PmError, Result, PAGE_SIZE};
 use puddles_proto::{PoolInfo, PtrMapDecl, PuddleId, PuddlePurpose, Translation};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Persistent record of one puddle.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -79,7 +102,7 @@ pub struct LogSpaceRecord {
     pub invalid: bool,
 }
 
-/// The daemon's complete persistent state.
+/// The daemon's complete persistent state (the on-disk schema).
 #[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct RegistryData {
     /// Base address of the global space when this registry was last saved.
@@ -102,22 +125,116 @@ pub struct RegistryData {
     pub next_seq: u64,
 }
 
-/// The registry plus its persistence handle.
+/// Global-space geometry plus the address allocator (bump pointer and free
+/// list); one lock, held only for allocator arithmetic.
+#[derive(Debug)]
+struct SpaceState {
+    space_base: u64,
+    space_size: u64,
+    next_offset: u64,
+    free_list: Vec<(u64, u64)>,
+}
+
+/// Failure modes of cross-table registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryOpError {
+    /// The named pool does not exist.
+    NoSuchPool(String),
+}
+
+/// The sharded registry plus its persistence handle. All methods take
+/// `&self`; shards are locked internally (see the module docs for the lock
+/// order).
 #[derive(Debug)]
 pub struct Registry {
-    data: RegistryData,
     pmdir: PmDir,
+    // Shards, declared in lock order.
+    pools: RwLock<BTreeMap<String, PoolRecord>>,
+    puddles: RwLock<BTreeMap<String, PuddleRecord>>,
+    ptr_maps: RwLock<BTreeMap<String, PtrMapDecl>>,
+    log_spaces: RwLock<Vec<LogSpaceRecord>>,
+    space: Mutex<SpaceState>,
+    next_seq: AtomicU64,
+    /// Serializes snapshot + write-out so saves cannot interleave.
+    save_lock: Mutex<()>,
 }
 
 /// Name of the registry document inside the PM directory.
 const REGISTRY_FILE: &str = "registry.json";
 
+/// Repairs a loaded registry document in place.
+///
+/// Saves snapshot the shards under sequentially acquired locks, so a save
+/// that raced a multi-table operation (or a crash between an operation and
+/// its save) can persist a document that is torn *between* tables: a pool
+/// listing a member whose record is gone, a puddle naming a pool that was
+/// never completed, or allocator state that leaks a freed extent. Each table
+/// is internally consistent, so the cross-table state is re-derived here at
+/// load: membership is reconciled against the puddle table (the source of
+/// truth) and the space allocator is rebuilt from the live extents.
+fn reconcile(data: &mut RegistryData) {
+    let live_ids: std::collections::BTreeSet<String> = data.puddles.keys().cloned().collect();
+
+    // Drop member ids whose puddle record is gone.
+    for pool in data.pools.values_mut() {
+        pool.puddles.retain(|id| live_ids.contains(&id.to_hex()));
+    }
+    // Drop pools whose root puddle never materialized (e.g. a crash between
+    // the name claim and the root creation), detaching surviving members.
+    let dead_pools: Vec<String> = data
+        .pools
+        .values()
+        .filter(|pool| !live_ids.contains(&pool.root.to_hex()))
+        .map(|pool| pool.name.clone())
+        .collect();
+    for name in &dead_pools {
+        data.pools.remove(name);
+    }
+    // Re-derive each puddle's membership: a puddle naming a missing pool is
+    // detached; one missing from its (existing) pool's list is re-attached.
+    for record in data.puddles.values_mut() {
+        if let Some(pool_name) = record.pool.clone() {
+            match data.pools.get_mut(&pool_name) {
+                None => record.pool = None,
+                Some(pool) => {
+                    if !pool.puddles.contains(&record.id) {
+                        pool.puddles.push(record.id);
+                    }
+                }
+            }
+        }
+    }
+    // Rebuild the allocator from the live extents: the free list is exactly
+    // the set of gaps, and the bump pointer the end of the last extent, so a
+    // torn allocator snapshot can never leak space past a restart.
+    let mut extents: Vec<(u64, u64)> = data
+        .puddles
+        .values()
+        .map(|p| (p.offset, align_up(p.size as usize, PAGE_SIZE) as u64))
+        .collect();
+    extents.sort_unstable();
+    let mut free_list = Vec::new();
+    let mut cursor = PAGE_SIZE as u64;
+    for (offset, len) in extents {
+        if offset > cursor {
+            free_list.push((cursor, offset - cursor));
+        }
+        cursor = cursor.max(offset + len);
+    }
+    data.free_list = free_list;
+    data.next_offset = cursor;
+}
+
 impl Registry {
     /// Loads the registry from `pmdir`, or creates a fresh one.
     pub fn load_or_create(pmdir: &PmDir, space_base: u64, space_size: u64) -> Result<Self> {
-        let data = match pmdir.read_meta(REGISTRY_FILE)? {
-            Some(bytes) => serde_json::from_slice::<RegistryData>(&bytes)
-                .map_err(|e| PmError::Corruption(format!("registry parse error: {e}")))?,
+        let mut data = match pmdir.read_meta(REGISTRY_FILE)? {
+            Some(bytes) => {
+                let mut data = serde_json::from_slice::<RegistryData>(&bytes)
+                    .map_err(|e| PmError::Corruption(format!("registry parse error: {e}")))?;
+                reconcile(&mut data);
+                data
+            }
             None => RegistryData {
                 space_base,
                 space_size,
@@ -125,173 +242,333 @@ impl Registry {
                 ..RegistryData::default()
             },
         };
-        let mut reg = Registry {
-            data,
-            pmdir: pmdir.clone(),
-        };
-        if reg.data.space_size == 0 {
-            reg.data.space_size = space_size;
+        if data.space_size == 0 {
+            data.space_size = space_size;
         }
+        let reg = Registry {
+            pmdir: pmdir.clone(),
+            pools: RwLock::new(data.pools),
+            puddles: RwLock::new(data.puddles),
+            ptr_maps: RwLock::new(data.ptr_maps),
+            log_spaces: RwLock::new(data.log_spaces),
+            space: Mutex::new(SpaceState {
+                space_base: data.space_base,
+                space_size: data.space_size,
+                next_offset: data.next_offset,
+                free_list: data.free_list,
+            }),
+            next_seq: AtomicU64::new(data.next_seq),
+            save_lock: Mutex::new(()),
+        };
         reg.save()?;
         Ok(reg)
     }
 
-    /// Persists the registry atomically.
+    /// Assembles a consistent copy of the full registry state (stats, tests,
+    /// persistence). All shard guards are acquired in lock order and held
+    /// together while cloning, so a snapshot never interleaves a multi-table
+    /// operation that holds its first lock for the whole operation; the
+    /// residual torn cases (operations spanning lock releases) are healed by
+    /// [`reconcile`] at the next load.
+    pub fn snapshot(&self) -> RegistryData {
+        let pools_guard = self.pools.read();
+        let puddles_guard = self.puddles.read();
+        let ptr_maps_guard = self.ptr_maps.read();
+        let log_spaces_guard = self.log_spaces.read();
+        let space = self.space.lock();
+        let pools = pools_guard.clone();
+        let puddles = puddles_guard.clone();
+        let ptr_maps = ptr_maps_guard.clone();
+        let log_spaces = log_spaces_guard.clone();
+        RegistryData {
+            space_base: space.space_base,
+            space_size: space.space_size,
+            next_offset: space.next_offset,
+            free_list: space.free_list.clone(),
+            puddles,
+            pools,
+            ptr_maps,
+            log_spaces,
+            next_seq: self.next_seq.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Persists the registry atomically. Concurrent saves serialize; each
+    /// writes a complete snapshot, so the last writer persists every earlier
+    /// mutation as well.
     pub fn save(&self) -> Result<()> {
-        let bytes = serde_json::to_vec_pretty(&self.data)
+        let _guard = self.save_lock.lock();
+        let data = self.snapshot();
+        let bytes = serde_json::to_vec_pretty(&data)
             .map_err(|e| PmError::Corruption(format!("registry encode error: {e}")))?;
         self.pmdir.write_meta(REGISTRY_FILE, &bytes)
     }
 
-    /// Read access to the raw data (tests and stats).
-    pub fn data(&self) -> &RegistryData {
-        &self.data
+    /// Base address of the global space as recorded in the registry.
+    pub fn space_base(&self) -> u64 {
+        self.space.lock().space_base
     }
 
     /// Records the global-space base for this run and returns the previous
     /// one (callers relocate every puddle if it moved).
-    pub fn update_space_base(&mut self, new_base: u64) -> u64 {
-        let old = self.data.space_base;
-        self.data.space_base = new_base;
-        old
+    pub fn update_space_base(&self, new_base: u64) -> u64 {
+        let mut space = self.space.lock();
+        std::mem::replace(&mut space.space_base, new_base)
     }
 
     /// Allocates a fresh UUID.
-    pub fn fresh_id(&mut self) -> PuddleId {
-        self.data.next_seq += 1;
+    pub fn fresh_id(&self) -> PuddleId {
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst) + 1;
         // Mix a per-daemon random salt with a sequence number so ids from
         // different daemon instances (different "machines") do not collide.
         let salt: u64 = rand::random();
-        PuddleId(((salt as u128) << 64) | self.data.next_seq as u128)
+        PuddleId(((salt as u128) << 64) | seq as u128)
     }
 
     /// Allocates `size` bytes of the global space, returning the offset.
-    pub fn alloc_space(&mut self, size: u64) -> Result<u64> {
+    pub fn alloc_space(&self, size: u64) -> Result<u64> {
         let size = align_up(size as usize, PAGE_SIZE) as u64;
+        let mut space = self.space.lock();
         // First fit from the free list.
-        if let Some(pos) = self
-            .data
-            .free_list
-            .iter()
-            .position(|&(_, len)| len >= size)
-        {
-            let (off, len) = self.data.free_list[pos];
+        if let Some(pos) = space.free_list.iter().position(|&(_, len)| len >= size) {
+            let (off, len) = space.free_list[pos];
             if len == size {
-                self.data.free_list.remove(pos);
+                space.free_list.remove(pos);
             } else {
-                self.data.free_list[pos] = (off + size, len - size);
+                space.free_list[pos] = (off + size, len - size);
             }
             return Ok(off);
         }
-        let off = self.data.next_offset;
-        if off + size > self.data.space_size {
+        let off = space.next_offset;
+        if off + size > space.space_size {
             return Err(PmError::OutOfRange {
                 offset: off as usize,
                 len: size as usize,
             });
         }
-        self.data.next_offset = off + size;
+        space.next_offset = off + size;
         Ok(off)
     }
 
     /// Returns `size` bytes at `offset` to the free list.
-    pub fn free_space(&mut self, offset: u64, size: u64) {
+    pub fn free_space(&self, offset: u64, size: u64) {
         let size = align_up(size as usize, PAGE_SIZE) as u64;
-        self.data.free_list.push((offset, size));
+        let mut space = self.space.lock();
+        space.free_list.push((offset, size));
         // Coalesce adjacent ranges to keep the list short.
-        self.data.free_list.sort_unstable();
-        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.data.free_list.len());
-        for (off, len) in self.data.free_list.drain(..) {
+        space.free_list.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(space.free_list.len());
+        for (off, len) in space.free_list.drain(..) {
             match merged.last_mut() {
                 Some((moff, mlen)) if *moff + *mlen == off => *mlen += len,
                 _ => merged.push((off, len)),
             }
         }
-        self.data.free_list = merged;
+        space.free_list = merged;
     }
 
-    /// Inserts a puddle record.
-    pub fn insert_puddle(&mut self, record: PuddleRecord) {
-        self.data.puddles.insert(record.id.to_hex(), record);
+    // -- Puddle table -------------------------------------------------------
+
+    /// Inserts a puddle record without touching pool membership (used by
+    /// import, which creates the pool after its puddles). Most callers want
+    /// [`Registry::register_puddle`].
+    pub fn insert_puddle(&self, record: PuddleRecord) {
+        self.puddles.write().insert(record.id.to_hex(), record);
     }
 
-    /// Looks up a puddle record.
-    pub fn puddle(&self, id: PuddleId) -> Option<&PuddleRecord> {
-        self.data.puddles.get(&id.to_hex())
+    /// Atomically verifies the target pool exists (when the record names
+    /// one), inserts the puddle, and appends it to the pool's member list.
+    /// Lock order: pools → puddles.
+    pub fn register_puddle(
+        &self,
+        record: PuddleRecord,
+    ) -> std::result::Result<(), RegistryOpError> {
+        match &record.pool {
+            Some(pool_name) => {
+                let mut pools = self.pools.write();
+                let pool = pools
+                    .get_mut(pool_name)
+                    .ok_or_else(|| RegistryOpError::NoSuchPool(pool_name.clone()))?;
+                pool.puddles.push(record.id);
+                self.puddles.write().insert(record.id.to_hex(), record);
+                Ok(())
+            }
+            None => {
+                self.puddles.write().insert(record.id.to_hex(), record);
+                Ok(())
+            }
+        }
     }
 
-    /// Mutable lookup of a puddle record.
-    pub fn puddle_mut(&mut self, id: PuddleId) -> Option<&mut PuddleRecord> {
-        self.data.puddles.get_mut(&id.to_hex())
+    /// Atomically removes a puddle record and its pool membership, returning
+    /// the record. Lock order: pools → puddles.
+    pub fn unregister_puddle(&self, id: PuddleId) -> Option<PuddleRecord> {
+        let mut pools = self.pools.write();
+        let record = self.puddles.write().remove(&id.to_hex())?;
+        if let Some(pool_name) = &record.pool {
+            if let Some(pool) = pools.get_mut(pool_name) {
+                pool.puddles.retain(|p| *p != id);
+            }
+        }
+        Some(record)
     }
 
-    /// Removes a puddle record, returning it.
-    pub fn remove_puddle(&mut self, id: PuddleId) -> Option<PuddleRecord> {
-        self.data.puddles.remove(&id.to_hex())
+    /// Looks up a puddle record (clones under a shared read lock, so
+    /// concurrent lookups never serialize).
+    pub fn puddle(&self, id: PuddleId) -> Option<PuddleRecord> {
+        self.puddles.read().get(&id.to_hex()).cloned()
     }
 
-    /// Iterates over every puddle record.
-    pub fn puddles(&self) -> impl Iterator<Item = &PuddleRecord> {
-        self.data.puddles.values()
+    /// Applies `f` to a puddle record under the write lock.
+    pub fn update_puddle<R>(
+        &self,
+        id: PuddleId,
+        f: impl FnOnce(&mut PuddleRecord) -> R,
+    ) -> Option<R> {
+        self.puddles.write().get_mut(&id.to_hex()).map(f)
     }
 
-    /// Inserts a pool record.
-    pub fn insert_pool(&mut self, record: PoolRecord) {
-        self.data.pools.insert(record.name.clone(), record);
+    /// Clones every puddle record (recovery, relocation, export).
+    pub fn puddles_snapshot(&self) -> Vec<PuddleRecord> {
+        self.puddles.read().values().cloned().collect()
     }
 
-    /// Looks up a pool by name.
-    pub fn pool(&self, name: &str) -> Option<&PoolRecord> {
-        self.data.pools.get(name)
+    /// Number of live puddles and their total size in bytes.
+    pub fn puddle_usage(&self) -> (u64, u64) {
+        let puddles = self.puddles.read();
+        (
+            puddles.len() as u64,
+            puddles.values().map(|p| p.size).sum::<u64>(),
+        )
     }
 
-    /// Mutable lookup of a pool.
-    pub fn pool_mut(&mut self, name: &str) -> Option<&mut PoolRecord> {
-        self.data.pools.get_mut(name)
+    // -- Pool table ---------------------------------------------------------
+
+    /// Inserts a pool record, failing if the name is taken. Returns `true`
+    /// if the pool was inserted.
+    pub fn try_insert_pool(&self, record: PoolRecord) -> bool {
+        let mut pools = self.pools.write();
+        if pools.contains_key(&record.name) {
+            return false;
+        }
+        pools.insert(record.name.clone(), record);
+        true
     }
 
-    /// Removes a pool record.
-    pub fn remove_pool(&mut self, name: &str) -> Option<PoolRecord> {
-        self.data.pools.remove(name)
+    /// Inserts (or replaces) a pool record.
+    pub fn insert_pool(&self, record: PoolRecord) {
+        self.pools.write().insert(record.name.clone(), record);
     }
+
+    /// Looks up a pool by name (clones under a shared read lock).
+    pub fn pool(&self, name: &str) -> Option<PoolRecord> {
+        self.pools.read().get(name).cloned()
+    }
+
+    /// Applies `f` to a pool record under the write lock.
+    pub fn update_pool<R>(&self, name: &str, f: impl FnOnce(&mut PoolRecord) -> R) -> Option<R> {
+        self.pools.write().get_mut(name).map(f)
+    }
+
+    /// Removes a pool record, returning it. The pool's member puddles are
+    /// untouched (callers free them explicitly).
+    pub fn remove_pool(&self, name: &str) -> Option<PoolRecord> {
+        self.pools.write().remove(name)
+    }
+
+    /// Number of pools.
+    pub fn pool_count(&self) -> u64 {
+        self.pools.read().len() as u64
+    }
+
+    // -- Pointer maps -------------------------------------------------------
 
     /// Registers (or replaces) a pointer map.
-    pub fn register_ptr_map(&mut self, decl: PtrMapDecl) {
-        self.data.ptr_maps.insert(decl.type_id.to_string(), decl);
+    pub fn register_ptr_map(&self, decl: PtrMapDecl) {
+        self.ptr_maps.write().insert(decl.type_id.to_string(), decl);
     }
 
     /// Returns every registered pointer map.
     pub fn ptr_maps(&self) -> Vec<PtrMapDecl> {
-        self.data.ptr_maps.values().cloned().collect()
+        self.ptr_maps.read().values().cloned().collect()
     }
+
+    /// Number of registered pointer maps.
+    pub fn ptr_map_count(&self) -> u64 {
+        self.ptr_maps.read().len() as u64
+    }
+
+    // -- Log spaces ---------------------------------------------------------
 
     /// Registers a log space for a client, replacing an older registration
     /// of the same puddle.
-    pub fn register_log_space(&mut self, record: LogSpaceRecord) {
-        self.data
-            .log_spaces
-            .retain(|existing| existing.puddle != record.puddle);
-        self.data.log_spaces.push(record);
+    pub fn register_log_space(&self, record: LogSpaceRecord) {
+        let mut log_spaces = self.log_spaces.write();
+        log_spaces.retain(|existing| existing.puddle != record.puddle);
+        log_spaces.push(record);
     }
 
-    /// Returns every registered log space.
-    pub fn log_spaces(&self) -> &[LogSpaceRecord] {
-        &self.data.log_spaces
+    /// Clones every registered log space.
+    pub fn log_spaces_snapshot(&self) -> Vec<LogSpaceRecord> {
+        self.log_spaces.read().clone()
+    }
+
+    /// Number of registered log spaces.
+    pub fn log_space_count(&self) -> u64 {
+        self.log_spaces.read().len() as u64
     }
 
     /// Marks a log space invalid (its logs will never be replayed).
-    pub fn invalidate_log_space(&mut self, puddle: PuddleId) {
-        for ls in &mut self.data.log_spaces {
+    pub fn invalidate_log_space(&self, puddle: PuddleId) {
+        for ls in self.log_spaces.write().iter_mut() {
             if ls.puddle == puddle {
                 ls.invalid = true;
             }
         }
+    }
+
+    // -- Relocation ---------------------------------------------------------
+
+    /// If the global space landed at a different base than the recorded one,
+    /// marks every puddle for pointer rewrite with the corresponding
+    /// translation and records the new base. Returns `true` if the base
+    /// moved.
+    ///
+    /// A base move shifts every puddle by the same delta, so a single
+    /// whole-space translation covers all cross-puddle pointers — per-record
+    /// state stays O(1) regardless of the puddle count (a per-extent table
+    /// here would make the registry O(N²) after a move). Import keeps
+    /// per-extent tables because imported puddles land at unrelated offsets.
+    pub fn apply_base_relocation(&self, new_base: u64) -> Result<bool> {
+        let (old_base, space_size) = {
+            let space = self.space.lock();
+            (space.space_base, space.space_size)
+        };
+        if old_base == new_base {
+            return Ok(false);
+        }
+        let whole_space = Translation {
+            old_addr: old_base,
+            new_addr: new_base,
+            len: space_size,
+        };
+        {
+            let mut puddles = self.puddles.write();
+            for p in puddles.values_mut() {
+                p.needs_rewrite = true;
+                p.translations = vec![whole_space];
+            }
+        }
+        self.update_space_base(new_base);
+        self.save()?;
+        Ok(true)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn registry() -> (tempfile::TempDir, Registry) {
         let tmp = tempfile::tempdir().unwrap();
@@ -300,9 +577,27 @@ mod tests {
         (tmp, reg)
     }
 
+    fn record(reg: &Registry, pool: Option<&str>) -> PuddleRecord {
+        let id = reg.fresh_id();
+        let offset = reg.alloc_space(PAGE_SIZE as u64).unwrap();
+        PuddleRecord {
+            id,
+            size: PAGE_SIZE as u64,
+            offset,
+            file: id.to_hex(),
+            purpose: PuddlePurpose::Data,
+            owner_uid: 1,
+            owner_gid: 2,
+            mode: 0o600,
+            pool: pool.map(String::from),
+            needs_rewrite: false,
+            translations: vec![],
+        }
+    }
+
     #[test]
     fn allocation_is_page_aligned_and_disjoint() {
-        let (_tmp, mut reg) = registry();
+        let (_tmp, reg) = registry();
         let a = reg.alloc_space(100).unwrap();
         let b = reg.alloc_space(8192).unwrap();
         let c = reg.alloc_space(1).unwrap();
@@ -314,13 +609,14 @@ mod tests {
 
     #[test]
     fn freed_space_is_reused_and_coalesced() {
-        let (_tmp, mut reg) = registry();
+        let (_tmp, reg) = registry();
         let a = reg.alloc_space(PAGE_SIZE as u64).unwrap();
         let b = reg.alloc_space(PAGE_SIZE as u64).unwrap();
         reg.free_space(a, PAGE_SIZE as u64);
         reg.free_space(b, PAGE_SIZE as u64);
-        assert_eq!(reg.data().free_list.len(), 1);
-        assert_eq!(reg.data().free_list[0], (a, 2 * PAGE_SIZE as u64));
+        let snap = reg.snapshot();
+        assert_eq!(snap.free_list.len(), 1);
+        assert_eq!(snap.free_list[0], (a, 2 * PAGE_SIZE as u64));
         let c = reg.alloc_space(2 * PAGE_SIZE as u64).unwrap();
         assert_eq!(c, a);
     }
@@ -329,7 +625,7 @@ mod tests {
     fn allocation_fails_when_space_is_exhausted() {
         let tmp = tempfile::tempdir().unwrap();
         let pm = PmDir::open(tmp.path()).unwrap();
-        let mut reg = Registry::load_or_create(&pm, 0, (4 * PAGE_SIZE) as u64).unwrap();
+        let reg = Registry::load_or_create(&pm, 0, (4 * PAGE_SIZE) as u64).unwrap();
         reg.alloc_space(2 * PAGE_SIZE as u64).unwrap();
         assert!(reg.alloc_space(2 * PAGE_SIZE as u64).is_err());
     }
@@ -340,38 +636,26 @@ mod tests {
         let pm = PmDir::open(tmp.path()).unwrap();
         let id;
         {
-            let mut reg = Registry::load_or_create(&pm, 7, 1 << 30).unwrap();
-            id = reg.fresh_id();
-            let off = reg.alloc_space(1 << 20).unwrap();
-            reg.insert_puddle(PuddleRecord {
-                id,
-                size: 1 << 20,
-                offset: off,
-                file: id.to_hex(),
-                purpose: PuddlePurpose::Data,
-                owner_uid: 1,
-                owner_gid: 2,
-                mode: 0o600,
-                pool: Some("p".into()),
-                needs_rewrite: false,
-                translations: vec![],
-            });
+            let reg = Registry::load_or_create(&pm, 7, 1 << 30).unwrap();
+            let rec = record(&reg, Some("p"));
+            id = rec.id;
             reg.insert_pool(PoolRecord {
                 name: "p".into(),
                 root: id,
-                puddles: vec![id],
+                puddles: vec![],
             });
+            reg.register_puddle(rec).unwrap();
             reg.save().unwrap();
         }
         let reg = Registry::load_or_create(&pm, 7, 1 << 30).unwrap();
         assert!(reg.puddle(id).is_some());
-        assert_eq!(reg.pool("p").unwrap().root, id);
-        assert_eq!(reg.data().space_base, 7);
+        assert_eq!(reg.pool("p").unwrap().puddles, vec![id]);
+        assert_eq!(reg.snapshot().space_base, 7);
     }
 
     #[test]
     fn fresh_ids_are_unique() {
-        let (_tmp, mut reg) = registry();
+        let (_tmp, reg) = registry();
         let mut seen = std::collections::HashSet::new();
         for _ in 0..100 {
             assert!(seen.insert(reg.fresh_id()));
@@ -380,7 +664,7 @@ mod tests {
 
     #[test]
     fn log_space_registration_replaces_duplicates() {
-        let (_tmp, mut reg) = registry();
+        let (_tmp, reg) = registry();
         let id = reg.fresh_id();
         reg.register_log_space(LogSpaceRecord {
             puddle: id,
@@ -394,9 +678,149 @@ mod tests {
             owner_gid: 2,
             invalid: false,
         });
-        assert_eq!(reg.log_spaces().len(), 1);
-        assert_eq!(reg.log_spaces()[0].owner_uid, 2);
+        let spaces = reg.log_spaces_snapshot();
+        assert_eq!(spaces.len(), 1);
+        assert_eq!(spaces[0].owner_uid, 2);
         reg.invalidate_log_space(id);
-        assert!(reg.log_spaces()[0].invalid);
+        assert!(reg.log_spaces_snapshot()[0].invalid);
+    }
+
+    #[test]
+    fn register_puddle_requires_the_pool() {
+        let (_tmp, reg) = registry();
+        let rec = record(&reg, Some("missing"));
+        assert_eq!(
+            reg.register_puddle(rec),
+            Err(RegistryOpError::NoSuchPool("missing".into()))
+        );
+        let rec = record(&reg, None);
+        let id = rec.id;
+        reg.register_puddle(rec).unwrap();
+        assert!(reg.puddle(id).is_some());
+    }
+
+    #[test]
+    fn unregister_puddle_detaches_from_pool() {
+        let (_tmp, reg) = registry();
+        reg.insert_pool(PoolRecord {
+            name: "p".into(),
+            root: PuddleId(0),
+            puddles: vec![],
+        });
+        let rec = record(&reg, Some("p"));
+        let id = rec.id;
+        reg.register_puddle(rec).unwrap();
+        assert_eq!(reg.pool("p").unwrap().puddles, vec![id]);
+        let removed = reg.unregister_puddle(id).unwrap();
+        assert_eq!(removed.id, id);
+        assert!(reg.pool("p").unwrap().puddles.is_empty());
+        assert!(reg.puddle(id).is_none());
+    }
+
+    #[test]
+    fn base_relocation_marks_all_puddles() {
+        let (_tmp, reg) = registry();
+        let rec = record(&reg, None);
+        let id = rec.id;
+        let offset = rec.offset;
+        reg.register_puddle(rec).unwrap();
+        let old_base = reg.space_base();
+        assert!(!reg.apply_base_relocation(old_base).unwrap());
+        let new_base = old_base + (1 << 30);
+        assert!(reg.apply_base_relocation(new_base).unwrap());
+        let p = reg.puddle(id).unwrap();
+        assert!(p.needs_rewrite);
+        // One whole-space translation (O(1) per record), which still
+        // translates this puddle's own addresses correctly.
+        assert_eq!(p.translations.len(), 1);
+        let t = p.translations[0];
+        assert_eq!(
+            t.translate(old_base + offset),
+            Some(new_base + offset),
+            "whole-space translation must cover the puddle's extent"
+        );
+        assert_eq!(reg.space_base(), new_base);
+    }
+
+    #[test]
+    fn reconcile_heals_torn_snapshots_at_load() {
+        let tmp = tempfile::tempdir().unwrap();
+        let pm = PmDir::open(tmp.path()).unwrap();
+        let survivor_id;
+        let survivor_offset;
+        {
+            let reg = Registry::load_or_create(&pm, 0, 1 << 30).unwrap();
+            // A healthy pool with one member.
+            let root = record(&reg, Some("ok"));
+            survivor_id = root.id;
+            survivor_offset = root.offset;
+            reg.insert_pool(PoolRecord {
+                name: "ok".into(),
+                root: root.id,
+                puddles: vec![],
+            });
+            reg.register_puddle(root).unwrap();
+            // Torn state 1: a pool whose root puddle never materialized.
+            reg.insert_pool(PoolRecord {
+                name: "headless".into(),
+                root: PuddleId(0xdead),
+                puddles: vec![],
+            });
+            // Torn state 2: a pool member id whose record is gone.
+            reg.update_pool("ok", |p| p.puddles.push(PuddleId(0xbeef)));
+            // Torn state 3: leaked space — an extent freed in memory whose
+            // free-list entry was lost (simulated by allocating and
+            // dropping the record without freeing).
+            let leaked = record(&reg, None);
+            reg.register_puddle(leaked.clone()).unwrap();
+            reg.unregister_puddle(leaked.id).unwrap(); // free_space "lost"
+            reg.save().unwrap();
+        }
+        let reg = Registry::load_or_create(&pm, 0, 1 << 30).unwrap();
+        // The headless pool is gone; the healthy pool kept only live ids.
+        assert!(reg.pool("headless").is_none());
+        assert_eq!(reg.pool("ok").unwrap().puddles, vec![survivor_id]);
+        // The allocator was rebuilt from live extents: the next allocation
+        // reuses the leaked gap instead of bumping past it.
+        let reused = reg.alloc_space(PAGE_SIZE as u64).unwrap();
+        assert_ne!(reused, survivor_offset);
+        assert!(
+            reused < reg.snapshot().next_offset,
+            "leaked extent was not reclaimed"
+        );
+    }
+
+    #[test]
+    fn concurrent_allocations_are_disjoint_and_reads_do_not_block() {
+        let tmp = tempfile::tempdir().unwrap();
+        let pm = PmDir::open(tmp.path()).unwrap();
+        let reg = Arc::new(Registry::load_or_create(&pm, 0, 1 << 30).unwrap());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let mut offsets = Vec::new();
+                    for _ in 0..50 {
+                        let rec = record(&reg, None);
+                        offsets.push((rec.offset, rec.size));
+                        reg.register_puddle(rec).unwrap();
+                    }
+                    offsets
+                })
+            })
+            .collect();
+        let mut all: Vec<(u64, u64)> = Vec::new();
+        for t in threads {
+            all.extend(t.join().unwrap());
+        }
+        all.sort_unstable();
+        for pair in all.windows(2) {
+            assert!(
+                pair[0].0 + pair[0].1 <= pair[1].0,
+                "overlapping allocations: {pair:?}"
+            );
+        }
+        let (count, _) = reg.puddle_usage();
+        assert_eq!(count, 400);
     }
 }

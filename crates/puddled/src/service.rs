@@ -1,17 +1,21 @@
 //! The daemon proper: configuration, startup, and the request handler.
+//!
+//! The request path is fully concurrent: [`Daemon::handle`] takes `&self`
+//! and the registry is internally sharded (see [`crate::registry`]), so
+//! requests from different connections execute in parallel and contend only
+//! on the tables they touch — a `Translation`/`GetPuddle` lookup runs under
+//! a read lock and never waits for traffic on other pools.
 
 use crate::gspace::GlobalSpace;
 use crate::importexport;
 use crate::recovery;
-use crate::registry::{LogSpaceRecord, PoolRecord, PuddleRecord, Registry};
+use crate::registry::{LogSpaceRecord, PoolRecord, PuddleRecord, Registry, RegistryOpError};
 use crate::{acl, layout};
-use parking_lot::Mutex;
 use puddles_pmem::pmdir::PmDir;
 use puddles_pmem::util::align_up;
 use puddles_pmem::{PmError, Result, DEFAULT_SPACE_BASE, PAGE_SIZE};
 use puddles_proto::{
     Credentials, Endpoint, ErrorCode, PuddleId, PuddleInfo, PuddlePurpose, Request, Response,
-    Translation,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -72,7 +76,9 @@ pub struct DaemonInner {
     pub(crate) config: DaemonConfig,
     pub(crate) pmdir: PmDir,
     pub(crate) gspace: Arc<GlobalSpace>,
-    pub(crate) registry: Mutex<Registry>,
+    /// The sharded metadata registry; locked per table internally, so there
+    /// is no daemon-wide lock on the request path.
+    pub(crate) registry: Registry,
 }
 
 /// The Puddles daemon: a privileged service managing every puddle on the
@@ -105,6 +111,16 @@ impl From<PmError> for DaemonError {
     }
 }
 
+impl From<RegistryOpError> for DaemonError {
+    fn from(e: RegistryOpError) -> Self {
+        match e {
+            RegistryOpError::NoSuchPool(name) => {
+                DaemonError::new(ErrorCode::NotFound, format!("pool `{name}` does not exist"))
+            }
+        }
+    }
+}
+
 pub(crate) type DaemonResult<T> = std::result::Result<T, DaemonError>;
 
 impl Daemon {
@@ -114,49 +130,24 @@ impl Daemon {
     pub fn start(config: DaemonConfig) -> Result<Self> {
         let pmdir = PmDir::open(&config.pm_dir)?;
         let gspace = Arc::new(GlobalSpace::reserve(config.space_base, config.space_size)?);
-        let registry = Registry::load_or_create(&pmdir, gspace.base() as u64, gspace.size() as u64)?;
+        let registry =
+            Registry::load_or_create(&pmdir, gspace.base() as u64, gspace.size() as u64)?;
         let daemon = Daemon {
             inner: Arc::new(DaemonInner {
                 config,
                 pmdir,
                 gspace,
-                registry: Mutex::new(registry),
+                registry,
             }),
         };
-        daemon.relocate_if_base_moved()?;
+        daemon
+            .inner
+            .registry
+            .apply_base_relocation(daemon.inner.gspace.base() as u64)?;
         if daemon.inner.config.auto_recover {
             let _ = recovery::run_recovery(&daemon.inner)?;
         }
         Ok(daemon)
-    }
-
-    /// If the global space landed at a different base than the one recorded
-    /// in the registry, mark every puddle for pointer rewrite with the
-    /// corresponding translations (the "relocated global space" path).
-    fn relocate_if_base_moved(&self) -> Result<()> {
-        let mut reg = self.inner.registry.lock();
-        let old_base = reg.data().space_base;
-        let new_base = self.inner.gspace.base() as u64;
-        if old_base == new_base {
-            return Ok(());
-        }
-        let translations: Vec<Translation> = reg
-            .puddles()
-            .map(|p| Translation {
-                old_addr: old_base + p.offset,
-                new_addr: new_base + p.offset,
-                len: p.size,
-            })
-            .collect();
-        let ids: Vec<PuddleId> = reg.puddles().map(|p| p.id).collect();
-        for id in ids {
-            if let Some(p) = reg.puddle_mut(id) {
-                p.needs_rewrite = true;
-                p.translations = translations.clone();
-            }
-        }
-        reg.update_space_base(new_base);
-        reg.save()
     }
 
     /// Returns the global puddle space shared with in-process clients.
@@ -183,6 +174,7 @@ impl Daemon {
     }
 
     /// Handles one request on behalf of a client with credentials `creds`.
+    /// Safe to call from any number of threads concurrently.
     pub fn handle(&self, creds: Credentials, req: Request) -> Response {
         match self.dispatch(creds, req) {
             Ok(resp) => resp,
@@ -234,15 +226,11 @@ impl Daemon {
                 Ok(Response::Ok)
             }
             Request::RegisterPtrMap { decl } => {
-                let mut reg = self.inner.registry.lock();
-                reg.register_ptr_map(decl);
-                reg.save()?;
+                self.inner.registry.register_ptr_map(decl);
+                self.inner.registry.save()?;
                 Ok(Response::Ok)
             }
-            Request::GetPtrMaps => {
-                let reg = self.inner.registry.lock();
-                Ok(Response::PtrMaps(reg.ptr_maps()))
-            }
+            Request::GetPtrMaps => Ok(Response::PtrMaps(self.inner.registry.ptr_maps())),
             Request::ExportPool { name, dest } => {
                 importexport::export_pool(&self.inner, creds, &name, &dest)?;
                 Ok(Response::Ok)
@@ -253,23 +241,26 @@ impl Daemon {
                 Ok(Response::Imported { pool, translations })
             }
             Request::GetRelocation { id } => {
-                let reg = self.inner.registry.lock();
-                let p = reg
+                // Read-mostly path: a shared lock on the puddle table only.
+                let p = self
+                    .inner
+                    .registry
                     .puddle(id)
                     .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "no such puddle"))?;
                 Ok(Response::Relocation {
                     needs_rewrite: p.needs_rewrite,
-                    translations: p.translations.clone(),
+                    translations: p.translations,
                 })
             }
             Request::MarkRewritten { id } => {
-                let mut reg = self.inner.registry.lock();
-                let p = reg
-                    .puddle_mut(id)
+                self.inner
+                    .registry
+                    .update_puddle(id, |p| {
+                        p.needs_rewrite = false;
+                        p.translations.clear();
+                    })
                     .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "no such puddle"))?;
-                p.needs_rewrite = false;
-                p.translations.clear();
-                reg.save()?;
+                self.inner.registry.save()?;
                 Ok(Response::Ok)
             }
             Request::Recover => {
@@ -288,19 +279,15 @@ impl Daemon {
     }
 
     fn stats(&self) -> puddles_proto::DaemonStats {
-        let reg = self.inner.registry.lock();
-        let data = reg.data();
+        let reg = &self.inner.registry;
+        let (puddles, space_used) = reg.puddle_usage();
         puddles_proto::DaemonStats {
-            puddles: data.puddles.len() as u64,
-            pools: data.pools.len() as u64,
-            ptr_maps: data.ptr_maps.len() as u64,
-            log_spaces: data.log_spaces.len() as u64,
-            space_used: data
-                .puddles
-                .values()
-                .map(|p| p.size)
-                .sum::<u64>(),
-            space_total: data.space_size,
+            puddles,
+            pools: reg.pool_count(),
+            ptr_maps: reg.ptr_map_count(),
+            log_spaces: reg.log_space_count(),
+            space_used,
+            space_total: self.inner.gspace.size() as u64,
         }
     }
 
@@ -332,44 +319,37 @@ impl Daemon {
         purpose: PuddlePurpose,
         mode: u32,
     ) -> DaemonResult<PuddleInfo> {
+        let reg = &self.inner.registry;
         let size = align_up(size.max((2 * PAGE_SIZE) as u64) as usize, PAGE_SIZE) as u64;
-        let mut reg = self.inner.registry.lock();
-        if let Some(pool_name) = &pool {
-            if reg.pool(pool_name).is_none() {
-                return Err(DaemonError::new(
-                    ErrorCode::NotFound,
-                    format!("pool `{pool_name}` does not exist"),
-                ));
-            }
-        }
         let id = reg.fresh_id();
-        let offset = reg
-            .alloc_space(size)
-            .map_err(|_| DaemonError::new(ErrorCode::OutOfSpace, "global puddle space exhausted"))?;
+        let offset = reg.alloc_space(size).map_err(|_| {
+            DaemonError::new(ErrorCode::OutOfSpace, "global puddle space exhausted")
+        })?;
         let file = id.to_hex();
-        self.inner
-            .pmdir
-            .create_puddle_file(&file, size as usize)
-            .map_err(DaemonError::from)?;
+        if let Err(e) = self.inner.pmdir.create_puddle_file(&file, size as usize) {
+            reg.free_space(offset, size);
+            return Err(DaemonError::from(e));
+        }
         let record = PuddleRecord {
             id,
             size,
             offset,
-            file,
+            file: file.clone(),
             purpose,
             owner_uid: creds.uid,
             owner_gid: creds.gid,
             mode,
-            pool: pool.clone(),
+            pool,
             needs_rewrite: false,
             translations: Vec::new(),
         };
         let info = self.puddle_info(&record, true);
-        reg.insert_puddle(record);
-        if let Some(pool_name) = &pool {
-            if let Some(p) = reg.pool_mut(pool_name) {
-                p.puddles.push(id);
-            }
+        // Membership check + insert + pool append are one atomic registry op,
+        // so a concurrent DropPool cannot orphan the new puddle.
+        if let Err(e) = reg.register_puddle(record) {
+            reg.free_space(offset, size);
+            let _ = self.inner.pmdir.delete_puddle_file(&file);
+            return Err(DaemonError::from(e));
         }
         reg.save()?;
         Ok(info)
@@ -381,26 +361,36 @@ impl Daemon {
         id: PuddleId,
         writable: bool,
     ) -> DaemonResult<PuddleInfo> {
-        let reg = self.inner.registry.lock();
-        let record = reg
+        let record = self
+            .inner
+            .registry
             .puddle(id)
             .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "no such puddle"))?;
-        let access = if writable { acl::Access::Write } else { acl::Access::Read };
-        if !acl::check(creds, record.owner_uid, record.owner_gid, record.mode, access) {
+        let access = if writable {
+            acl::Access::Write
+        } else {
+            acl::Access::Read
+        };
+        if !acl::check(
+            creds,
+            record.owner_uid,
+            record.owner_gid,
+            record.mode,
+            access,
+        ) {
             return Err(DaemonError::new(
                 ErrorCode::PermissionDenied,
                 format!("access to puddle {id} denied"),
             ));
         }
-        Ok(self.puddle_info(record, writable))
+        Ok(self.puddle_info(&record, writable))
     }
 
     fn free_puddle(&self, creds: Credentials, id: PuddleId) -> DaemonResult<()> {
-        let mut reg = self.inner.registry.lock();
+        let reg = &self.inner.registry;
         let record = reg
             .puddle(id)
-            .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "no such puddle"))?
-            .clone();
+            .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "no such puddle"))?;
         if !acl::check(
             creds,
             record.owner_uid,
@@ -410,12 +400,11 @@ impl Daemon {
         ) {
             return Err(DaemonError::new(ErrorCode::PermissionDenied, "not owner"));
         }
-        if let Some(pool_name) = &record.pool {
-            if let Some(pool) = reg.pool_mut(pool_name) {
-                pool.puddles.retain(|p| *p != id);
-            }
-        }
-        reg.remove_puddle(id);
+        // Re-fetch under the write locks: the ACL check above used a
+        // snapshot, but removal is atomic (puddle + pool membership).
+        let record = reg
+            .unregister_puddle(id)
+            .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "no such puddle"))?;
         reg.free_space(record.offset, record.size);
         reg.save()?;
         self.inner
@@ -432,70 +421,136 @@ impl Daemon {
         root_size: u64,
         mode: u32,
     ) -> DaemonResult<puddles_proto::PoolInfo> {
-        {
-            let reg = self.inner.registry.lock();
-            if reg.pool(name).is_some() {
-                return Err(DaemonError::new(
-                    ErrorCode::AlreadyExists,
-                    format!("pool `{name}` already exists"),
-                ));
+        // Claim the name first so the root puddle can reference the pool;
+        // the atomic try-insert makes concurrent same-name creates race
+        // safely (exactly one wins).
+        let claimed = self.inner.registry.try_insert_pool(PoolRecord {
+            name: name.to_string(),
+            root: PuddleId(0),
+            puddles: Vec::new(),
+        });
+        if !claimed {
+            return Err(DaemonError::new(
+                ErrorCode::AlreadyExists,
+                format!("pool `{name}` already exists"),
+            ));
+        }
+        let root = match self.create_puddle(
+            creds,
+            root_size,
+            Some(name.to_string()),
+            PuddlePurpose::Data,
+            mode,
+        ) {
+            Ok(root) => root,
+            Err(e) => {
+                // Roll the claim back so the name is not leaked. A
+                // concurrent CreatePuddle may have already joined the
+                // half-created pool; detach such members so no record is
+                // left pointing at a name that no longer exists (a dangling
+                // name would be grafted onto an unrelated future pool by the
+                // load-time reconcile).
+                if let Some(pool) = self.inner.registry.remove_pool(name) {
+                    for id in pool.puddles {
+                        self.inner.registry.update_puddle(id, |p| p.pool = None);
+                    }
+                }
+                let _ = self.inner.registry.save();
+                return Err(e);
             }
-        }
-        // Create the pool record first so the root puddle can reference it.
-        {
-            let mut reg = self.inner.registry.lock();
-            reg.insert_pool(PoolRecord {
-                name: name.to_string(),
-                root: PuddleId(0),
-                puddles: Vec::new(),
-            });
-            reg.save()?;
-        }
-        let root =
-            self.create_puddle(creds, root_size, Some(name.to_string()), PuddlePurpose::Data, mode)?;
-        let mut reg = self.inner.registry.lock();
-        let pool = reg
-            .pool_mut(name)
+        };
+        let info = self
+            .inner
+            .registry
+            .update_pool(name, |pool| {
+                pool.root = root.id;
+                pool.to_info()
+            })
             .ok_or_else(|| DaemonError::new(ErrorCode::Internal, "pool vanished"))?;
-        pool.root = root.id;
-        let info = pool.to_info();
-        reg.save()?;
+        self.inner.registry.save()?;
         Ok(info)
     }
 
     fn open_pool(&self, creds: Credentials, name: &str) -> DaemonResult<puddles_proto::PoolInfo> {
-        let reg = self.inner.registry.lock();
-        let pool = reg
-            .pool(name)
-            .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, format!("pool `{name}` not found")))?;
-        let root = reg
+        let pool = self.inner.registry.pool(name).ok_or_else(|| {
+            DaemonError::new(ErrorCode::NotFound, format!("pool `{name}` not found"))
+        })?;
+        let root = self
+            .inner
+            .registry
             .puddle(pool.root)
             .ok_or_else(|| DaemonError::new(ErrorCode::Internal, "pool root missing"))?;
-        if !acl::check(creds, root.owner_uid, root.owner_gid, root.mode, acl::Access::Read) {
-            return Err(DaemonError::new(ErrorCode::PermissionDenied, "pool access denied"));
+        if !acl::check(
+            creds,
+            root.owner_uid,
+            root.owner_gid,
+            root.mode,
+            acl::Access::Read,
+        ) {
+            return Err(DaemonError::new(
+                ErrorCode::PermissionDenied,
+                "pool access denied",
+            ));
         }
         Ok(pool.to_info())
     }
 
     fn drop_pool(&self, creds: Credentials, name: &str) -> DaemonResult<()> {
-        let puddles: Vec<PuddleId> = {
-            let reg = self.inner.registry.lock();
-            let pool = reg
-                .pool(name)
-                .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "pool not found"))?;
-            pool.puddles.clone()
-        };
-        for id in puddles {
-            self.free_puddle(creds, id)?;
+        let reg = &self.inner.registry;
+        // Check the caller may delete every member before tearing anything
+        // down (the drop below is not atomic across puddles).
+        let pool = reg
+            .pool(name)
+            .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "pool not found"))?;
+        for id in &pool.puddles {
+            if let Some(record) = reg.puddle(*id) {
+                if !acl::check(
+                    creds,
+                    record.owner_uid,
+                    record.owner_gid,
+                    record.mode,
+                    acl::Access::Write,
+                ) {
+                    return Err(DaemonError::new(
+                        ErrorCode::PermissionDenied,
+                        format!("cannot drop pool `{name}`: puddle {id} is not writable"),
+                    ));
+                }
+            }
         }
-        let mut reg = self.inner.registry.lock();
-        reg.remove_pool(name);
+        // Remove the pool record first: from this point on, concurrent
+        // CreatePuddle requests naming this pool fail with NotFound instead
+        // of racing the teardown. The returned record carries the member
+        // list as of the removal.
+        let pool = reg
+            .remove_pool(name)
+            .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "pool not found"))?;
+        // Free every member even if one fails, so a mid-loop error cannot
+        // orphan the rest; a member already freed concurrently (NotFound) is
+        // not an error. A member that cannot be freed (e.g. another user's
+        // puddle raced into the pool after the ACL pre-check) is detached so
+        // it never dangles on the removed pool name. Any stragglers a crash
+        // leaves behind are healed by the registry's load-time reconcile.
+        let mut first_error = None;
+        for id in pool.puddles {
+            match self.free_puddle(creds, id) {
+                Ok(()) => {}
+                Err(e) if e.code == ErrorCode::NotFound => {}
+                Err(e) => {
+                    reg.update_puddle(id, |p| p.pool = None);
+                    first_error = first_error.or(Some(e));
+                }
+            }
+        }
         reg.save()?;
-        Ok(())
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn register_log_space(&self, creds: Credentials, puddle: PuddleId) -> DaemonResult<()> {
-        let mut reg = self.inner.registry.lock();
+        let reg = &self.inner.registry;
         let record = reg
             .puddle(puddle)
             .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "no such puddle"))?;

@@ -5,17 +5,46 @@
 //! responses carry file paths instead (see DESIGN.md). Credentials are taken
 //! from the client's `Hello` message; on Linux the kernel-verified
 //! `SO_PEERCRED` uid/gid are preferred when available.
+//!
+//! # Concurrency
+//!
+//! Every accepted connection is served by its own handler thread, so slow or
+//! idle clients never block the others; the daemon's request handler is
+//! fully concurrent (sharded registry locks, see [`crate::service`]). The
+//! number of simultaneous connections is bounded: when all slots are in use
+//! the accept thread stops accepting and the kernel's listen backlog
+//! provides backpressure. Shutdown is graceful — the accept loop is woken
+//! from its *blocking* `accept` by a loopback connection (no busy-wait
+//! polling), and every handler thread is joined before `shutdown` returns.
 
 use crate::service::Daemon;
-use puddles_proto::{read_frame, write_frame, Credentials, Request};
+use puddles_proto::{frame, Credentials, Request};
+use std::collections::HashMap;
 use std::io;
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Default bound on simultaneous client connections.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 256;
+
+/// Poll interval at which blocked handler reads re-check the shutdown flag.
+const READ_POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Shared state tracking live handler threads.
+#[derive(Debug)]
+struct Handlers {
+    /// Live handler threads by connection id; finished handlers are reaped
+    /// opportunistically on each accept and finally on shutdown.
+    threads: Mutex<HashMap<u64, JoinHandle<()>>>,
+    /// Signalled whenever a handler finishes (frees a connection slot).
+    slot_freed: Condvar,
+    max_connections: usize,
+}
 
 /// A running UNIX-domain-socket server for one daemon instance.
 #[derive(Debug)]
@@ -23,25 +52,42 @@ pub struct UdsServer {
     path: PathBuf,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    handlers: Arc<Handlers>,
 }
 
 impl UdsServer {
     /// Starts serving `daemon` on a socket at `path` (any stale socket file
-    /// is replaced).
+    /// is replaced), allowing up to [`DEFAULT_MAX_CONNECTIONS`] simultaneous
+    /// connections.
     pub fn start(daemon: Daemon, path: impl AsRef<Path>) -> io::Result<UdsServer> {
+        Self::start_with_limit(daemon, path, DEFAULT_MAX_CONNECTIONS)
+    }
+
+    /// Starts the server with an explicit bound on simultaneous connections.
+    pub fn start_with_limit(
+        daemon: Daemon,
+        path: impl AsRef<Path>,
+        max_connections: usize,
+    ) -> io::Result<UdsServer> {
         let path = path.as_ref().to_path_buf();
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
-        listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let handlers = Arc::new(Handlers {
+            threads: Mutex::new(HashMap::new()),
+            slot_freed: Condvar::new(),
+            max_connections: max_connections.max(1),
+        });
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_handlers = Arc::clone(&handlers);
         let accept_thread = std::thread::Builder::new()
             .name("puddled-accept".into())
-            .spawn(move || accept_loop(daemon, listener, accept_shutdown))?;
+            .spawn(move || accept_loop(daemon, listener, accept_shutdown, accept_handlers))?;
         Ok(UdsServer {
             path,
             shutdown,
             accept_thread: Some(accept_thread),
+            handlers,
         })
     }
 
@@ -50,14 +96,57 @@ impl UdsServer {
         &self.path
     }
 
-    /// Stops accepting connections and waits for the accept loop to exit.
+    /// Number of currently connected clients.
+    pub fn active_connections(&self) -> usize {
+        self.handlers.threads.lock().unwrap().len()
+    }
+
+    /// Stops accepting connections, disconnects idle clients, and joins the
+    /// accept loop and every handler thread.
+    ///
+    /// The join is *bounded*: threads normally exit within
+    /// [`SHUTDOWN_FRAME_GRACE`] (handlers check the flag between frames and
+    /// inside blocked reads/writes), but a pathological peer — or a socket
+    /// file someone unlinked out from under the accept loop, making the
+    /// wake-up connect miss — must not wedge the process, so any straggler
+    /// past the deadline is detached instead of joined.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+            // Wake the blocking accept with a throwaway connection. If the
+            // socket file was unlinked or replaced this connect cannot reach
+            // the listener; the bounded join below covers that case.
+            let _ = UnixStream::connect(&self.path);
+            join_with_deadline(handle, Duration::from_secs(2));
+        }
+        // Handlers poll the shutdown flag between frames and inside blocked
+        // I/O; give them the frame grace plus margin, then detach.
+        let threads: Vec<JoinHandle<()>> = {
+            let mut map = self.handlers.threads.lock().unwrap();
+            map.drain().map(|(_, handle)| handle).collect()
+        };
+        let deadline = std::time::Instant::now() + SHUTDOWN_FRAME_GRACE + Duration::from_secs(2);
+        for handle in threads {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            join_with_deadline(handle, remaining);
         }
         let _ = std::fs::remove_file(&self.path);
     }
+}
+
+/// Joins `handle` if it finishes within `limit`, detaching it otherwise
+/// (dropping a `JoinHandle` detaches the thread; a detached handler only
+/// holds its own connection, which the process teardown closes).
+fn join_with_deadline(handle: JoinHandle<()>, limit: Duration) {
+    let deadline = std::time::Instant::now() + limit;
+    while !handle.is_finished() {
+        if std::time::Instant::now() >= deadline {
+            drop(handle);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let _ = handle.join();
 }
 
 impl Drop for UdsServer {
@@ -66,21 +155,77 @@ impl Drop for UdsServer {
     }
 }
 
-fn accept_loop(daemon: Daemon, listener: UnixListener, shutdown: Arc<AtomicBool>) {
-    while !shutdown.load(Ordering::SeqCst) {
+fn accept_loop(
+    daemon: Daemon,
+    listener: UnixListener,
+    shutdown: Arc<AtomicBool>,
+    handlers: Arc<Handlers>,
+) {
+    let mut next_id: u64 = 0;
+    loop {
+        // Bound the number of simultaneous connections: wait (and reap
+        // finished handlers) until a slot is free. The kernel listen backlog
+        // queues clients in the meantime.
+        {
+            let mut threads = handlers.threads.lock().unwrap();
+            loop {
+                let finished: Vec<u64> = threads
+                    .iter()
+                    .filter(|(_, handle)| handle.is_finished())
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in finished {
+                    if let Some(handle) = threads.remove(&id) {
+                        let _ = handle.join();
+                    }
+                }
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if threads.len() < handlers.max_connections {
+                    break;
+                }
+                let (guard, _timeout) = handlers
+                    .slot_freed
+                    .wait_timeout(threads, Duration::from_millis(100))
+                    .unwrap();
+                threads = guard;
+            }
+        }
+
+        // Blocking accept; shutdown() wakes it with a loopback connection.
         match listener.accept() {
             Ok((stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
                 let daemon = daemon.clone();
-                let _ = std::thread::Builder::new()
-                    .name("puddled-conn".into())
+                let conn_id = next_id;
+                next_id += 1;
+                let conn_shutdown = Arc::clone(&shutdown);
+                let conn_handlers = Arc::clone(&handlers);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("puddled-conn-{conn_id}"))
                     .spawn(move || {
-                        let _ = serve_connection(daemon, stream);
+                        let _ = serve_connection(daemon, stream, &conn_shutdown);
+                        // Free this connection's slot. The handle stays in
+                        // the map until the accept loop or shutdown reaps
+                        // it; `is_finished()` turns true once this closure
+                        // returns.
+                        conn_handlers.slot_freed.notify_one();
                     });
+                if let Ok(handle) = spawned {
+                    handlers.threads.lock().unwrap().insert(conn_id, handle);
+                }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (e.g. EMFILE); back off briefly
+                // instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
             }
-            Err(_) => break,
         }
     }
 }
@@ -114,27 +259,171 @@ fn peer_credentials(stream: &UnixStream) -> Option<Credentials> {
     }
 }
 
-fn serve_connection(daemon: Daemon, stream: UnixStream) -> io::Result<()> {
+/// How long a handler keeps waiting for the rest of a partially received
+/// frame after shutdown is requested, before abandoning the connection.
+/// Bounds `UdsServer::shutdown` against clients stalled mid-frame.
+const SHUTDOWN_FRAME_GRACE: Duration = Duration::from_secs(5);
+
+/// Tracks the bounded wait an in-flight frame is granted once shutdown is
+/// requested. Consulted on *every* I/O iteration — including ones that made
+/// progress — so a peer trickling one byte per poll interval cannot stretch
+/// the wait past [`SHUTDOWN_FRAME_GRACE`].
+#[derive(Default)]
+struct ShutdownGrace {
+    deadline: Option<std::time::Instant>,
+}
+
+impl ShutdownGrace {
+    /// Returns `true` once shutdown has been pending longer than the grace
+    /// period (arming the deadline on first observation).
+    fn expired(&mut self, shutdown: &AtomicBool) -> bool {
+        if !shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let deadline = *self
+            .deadline
+            .get_or_insert_with(|| std::time::Instant::now() + SHUTDOWN_FRAME_GRACE);
+        std::time::Instant::now() >= deadline
+    }
+}
+
+/// Fills `buf`, retrying across read timeouts so a partially received frame
+/// is never dropped. Returns `Ok(false)` on clean EOF before the first byte
+/// or on shutdown; mid-buffer EOF is an error (a torn frame).
+fn read_full_interruptible(
+    reader: &mut UnixStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> io::Result<bool> {
+    use std::io::Read;
+    let mut filled = 0;
+    let mut grace = ShutdownGrace::default();
+    while filled < buf.len() {
+        // Abandon the connection immediately on shutdown while idle; once
+        // part of a frame has arrived keep going — trickling or blocked —
+        // only until the grace deadline.
+        if shutdown.load(Ordering::SeqCst) && filled == 0 {
+            return Ok(false);
+        }
+        if grace.expired(shutdown) {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "shutdown while a frame was incomplete",
+            ));
+        }
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Writes all of `buf`, retrying across write timeouts (the stream has a
+/// write timeout so a peer that stops reading cannot block the handler
+/// indefinitely); once shutdown is requested the retries stop at the grace
+/// deadline.
+fn write_full_interruptible(
+    writer: &mut UnixStream,
+    buf: &[u8],
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    use std::io::Write;
+    let mut sent = 0;
+    let mut grace = ShutdownGrace::default();
+    while sent < buf.len() {
+        if grace.expired(shutdown) {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "shutdown while a response was partially written",
+            ));
+        }
+        match writer.write(&buf[sent..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "connection closed mid-response",
+                ))
+            }
+            Ok(n) => sent += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    writer.flush()
+}
+
+/// Reads one frame, waking periodically to honour a server shutdown while
+/// the client is idle. Returns `None` on clean EOF or shutdown.
+fn read_frame_interruptible(
+    reader: &mut UnixStream,
+    shutdown: &AtomicBool,
+) -> io::Result<Option<Request>> {
+    let mut len_buf = [0u8; 4];
+    if !read_full_interruptible(reader, &mut len_buf, shutdown)? {
+        return Ok(None);
+    }
+    let len = puddles_proto::frame::frame_len(len_buf)?;
+    let mut body = vec![0u8; len];
+    if !read_full_interruptible(reader, &mut body, shutdown)? {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-frame",
+        ));
+    }
+    puddles_proto::frame::decode_frame(&body).map(Some)
+}
+
+fn serve_connection(daemon: Daemon, stream: UnixStream, shutdown: &AtomicBool) -> io::Result<()> {
     let peer = peer_credentials(&stream);
+    // Read/write timeouts turn blocked I/O into periodic shutdown-flag
+    // checks; requests already in flight still complete (within the
+    // shutdown grace), and a peer that stops reading its responses cannot
+    // park the handler forever.
+    stream.set_read_timeout(Some(READ_POLL_INTERVAL))?;
+    stream.set_write_timeout(Some(READ_POLL_INTERVAL))?;
     let mut reader = stream.try_clone()?;
     let mut writer = stream;
     // First frame must be Hello; kernel-verified peer credentials override
     // whatever the client claims.
-    let first: Request = read_frame(&mut reader)?;
+    let Some(first) = read_frame_interruptible(&mut reader, shutdown)? else {
+        return Ok(());
+    };
     let creds = match (&first, peer) {
         (_, Some(peer)) => peer,
         (Request::Hello { creds }, None) => *creds,
         _ => Credentials::current_process(),
     };
     let resp = daemon.handle(creds, first);
-    write_frame(&mut writer, &resp)?;
+    write_full_interruptible(&mut writer, &frame::encode_frame(&resp)?, shutdown)?;
     loop {
-        let req: Request = match read_frame(&mut reader) {
-            Ok(req) => req,
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
-            Err(e) => return Err(e),
+        // Check between frames as well as inside blocked reads: a client
+        // streaming back-to-back requests never blocks long enough for the
+        // in-read check to fire, and must not keep its handler (and thus
+        // `UdsServer::shutdown`'s join) alive past a shutdown request.
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let Some(req) = read_frame_interruptible(&mut reader, shutdown)? else {
+            return Ok(());
         };
         let resp = daemon.handle(creds, req);
-        write_frame(&mut writer, &resp)?;
+        write_full_interruptible(&mut writer, &frame::encode_frame(&resp)?, shutdown)?;
     }
 }

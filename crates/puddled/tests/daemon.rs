@@ -5,12 +5,16 @@ use puddled::{Daemon, DaemonConfig, LOG_REGION_OFFSET};
 use puddles_logfmt::{
     EntryKind, LogRef, LogSpaceRef, ReplayOrder, RANGE_DONE, RANGE_EXEC, SEQ_UNDO,
 };
-use puddles_proto::{
-    Credentials, Endpoint, ErrorCode, PuddleId, PuddlePurpose, Request, Response,
-};
+use puddles_proto::{Credentials, Endpoint, ErrorCode, PuddleId, PuddlePurpose, Request, Response};
 
-const USER_A: Credentials = Credentials { uid: 1000, gid: 100 };
-const USER_B: Credentials = Credentials { uid: 2000, gid: 200 };
+const USER_A: Credentials = Credentials {
+    uid: 1000,
+    gid: 100,
+};
+const USER_B: Credentials = Credentials {
+    uid: 2000,
+    gid: 200,
+};
 
 fn start_daemon() -> (tempfile::TempDir, Daemon) {
     let tmp = tempfile::tempdir().unwrap();
@@ -157,7 +161,12 @@ fn access_control_is_enforced() {
         Response::Error { code, .. } => assert_eq!(code, ErrorCode::PermissionDenied),
         other => panic!("expected denial, got {other:?}"),
     }
-    match daemon.handle(USER_B, Request::OpenPool { name: "private".into() }) {
+    match daemon.handle(
+        USER_B,
+        Request::OpenPool {
+            name: "private".into(),
+        },
+    ) {
         Response::Error { code, .. } => assert_eq!(code, ErrorCode::PermissionDenied),
         other => panic!("expected denial, got {other:?}"),
     }
@@ -208,7 +217,12 @@ fn registry_survives_daemon_restart() {
         root_id = pool.root_puddle;
     }
     let daemon = Daemon::start(config).unwrap();
-    let pool = expect_pool(daemon.handle(USER_A, Request::OpenPool { name: "persist".into() }));
+    let pool = expect_pool(daemon.handle(
+        USER_A,
+        Request::OpenPool {
+            name: "persist".into(),
+        },
+    ));
     assert_eq!(pool.root_puddle, root_id);
     // Same base ⇒ no rewrite needed.
     match daemon.handle(USER_A, Request::GetRelocation { id: root_id }) {
@@ -290,7 +304,10 @@ fn export_and_import_assign_new_ids_and_translations() {
             new_name: "copy".into(),
         },
     ) {
-        Response::Imported { pool: copy, translations } => {
+        Response::Imported {
+            pool: copy,
+            translations,
+        } => {
             assert_eq!(copy.puddles.len(), 2);
             assert_eq!(translations.len(), 2);
             // Fresh UUIDs, fresh addresses.
@@ -301,16 +318,34 @@ fn export_and_import_assign_new_ids_and_translations() {
                 assert_ne!(t.old_addr, t.new_addr);
             }
             // The imported puddles are flagged for rewrite.
-            match daemon.handle(USER_A, Request::GetRelocation { id: copy.root_puddle }) {
-                Response::Relocation { needs_rewrite, translations } => {
+            match daemon.handle(
+                USER_A,
+                Request::GetRelocation {
+                    id: copy.root_puddle,
+                },
+            ) {
+                Response::Relocation {
+                    needs_rewrite,
+                    translations,
+                } => {
                     assert!(needs_rewrite);
                     assert_eq!(translations.len(), 2);
                 }
                 other => panic!("unexpected {other:?}"),
             }
             // MarkRewritten clears the flag.
-            daemon.handle(USER_A, Request::MarkRewritten { id: copy.root_puddle });
-            match daemon.handle(USER_A, Request::GetRelocation { id: copy.root_puddle }) {
+            daemon.handle(
+                USER_A,
+                Request::MarkRewritten {
+                    id: copy.root_puddle,
+                },
+            );
+            match daemon.handle(
+                USER_A,
+                Request::GetRelocation {
+                    id: copy.root_puddle,
+                },
+            ) {
                 Response::Relocation { needs_rewrite, .. } => assert!(!needs_rewrite),
                 other => panic!("unexpected {other:?}"),
             }
@@ -436,9 +471,15 @@ fn recovery_replays_registered_logs_without_the_application() {
     // "Crash": drop every mapping and the daemon handle.
     // SAFETY: no references into the mappings remain.
     unsafe {
-        gspace.unmap_puddle((data.assigned_addr - base) as usize).unwrap();
-        gspace.unmap_puddle((ls.assigned_addr - base) as usize).unwrap();
-        gspace.unmap_puddle((lp.assigned_addr - base) as usize).unwrap();
+        gspace
+            .unmap_puddle((data.assigned_addr - base) as usize)
+            .unwrap();
+        gspace
+            .unmap_puddle((ls.assigned_addr - base) as usize)
+            .unwrap();
+        gspace
+            .unmap_puddle((lp.assigned_addr - base) as usize)
+            .unwrap();
     }
     drop(gspace);
     drop(daemon);
@@ -468,7 +509,10 @@ fn recovery_replays_registered_logs_without_the_application() {
         .unwrap();
     // SAFETY: mapped read-only just above.
     let recovered = unsafe { std::slice::from_raw_parts((addr + 0x8000) as *const u8, 8) };
-    assert_eq!(recovered, &[0xAA; 8], "undo log must have rolled back the write");
+    assert_eq!(
+        recovered, &[0xAA; 8],
+        "undo log must have rolled back the write"
+    );
     // SAFETY: `recovered` is not used past this point.
     unsafe {
         gspace
@@ -581,8 +625,219 @@ fn uds_server_answers_requests_from_another_connection() {
 #[test]
 fn get_relocation_for_unknown_puddle_is_not_found() {
     let (_tmp, daemon) = start_daemon();
-    match daemon.handle(USER_A, Request::GetRelocation { id: PuddleId(12345) }) {
+    match daemon.handle(
+        USER_A,
+        Request::GetRelocation {
+            id: PuddleId(12345),
+        },
+    ) {
         Response::Error { code, .. } => assert_eq!(code, ErrorCode::NotFound),
         other => panic!("unexpected {other:?}"),
     }
+}
+
+/// Tentpole acceptance test: ≥8 simultaneous clients, each served by its own
+/// connection handler thread, creating pools, running transactions, and
+/// issuing relocation (translation) lookups — all against one daemon. The
+/// watchdog turns a deadlock into a test failure instead of a hang, and the
+/// final section checks the registry ended up consistent.
+#[test]
+fn concurrent_clients_create_pools_transact_and_translate() {
+    use puddles::{impl_pm_type, PmPtr, PoolOptions, PuddleClient};
+    use std::sync::{mpsc, Arc, Barrier};
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct Counter {
+        value: u64,
+    }
+    impl_pm_type!(Counter, "stress::Counter", []);
+
+    const THREADS: usize = 8;
+    const TXS_PER_THREAD: u64 = 25;
+    const LOOKUPS_PER_TX: usize = 4;
+
+    let (tmp, daemon) = start_daemon();
+    let socket = tmp.path().join("stress.sock");
+    let _server = puddled::UdsServer::start(daemon.clone(), &socket).unwrap();
+    let gspace = daemon.global_space();
+
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let (done_tx, done_rx) = mpsc::channel::<usize>();
+    let mut workers = Vec::new();
+    for t in 0..THREADS {
+        let socket = socket.clone();
+        let gspace = Arc::clone(&gspace);
+        let barrier = Arc::clone(&barrier);
+        let done_tx = done_tx.clone();
+        workers.push(std::thread::spawn(move || {
+            // Every worker is a full client over the UNIX socket (sharing
+            // the in-process global-space reservation).
+            let client = PuddleClient::connect_uds_shared(&socket, gspace).unwrap();
+            // A second raw connection for protocol-level lookups.
+            let ep = {
+                let stream = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+                let mut reader = stream.try_clone().unwrap();
+                let mut writer = stream;
+                puddles_proto::write_frame(
+                    &mut writer,
+                    &Request::Hello {
+                        creds: Credentials::current_process(),
+                    },
+                )
+                .unwrap();
+                let _: Response = puddles_proto::read_frame(&mut reader).unwrap();
+                (reader, writer)
+            };
+            let (mut reader, mut writer) = ep;
+
+            barrier.wait();
+            let pool = client
+                .create_pool(&format!("stress-{t}"), PoolOptions::default())
+                .unwrap();
+            pool.tx(|tx| pool.create_root(tx, Counter { value: 0 }))
+                .unwrap();
+            let root: PmPtr<Counter> = pool.root().unwrap();
+            let root_puddle = pool.root_puddle().id();
+            for i in 1..=TXS_PER_THREAD {
+                pool.tx(|tx| {
+                    let c = pool.deref_mut(root)?;
+                    tx.set(&mut c.value, i)?;
+                    Ok(())
+                })
+                .unwrap();
+                // Interleave read-mostly translation lookups: these run
+                // under the puddle table's shared read lock.
+                for _ in 0..LOOKUPS_PER_TX {
+                    puddles_proto::write_frame(
+                        &mut writer,
+                        &Request::GetRelocation { id: root_puddle },
+                    )
+                    .unwrap();
+                    match puddles_proto::read_frame(&mut reader).unwrap() {
+                        Response::Relocation { needs_rewrite, .. } => {
+                            assert!(!needs_rewrite, "fresh pool must not need rewriting")
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            }
+            assert_eq!(pool.deref(root).unwrap().value, TXS_PER_THREAD);
+            done_tx.send(t).unwrap();
+        }));
+    }
+    drop(done_tx);
+
+    // Watchdog: a deadlocked daemon fails the test instead of hanging it.
+    let mut finished = std::collections::HashSet::new();
+    for _ in 0..THREADS {
+        let t = done_rx
+            .recv_timeout(Duration::from_secs(120))
+            .expect("a worker did not finish: daemon deadlocked or wedged");
+        finished.insert(t);
+    }
+    assert_eq!(finished.len(), THREADS);
+    for worker in workers {
+        worker.join().unwrap();
+    }
+
+    // Registry consistency: every pool is present with its counter intact,
+    // and no two puddles overlap in the global space.
+    let creds = Credentials::current_process();
+    match daemon.handle(creds, Request::Stats) {
+        Response::Stats(stats) => {
+            assert_eq!(stats.pools, THREADS as u64);
+            // Each worker created at least a pool root, a log space, and a
+            // per-thread log puddle.
+            assert!(stats.puddles >= 3 * THREADS as u64);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let mut extents: Vec<(u64, u64)> = Vec::new();
+    for t in 0..THREADS {
+        let pool = expect_pool(daemon.handle(
+            creds,
+            Request::OpenPool {
+                name: format!("stress-{t}"),
+            },
+        ));
+        assert!(!pool.puddles.is_empty());
+        for id in pool.puddles {
+            let info = expect_puddle(daemon.handle(
+                creds,
+                Request::GetPuddle {
+                    id,
+                    writable: false,
+                },
+            ));
+            extents.push((info.assigned_addr, info.size));
+        }
+    }
+    extents.sort_unstable();
+    for pair in extents.windows(2) {
+        assert!(
+            pair[0].0 + pair[0].1 <= pair[1].0,
+            "puddle extents overlap: {pair:?}"
+        );
+    }
+}
+
+/// Shutdown must stay bounded even while a client is streaming well-formed
+/// requests back-to-back (the handler checks the flag between frames) and
+/// another stalled mid-frame.
+#[test]
+fn shutdown_is_bounded_under_busy_and_stalled_clients() {
+    use std::io::Write;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let (tmp, daemon) = start_daemon();
+    let socket = tmp.path().join("busy.sock");
+    let mut server = puddled::UdsServer::start(daemon, &socket).unwrap();
+
+    // Busy client: streams Ping frames and reads responses as fast as the
+    // daemon answers, so its handler never blocks long on a read.
+    let stop = Arc::new(AtomicBool::new(false));
+    let busy_stop = Arc::clone(&stop);
+    let busy_socket = socket.clone();
+    let busy = std::thread::spawn(move || {
+        let stream = std::os::unix::net::UnixStream::connect(&busy_socket).unwrap();
+        let mut reader = stream.try_clone().unwrap();
+        let mut writer = stream;
+        puddles_proto::write_frame(
+            &mut writer,
+            &Request::Hello {
+                creds: Credentials::current_process(),
+            },
+        )
+        .unwrap();
+        let _: Response = puddles_proto::read_frame(&mut reader).unwrap();
+        while !busy_stop.load(Ordering::SeqCst) {
+            if puddles_proto::write_frame(&mut writer, &Request::Ping).is_err() {
+                break;
+            }
+            if puddles_proto::read_frame::<_, Response>(&mut reader).is_err() {
+                break;
+            }
+        }
+    });
+
+    // Stalled client: sends half a length prefix and goes silent.
+    let mut stalled = std::os::unix::net::UnixStream::connect(&socket).unwrap();
+    stalled.write_all(&[0x10, 0x00]).unwrap();
+
+    std::thread::sleep(Duration::from_millis(100));
+    let start = Instant::now();
+    server.shutdown();
+    let elapsed = start.elapsed();
+    // Grace (5s) + margin (2s) is the documented bound; allow slack for CI.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "shutdown took {elapsed:?}, expected bounded"
+    );
+
+    stop.store(true, Ordering::SeqCst);
+    drop(stalled);
+    busy.join().unwrap();
 }

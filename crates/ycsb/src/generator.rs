@@ -46,7 +46,8 @@ impl ZipfianGenerator {
         }
         if n > EXACT {
             // ∫ x^-theta dx from EXACT to n.
-            sum += ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta);
+            sum +=
+                ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta);
         }
         sum
     }

@@ -203,7 +203,10 @@ mod tests {
         for wl in Workload::ALL {
             let reqs = wl.generate(10_000, 50_000, 42);
             let spec = wl.spec();
-            assert!((fraction(&reqs, Operation::Read) - spec.read).abs() < 0.02, "{wl:?} read");
+            assert!(
+                (fraction(&reqs, Operation::Read) - spec.read).abs() < 0.02,
+                "{wl:?} read"
+            );
             assert!(
                 (fraction(&reqs, Operation::Update) - spec.update).abs() < 0.02,
                 "{wl:?} update"

@@ -29,7 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let daemon = Daemon::start(config.clone())?;
         let writer = PuddleClient::connect_local(&daemon)?;
         let pool = writer.create_pool("bank", PoolOptions::default().mode(0o644))?;
-        pool.tx(|tx| pool.create_root(tx, Account { balance: 1000, updates: 0 }))?;
+        pool.tx(|tx| {
+            pool.create_root(
+                tx,
+                Account {
+                    balance: 1000,
+                    updates: 0,
+                },
+            )
+        })?;
         let root: PmPtr<Account> = pool.root().unwrap();
 
         // Crash in the middle of the commit sequence.

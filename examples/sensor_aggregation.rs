@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         state.observe(node as u64 * 10)?;
         let dest = export_root.path().join(format!("sensor-{node}"));
         state.export(&dest)?;
-        println!("sensor {node}: exported {vars_per_node} state variables to {}", dest.display());
+        println!(
+            "sensor {node}: exported {vars_per_node} state variables to {}",
+            dest.display()
+        );
         exports.push(dest);
     }
 

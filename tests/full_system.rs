@@ -39,8 +39,7 @@ fn uds_client_builds_a_list_that_a_local_client_reads() {
     let _server = UdsServer::start(daemon.clone(), &socket).unwrap();
 
     // Writer over the socket.
-    let uds_client =
-        PuddleClient::connect_uds_shared(&socket, daemon.global_space()).unwrap();
+    let uds_client = PuddleClient::connect_uds_shared(&socket, daemon.global_space()).unwrap();
     let list = PuddlesList::new(&uds_client, "shared-list").unwrap();
     for i in 0..100 {
         list.insert_tail(i).unwrap();
@@ -66,13 +65,17 @@ fn exported_pool_survives_the_machine_and_imports_elsewhere() {
         for i in 0..200 {
             list.insert_tail(i * 3).unwrap();
         }
-        client.export_pool("travel", export.path().join("travel")).unwrap();
+        client
+            .export_pool("travel", export.path().join("travel"))
+            .unwrap();
     }
     // "Machine" B (different PM dir, different global-space base) imports.
     let b_dir = tempfile::tempdir().unwrap();
     let daemon = Daemon::start(DaemonConfig::for_testing(b_dir.path())).unwrap();
     let client = PuddleClient::connect_local(&daemon).unwrap();
-    let pool = client.import_pool(export.path().join("travel"), "travel").unwrap();
+    let pool = client
+        .import_pool(export.path().join("travel"), "travel")
+        .unwrap();
     // Walk the imported structure through the typed API.
     let root: puddles::PmPtr<pm_datastructures::list::PListRoot> = pool.root().unwrap();
     let mut sum = 0u64;
