@@ -23,6 +23,7 @@ use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::sync::Arc;
 use std::thread::ThreadId;
+use std::time::{Duration, Instant};
 
 /// Size of the puddle holding a client's log space.
 pub const LOGSPACE_PUDDLE_SIZE: u64 = 64 * 1024;
@@ -436,15 +437,74 @@ impl ClientInner {
 /// calling thread is created on demand, so this only bounds the cached set.
 const MAX_IDLE_CONNECTIONS: usize = 16;
 
+/// How long an idle pooled connection may sit unused before it is closed.
+/// Expired connections are reaped on the next pool access (checkout or
+/// checkin) — there is no background reaper thread — so a burst of traffic
+/// stops pinning daemon handler threads as soon as the client touches the
+/// pool again, and at the latest when the client is dropped.
+const IDLE_CONNECTION_TTL: Duration = Duration::from_secs(30);
+
+/// Drops pooled connections idle for longer than the TTL.
+fn prune_idle(idle: &mut Vec<(UnixStream, Instant)>, now: Instant) {
+    idle.retain(|(_, last_used)| now.duration_since(*last_used) < IDLE_CONNECTION_TTL);
+}
+
+/// `true` for I/O failures that a fresh connection may fix: the daemon
+/// closed (or was restarted under) a pooled socket, so a write lands on a
+/// dead peer or a read hits EOF. Logic errors (e.g. a malformed frame) are
+/// not transient — retrying would repeat them.
+fn is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::NotConnected
+            | std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::WriteZero
+    )
+}
+
+/// `true` for requests that are safe to resend when a pooled connection
+/// dies *after* the request was written but before the response arrived:
+/// reads, and writes whose re-application lands on the same state
+/// (registrations are keyed puts, `MarkRewritten` clears an already-clear
+/// flag, an export overwrites its own output). Creates, frees, drops, and
+/// imports are **not** retried — the daemon may have applied them and lost
+/// only the acknowledgement, so a resend would double-apply (e.g. a second
+/// puddle allocated, or a successful `DropPool` reported as `NotFound`).
+fn is_idempotent(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Hello { .. }
+            | Request::Ping
+            | Request::GetPuddle { .. }
+            | Request::OpenPool { .. }
+            | Request::GetPtrMaps
+            | Request::RegisterPtrMap { .. }
+            | Request::RegLogSpace { .. }
+            | Request::GetRelocation { .. }
+            | Request::MarkRewritten { .. }
+            | Request::ExportPool { .. }
+            | Request::Recover
+            | Request::Stats
+    )
+}
+
 /// Client-side endpoint speaking the framed protocol over a UNIX socket.
 ///
 /// Maintains a pool of daemon connections instead of one mutex-guarded
 /// stream: each call checks out an idle connection (or opens a fresh one),
 /// so threads issue requests to the daemon in parallel and the daemon's
-/// per-connection handler threads serve them concurrently.
+/// per-connection handler threads serve them concurrently. Idle
+/// connections are pruned after [`IDLE_CONNECTION_TTL`], and a call that
+/// fails transiently — a stale pooled socket, or a connect refused while
+/// the daemon finishes (re)starting — is retried once on a fresh
+/// connection.
 struct UdsEndpoint {
     path: std::path::PathBuf,
-    idle: Mutex<Vec<UnixStream>>,
+    idle: Mutex<Vec<(UnixStream, Instant)>>,
 }
 
 impl UdsEndpoint {
@@ -455,11 +515,33 @@ impl UdsEndpoint {
         }
     }
 
-    /// Takes an idle connection or opens (and handshakes) a new one.
-    fn checkout(&self) -> std::io::Result<UnixStream> {
-        if let Some(stream) = self.idle.lock().pop() {
-            return Ok(stream);
+    /// Takes a live idle connection, or opens (and handshakes) a new one.
+    /// The `bool` is `true` for a pooled connection, whose liveness is
+    /// unknown — a transient failure on it warrants one retry.
+    fn checkout(&self) -> std::io::Result<(UnixStream, bool)> {
+        {
+            let mut idle = self.idle.lock();
+            prune_idle(&mut idle, Instant::now());
+            if let Some((stream, _)) = idle.pop() {
+                return Ok((stream, true));
+            }
         }
+        Ok((self.connect_fresh()?, false))
+    }
+
+    /// Opens and handshakes a new connection, retrying once on a transient
+    /// connect failure.
+    fn connect_fresh(&self) -> std::io::Result<UnixStream> {
+        match self.try_connect() {
+            Err(e) if is_transient(&e) => {
+                std::thread::sleep(Duration::from_millis(10));
+                self.try_connect()
+            }
+            other => other,
+        }
+    }
+
+    fn try_connect(&self) -> std::io::Result<UnixStream> {
         let mut stream = UnixStream::connect(&self.path)?;
         // Introduce the connection; the daemon replies with Welcome, which
         // the pool consumes (the space geometry was recorded at connect).
@@ -472,19 +554,93 @@ impl UdsEndpoint {
         let _: Response = puddles_proto::read_frame(&mut stream)?;
         Ok(stream)
     }
+
+    fn roundtrip(&self, stream: &mut UnixStream, req: &Request) -> std::io::Result<Response> {
+        puddles_proto::write_frame(stream, req)?;
+        puddles_proto::read_frame(stream)
+    }
+
+    /// Returns a connection that completed a full round trip to the pool;
+    /// an errored one is simply dropped (closed).
+    fn checkin(&self, stream: UnixStream) {
+        let now = Instant::now();
+        let mut idle = self.idle.lock();
+        prune_idle(&mut idle, now);
+        if idle.len() < MAX_IDLE_CONNECTIONS {
+            idle.push((stream, now));
+        }
+    }
 }
 
 impl Endpoint for UdsEndpoint {
     fn call(&self, req: &Request) -> std::io::Result<Response> {
-        let mut stream = self.checkout()?;
-        puddles_proto::write_frame(&mut stream, req)?;
-        let resp = puddles_proto::read_frame(&mut stream)?;
-        // Only a connection that completed a full round trip returns to the
-        // pool; an errored one is dropped (closed) above via `?`.
-        let mut idle = self.idle.lock();
-        if idle.len() < MAX_IDLE_CONNECTIONS {
-            idle.push(stream);
+        let (mut stream, reused) = self.checkout()?;
+        match self.roundtrip(&mut stream, req) {
+            Ok(resp) => {
+                self.checkin(stream);
+                Ok(resp)
+            }
+            Err(e) if reused && is_transient(&e) && is_idempotent(req) => {
+                // The pooled socket went stale (daemon restart, idle
+                // disconnect). The daemon may have applied the request and
+                // lost only the response, so only idempotent requests are
+                // retried — once, on a known-fresh connection.
+                let mut stream = self.connect_fresh()?;
+                let resp = self.roundtrip(&mut stream, req)?;
+                self.checkin(stream);
+                Ok(resp)
+            }
+            Err(e) => Err(e),
         }
-        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prune_idle_drops_only_expired_connections() {
+        // Work forward from `base` (subtracting from Instant::now() can
+        // underflow on a freshly booted machine): entries stamped `base`
+        // are past the TTL at pruning time `now`, fresh ones are not.
+        let base = Instant::now();
+        let now = base + IDLE_CONNECTION_TTL + Duration::from_secs(1);
+        let mut idle = Vec::new();
+        for _ in 0..2 {
+            let (a, _b) = UnixStream::pair().unwrap();
+            idle.push((a, base));
+        }
+        for _ in 0..3 {
+            let (a, _b) = UnixStream::pair().unwrap();
+            idle.push((a, now));
+        }
+        prune_idle(&mut idle, now);
+        assert_eq!(idle.len(), 3);
+        assert!(idle.iter().all(|(_, t)| *t == now));
+    }
+
+    #[test]
+    fn only_idempotent_requests_are_retried() {
+        assert!(is_idempotent(&Request::Ping));
+        assert!(is_idempotent(&Request::Stats));
+        assert!(is_idempotent(&Request::OpenPool { name: "p".into() }));
+        assert!(!is_idempotent(&Request::CreatePool {
+            name: "p".into(),
+            root_size: 4096,
+            mode: 0o600,
+        }));
+        assert!(!is_idempotent(&Request::DropPool { name: "p".into() }));
+        assert!(!is_idempotent(&Request::FreePuddle { id: PuddleId(7) }));
+    }
+
+    #[test]
+    fn transient_errors_are_classified() {
+        use std::io::{Error, ErrorKind};
+        assert!(is_transient(&Error::new(ErrorKind::BrokenPipe, "x")));
+        assert!(is_transient(&Error::new(ErrorKind::UnexpectedEof, "x")));
+        assert!(is_transient(&Error::new(ErrorKind::ConnectionRefused, "x")));
+        assert!(!is_transient(&Error::new(ErrorKind::InvalidData, "x")));
+        assert!(!is_transient(&Error::new(ErrorKind::PermissionDenied, "x")));
     }
 }

@@ -118,6 +118,17 @@ pub mod names {
     pub const ALLOC_METADATA: &str = "alloc.metadata";
     /// While the daemon rewrites pointers during relocation.
     pub const RELOC_MID_REWRITE: &str = "reloc.mid_rewrite";
+    /// While the metadata-WAL group-commit leader writes a batch: only a
+    /// prefix of the batch reaches the file (some records durable, the last
+    /// one torn).
+    pub const WAL_MID_GROUP_COMMIT: &str = "wal.group_commit.mid";
+    /// While a metadata-WAL record is appended: the record's tail bytes are
+    /// lost (models a torn append, like `LOG_APPEND_TORN` for client logs).
+    pub const WAL_APPEND_TORN: &str = "wal.append.torn";
+    /// After the registry checkpoint document is written and renamed, before
+    /// the WAL is truncated (replay must skip records the checkpoint
+    /// already covers).
+    pub const WAL_CHECKPOINT_BEFORE_TRUNCATE: &str = "wal.checkpoint.before_truncate";
 }
 
 #[cfg(test)]

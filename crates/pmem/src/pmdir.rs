@@ -43,6 +43,13 @@ impl PmDir {
         self.root.join("exports")
     }
 
+    /// Returns the path of the metadata file `name` (for callers that manage
+    /// their own file handles, e.g. an append-only log; atomic
+    /// replace-style updates should use [`PmDir::write_meta`] instead).
+    pub fn meta_path(&self, name: &str) -> PathBuf {
+        self.root.join("meta").join(name)
+    }
+
     /// Creates a zero-filled puddle file of `size` bytes and returns its path.
     ///
     /// `size` must be a multiple of the page size; puddles are "regions of

@@ -196,6 +196,16 @@ pub struct DaemonStats {
     pub space_used: u64,
     /// Total bytes of global puddle space.
     pub space_total: u64,
+    /// Bytes of metadata WAL not yet covered by a checkpoint.
+    pub wal_bytes: u64,
+    /// Metadata-WAL records not yet covered by a checkpoint.
+    pub wal_records: u64,
+    /// Registry checkpoints written since the daemon started.
+    pub checkpoints: u64,
+    /// Milliseconds since the last registry checkpoint.
+    pub checkpoint_age_ms: u64,
+    /// Orphan puddle files deleted by the startup directory sweep.
+    pub orphan_files_swept: u64,
 }
 
 /// Machine-readable error categories returned by the daemon.

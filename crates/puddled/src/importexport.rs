@@ -218,7 +218,8 @@ pub(crate) fn import_pool(
         };
         let info = pool.to_info();
         reg.insert_pool(pool);
-        reg.save()?;
+        // One group commit covers every record the import enqueued.
+        reg.commit()?;
         Ok((info, translations))
     })();
 
@@ -233,7 +234,7 @@ pub(crate) fn import_pool(
             reg.free_space(offset, size);
         }
         reg.remove_pool(new_name);
-        let _ = reg.save();
+        let _ = reg.commit();
     }
     result
 }

@@ -26,8 +26,10 @@ pub mod recovery;
 pub mod registry;
 pub mod service;
 pub mod uds;
+pub mod wal;
 
 pub use gspace::GlobalSpace;
 pub use layout::{PuddleHeader, LOG_REGION_OFFSET, PUDDLE_HEADER_SIZE, PUDDLE_MAGIC};
 pub use service::{Daemon, DaemonConfig, LocalEndpoint};
 pub use uds::UdsServer;
+pub use wal::{RegistryOp, Wal, WalHandle, WalStats};

@@ -52,9 +52,40 @@ pub fn run_recovery(inner: &DaemonInner) -> Result<RecoveryReport> {
             inner.registry.invalidate_log_space(id);
             report.logs_invalidated += 1;
         }
-        inner.registry.save()?;
+        // One group commit makes every invalidation record durable.
+        inner.registry.commit()?;
     }
     Ok(report)
+}
+
+/// Deletes puddle files that have no registry record.
+///
+/// A crash mid-`DropPool` removes members from the registry before their
+/// files are unlinked; the registry itself is healed by WAL replay and the
+/// load-time reconcile, but the files would leak on disk forever. The
+/// daemon runs this sweep at startup — after the registry is loaded and
+/// reconciled, before any client can create new puddles — so every file in
+/// the puddle directory either has a record or is garbage. Returns the
+/// number of files deleted.
+///
+/// The sweep is best-effort: a file that cannot be unlinked (odd ownership,
+/// immutable bit) is skipped rather than failing daemon startup over a
+/// cleanup — the registry, WAL, and real puddle data are unaffected by a
+/// lingering stray file.
+pub(crate) fn sweep_orphan_files(inner: &DaemonInner) -> Result<u64> {
+    let live: std::collections::BTreeSet<String> = inner
+        .registry
+        .puddles_snapshot()
+        .into_iter()
+        .map(|p| p.file)
+        .collect();
+    let mut swept = 0;
+    for name in inner.pmdir.list_puddles()? {
+        if !live.contains(&name) && inner.pmdir.delete_puddle_file(&name).is_ok() {
+            swept += 1;
+        }
+    }
+    Ok(swept)
 }
 
 enum LogSpaceOutcome {

@@ -2,10 +2,22 @@
 //! spaces, and global-space address allocation.
 //!
 //! The paper stores this metadata in a persistent hash map owned by the
-//! daemon (§4.2); we store it as an atomically replaced JSON document in the
-//! PM directory (`meta/registry.json`), which gives the same crash safety
-//! (the document is either the old or the new version, never torn) without
-//! needing a self-hosted persistent allocator inside the daemon.
+//! daemon so each mutation persists incrementally (§4.2). We reproduce that
+//! cost profile with a **checkpoint + WAL** pair in the PM directory:
+//!
+//! * `meta/registry.json` — the checkpoint: a complete JSON snapshot,
+//!   atomically replaced (write-temp + rename, never torn);
+//! * `meta/registry.wal` — the append-only metadata WAL ([`crate::wal`]):
+//!   every mutation appends one checksummed [`RegistryOp`] record and makes
+//!   it durable with a *group commit* (one fsync covers every concurrently
+//!   enqueued record), so steady-state persistence is O(record), not
+//!   O(registry).
+//!
+//! When the WAL passes a byte threshold the registry writes a fresh
+//! checkpoint and truncates the WAL ([`Registry::checkpoint`]). Loading
+//! reverses the pipeline: read the checkpoint, replay the WAL tail
+//! (skipping records the checkpoint's sequence floor already covers,
+//! tolerating a torn final record), then run [`reconcile`].
 //!
 //! # Concurrency
 //!
@@ -23,12 +35,18 @@
 //!
 //! Cross-table operations (a puddle joining a pool, a pool drop) take the
 //! locks they need in a fixed order — **pools → puddles → ptr_maps →
-//! log_spaces → space → save** — which makes deadlock impossible; every
-//! multi-lock method in this file follows that order. Persistence snapshots
-//! the shards under short read locks while holding a dedicated save lock, so
-//! concurrent saves serialize but readers are never blocked for the I/O.
+//! log_spaces → space** — which makes deadlock impossible; every multi-lock
+//! method in this file follows that order. Mutators enqueue their WAL
+//! records *while holding* the shard lock that serializes the mutation
+//! (the WAL's internal lock is a leaf), so conflicting records land in the
+//! log in application order; the fsync wait happens after the shard locks
+//! are released. Checkpoints snapshot the shards under short read locks
+//! while holding a dedicated checkpoint lock, so concurrent checkpoints
+//! serialize but readers are never blocked for the I/O.
 
-use parking_lot::{Mutex, RwLock};
+use crate::wal::{self, RegistryOp, Wal, WalHandle};
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use puddles_pmem::failpoint::{self, names};
 use puddles_pmem::pmdir::PmDir;
 use puddles_pmem::util::align_up;
 use puddles_pmem::{PmError, Result, PAGE_SIZE};
@@ -36,6 +54,7 @@ use puddles_proto::{PoolInfo, PtrMapDecl, PuddleId, PuddlePurpose, Translation};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Persistent record of one puddle.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -103,7 +122,7 @@ pub struct LogSpaceRecord {
 }
 
 /// The daemon's complete persistent state (the on-disk schema).
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Serialize, Deserialize, Default, PartialEq)]
 pub struct RegistryData {
     /// Base address of the global space when this registry was last saved.
     pub space_base: u64,
@@ -123,6 +142,10 @@ pub struct RegistryData {
     pub log_spaces: Vec<LogSpaceRecord>,
     /// Monotonic counter used to derive fresh UUIDs.
     pub next_seq: u64,
+    /// WAL record sequence this checkpoint covers: replay skips records
+    /// with a lower sequence (they are already reflected here). `None` in
+    /// documents written before the WAL existed (treated as 0).
+    pub wal_seq: Option<u64>,
 }
 
 /// Global-space geometry plus the address allocator (bump pointer and free
@@ -148,6 +171,8 @@ pub enum RegistryOpError {
 #[derive(Debug)]
 pub struct Registry {
     pmdir: PmDir,
+    /// The metadata WAL every mutator appends to.
+    wal: WalHandle,
     // Shards, declared in lock order.
     pools: RwLock<BTreeMap<String, PoolRecord>>,
     puddles: RwLock<BTreeMap<String, PuddleRecord>>,
@@ -155,8 +180,8 @@ pub struct Registry {
     log_spaces: RwLock<Vec<LogSpaceRecord>>,
     space: Mutex<SpaceState>,
     next_seq: AtomicU64,
-    /// Serializes snapshot + write-out so saves cannot interleave.
-    save_lock: Mutex<()>,
+    /// Serializes checkpoint snapshot + write-out + WAL truncation.
+    ckpt_lock: Mutex<()>,
 }
 
 /// Name of the registry document inside the PM directory.
@@ -226,15 +251,26 @@ fn reconcile(data: &mut RegistryData) {
 }
 
 impl Registry {
-    /// Loads the registry from `pmdir`, or creates a fresh one.
+    /// Loads the registry from `pmdir` (opening its WAL internally), or
+    /// creates a fresh one.
     pub fn load_or_create(pmdir: &PmDir, space_base: u64, space_size: u64) -> Result<Self> {
+        let wal = Arc::new(Wal::open(pmdir)?);
+        Self::load_or_create_with_wal(pmdir, wal, space_base, space_size)
+    }
+
+    /// Loads the registry using an externally opened WAL handle (the daemon
+    /// threads one through so it can also report WAL stats): reads the
+    /// checkpoint, replays the WAL tail over it, reconciles, and writes a
+    /// fresh checkpoint (which truncates the WAL).
+    pub fn load_or_create_with_wal(
+        pmdir: &PmDir,
+        wal: WalHandle,
+        space_base: u64,
+        space_size: u64,
+    ) -> Result<Self> {
         let mut data = match pmdir.read_meta(REGISTRY_FILE)? {
-            Some(bytes) => {
-                let mut data = serde_json::from_slice::<RegistryData>(&bytes)
-                    .map_err(|e| PmError::Corruption(format!("registry parse error: {e}")))?;
-                reconcile(&mut data);
-                data
-            }
+            Some(bytes) => serde_json::from_slice::<RegistryData>(&bytes)
+                .map_err(|e| PmError::Corruption(format!("registry parse error: {e}")))?,
             None => RegistryData {
                 space_base,
                 space_size,
@@ -242,11 +278,25 @@ impl Registry {
                 ..RegistryData::default()
             },
         };
+        // Replay the WAL tail over the checkpoint. Records below the
+        // checkpoint's sequence floor are already reflected in it (a crash
+        // landed between the checkpoint rename and the WAL truncation);
+        // skipping them keeps stale records from undoing newer state.
+        let floor = data.wal_seq.unwrap_or(0);
+        wal.ensure_seq_at_least(floor);
+        for (seq, op) in wal.take_initial_replay() {
+            if seq < floor {
+                continue;
+            }
+            wal::apply_op(&mut data, &op);
+        }
+        reconcile(&mut data);
         if data.space_size == 0 {
             data.space_size = space_size;
         }
         let reg = Registry {
             pmdir: pmdir.clone(),
+            wal,
             pools: RwLock::new(data.pools),
             puddles: RwLock::new(data.puddles),
             ptr_maps: RwLock::new(data.ptr_maps),
@@ -258,29 +308,51 @@ impl Registry {
                 free_list: data.free_list,
             }),
             next_seq: AtomicU64::new(data.next_seq),
-            save_lock: Mutex::new(()),
+            ckpt_lock: Mutex::new(()),
         };
-        reg.save()?;
+        reg.checkpoint()?;
         Ok(reg)
     }
 
-    /// Assembles a consistent copy of the full registry state (stats, tests,
-    /// persistence). All shard guards are acquired in lock order and held
-    /// together while cloning, so a snapshot never interleaves a multi-table
-    /// operation that holds its first lock for the whole operation; the
-    /// residual torn cases (operations spanning lock releases) are healed by
-    /// [`reconcile`] at the next load.
-    pub fn snapshot(&self) -> RegistryData {
+    /// Returns the registry's WAL handle (stats, tests).
+    pub fn wal(&self) -> &WalHandle {
+        &self.wal
+    }
+
+    /// Enqueues one WAL record, deferring any failure to the next
+    /// [`Registry::commit`]. Mutators call this while holding the shard
+    /// lock that serializes the mutation, so conflicting records are logged
+    /// in application order; a failed submit poisons the WAL and every
+    /// later commit reports it.
+    fn wal_submit(&self, op: RegistryOp) {
+        let _ = self.wal.submit(&op);
+    }
+
+    /// Makes every registry mutation performed so far durable: one group
+    /// commit covers this thread's records and any enqueued concurrently.
+    /// The service layer calls this once per client request, after the
+    /// request's (possibly several) mutations. Also checkpoints when the
+    /// WAL has outgrown its threshold.
+    pub fn commit(&self) -> Result<()> {
+        self.wal.flush()?;
+        self.maybe_checkpoint()
+    }
+
+    /// Snapshot plus the WAL cut it corresponds to. All shard guards are
+    /// held together while the cut is read, so every record below the cut
+    /// is reflected in the snapshot and every record at or above it is not.
+    fn snapshot_with_cut(&self) -> (RegistryData, u64) {
         let pools_guard = self.pools.read();
         let puddles_guard = self.puddles.read();
         let ptr_maps_guard = self.ptr_maps.read();
         let log_spaces_guard = self.log_spaces.read();
         let space = self.space.lock();
+        let (cut_pos, cut_seq) = self.wal.position();
         let pools = pools_guard.clone();
         let puddles = puddles_guard.clone();
         let ptr_maps = ptr_maps_guard.clone();
         let log_spaces = log_spaces_guard.clone();
-        RegistryData {
+        let data = RegistryData {
             space_base: space.space_base,
             space_size: space.space_size,
             next_offset: space.next_offset,
@@ -290,18 +362,55 @@ impl Registry {
             ptr_maps,
             log_spaces,
             next_seq: self.next_seq.load(Ordering::SeqCst),
+            wal_seq: Some(cut_seq),
+        };
+        (data, cut_pos)
+    }
+
+    /// Assembles a consistent copy of the full registry state (stats, tests,
+    /// persistence). All shard guards are acquired in lock order and held
+    /// together while cloning, so a snapshot never interleaves a multi-table
+    /// operation that holds its first lock for the whole operation; the
+    /// residual torn cases (operations spanning lock releases) are healed by
+    /// [`reconcile`] at the next load.
+    pub fn snapshot(&self) -> RegistryData {
+        self.snapshot_with_cut().0
+    }
+
+    /// Writes a checkpoint — the complete snapshot, atomically renamed over
+    /// `meta/registry.json` — then truncates the WAL to the records the
+    /// checkpoint does not cover. Concurrent checkpoints serialize.
+    pub fn checkpoint(&self) -> Result<()> {
+        let guard = self.ckpt_lock.lock();
+        self.checkpoint_locked(guard)
+    }
+
+    /// Checkpoints only if the WAL passed its threshold and no other thread
+    /// is already checkpointing (mutators call this from [`Registry::commit`];
+    /// skipping under contention keeps the request path from piling up
+    /// behind one writer).
+    fn maybe_checkpoint(&self) -> Result<()> {
+        if !self.wal.should_checkpoint() {
+            return Ok(());
+        }
+        match self.ckpt_lock.try_lock() {
+            Some(guard) => self.checkpoint_locked(guard),
+            None => Ok(()),
         }
     }
 
-    /// Persists the registry atomically. Concurrent saves serialize; each
-    /// writes a complete snapshot, so the last writer persists every earlier
-    /// mutation as well.
-    pub fn save(&self) -> Result<()> {
-        let _guard = self.save_lock.lock();
-        let data = self.snapshot();
+    fn checkpoint_locked(&self, _guard: MutexGuard<'_, ()>) -> Result<()> {
+        let (data, cut_pos) = self.snapshot_with_cut();
+        let cut_seq = data.wal_seq.unwrap_or(0);
         let bytes = serde_json::to_vec_pretty(&data)
             .map_err(|e| PmError::Corruption(format!("registry encode error: {e}")))?;
-        self.pmdir.write_meta(REGISTRY_FILE, &bytes)
+        self.pmdir.write_meta(REGISTRY_FILE, &bytes)?;
+        if failpoint::should_fail(names::WAL_CHECKPOINT_BEFORE_TRUNCATE) {
+            return Err(PmError::CrashInjected(
+                names::WAL_CHECKPOINT_BEFORE_TRUNCATE,
+            ));
+        }
+        self.wal.truncate_to(cut_pos, cut_seq)
     }
 
     /// Base address of the global space as recorded in the registry.
@@ -311,6 +420,11 @@ impl Registry {
 
     /// Records the global-space base for this run and returns the previous
     /// one (callers relocate every puddle if it moved).
+    ///
+    /// Deliberately emits no WAL record: a base move only persists via the
+    /// full checkpoint in [`Registry::apply_base_relocation`], atomically
+    /// with the puddle rewrite marks it implies — a replayed base change
+    /// without those marks would leave pointers unrewritten.
     pub fn update_space_base(&self, new_base: u64) -> u64 {
         let mut space = self.space.lock();
         std::mem::replace(&mut space.space_base, new_base)
@@ -326,6 +440,11 @@ impl Registry {
     }
 
     /// Allocates `size` bytes of the global space, returning the offset.
+    ///
+    /// The extent grant is logged but not individually fsynced: it becomes
+    /// durable with the next group commit, and a grant lost to a crash is
+    /// reclaimed by [`reconcile`] (an extent no puddle record covers is
+    /// free by definition).
     pub fn alloc_space(&self, size: u64) -> Result<u64> {
         let size = align_up(size as usize, PAGE_SIZE) as u64;
         let mut space = self.space.lock();
@@ -337,6 +456,10 @@ impl Registry {
             } else {
                 space.free_list[pos] = (off + size, len - size);
             }
+            self.wal_submit(RegistryOp::AllocExtent {
+                offset: off,
+                len: size,
+            });
             return Ok(off);
         }
         let off = space.next_offset;
@@ -347,6 +470,10 @@ impl Registry {
             });
         }
         space.next_offset = off + size;
+        self.wal_submit(RegistryOp::AllocExtent {
+            offset: off,
+            len: size,
+        });
         Ok(off)
     }
 
@@ -365,6 +492,7 @@ impl Registry {
             }
         }
         space.free_list = merged;
+        self.wal_submit(RegistryOp::FreeExtent { offset, len: size });
     }
 
     // -- Puddle table -------------------------------------------------------
@@ -373,7 +501,9 @@ impl Registry {
     /// import, which creates the pool after its puddles). Most callers want
     /// [`Registry::register_puddle`].
     pub fn insert_puddle(&self, record: PuddleRecord) {
-        self.puddles.write().insert(record.id.to_hex(), record);
+        let mut puddles = self.puddles.write();
+        puddles.insert(record.id.to_hex(), record.clone());
+        self.wal_submit(RegistryOp::PutPuddle(record));
     }
 
     /// Atomically verifies the target pool exists (when the record names
@@ -390,11 +520,23 @@ impl Registry {
                     .get_mut(pool_name)
                     .ok_or_else(|| RegistryOpError::NoSuchPool(pool_name.clone()))?;
                 pool.puddles.push(record.id);
-                self.puddles.write().insert(record.id.to_hex(), record);
+                // O(1) membership delta — logging the whole member list
+                // here would make building an N-puddle pool O(N²) WAL
+                // traffic.
+                let pool_op = RegistryOp::AddPoolMember {
+                    pool: pool_name.clone(),
+                    id: record.id,
+                };
+                let mut puddles = self.puddles.write();
+                puddles.insert(record.id.to_hex(), record.clone());
+                self.wal_submit(RegistryOp::PutPuddle(record));
+                self.wal_submit(pool_op);
                 Ok(())
             }
             None => {
-                self.puddles.write().insert(record.id.to_hex(), record);
+                let mut puddles = self.puddles.write();
+                puddles.insert(record.id.to_hex(), record.clone());
+                self.wal_submit(RegistryOp::PutPuddle(record));
                 Ok(())
             }
         }
@@ -404,11 +546,21 @@ impl Registry {
     /// the record. Lock order: pools → puddles.
     pub fn unregister_puddle(&self, id: PuddleId) -> Option<PuddleRecord> {
         let mut pools = self.pools.write();
-        let record = self.puddles.write().remove(&id.to_hex())?;
+        let mut puddles = self.puddles.write();
+        let record = puddles.remove(&id.to_hex())?;
+        let mut pool_op = None;
         if let Some(pool_name) = &record.pool {
             if let Some(pool) = pools.get_mut(pool_name) {
                 pool.puddles.retain(|p| *p != id);
+                pool_op = Some(RegistryOp::RemovePoolMember {
+                    pool: pool_name.clone(),
+                    id,
+                });
             }
+        }
+        self.wal_submit(RegistryOp::DropPuddle { id });
+        if let Some(op) = pool_op {
+            self.wal_submit(op);
         }
         Some(record)
     }
@@ -425,7 +577,11 @@ impl Registry {
         id: PuddleId,
         f: impl FnOnce(&mut PuddleRecord) -> R,
     ) -> Option<R> {
-        self.puddles.write().get_mut(&id.to_hex()).map(f)
+        let mut puddles = self.puddles.write();
+        let record = puddles.get_mut(&id.to_hex())?;
+        let result = f(record);
+        self.wal_submit(RegistryOp::PutPuddle(record.clone()));
+        Some(result)
     }
 
     /// Clones every puddle record (recovery, relocation, export).
@@ -451,13 +607,16 @@ impl Registry {
         if pools.contains_key(&record.name) {
             return false;
         }
-        pools.insert(record.name.clone(), record);
+        pools.insert(record.name.clone(), record.clone());
+        self.wal_submit(RegistryOp::PutPool(record));
         true
     }
 
     /// Inserts (or replaces) a pool record.
     pub fn insert_pool(&self, record: PoolRecord) {
-        self.pools.write().insert(record.name.clone(), record);
+        let mut pools = self.pools.write();
+        pools.insert(record.name.clone(), record.clone());
+        self.wal_submit(RegistryOp::PutPool(record));
     }
 
     /// Looks up a pool by name (clones under a shared read lock).
@@ -467,13 +626,22 @@ impl Registry {
 
     /// Applies `f` to a pool record under the write lock.
     pub fn update_pool<R>(&self, name: &str, f: impl FnOnce(&mut PoolRecord) -> R) -> Option<R> {
-        self.pools.write().get_mut(name).map(f)
+        let mut pools = self.pools.write();
+        let record = pools.get_mut(name)?;
+        let result = f(record);
+        self.wal_submit(RegistryOp::PutPool(record.clone()));
+        Some(result)
     }
 
     /// Removes a pool record, returning it. The pool's member puddles are
     /// untouched (callers free them explicitly).
     pub fn remove_pool(&self, name: &str) -> Option<PoolRecord> {
-        self.pools.write().remove(name)
+        let mut pools = self.pools.write();
+        let record = pools.remove(name)?;
+        self.wal_submit(RegistryOp::DropPool {
+            name: name.to_string(),
+        });
+        Some(record)
     }
 
     /// Number of pools.
@@ -485,7 +653,9 @@ impl Registry {
 
     /// Registers (or replaces) a pointer map.
     pub fn register_ptr_map(&self, decl: PtrMapDecl) {
-        self.ptr_maps.write().insert(decl.type_id.to_string(), decl);
+        let mut ptr_maps = self.ptr_maps.write();
+        ptr_maps.insert(decl.type_id.to_string(), decl.clone());
+        self.wal_submit(RegistryOp::PutPtrMap(decl));
     }
 
     /// Returns every registered pointer map.
@@ -505,7 +675,8 @@ impl Registry {
     pub fn register_log_space(&self, record: LogSpaceRecord) {
         let mut log_spaces = self.log_spaces.write();
         log_spaces.retain(|existing| existing.puddle != record.puddle);
-        log_spaces.push(record);
+        log_spaces.push(record.clone());
+        self.wal_submit(RegistryOp::PutLogSpace(record));
     }
 
     /// Clones every registered log space.
@@ -520,11 +691,13 @@ impl Registry {
 
     /// Marks a log space invalid (its logs will never be replayed).
     pub fn invalidate_log_space(&self, puddle: PuddleId) {
-        for ls in self.log_spaces.write().iter_mut() {
+        let mut log_spaces = self.log_spaces.write();
+        for ls in log_spaces.iter_mut() {
             if ls.puddle == puddle {
                 ls.invalid = true;
             }
         }
+        self.wal_submit(RegistryOp::InvalidateLogSpace { puddle });
     }
 
     // -- Relocation ---------------------------------------------------------
@@ -560,7 +733,10 @@ impl Registry {
             }
         }
         self.update_space_base(new_base);
-        self.save()?;
+        // A base move is a rare, startup-only event that touches every
+        // record; persist it as one atomic checkpoint (rewrite marks and
+        // the new base land together) rather than O(N) WAL records.
+        self.checkpoint()?;
         Ok(true)
     }
 }
@@ -645,7 +821,7 @@ mod tests {
                 puddles: vec![],
             });
             reg.register_puddle(rec).unwrap();
-            reg.save().unwrap();
+            reg.commit().unwrap();
         }
         let reg = Registry::load_or_create(&pm, 7, 1 << 30).unwrap();
         assert!(reg.puddle(id).is_some());
@@ -774,7 +950,7 @@ mod tests {
             let leaked = record(&reg, None);
             reg.register_puddle(leaked.clone()).unwrap();
             reg.unregister_puddle(leaked.id).unwrap(); // free_space "lost"
-            reg.save().unwrap();
+            reg.commit().unwrap();
         }
         let reg = Registry::load_or_create(&pm, 0, 1 << 30).unwrap();
         // The headless pool is gone; the healthy pool kept only live ids.

@@ -10,6 +10,7 @@ use crate::gspace::GlobalSpace;
 use crate::importexport;
 use crate::recovery;
 use crate::registry::{LogSpaceRecord, PoolRecord, PuddleRecord, Registry, RegistryOpError};
+use crate::wal::{Wal, WalHandle};
 use crate::{acl, layout};
 use puddles_pmem::pmdir::PmDir;
 use puddles_pmem::util::align_up;
@@ -18,7 +19,7 @@ use puddles_proto::{
     Credentials, Endpoint, ErrorCode, PuddleId, PuddleInfo, PuddlePurpose, Request, Response,
 };
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Configuration for a daemon instance (one per "machine").
@@ -77,8 +78,12 @@ pub struct DaemonInner {
     pub(crate) pmdir: PmDir,
     pub(crate) gspace: Arc<GlobalSpace>,
     /// The sharded metadata registry; locked per table internally, so there
-    /// is no daemon-wide lock on the request path.
+    /// is no daemon-wide lock on the request path. The metadata WAL it
+    /// persists through is reachable via [`Registry::wal`] (`Stats` reads
+    /// WAL length and checkpoint age from it).
     pub(crate) registry: Registry,
+    /// Orphan puddle files deleted by the startup directory sweep.
+    pub(crate) orphans_swept: AtomicU64,
 }
 
 /// The Puddles daemon: a privileged service managing every puddle on the
@@ -124,30 +129,48 @@ impl From<RegistryOpError> for DaemonError {
 pub(crate) type DaemonResult<T> = std::result::Result<T, DaemonError>;
 
 impl Daemon {
-    /// Starts the daemon: opens the PM directory, reserves the global space,
-    /// loads the registry, relocates puddles if the space base moved, and
-    /// (by default) runs crash recovery before any client can connect.
+    /// Starts the daemon: opens the PM directory, reserves the global
+    /// space, opens the metadata WAL and loads the registry through it
+    /// (checkpoint, WAL replay, reconcile), relocates puddles if the space
+    /// base moved, sweeps orphan puddle files, and (by default) runs crash
+    /// recovery before any client can connect.
     pub fn start(config: DaemonConfig) -> Result<Self> {
         let pmdir = PmDir::open(&config.pm_dir)?;
         let gspace = Arc::new(GlobalSpace::reserve(config.space_base, config.space_size)?);
-        let registry =
-            Registry::load_or_create(&pmdir, gspace.base() as u64, gspace.size() as u64)?;
+        let wal: WalHandle = Arc::new(Wal::open(&pmdir)?);
+        let registry = Registry::load_or_create_with_wal(
+            &pmdir,
+            wal,
+            gspace.base() as u64,
+            gspace.size() as u64,
+        )?;
         let daemon = Daemon {
             inner: Arc::new(DaemonInner {
                 config,
                 pmdir,
                 gspace,
                 registry,
+                orphans_swept: AtomicU64::new(0),
             }),
         };
         daemon
             .inner
             .registry
             .apply_base_relocation(daemon.inner.gspace.base() as u64)?;
+        // The registry (healed by replay + reconcile) is now the source of
+        // truth; delete puddle files it does not know about — a crash
+        // mid-`DropPool` can leave freed members' files behind.
+        let swept = recovery::sweep_orphan_files(&daemon.inner)?;
+        daemon.inner.orphans_swept.store(swept, Ordering::Relaxed);
         if daemon.inner.config.auto_recover {
             let _ = recovery::run_recovery(&daemon.inner)?;
         }
         Ok(daemon)
+    }
+
+    /// Forces a registry checkpoint now (normally triggered by WAL growth).
+    pub fn checkpoint(&self) -> Result<()> {
+        self.inner.registry.checkpoint()
     }
 
     /// Returns the global puddle space shared with in-process clients.
@@ -227,7 +250,7 @@ impl Daemon {
             }
             Request::RegisterPtrMap { decl } => {
                 self.inner.registry.register_ptr_map(decl);
-                self.inner.registry.save()?;
+                self.inner.registry.commit()?;
                 Ok(Response::Ok)
             }
             Request::GetPtrMaps => Ok(Response::PtrMaps(self.inner.registry.ptr_maps())),
@@ -260,7 +283,7 @@ impl Daemon {
                         p.translations.clear();
                     })
                     .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "no such puddle"))?;
-                self.inner.registry.save()?;
+                self.inner.registry.commit()?;
                 Ok(Response::Ok)
             }
             Request::Recover => {
@@ -281,6 +304,7 @@ impl Daemon {
     fn stats(&self) -> puddles_proto::DaemonStats {
         let reg = &self.inner.registry;
         let (puddles, space_used) = reg.puddle_usage();
+        let wal = reg.wal().stats();
         puddles_proto::DaemonStats {
             puddles,
             pools: reg.pool_count(),
@@ -288,6 +312,11 @@ impl Daemon {
             log_spaces: reg.log_space_count(),
             space_used,
             space_total: self.inner.gspace.size() as u64,
+            wal_bytes: wal.bytes,
+            wal_records: wal.records,
+            checkpoints: wal.checkpoints,
+            checkpoint_age_ms: wal.checkpoint_age_ms,
+            orphan_files_swept: self.inner.orphans_swept.load(Ordering::Relaxed),
         }
     }
 
@@ -351,7 +380,7 @@ impl Daemon {
             let _ = self.inner.pmdir.delete_puddle_file(&file);
             return Err(DaemonError::from(e));
         }
-        reg.save()?;
+        reg.commit()?;
         Ok(info)
     }
 
@@ -406,7 +435,7 @@ impl Daemon {
             .unregister_puddle(id)
             .ok_or_else(|| DaemonError::new(ErrorCode::NotFound, "no such puddle"))?;
         reg.free_space(record.offset, record.size);
-        reg.save()?;
+        reg.commit()?;
         self.inner
             .pmdir
             .delete_puddle_file(&record.file)
@@ -455,7 +484,7 @@ impl Daemon {
                         self.inner.registry.update_puddle(id, |p| p.pool = None);
                     }
                 }
-                let _ = self.inner.registry.save();
+                let _ = self.inner.registry.commit();
                 return Err(e);
             }
         };
@@ -467,7 +496,7 @@ impl Daemon {
                 pool.to_info()
             })
             .ok_or_else(|| DaemonError::new(ErrorCode::Internal, "pool vanished"))?;
-        self.inner.registry.save()?;
+        self.inner.registry.commit()?;
         Ok(info)
     }
 
@@ -542,7 +571,7 @@ impl Daemon {
                 }
             }
         }
-        reg.save()?;
+        reg.commit()?;
         match first_error {
             Some(e) => Err(e),
             None => Ok(()),
@@ -578,7 +607,7 @@ impl Daemon {
             owner_gid: creds.gid,
             invalid: false,
         });
-        reg.save()?;
+        reg.commit()?;
         Ok(())
     }
 

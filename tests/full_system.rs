@@ -90,3 +90,28 @@ fn exported_pool_survives_the_machine_and_imports_elsewhere() {
     assert_eq!(count, 200);
     assert_eq!(sum, (0..200).map(|i| i * 3).sum::<u64>());
 }
+
+#[test]
+fn pooled_client_connection_survives_a_daemon_server_restart() {
+    let tmp = tempfile::tempdir().unwrap();
+    let daemon = Daemon::start(DaemonConfig::for_testing(tmp.path())).unwrap();
+    let socket = tmp.path().join("restart.sock");
+    let mut server = UdsServer::start(daemon.clone(), &socket).unwrap();
+
+    let client = PuddleClient::connect_uds_shared(&socket, daemon.global_space()).unwrap();
+    client.ping().unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.pools, 0);
+
+    // Restart the socket server: every connection the client pooled is now
+    // a dead socket. The next call must detect the stale connection and
+    // retry once on a fresh one instead of surfacing EOF/EPIPE.
+    server.shutdown();
+    let _server = UdsServer::start(daemon.clone(), &socket).unwrap();
+
+    client
+        .ping()
+        .expect("pooled connection should retry after restart");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.pools, 0);
+}
