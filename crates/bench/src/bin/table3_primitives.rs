@@ -1,13 +1,109 @@
 //! Table 3: mean latency of API primitives (TX NOP, TX_ADD 8 B / 4 KiB,
-//! malloc 8 B / 4 KiB, malloc+free 8 B / 4 KiB) for Puddles vs PMDK-sim.
+//! malloc 8 B / 4 KiB, malloc+free 8 B / 4 KiB) for Puddles vs PMDK-sim,
+//! plus the log-append microbenchmark behind the fence-minimized commit
+//! path (fenced baseline vs volatile-cursor `LogWriter`, single- and
+//! 8-threaded).
+//!
+//! Pass `--json <path>` to also write the commit-path numbers as
+//! `BENCH_tx_commit.json` for CI perf tracking.
 
 use puddles_bench::{emit_header, emit_row, test_env, time_it, Scale};
+use puddles_logfmt::{EntryKind, LogRef, LogWriter, ReplayOrder, SEQ_UNDO};
+
+/// Appends 8-byte undo entries into a DRAM-backed log until `iters` appends
+/// are done, resetting the log whenever it fills; returns appends/s.
+///
+/// `fenced` selects the durable-header baseline path (`LogRef::append`, two
+/// flush+fence rounds per append — the pre-optimization commit path) vs the
+/// volatile-cursor fast path (`LogWriter::append`, one unfenced flush).
+fn append_throughput(iters: u64, fenced: bool) -> f64 {
+    let mut buf = vec![0u8; 4 << 20];
+    // SAFETY: `buf` outlives the LogRef and is only accessed through it.
+    let log = unsafe { LogRef::from_raw(buf.as_mut_ptr(), buf.len()) };
+    log.init();
+    let payload = [0xABu8; 8];
+    let (d, _) = time_it(|| {
+        if fenced {
+            let mut done = 0u64;
+            while done < iters {
+                log.reset();
+                while done < iters
+                    && log
+                        .append(
+                            0x1000,
+                            SEQ_UNDO,
+                            ReplayOrder::Reverse,
+                            EntryKind::Undo,
+                            &payload,
+                        )
+                        .is_ok()
+                {
+                    done += 1;
+                }
+            }
+        } else {
+            let mut done = 0u64;
+            while done < iters {
+                let mut w = LogWriter::begin(log).expect("begin");
+                while done < iters
+                    && w.append(
+                        0x1000,
+                        SEQ_UNDO,
+                        ReplayOrder::Reverse,
+                        EntryKind::Undo,
+                        &payload,
+                    )
+                    .is_ok()
+                {
+                    done += 1;
+                }
+                w.reset();
+            }
+        }
+    });
+    iters as f64 / d.as_secs_f64()
+}
+
+/// Unfenced append throughput summed over `threads` concurrent writers,
+/// each owning a private DRAM-backed log (the per-thread-log design).
+///
+/// Sums the rates each thread measures over its own append loop, so thread
+/// spawn, buffer allocation, and log init stay outside the measurement and
+/// the number is comparable with the single-thread one.
+fn append_throughput_mt(iters_per_thread: u64, threads: usize) -> f64 {
+    let handles: Vec<_> = (0..threads)
+        .map(|_| std::thread::spawn(move || append_throughput(iters_per_thread, false)))
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).sum()
+}
 
 fn main() {
     let scale = Scale::from_args();
     let iters = scale.pick(2_000u64, 50_000u64);
+    let json_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
 
     emit_header();
+
+    // ----- Log-append microbenchmark (the tentpole metric) -----
+    let append_iters = scale.pick(200_000u64, 2_000_000u64);
+    let fenced = append_throughput(append_iters, true);
+    let unfenced = append_throughput(append_iters, false);
+    let unfenced_8t = append_throughput_mt(append_iters, 8);
+    emit_row("table3", "puddles", "log_append_fenced_per_s", "1", fenced);
+    emit_row("table3", "puddles", "log_append_per_s", "1", unfenced);
+    emit_row("table3", "puddles", "log_append_per_s", "8", unfenced_8t);
+    emit_row(
+        "table3",
+        "puddles",
+        "log_append_speedup",
+        "-",
+        unfenced / fenced,
+    );
 
     // ----- Puddles -----
     let (_tmp, _daemon, client) = test_env();
@@ -30,7 +126,9 @@ fn main() {
         d.as_nanos() as f64 / iters as f64,
     );
 
-    // TX_ADD 8 B / 4 KiB.
+    // TX_ADD 8 B / 4 KiB. The 8 B case is the per-transaction commit
+    // latency tracked in BENCH_tx_commit.json.
+    let mut commit_latency_ns = 0.0f64;
     for (label, len) in [("tx_add_8B", 8usize), ("tx_add_4KiB", 4096)] {
         let (d, _) = time_it(|| {
             for _ in 0..iters {
@@ -42,13 +140,11 @@ fn main() {
                     .unwrap();
             }
         });
-        emit_row(
-            "table3",
-            "puddles",
-            label,
-            "-",
-            d.as_nanos() as f64 / iters as f64,
-        );
+        let ns = d.as_nanos() as f64 / iters as f64;
+        if label == "tx_add_8B" {
+            commit_latency_ns = ns;
+        }
+        emit_row("table3", "puddles", label, "-", ns);
     }
 
     // malloc (allocate only) and malloc+free, 8 B / 4 KiB.
@@ -164,5 +260,15 @@ fn main() {
             "-",
             d.as_nanos() as f64 / iters as f64,
         );
+    }
+
+    // ----- CI perf-tracking artifact -----
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"appends_per_sec_1t\": {unfenced:.0},\n  \"appends_per_sec_8t\": {unfenced_8t:.0},\n  \"appends_per_sec_1t_fenced_baseline\": {fenced:.0},\n  \"append_speedup_vs_fenced\": {:.3},\n  \"commit_latency_ns\": {commit_latency_ns:.1}\n}}\n",
+            unfenced / fenced
+        );
+        std::fs::write(&path, json).expect("write bench json");
+        eprintln!("wrote {path}");
     }
 }

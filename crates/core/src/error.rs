@@ -21,6 +21,13 @@ pub enum Error {
     UnexpectedResponse(String),
     /// A pool or puddle ran out of space and could not grow.
     OutOfMemory(String),
+    /// The transaction logged more data than its log puddle can hold.
+    TxTooLarge {
+        /// Bytes the rejected log entry would occupy.
+        need: usize,
+        /// Bytes still free in the transaction's log.
+        free: usize,
+    },
     /// The requested object or address does not belong to this pool.
     InvalidAddress(u64),
     /// Persistent data failed a validity check.
@@ -42,6 +49,10 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "daemon transport error: {e}"),
             Error::UnexpectedResponse(msg) => write!(f, "unexpected daemon response: {msg}"),
             Error::OutOfMemory(msg) => write!(f, "out of persistent memory: {msg}"),
+            Error::TxTooLarge { need, free } => write!(
+                f,
+                "transaction too large: log entry needs {need} B but only {free} B remain in the log"
+            ),
             Error::InvalidAddress(addr) => write!(f, "address {addr:#x} is not managed here"),
             Error::Corruption(msg) => write!(f, "corruption detected: {msg}"),
             Error::CrashInjected(name) => write!(f, "crash injected at failpoint `{name}`"),
@@ -66,6 +77,7 @@ impl From<PmError> for Error {
     fn from(e: PmError) -> Self {
         match e {
             PmError::CrashInjected(name) => Error::CrashInjected(name),
+            PmError::LogFull { need, free } => Error::TxTooLarge { need, free },
             other => Error::Pm(other),
         }
     }
@@ -110,5 +122,26 @@ mod tests {
         assert!(e.to_string().contains("0x1234"));
         let e = Error::OutOfMemory("pool q".into());
         assert!(e.to_string().contains("pool q"));
+        let e = Error::TxTooLarge {
+            need: 4096,
+            free: 128,
+        };
+        assert!(e.to_string().contains("transaction too large"));
+    }
+
+    #[test]
+    fn log_full_converts_to_tx_too_large() {
+        let e: Error = PmError::LogFull {
+            need: 100,
+            free: 10,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            Error::TxTooLarge {
+                need: 100,
+                free: 10
+            }
+        ));
     }
 }

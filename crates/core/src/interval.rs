@@ -1,0 +1,217 @@
+//! A small interval set over byte addresses, used by transactions to
+//! deduplicate undo logging.
+//!
+//! `TX_ADD`-style APIs are routinely called for the same location many
+//! times per transaction (a B-tree node is re-logged on every key shifted
+//! within it). Only the *first* touch needs an undo entry — it already
+//! captures the pre-transaction bytes, and reverse-order replay applies it
+//! last, so later entries for the same range are pure overhead. The
+//! transaction records every undo-logged `[start, end)` range here and
+//! skips the append when a range is already fully covered.
+//!
+//! The same set drives commit stage 1: the merged, sorted spans are what
+//! must be flushed, and sorting lets the flush loop skip cache lines shared
+//! with the previous span.
+
+/// A set of disjoint, sorted `[start, end)` byte intervals.
+///
+/// Inserts merge overlapping *and adjacent* intervals, so the span list
+/// stays short for the common access patterns (sequential field logging,
+/// repeated re-logging of one node).
+#[derive(Debug, Default, Clone)]
+pub struct IntervalSet {
+    /// Sorted by `start`; pairwise disjoint and non-adjacent.
+    spans: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// Number of disjoint spans currently in the set.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Returns `true` if the set contains no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Removes every span.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+
+    /// Returns `true` if `[start, start + len)` is entirely covered by one
+    /// existing span. Zero-length ranges are trivially covered.
+    pub fn covers(&self, start: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let end = start.saturating_add(len);
+        // The only candidate is the last span starting at or before `start`
+        // (spans are disjoint, so a covering span must start <= start).
+        match self.spans.partition_point(|&(s, _)| s <= start) {
+            0 => false,
+            i => {
+                let (_, span_end) = self.spans[i - 1];
+                end <= span_end
+            }
+        }
+    }
+
+    /// Inserts `[start, start + len)`, merging it with every overlapping or
+    /// adjacent span.
+    pub fn insert(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let mut new_start = start;
+        let mut new_end = start.saturating_add(len);
+        // First span that could interact: the last one starting before the
+        // new range (it may swallow or abut it), else the insert position.
+        let mut i = self.spans.partition_point(|&(s, _)| s < new_start);
+        if i > 0 && self.spans[i - 1].1 >= new_start {
+            i -= 1;
+        }
+        // Consume every span that overlaps or abuts the growing range.
+        let mut j = i;
+        while j < self.spans.len() && self.spans[j].0 <= new_end {
+            new_start = new_start.min(self.spans[j].0);
+            new_end = new_end.max(self.spans[j].1);
+            j += 1;
+        }
+        self.spans.splice(i..j, [(new_start, new_end)]);
+    }
+
+    /// Iterates the disjoint spans as `(start, end)` pairs in address order.
+    pub fn spans(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.spans.iter().copied()
+    }
+
+    /// Total bytes covered.
+    pub fn covered_bytes(&self) -> u64 {
+        self.spans.iter().map(|&(s, e)| e - s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_covers_nothing_but_zero_length() {
+        let set = IntervalSet::new();
+        assert!(set.is_empty());
+        assert!(!set.covers(0, 1));
+        assert!(set.covers(123, 0));
+    }
+
+    #[test]
+    fn exact_relog_is_covered() {
+        let mut set = IntervalSet::new();
+        set.insert(0x100, 64);
+        assert!(set.covers(0x100, 64));
+        assert!(set.covers(0x110, 16));
+        assert!(!set.covers(0x100, 65));
+        assert!(!set.covers(0xFF, 2));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn adjacent_and_overlapping_inserts_merge() {
+        let mut set = IntervalSet::new();
+        set.insert(0, 8);
+        set.insert(8, 8); // adjacent
+        assert_eq!(set.len(), 1);
+        assert!(set.covers(0, 16));
+        set.insert(32, 8);
+        assert_eq!(set.len(), 2);
+        set.insert(12, 24); // bridges both spans
+        assert_eq!(set.len(), 1);
+        assert!(set.covers(0, 40));
+        assert_eq!(set.covered_bytes(), 40);
+    }
+
+    #[test]
+    fn insert_before_existing_spans_keeps_order() {
+        let mut set = IntervalSet::new();
+        set.insert(100, 10);
+        set.insert(10, 5);
+        let spans: Vec<_> = set.spans().collect();
+        assert_eq!(spans, vec![(10, 15), (100, 110)]);
+        assert!(set.covers(10, 5));
+        assert!(!set.covers(10, 91));
+    }
+
+    #[test]
+    fn clear_empties_the_set() {
+        let mut set = IntervalSet::new();
+        set.insert(4, 4);
+        set.clear();
+        assert!(set.is_empty());
+        assert!(!set.covers(4, 4));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Dedup safety: after any sequence of inserts, every inserted
+            /// range is covered (a first-touch undo range is never dropped),
+            /// and `covers` answered `false` the first time any byte of a
+            /// range was new.
+            #[test]
+            fn first_touch_is_never_dropped(ranges in proptest::collection::vec((0u64..512, 1u64..64), 1..60)) {
+                let mut set = IntervalSet::new();
+                let mut touched = vec![false; 1024];
+                for &(start, len) in &ranges {
+                    let any_new = (start..start + len).any(|b| !touched[b as usize]);
+                    // `covers` may only say "skip the log append" when every
+                    // byte has already been captured by an earlier insert.
+                    prop_assert_eq!(set.covers(start, len), !any_new);
+                    if any_new {
+                        set.insert(start, len);
+                        for b in start..start + len {
+                            touched[b as usize] = true;
+                        }
+                    }
+                    // Everything ever inserted stays covered.
+                    for &(s, l) in &ranges {
+                        if (s..s + l).all(|b| touched[b as usize]) {
+                            prop_assert!(set.covers(s, l));
+                        }
+                    }
+                }
+            }
+
+            /// Structural invariants: spans are sorted, disjoint and
+            /// non-adjacent, and coverage matches a bitmap oracle.
+            #[test]
+            fn spans_stay_sorted_disjoint_and_match_oracle(ranges in proptest::collection::vec((0u64..512, 0u64..64), 0..60)) {
+                let mut set = IntervalSet::new();
+                let mut oracle = vec![false; 1024];
+                for &(start, len) in &ranges {
+                    set.insert(start, len);
+                    for b in start..start + len {
+                        oracle[b as usize] = true;
+                    }
+                }
+                let spans: Vec<_> = set.spans().collect();
+                for w in spans.windows(2) {
+                    prop_assert!(w[0].1 < w[1].0, "spans {w:?} overlap or abut");
+                }
+                for (b, &t) in oracle.iter().enumerate() {
+                    prop_assert_eq!(set.covers(b as u64, 1), t, "byte {}", b);
+                }
+                prop_assert_eq!(set.covered_bytes(), oracle.iter().filter(|&&t| t).count() as u64);
+            }
+        }
+    }
+}

@@ -51,6 +51,7 @@
 pub mod alloc;
 pub mod client;
 pub mod error;
+pub mod interval;
 pub mod pool;
 pub mod ptr;
 pub mod puddle;
@@ -61,6 +62,7 @@ pub mod types;
 pub use alloc::{MetaLogger, NoLog, ObjRef, PuddleAlloc};
 pub use client::{PuddleClient, LOGSPACE_PUDDLE_SIZE, LOG_PUDDLE_SIZE};
 pub use error::{Error, Result};
+pub use interval::IntervalSet;
 pub use pool::{Pool, PoolOptions};
 pub use ptr::PmPtr;
 pub use puddle::MappedPuddle;

@@ -7,25 +7,51 @@
 //! ([`Transaction::redo_set`], the analogue of `TX_REDO_SET`); commit then
 //! runs the three stages of Fig. 7:
 //!
-//! 1. flush every undo-logged location, fence, publish sequence range
-//!    `(2,4)`;
-//! 2. copy every redo entry to its target, flush, fence, publish `(4,4)`;
+//! 1. flush every undo-logged location (coalesced by cache line), fence,
+//!    publish sequence range `(2,4)`;
+//! 2. copy every redo entry to its target (straight from the log memory —
+//!    zero-copy), flush, fence, publish `(4,4)`;
 //! 3. the transaction is complete; the log is reset.
+//!
+//! # Persist cost of the hot path
+//!
+//! Log appends go through [`LogWriter`]: the cursor lives in DRAM, so an
+//! append is one unfenced flush — no log-header rewrite and no `sfence`.
+//! The fences the stages above already issue are the only fences in a
+//! transaction; by the time a sequence range advances, every entry flushed
+//! before it is durable. Undo logging is additionally *deduplicated*
+//! through an [`IntervalSet`]: re-logging an already-covered location (the
+//! dominant pattern in tree updates) appends nothing.
+//!
+//! One ordering caveat is inherent to eliding the per-append fence: after
+//! `add`/`set` return, nothing orders the undo entry's write-back before
+//! the caller's in-place store to the same location. On ADR hardware whose
+//! cache evicts lines in arbitrary order, a power failure could persist
+//! the mutated data while the (flushed but unfenced) undo entry is still
+//! in cache, leaving that location unrecoverable. This reproduction's
+//! crash model makes the race unobservable — crashes are failpoint-driven
+//! process exits over mmap-backed "PM", so every executed store is
+//! durable and tearing exists only where failpoints inject it — but a port
+//! to real PM must fence between a *first-touch* undo append and the store
+//! it guards (dedup already makes later touches fence-free). Tracked in
+//! ROADMAP.
 //!
 //! A crash anywhere in this sequence leaves the log in a state from which
 //! the daemon's recovery (stage-aware replay) produces a consistent result:
-//! before `(2,4)` the undo entries roll the transaction back, after it the
-//! redo entries roll it forward.
+//! before `(2,4)` the durable prefix of undo entries rolls the transaction
+//! back, after it the redo entries roll it forward.
 
 use crate::alloc::MetaLogger;
 use crate::client::ClientInner;
 use crate::error::{Error, Result};
+use crate::interval::IntervalSet;
 use puddles_logfmt::{
-    replay_log, DirectMemoryTarget, EntryKind, LogRef, ReplayOrder, RANGE_EXEC, RANGE_REDO,
+    replay_log, DirectMemoryTarget, EntryKind, LogRef, LogWriter, ReplayOrder, RANGE_REDO,
     SEQ_REDO, SEQ_UNDO,
 };
 use puddles_pmem::failpoint;
 use puddles_pmem::persist;
+use puddles_pmem::CACHELINE;
 use std::cell::Cell;
 use std::sync::Arc;
 
@@ -40,8 +66,10 @@ thread_local! {
 pub struct Transaction<'c> {
     #[allow(dead_code)]
     client: &'c ClientInner,
-    log: LogRef,
-    undo_locations: Vec<(u64, u32)>,
+    writer: LogWriter,
+    /// Undo-logged `[addr, addr+len)` ranges: dedups re-logging and drives
+    /// the coalesced stage-1 flush.
+    undo_set: IntervalSet,
 }
 
 impl<'c> Transaction<'c> {
@@ -53,22 +81,30 @@ impl<'c> Transaction<'c> {
     }
 
     /// Undo-logs `[addr, addr + len)`.
+    ///
+    /// Re-logging a range that earlier undo logging already covers is a
+    /// no-op: the first entry captured the pre-transaction bytes, and
+    /// reverse-order replay applies it last, so it alone decides the
+    /// rolled-back contents.
     pub fn add_range(&mut self, addr: usize, len: usize) -> Result<()> {
         if len == 0 {
+            return Ok(());
+        }
+        if self.undo_set.covers(addr as u64, len as u64) {
             return Ok(());
         }
         // SAFETY: the caller asserts (by passing the location to a logging
         // call) that `[addr, addr+len)` is a mapped, readable persistent
         // location it owns for the duration of the transaction.
         let data = unsafe { std::slice::from_raw_parts(addr as *const u8, len) };
-        self.log.append(
+        self.writer.append(
             addr as u64,
             SEQ_UNDO,
             ReplayOrder::Reverse,
             EntryKind::Undo,
             data,
         )?;
-        self.undo_locations.push((addr as u64, len as u32));
+        self.undo_set.insert(addr as u64, len as u64);
         Ok(())
     }
 
@@ -94,7 +130,7 @@ impl<'c> Transaction<'c> {
 
     /// Redo-logs a store of `bytes` at `addr`.
     pub fn redo_set_bytes(&mut self, addr: usize, bytes: &[u8]) -> Result<()> {
-        self.log.append(
+        self.writer.append(
             addr as u64,
             SEQ_REDO,
             ReplayOrder::Forward,
@@ -106,12 +142,15 @@ impl<'c> Transaction<'c> {
 
     /// Logs the current contents of a *volatile* location so an abort can
     /// restore it; ignored by post-crash recovery (§4.1).
+    ///
+    /// Volatile entries are not deduplicated: they live in a different
+    /// address space than the persistent undo set tracks.
     pub fn add_volatile<T>(&mut self, target: &T) -> Result<()> {
         let addr = target as *const T as usize;
         let len = std::mem::size_of::<T>();
         // SAFETY: as in `add_range`, for a volatile location.
         let data = unsafe { std::slice::from_raw_parts(addr as *const u8, len) };
-        self.log.append(
+        self.writer.append(
             addr as u64,
             SEQ_UNDO,
             ReplayOrder::Reverse,
@@ -123,13 +162,23 @@ impl<'c> Transaction<'c> {
 
     /// Returns the number of log entries recorded so far.
     pub fn entries(&self) -> u64 {
-        self.log.num_entries()
+        self.writer.num_entries()
     }
 
     fn commit(&mut self) -> Result<()> {
-        // Stage 1: make every undo-logged location durable.
-        for &(addr, len) in &self.undo_locations {
-            persist::flush(addr as *const u8, len as usize);
+        // Stage 1: make every undo-logged location durable. Spans are
+        // sorted and disjoint, so tracking the last flushed cache line
+        // ensures a line shared by two spans is flushed once. The closing
+        // `sfence` also commits every unfenced log-entry flush issued by
+        // the appends.
+        let line_mask = !(CACHELINE as u64 - 1);
+        let mut flushed_to: u64 = 0;
+        for (start, end) in self.undo_set.spans() {
+            let from = (start & line_mask).max(flushed_to);
+            if from < end {
+                persist::flush(from as *const u8, (end - from) as usize);
+                flushed_to = (end + CACHELINE as u64 - 1) & line_mask;
+            }
         }
         persist::sfence();
         if failpoint::should_fail(failpoint::names::COMMIT_AFTER_UNDO_FLUSH) {
@@ -138,18 +187,25 @@ impl<'c> Transaction<'c> {
             ));
         }
         // Publish stage 2: only redo entries are live from here on.
-        self.log.set_seq_range(RANGE_REDO);
+        self.writer.set_seq_range(RANGE_REDO);
         if failpoint::should_fail(failpoint::names::COMMIT_BEFORE_REDO_APPLY) {
             return Err(Error::CrashInjected(
                 failpoint::names::COMMIT_BEFORE_REDO_APPLY,
             ));
         }
 
-        // Stage 2: apply the redo entries in logging order.
+        // Stage 2: apply the redo entries in logging order, copying each
+        // payload straight out of the log memory (zero-copy).
+        let log = self.writer.log_ref();
         let mut applied = 0usize;
-        for (hdr, data) in self.log.live_entries() {
+        for (hdr, data) in log.iter() {
+            if !RANGE_REDO.contains(hdr.seq) {
+                continue;
+            }
             // SAFETY: the application redo-logged this address inside the
-            // transaction, asserting it owns a writable mapping of it.
+            // transaction, asserting it owns a writable mapping of it; the
+            // log memory and the target never overlap (log puddles hold no
+            // application data).
             unsafe {
                 std::ptr::copy_nonoverlapping(data.as_ptr(), hdr.addr as *mut u8, data.len());
             }
@@ -170,15 +226,15 @@ impl<'c> Transaction<'c> {
         }
 
         // Stage 3: the transaction is complete; drop the log.
-        self.log.reset();
+        self.writer.reset();
         Ok(())
     }
 
     fn abort(&mut self) {
         // Roll back in-place (undo-logged) updates and volatile locations.
         let mut target = DirectMemoryTarget::unrestricted();
-        replay_log(&self.log, &mut target, true);
-        self.log.reset();
+        replay_log(&self.writer.log_ref(), &mut target, true);
+        self.writer.reset();
     }
 }
 
@@ -208,12 +264,13 @@ fn run_tx_inner<R>(
     log: LogRef,
     body: impl FnOnce(&mut Transaction<'_>) -> Result<R>,
 ) -> Result<R> {
-    log.reset();
-    log.set_seq_range(RANGE_EXEC);
+    // One fenced header write starts the transaction: bump the generation
+    // (orphaning any leftover entries) and publish the exec-stage range.
+    let writer = LogWriter::begin(log)?;
     let mut tx = Transaction {
         client,
-        log,
-        undo_locations: Vec::new(),
+        writer,
+        undo_set: IntervalSet::new(),
     };
     match body(&mut tx) {
         Ok(value) => match tx.commit() {

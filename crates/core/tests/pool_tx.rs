@@ -309,6 +309,139 @@ fn crash_during_commit_is_recovered_by_the_system() {
 }
 
 #[test]
+fn crash_after_unfenced_appends_rolls_back_exactly_the_logged_prefix() {
+    use puddles_pmem::failpoint;
+
+    // The volatile-cursor log keeps no durable head pointer: after a crash
+    // mid-body, recovery must replay exactly the checksummed prefix of
+    // unfenced appends. The body issues three appends (undo `value`, undo
+    // `touched`, redo `value`); crash after N = 0, 1, 2 of them. Every
+    // durable undo entry must roll its field back, fields never logged were
+    // never modified, and the redo entry is never applied (the commit point
+    // was not reached).
+    for n in 0..3usize {
+        let tmp = tempfile::tempdir().unwrap();
+        let config = DaemonConfig::for_testing(tmp.path());
+        {
+            let daemon = Daemon::start(config.clone()).unwrap();
+            let client = PuddleClient::connect_local(&daemon).unwrap();
+            let pool = client
+                .create_pool("prefix", PoolOptions::default())
+                .unwrap();
+            pool.tx(|tx| {
+                pool.create_root(
+                    tx,
+                    Counter {
+                        value: 10,
+                        touched: 20,
+                    },
+                )
+            })
+            .unwrap();
+            let root: PmPtr<Counter> = pool.root().unwrap();
+
+            failpoint::arm(failpoint::names::LOG_APPEND_CRASH, n);
+            let err = pool
+                .tx(|tx| {
+                    let c = pool.deref_mut(root)?;
+                    tx.set(&mut c.value, 111)?; // append 1 (undo)
+                    tx.set(&mut c.touched, 222)?; // append 2 (undo)
+                    tx.redo_set(&c.value, 333u64)?; // append 3 (redo)
+                    Ok(())
+                })
+                .unwrap_err();
+            failpoint::clear_all();
+            assert!(err.is_injected_crash(), "n={n}: got {err}");
+        }
+
+        // Restart: system recovery replays the durable undo prefix.
+        let daemon = Daemon::start(config).unwrap();
+        let client = PuddleClient::connect_local(&daemon).unwrap();
+        let pool = client.open_pool("prefix").unwrap();
+        let root: PmPtr<Counter> = pool.root().unwrap();
+        let c = pool.deref(root).unwrap();
+        assert_eq!(c.value, 10, "n={n}: value must be rolled back / untouched");
+        assert_eq!(
+            c.touched, 20,
+            "n={n}: touched must be rolled back / untouched"
+        );
+    }
+}
+
+#[test]
+fn relogging_a_covered_range_appends_nothing() {
+    let (_tmp, _config, _daemon, client) = setup();
+    let pool = client.create_pool("dedup", PoolOptions::default()).unwrap();
+    pool.tx(|tx| {
+        pool.create_root(
+            tx,
+            Counter {
+                value: 1,
+                touched: 0,
+            },
+        )
+    })
+    .unwrap();
+    let root: PmPtr<Counter> = pool.root().unwrap();
+    // The btree's dominant pattern: the same location is undo-logged on
+    // every mutation of its node. Only the first touch may append.
+    pool.tx(|tx| {
+        let c = pool.deref_mut(root)?;
+        tx.set(&mut c.value, 2)?;
+        let after_first = tx.entries();
+        for i in 3..20u64 {
+            tx.set(&mut c.value, i)?;
+        }
+        assert_eq!(
+            tx.entries(),
+            after_first,
+            "re-logging a covered range must not append"
+        );
+        // A range that spills beyond the covered one still logs.
+        tx.set(&mut c.touched, 9)?;
+        assert_eq!(tx.entries(), after_first + 1);
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(pool.deref(root).unwrap().value, 19);
+    assert_eq!(pool.deref(root).unwrap().touched, 9);
+
+    // Dedup must not break rollback to the *first-touch* value: the undo
+    // entry captured value == 19, not any intermediate.
+    let _ = pool.tx(|tx| {
+        let c = pool.deref_mut(root)?;
+        for i in 0..10u64 {
+            tx.set(&mut c.value, 100 + i)?;
+        }
+        Err::<(), _>(Error::Aborted("rollback".into()))
+    });
+    assert_eq!(pool.deref(root).unwrap().value, 19);
+}
+
+#[test]
+fn oversized_transaction_reports_tx_too_large() {
+    let (_tmp, _config, _daemon, client) = setup();
+    let pool = client.create_pool("huge", PoolOptions::default()).unwrap();
+    // Redo-log more bytes than the 4 MiB log puddle can hold; the failure
+    // must surface as TxTooLarge, and the abort must leave data intact.
+    let blob = vec![0u8; 256 * 1024];
+    let addr = pool.tx(|tx| pool.alloc_raw(tx, blob.len(), 0)).unwrap();
+    let err = pool
+        .tx(|tx| {
+            // 64 x 256 KiB = 16 MiB of redo payload against a 4 MiB log.
+            for _ in 0..64 {
+                tx.redo_set_bytes(addr, &blob)?;
+            }
+            Ok(())
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::TxTooLarge { .. }),
+        "expected TxTooLarge, got {err}"
+    );
+}
+
+#[test]
 fn export_import_rewrites_pointers_and_keeps_both_copies_open() {
     let (tmp, _config, _daemon, client) = setup();
     let pool = client

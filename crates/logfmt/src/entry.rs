@@ -53,10 +53,18 @@ impl EntryKind {
 /// The checksum covers every other header field plus the payload, so a torn
 /// append (header or data only partially persisted) is detected and the
 /// entry skipped, exactly like PMDK's log checksums.
+///
+/// The `gen` field ties the entry to one *generation* of its log: the log
+/// header stores the current generation and bumps it whenever the log is
+/// (re)started, so the validity scan never mistakes a leftover entry from an
+/// earlier transaction for the continuation of the current one. This is what
+/// lets the log keep its append cursor in DRAM — validity is decided
+/// entirely by `checksum ∧ gen`, not by a durable head pointer.
 #[derive(Debug, Clone, Copy)]
 #[repr(C)]
 pub struct LogEntryHeader {
-    /// FNV-1a 64 over (addr, size, seq, order, kind, flags) and the payload.
+    /// FNV-1a 64 over (addr, size, seq, order, kind, flags, gen) and the
+    /// payload.
     pub checksum: u64,
     /// Target virtual address in the global puddle space (or a volatile
     /// address for [`EntryKind::Volatile`] entries).
@@ -71,8 +79,8 @@ pub struct LogEntryHeader {
     pub kind: u8,
     /// Reserved flag bits (unused, must be zero).
     pub flags: u16,
-    /// Reserved padding (must be zero).
-    pub rsvd: u32,
+    /// Generation of the log this entry belongs to.
+    pub gen: u32,
 }
 
 /// Size of the entry header in bytes.
@@ -82,9 +90,16 @@ pub const ENTRY_HEADER_SIZE: usize = std::mem::size_of::<LogEntryHeader>();
 pub const ENTRY_ALIGN: usize = 8;
 
 impl LogEntryHeader {
-    /// Builds a header (checksum included) for an entry targeting `addr`
-    /// with payload `data`.
-    pub fn new(addr: u64, seq: u32, order: ReplayOrder, kind: EntryKind, data: &[u8]) -> Self {
+    /// Builds a header (checksum included) for an entry of log generation
+    /// `gen` targeting `addr` with payload `data`.
+    pub fn new(
+        addr: u64,
+        seq: u32,
+        order: ReplayOrder,
+        kind: EntryKind,
+        gen: u32,
+        data: &[u8],
+    ) -> Self {
         let mut hdr = LogEntryHeader {
             checksum: 0,
             addr,
@@ -93,7 +108,7 @@ impl LogEntryHeader {
             order: order as u8,
             kind: kind as u8,
             flags: 0,
-            rsvd: 0,
+            gen,
         };
         hdr.checksum = hdr.compute_checksum(data);
         hdr
@@ -108,7 +123,8 @@ impl LogEntryHeader {
         buf[16] = self.order;
         buf[17] = self.kind;
         buf[18..20].copy_from_slice(&self.flags.to_le_bytes());
-        let seed = fnv1a64(&buf[..20]);
+        buf[20..24].copy_from_slice(&self.gen.to_le_bytes());
+        let seed = fnv1a64(&buf[..24]);
         puddles_pmem::checksum::fnv1a64_with_seed(seed, data)
     }
 
@@ -145,9 +161,10 @@ mod tests {
     #[test]
     fn checksum_roundtrip_verifies() {
         let data = [1u8, 2, 3, 4, 5];
-        let hdr = LogEntryHeader::new(0x1234, 1, ReplayOrder::Reverse, EntryKind::Undo, &data);
+        let hdr = LogEntryHeader::new(0x1234, 1, ReplayOrder::Reverse, EntryKind::Undo, 7, &data);
         assert!(hdr.verify(&data));
         assert_eq!(hdr.size, 5);
+        assert_eq!(hdr.gen, 7);
         assert_eq!(hdr.entry_kind(), Some(EntryKind::Undo));
         assert_eq!(hdr.replay_order(), Some(ReplayOrder::Reverse));
     }
@@ -155,7 +172,7 @@ mod tests {
     #[test]
     fn corrupting_payload_or_header_fails_verification() {
         let data = [7u8; 64];
-        let hdr = LogEntryHeader::new(0xabcd, 3, ReplayOrder::Forward, EntryKind::Redo, &data);
+        let hdr = LogEntryHeader::new(0xabcd, 3, ReplayOrder::Forward, EntryKind::Redo, 1, &data);
         let mut bad = data;
         bad[10] ^= 0xff;
         assert!(!hdr.verify(&bad));
@@ -168,17 +185,23 @@ mod tests {
         bad_seq.seq = 1;
         assert!(!bad_seq.verify(&data));
 
+        // A rewritten generation invalidates the checksum: a stale entry
+        // cannot be forged into the current generation.
+        let mut bad_gen = hdr;
+        bad_gen.gen += 1;
+        assert!(!bad_gen.verify(&data));
+
         // Wrong length payload also fails.
         assert!(!hdr.verify(&data[..63]));
     }
 
     #[test]
     fn stored_size_is_padded() {
-        let hdr = LogEntryHeader::new(0, 1, ReplayOrder::Forward, EntryKind::Redo, &[1, 2, 3]);
+        let hdr = LogEntryHeader::new(0, 1, ReplayOrder::Forward, EntryKind::Redo, 0, &[1, 2, 3]);
         assert_eq!(hdr.stored_size(), 32 + 8);
-        let hdr = LogEntryHeader::new(0, 1, ReplayOrder::Forward, EntryKind::Redo, &[0; 8]);
+        let hdr = LogEntryHeader::new(0, 1, ReplayOrder::Forward, EntryKind::Redo, 0, &[0; 8]);
         assert_eq!(hdr.stored_size(), 32 + 8);
-        let hdr = LogEntryHeader::new(0, 1, ReplayOrder::Forward, EntryKind::Redo, &[]);
+        let hdr = LogEntryHeader::new(0, 1, ReplayOrder::Forward, EntryKind::Redo, 0, &[]);
         assert_eq!(hdr.stored_size(), 32);
     }
 

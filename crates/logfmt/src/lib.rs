@@ -16,11 +16,14 @@
 //!   reverse for undo) and *kind* (undo / redo / volatile), followed by the
 //!   payload bytes.
 //!
-//! Entry validity is `checksum matches ∧ seq ∈ (range.lo, range.hi)`
-//! (exclusive bounds), which lets commit atomically switch between the
-//! hybrid-logging stages of Fig. 7 by publishing a single new range:
-//! `(0,2)` replays only undo entries, `(2,4)` only redo entries, `(4,4)`
-//! replays nothing.
+//! Entry validity is `checksum matches ∧ gen == log.gen ∧ seq ∈
+//! (range.lo, range.hi)` (exclusive bounds), which lets commit atomically
+//! switch between the hybrid-logging stages of Fig. 7 by publishing a
+//! single new range: `(0,2)` replays only undo entries, `(2,4)` only redo
+//! entries, `(4,4)` replays nothing. Because validity never depends on a
+//! durable head pointer, the append cursor lives in DRAM
+//! ([`log::LogWriter`]) and a steady-state append costs one unfenced
+//! flush.
 //!
 //! [`replay`] implements the stage-aware replay used both by the library at
 //! commit time (applying redo entries) and by `puddled` during recovery.
@@ -31,7 +34,7 @@ pub mod logspace;
 pub mod replay;
 
 pub use entry::{EntryKind, LogEntryHeader, ReplayOrder};
-pub use log::{LogRef, SeqRange};
+pub use log::{LogEntries, LogRef, LogWriter, SeqRange};
 pub use logspace::{LogSpaceEntry, LogSpaceRef};
 pub use replay::{replay_log, BufferTarget, DirectMemoryTarget, ReplayStats, ReplayTarget};
 

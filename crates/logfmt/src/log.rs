@@ -1,5 +1,26 @@
 //! The log: a bounded sequence of log entries plus control metadata
 //! (Fig. 6a).
+//!
+//! # Volatile-cursor design
+//!
+//! Validity of a log entry is decided entirely by `checksum matches ∧
+//! gen == header.gen ∧ seq ∈ range`: readers ([`LogRef::iter`]) scan from
+//! the first entry and stop at the first slot whose checksum or generation
+//! does not verify. Because the scan never consults a durable head pointer,
+//! the append cursor can live in DRAM ([`LogWriter`]), and a steady-state
+//! append costs **one unfenced flush** — no header rewrite, no `sfence`.
+//! The single fence a transaction needs is the one its commit already
+//! issues at each stage boundary of Fig. 7: by the time the sequence range
+//! advances (a fenced header write), every entry flushed before it is
+//! durable. A crash before that fence leaves some durable prefix of the
+//! appended entries, which is exactly what stage-aware replay needs.
+//!
+//! The persistent header is touched only by [`LogRef::init`],
+//! [`LogWriter::begin`], [`LogRef::set_seq_range`] and [`LogRef::reset`].
+//! Its `gen` field is bumped whenever a transaction (re)starts the log, so
+//! entries left over from an earlier transaction — which can share offsets
+//! and valid checksums with freshly appended ones — terminate the scan by
+//! generation mismatch instead of being replayed.
 
 use crate::entry::{EntryKind, LogEntryHeader, ReplayOrder, ENTRY_ALIGN, ENTRY_HEADER_SIZE};
 use puddles_pmem::failpoint;
@@ -8,7 +29,7 @@ use puddles_pmem::util::align_up;
 use puddles_pmem::{PmError, Result};
 
 /// Magic number identifying an initialized log area.
-pub const LOG_MAGIC: u64 = 0x5055_4444_4c4f_4731; // "PUDDLOG1"
+pub const LOG_MAGIC: u64 = 0x5055_4444_4c4f_4732; // "PUDDLOG2"
 
 /// The sequence range of a log: entries whose sequence number lies strictly
 /// between `lo` and `hi` are replayed after a crash.
@@ -28,20 +49,29 @@ impl SeqRange {
 }
 
 /// On-PM header at the start of a log area.
+///
+/// `head_off`/`tail_off`/`num_entries` are *advisory*: they are written by
+/// the durable-header append path ([`LogRef::append`]) and by control
+/// operations, but the fast path ([`LogWriter`]) leaves them untouched —
+/// readers must use the checksum/generation scan, never these fields.
 #[derive(Debug, Clone, Copy)]
 #[repr(C)]
 struct LogHeader {
     magic: u64,
     seq_lo: u32,
     seq_hi: u32,
-    /// Offset (from the log base) of the next free byte.
+    /// Advisory offset (from the log base) of the next free byte.
     head_off: u64,
-    /// Offset of the most recently appended entry, or `u64::MAX` if none.
+    /// Advisory offset of the most recently appended entry (`u64::MAX` if
+    /// none).
     tail_off: u64,
     /// Total capacity of the log area in bytes, including this header.
     capacity: u64,
-    /// Number of entries appended since the last reset.
+    /// Advisory number of entries appended since the last reset.
     num_entries: u64,
+    /// Current log generation; only entries carrying this value are valid.
+    gen: u32,
+    _pad: u32,
 }
 
 /// Size of the log header in bytes.
@@ -102,6 +132,8 @@ impl LogRef {
             tail_off: u64::MAX,
             capacity: self.capacity as u64,
             num_entries: 0,
+            gen: 0,
+            _pad: 0,
         };
         self.write_header(hdr);
     }
@@ -116,13 +148,24 @@ impl LogRef {
         self.capacity
     }
 
-    /// Returns the number of payload bytes still available for appends.
-    pub fn free_bytes(&self) -> usize {
-        let hdr = self.read_header();
-        self.capacity.saturating_sub(hdr.head_off as usize)
+    /// Returns the current log generation.
+    pub fn generation(&self) -> u32 {
+        self.read_header().gen
     }
 
-    /// Returns the number of entries appended since the last reset.
+    /// Returns the largest payload that is guaranteed to fit in a single
+    /// further append, based on the *durable* head (see [`LogWriter::free_bytes`]
+    /// for the fast path's volatile view).
+    ///
+    /// The entry header and payload alignment are reserved up front: a
+    /// payload of exactly `free_bytes()` bytes always appends successfully.
+    pub fn free_bytes(&self) -> usize {
+        let hdr = self.read_header();
+        payload_capacity(self.capacity, hdr.head_off as usize)
+    }
+
+    /// Returns the number of entries recorded by the last durable header
+    /// update (advisory; [`LogWriter`] appends do not maintain it).
     pub fn num_entries(&self) -> u64 {
         self.read_header().num_entries
     }
@@ -139,7 +182,8 @@ impl LogRef {
     /// Atomically publishes a new sequence range and persists it.
     ///
     /// This is the single store that moves a committing transaction between
-    /// the stages of Fig. 7.
+    /// the stages of Fig. 7. The generation is preserved: entries of the
+    /// in-flight transaction stay valid across stage transitions.
     pub fn set_seq_range(&self, range: SeqRange) {
         let mut hdr = self.read_header();
         hdr.seq_lo = range.lo;
@@ -147,11 +191,11 @@ impl LogRef {
         self.write_header(hdr);
     }
 
-    /// Appends an entry recording `data` for target address `addr`.
-    ///
-    /// The entry payload and header are persisted before the log header
-    /// advances, so a crash mid-append leaves the log ending at the previous
-    /// entry (or at a checksum-invalid torn entry which replay skips).
+    /// Appends an entry through the durable-header slow path: the payload
+    /// and entry header are persisted (flush + fence), then the log header
+    /// advances and is persisted again — two flush+fence rounds, exactly the
+    /// pre-`LogWriter` cost. Kept as the baseline path for tests, tools and
+    /// benchmarks; transactions use [`LogWriter::append`].
     pub fn append(
         &self,
         addr: u64,
@@ -164,51 +208,23 @@ impl LogRef {
         if hdr.magic != LOG_MAGIC {
             return Err(PmError::Corruption("append to uninitialized log".into()));
         }
-        let entry = LogEntryHeader::new(addr, seq, order, kind, data);
+        let entry = LogEntryHeader::new(addr, seq, order, kind, hdr.gen, data);
         let need = entry.stored_size();
         let off = hdr.head_off as usize;
         if off + need > self.capacity {
-            return Err(PmError::OutOfRange {
-                offset: off,
-                len: need,
+            return Err(PmError::LogFull {
+                need,
+                free: self.capacity.saturating_sub(off),
             });
         }
-        // SAFETY: `off + need <= capacity`, so the destination lies inside
-        // the log area covered by the `from_raw` contract; the source is a
-        // valid local value / caller-provided slice.
-        unsafe {
-            let dst = self.base.add(off);
-            std::ptr::write_unaligned(dst as *mut LogEntryHeader, entry);
-            std::ptr::copy_nonoverlapping(data.as_ptr(), dst.add(ENTRY_HEADER_SIZE), data.len());
-        }
-
-        let torn = failpoint::should_fail(failpoint::names::LOG_APPEND_TORN);
+        let torn = self.write_entry(off, &entry, data);
         if torn {
-            // Simulate a power failure that persisted the header and part of
-            // the payload: corrupt one payload byte (as if the tail cache
-            // line never reached PM), advance the head so replay encounters
-            // the entry, and report the crash.
-            if !data.is_empty() {
-                // SAFETY: same destination range as above.
-                unsafe {
-                    let dst = self.base.add(off + ENTRY_HEADER_SIZE + data.len() - 1);
-                    *dst ^= 0xff;
-                }
-            }
-            persist::persist(
-                // SAFETY: in-range pointer arithmetic as above.
-                unsafe { self.base.add(off) },
-                need,
-            );
             hdr.head_off = (off + need) as u64;
             hdr.tail_off = off as u64;
             hdr.num_entries += 1;
             self.write_header(hdr);
             return Err(PmError::CrashInjected(failpoint::names::LOG_APPEND_TORN));
         }
-
-        // SAFETY: in-range pointer as established above.
-        persist::flush(unsafe { self.base.add(off) }, need);
         persist::sfence();
 
         hdr.head_off = (off + need) as u64;
@@ -218,7 +234,64 @@ impl LogRef {
         Ok(())
     }
 
-    /// Resets the log: publishes [`crate::RANGE_DONE`] and rewinds the head.
+    /// Writes (and flushes, without fencing) one entry at `off`, honouring
+    /// the torn-append failpoint. Returns `true` if the append was torn.
+    ///
+    /// The caller has bounds-checked `off + entry.stored_size() <= capacity`.
+    fn write_entry(&self, off: usize, entry: &LogEntryHeader, data: &[u8]) -> bool {
+        // SAFETY: the destination lies inside the log area covered by the
+        // `from_raw` contract (caller bounds check); the source is a valid
+        // local value / caller-provided slice.
+        unsafe {
+            let dst = self.base.add(off);
+            std::ptr::write_unaligned(dst as *mut LogEntryHeader, *entry);
+            std::ptr::copy_nonoverlapping(data.as_ptr(), dst.add(ENTRY_HEADER_SIZE), data.len());
+        }
+        let torn = failpoint::should_fail(failpoint::names::LOG_APPEND_TORN);
+        if torn {
+            // Simulate a power failure that persisted the header and part of
+            // the payload: corrupt one byte (as if the tail cache line never
+            // reached PM) so the validity scan stops at this entry.
+            // SAFETY: same destination range as above.
+            unsafe {
+                if data.is_empty() {
+                    // No payload: tear the header's checksum instead.
+                    *self.base.add(off) ^= 0xff;
+                } else {
+                    *self.base.add(off + ENTRY_HEADER_SIZE + data.len() - 1) ^= 0xff;
+                }
+            }
+        }
+        // SAFETY: in-range pointer as established above.
+        persist::flush(unsafe { self.base.add(off) }, entry.stored_size());
+        torn
+    }
+
+    /// Advances the generation in `hdr`, invalidating every existing entry
+    /// for the scan.
+    ///
+    /// On the (once per 2^32 transactions) wraparound the entire entry area
+    /// is erased: without this, an entry written 2^32 generations ago at a
+    /// matching offset would carry the same generation as the new epoch and
+    /// could be replayed by recovery (an ABA on the generation counter).
+    /// The caller's `write_header` persists (fenced) after this, covering
+    /// the erase flush.
+    fn bump_gen(&self, hdr: &mut LogHeader) {
+        hdr.gen = hdr.gen.wrapping_add(1);
+        if hdr.gen == 0 {
+            let len = self.capacity - LOG_HEADER_SIZE;
+            // SAFETY: `[base + LOG_HEADER_SIZE, base + capacity)` lies inside
+            // the area covered by the `from_raw` contract.
+            unsafe {
+                std::ptr::write_bytes(self.base.add(LOG_HEADER_SIZE), 0, len);
+                persist::flush(self.base.add(LOG_HEADER_SIZE), len);
+            }
+        }
+    }
+
+    /// Resets the log: publishes [`crate::RANGE_DONE`], bumps the
+    /// generation (invalidating every existing entry for the scan), and
+    /// rewinds the advisory head.
     pub fn reset(&self) {
         let mut hdr = self.read_header();
         hdr.seq_lo = crate::RANGE_DONE.lo;
@@ -226,53 +299,203 @@ impl LogRef {
         hdr.head_off = LOG_HEADER_SIZE as u64;
         hdr.tail_off = u64::MAX;
         hdr.num_entries = 0;
+        self.bump_gen(&mut hdr);
         self.write_header(hdr);
     }
 
-    /// Reads every structurally valid entry in append order.
-    ///
-    /// Iteration stops at the first entry whose checksum does not verify
-    /// (its length field cannot be trusted, so later entries are
-    /// unreachable), mirroring PMDK's behaviour for torn log tails. Entries
-    /// are returned regardless of the current sequence range; callers filter
-    /// with [`SeqRange::contains`].
-    pub fn entries(&self) -> Vec<(LogEntryHeader, Vec<u8>)> {
-        let hdr = self.read_header();
-        let mut out = Vec::new();
-        if hdr.magic != LOG_MAGIC {
-            return out;
-        }
-        let mut off = LOG_HEADER_SIZE;
-        let head = (hdr.head_off as usize).min(self.capacity);
-        while off + ENTRY_HEADER_SIZE <= head {
-            // SAFETY: `off + ENTRY_HEADER_SIZE <= head <= capacity`.
-            let entry: LogEntryHeader =
-                unsafe { std::ptr::read_unaligned(self.base.add(off) as *const LogEntryHeader) };
-            let payload_len = entry.size as usize;
-            if off + ENTRY_HEADER_SIZE + payload_len > head {
-                break;
-            }
-            // SAFETY: bounds checked against `head` just above.
-            let data = unsafe {
-                std::slice::from_raw_parts(self.base.add(off + ENTRY_HEADER_SIZE), payload_len)
-            }
-            .to_vec();
-            if !entry.verify(&data) {
-                break;
-            }
-            out.push((entry, data));
-            off += ENTRY_HEADER_SIZE + align_up(payload_len, ENTRY_ALIGN);
-        }
-        out
+    /// Overwrites the stored generation without touching entries —
+    /// test-only hook for exercising the wraparound path.
+    #[cfg(test)]
+    fn set_generation_for_test(&self, gen: u32) {
+        let mut hdr = self.read_header();
+        hdr.gen = gen;
+        self.write_header(hdr);
     }
 
-    /// Returns the entries that are live under the current sequence range.
-    pub fn live_entries(&self) -> Vec<(LogEntryHeader, Vec<u8>)> {
+    /// Iterates over every structurally valid entry in append order,
+    /// borrowing payloads directly from the log memory (zero-copy).
+    ///
+    /// Iteration stops at the first slot whose checksum does not verify or
+    /// whose generation is not the log's current generation (its length
+    /// field cannot be trusted, so later slots are unreachable), mirroring
+    /// PMDK's behaviour for torn log tails. Entries are returned regardless
+    /// of the current sequence range; callers filter with
+    /// [`SeqRange::contains`].
+    pub fn iter(&self) -> LogEntries<'_> {
+        let hdr = self.read_header();
+        let off = if hdr.magic == LOG_MAGIC {
+            LOG_HEADER_SIZE
+        } else {
+            // Uninitialized area: empty iteration.
+            self.capacity
+        };
+        LogEntries {
+            log: self,
+            off,
+            gen: hdr.gen,
+        }
+    }
+
+    /// Iterates over the entries that are live under the current sequence
+    /// range (zero-copy, like [`LogRef::iter`]).
+    pub fn live(&self) -> impl Iterator<Item = (LogEntryHeader, &[u8])> {
         let range = self.seq_range();
-        self.entries()
-            .into_iter()
-            .filter(|(e, _)| range.contains(e.seq))
-            .collect()
+        self.iter().filter(move |(hdr, _)| range.contains(hdr.seq))
+    }
+}
+
+/// Borrowing iterator over a log's valid entries; see [`LogRef::iter`].
+#[derive(Debug)]
+pub struct LogEntries<'a> {
+    log: &'a LogRef,
+    off: usize,
+    gen: u32,
+}
+
+impl<'a> Iterator for LogEntries<'a> {
+    type Item = (LogEntryHeader, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.off + ENTRY_HEADER_SIZE > self.log.capacity {
+            return None;
+        }
+        // SAFETY: `off + ENTRY_HEADER_SIZE <= capacity` per the bound above.
+        let entry: LogEntryHeader = unsafe {
+            std::ptr::read_unaligned(self.log.base.add(self.off) as *const LogEntryHeader)
+        };
+        let payload_len = entry.size as usize;
+        if entry.gen != self.gen || self.off + ENTRY_HEADER_SIZE + payload_len > self.log.capacity {
+            return None;
+        }
+        // SAFETY: bounds checked against `capacity` just above; the slice
+        // lives as long as the underlying mapping, which outlives `'a` per
+        // the `from_raw` contract.
+        let data = unsafe {
+            std::slice::from_raw_parts(self.log.base.add(self.off + ENTRY_HEADER_SIZE), payload_len)
+        };
+        if !entry.verify(data) {
+            return None;
+        }
+        self.off += ENTRY_HEADER_SIZE + align_up(payload_len, ENTRY_ALIGN);
+        Some((entry, data))
+    }
+}
+
+/// Largest payload appendable when the next free byte is at `head`.
+fn payload_capacity(capacity: usize, head: usize) -> usize {
+    capacity
+        .saturating_sub(head)
+        .saturating_sub(ENTRY_HEADER_SIZE)
+        & !(ENTRY_ALIGN - 1)
+}
+
+/// The fast, fence-free append path: a [`LogRef`] plus a DRAM mirror of the
+/// append cursor.
+///
+/// A `LogWriter` spans one transaction: [`LogWriter::begin`] bumps the log
+/// generation and publishes [`crate::RANGE_EXEC`] in a single fenced header
+/// write; every [`LogWriter::append`] then costs exactly one unfenced
+/// flush; the commit-stage fences (already required by Fig. 7) make the
+/// appended entries durable before any sequence-range transition that could
+/// replay them.
+#[derive(Debug)]
+pub struct LogWriter {
+    log: LogRef,
+    /// Next free byte (DRAM only; never persisted).
+    head: usize,
+    /// Entries appended since `begin` (DRAM only).
+    entries: u64,
+    /// Generation stamped into every appended entry.
+    gen: u32,
+}
+
+impl LogWriter {
+    /// Starts a new transaction on `log`: bumps the generation (orphaning
+    /// every existing entry) and publishes [`crate::RANGE_EXEC`], in one
+    /// fenced header write.
+    pub fn begin(log: LogRef) -> Result<LogWriter> {
+        let mut hdr = log.read_header();
+        if hdr.magic != LOG_MAGIC {
+            return Err(PmError::Corruption("begin on uninitialized log".into()));
+        }
+        log.bump_gen(&mut hdr);
+        hdr.seq_lo = crate::RANGE_EXEC.lo;
+        hdr.seq_hi = crate::RANGE_EXEC.hi;
+        hdr.head_off = LOG_HEADER_SIZE as u64;
+        hdr.tail_off = u64::MAX;
+        hdr.num_entries = 0;
+        log.write_header(hdr);
+        Ok(LogWriter {
+            log,
+            head: LOG_HEADER_SIZE,
+            entries: 0,
+            gen: hdr.gen,
+        })
+    }
+
+    /// Appends an entry with **one unfenced flush** and no header write.
+    ///
+    /// The entry is not guaranteed durable until the next fence (the
+    /// caller's commit-stage `sfence`, or a fenced header write). A crash
+    /// before that fence leaves a durable *prefix* of the appended entries
+    /// — the checksum/generation scan finds exactly that prefix.
+    pub fn append(
+        &mut self,
+        addr: u64,
+        seq: u32,
+        order: ReplayOrder,
+        kind: EntryKind,
+        data: &[u8],
+    ) -> Result<()> {
+        if failpoint::should_fail(failpoint::names::LOG_APPEND_CRASH) {
+            return Err(PmError::CrashInjected(failpoint::names::LOG_APPEND_CRASH));
+        }
+        let entry = LogEntryHeader::new(addr, seq, order, kind, self.gen, data);
+        let need = entry.stored_size();
+        if self.head + need > self.log.capacity {
+            return Err(PmError::LogFull {
+                need,
+                free: self.log.capacity.saturating_sub(self.head),
+            });
+        }
+        let torn = self.log.write_entry(self.head, &entry, data);
+        if torn {
+            return Err(PmError::CrashInjected(failpoint::names::LOG_APPEND_TORN));
+        }
+        self.head += need;
+        self.entries += 1;
+        Ok(())
+    }
+
+    /// The underlying log view.
+    pub fn log_ref(&self) -> LogRef {
+        self.log
+    }
+
+    /// Entries appended since [`LogWriter::begin`] (volatile count).
+    pub fn num_entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Largest payload that still fits in a single further append, based on
+    /// the volatile cursor.
+    pub fn free_bytes(&self) -> usize {
+        payload_capacity(self.log.capacity, self.head)
+    }
+
+    /// Publishes a new sequence range (fenced; also makes every entry
+    /// flushed before it durable).
+    pub fn set_seq_range(&self, range: SeqRange) {
+        self.log.set_seq_range(range);
+    }
+
+    /// Ends the transaction: resets the log (bumping the generation) and
+    /// rewinds the volatile cursor.
+    pub fn reset(&mut self) {
+        self.log.reset();
+        self.head = LOG_HEADER_SIZE;
+        self.entries = 0;
+        self.gen = self.log.generation();
     }
 }
 
@@ -285,6 +508,10 @@ mod tests {
         // SAFETY: the Vec outlives the LogRef in every test below and is not
         // otherwise accessed while the LogRef is in use.
         unsafe { LogRef::from_raw(buf.as_mut_ptr(), buf.len()) }
+    }
+
+    fn collect(log: &LogRef) -> Vec<(LogEntryHeader, Vec<u8>)> {
+        log.iter().map(|(h, d)| (h, d.to_vec())).collect()
     }
 
     #[test]
@@ -345,9 +572,11 @@ mod tests {
         assert_eq!(log.seq_range(), RANGE_DONE);
         log.set_seq_range(RANGE_EXEC);
         assert_eq!(log.seq_range(), RANGE_EXEC);
+        let gen_before = log.generation();
         log.reset();
         assert_eq!(log.seq_range(), RANGE_DONE);
-        assert!(log.entries().is_empty());
+        assert_eq!(log.generation(), gen_before + 1);
+        assert_eq!(log.iter().count(), 0);
     }
 
     #[test]
@@ -372,7 +601,7 @@ mod tests {
             &[9; 40],
         )
         .unwrap();
-        let entries = log.entries();
+        let entries = collect(&log);
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].0.addr, 0x100);
         assert_eq!(entries[0].1, vec![1, 2, 3]);
@@ -392,19 +621,19 @@ mod tests {
         log.append(0x2, SEQ_REDO, ReplayOrder::Forward, EntryKind::Redo, &[2])
             .unwrap();
         // Exec stage: only the undo entry is live.
-        let live: Vec<u64> = log.live_entries().iter().map(|(e, _)| e.addr).collect();
+        let live: Vec<u64> = log.live().map(|(e, _)| e.addr).collect();
         assert_eq!(live, vec![0x1]);
         // Redo stage: only the redo entry is live.
         log.set_seq_range(crate::RANGE_REDO);
-        let live: Vec<u64> = log.live_entries().iter().map(|(e, _)| e.addr).collect();
+        let live: Vec<u64> = log.live().map(|(e, _)| e.addr).collect();
         assert_eq!(live, vec![0x2]);
         // Done: nothing is live.
         log.set_seq_range(RANGE_DONE);
-        assert!(log.live_entries().is_empty());
+        assert_eq!(log.live().count(), 0);
     }
 
     #[test]
-    fn append_fails_when_full() {
+    fn append_fails_with_log_full_when_out_of_space() {
         let mut buf = vec![0u8; 256];
         let log = make_log(&mut buf);
         log.init();
@@ -413,16 +642,42 @@ mod tests {
         loop {
             match log.append(0, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &data) {
                 Ok(()) => appended += 1,
-                Err(PmError::OutOfRange { .. }) => break,
+                Err(PmError::LogFull { need, free }) => {
+                    assert!(need > free, "LogFull must report need {need} > free {free}");
+                    break;
+                }
                 Err(e) => panic!("unexpected error {e}"),
             }
         }
         assert!(appended >= 1);
-        assert_eq!(log.entries().len(), appended);
+        assert_eq!(log.iter().count(), appended);
     }
 
     #[test]
-    fn torn_append_is_skipped_by_entries() {
+    fn free_bytes_reserves_header_and_alignment_up_front() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        log.init();
+        loop {
+            let free = log.free_bytes();
+            // A payload of exactly `free_bytes()` must always fit...
+            let data = vec![0xCDu8; free];
+            log.append(0x1, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &data)
+                .unwrap();
+            if log.free_bytes() == 0 {
+                break;
+            }
+        }
+        // ...and once it reports 0, even an empty entry may or may not fit,
+        // but a 1-byte payload must cleanly report LogFull.
+        assert!(matches!(
+            log.append(0x1, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[1]),
+            Err(PmError::LogFull { .. })
+        ));
+    }
+
+    #[test]
+    fn torn_append_is_skipped_by_the_scan() {
         let mut buf = vec![0u8; 4096];
         let log = make_log(&mut buf);
         log.init();
@@ -447,7 +702,7 @@ mod tests {
         assert!(matches!(err, PmError::CrashInjected(_)));
         failpoint::clear_all();
         // The torn entry fails its checksum and truncates iteration.
-        let entries = log.entries();
+        let entries = collect(&log);
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].0.addr, 0x10);
     }
@@ -459,6 +714,7 @@ mod tests {
         assert!(log
             .append(0, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[1])
             .is_err());
+        assert!(LogWriter::begin(log).is_err());
     }
 
     #[test]
@@ -469,5 +725,194 @@ mod tests {
         assert!(!RANGE_DONE.contains(4));
         assert!(crate::RANGE_REDO.contains(3));
         assert!(!crate::RANGE_REDO.contains(2));
+    }
+
+    // ------------------------------------------------------------------
+    // LogWriter: the volatile-cursor fast path.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn writer_appends_without_header_writes_and_scan_finds_them() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        log.init();
+        let mut w = LogWriter::begin(log).unwrap();
+        assert_eq!(log.seq_range(), RANGE_EXEC);
+        for i in 0..5u64 {
+            w.append(
+                0x1000 + i,
+                SEQ_UNDO,
+                ReplayOrder::Reverse,
+                EntryKind::Undo,
+                &i.to_le_bytes(),
+            )
+            .unwrap();
+        }
+        assert_eq!(w.num_entries(), 5);
+        // The durable header never advanced...
+        assert_eq!(log.num_entries(), 0);
+        // ...but the scan sees every appended entry (simulating what
+        // recovery would find after a crash right here).
+        let addrs: Vec<u64> = log.iter().map(|(h, _)| h.addr).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1001, 0x1002, 0x1003, 0x1004]);
+    }
+
+    #[test]
+    fn crash_after_n_unfenced_appends_recovers_exact_prefix() {
+        // The satellite scenario: arm the crash failpoint so the writer
+        // dies after exactly N appends; the scan (what recovery replays)
+        // must return exactly those N entries.
+        for n in [0usize, 1, 3, 7] {
+            let mut buf = vec![0u8; 8192];
+            let log = make_log(&mut buf);
+            log.init();
+            let mut w = LogWriter::begin(log).unwrap();
+            failpoint::arm(failpoint::names::LOG_APPEND_CRASH, n);
+            let mut appended = 0usize;
+            let err = loop {
+                match w.append(
+                    0x2000 + appended as u64,
+                    SEQ_UNDO,
+                    ReplayOrder::Reverse,
+                    EntryKind::Undo,
+                    &[appended as u8; 24],
+                ) {
+                    Ok(()) => appended += 1,
+                    Err(e) => break e,
+                }
+            };
+            failpoint::clear_all();
+            assert!(matches!(err, PmError::CrashInjected(_)));
+            assert_eq!(appended, n);
+            let recovered: Vec<u64> = log.iter().map(|(h, _)| h.addr).collect();
+            let expected: Vec<u64> = (0..n as u64).map(|i| 0x2000 + i).collect();
+            assert_eq!(recovered, expected, "crash after {n} appends");
+        }
+    }
+
+    #[test]
+    fn stale_entries_from_a_previous_generation_are_invisible() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        log.init();
+        // Transaction 1 logs three entries and commits (reset).
+        let mut w = LogWriter::begin(log).unwrap();
+        for i in 0..3u64 {
+            w.append(
+                0xA0 + i,
+                SEQ_UNDO,
+                ReplayOrder::Reverse,
+                EntryKind::Undo,
+                &[7; 8],
+            )
+            .unwrap();
+        }
+        w.reset();
+        assert_eq!(log.iter().count(), 0, "after reset nothing is valid");
+        // Transaction 2 logs ONE entry of the same stored size and "crashes":
+        // the old second and third entries still sit beyond it with valid
+        // checksums, but their stale generation terminates the scan.
+        let mut w = LogWriter::begin(log).unwrap();
+        w.append(
+            0xB0,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Undo,
+            &[9; 8],
+        )
+        .unwrap();
+        let visible: Vec<u64> = log.iter().map(|(h, _)| h.addr).collect();
+        assert_eq!(visible, vec![0xB0]);
+    }
+
+    #[test]
+    fn writer_torn_append_truncates_the_scan() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        log.init();
+        let mut w = LogWriter::begin(log).unwrap();
+        w.append(
+            0x1,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Undo,
+            &[1; 16],
+        )
+        .unwrap();
+        failpoint::arm(failpoint::names::LOG_APPEND_TORN, 0);
+        let err = w
+            .append(
+                0x2,
+                SEQ_UNDO,
+                ReplayOrder::Reverse,
+                EntryKind::Undo,
+                &[2; 16],
+            )
+            .unwrap_err();
+        failpoint::clear_all();
+        assert!(matches!(err, PmError::CrashInjected(_)));
+        let visible: Vec<u64> = log.iter().map(|(h, _)| h.addr).collect();
+        assert_eq!(visible, vec![0x1]);
+    }
+
+    #[test]
+    fn generation_wraparound_erases_the_entry_area() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        log.init();
+        // Run a transaction whose entries carry generation u32::MAX.
+        log.set_generation_for_test(u32::MAX - 1);
+        let mut w = LogWriter::begin(log).unwrap();
+        assert_eq!(log.generation(), u32::MAX);
+        for i in 0..3u64 {
+            w.append(
+                0xC0 + i,
+                SEQ_UNDO,
+                ReplayOrder::Reverse,
+                EntryKind::Undo,
+                &[5; 8],
+            )
+            .unwrap();
+        }
+        assert_eq!(log.iter().count(), 3);
+        // The reset wraps the generation to 0 and must physically erase the
+        // old entries: otherwise, 2^32 generations later, a same-gen entry
+        // at a matching offset would alias into a live transaction (ABA).
+        w.reset();
+        assert_eq!(log.generation(), 0);
+        // Even if a future epoch reaches u32::MAX again, nothing stale can
+        // surface — the bytes are gone.
+        log.set_generation_for_test(u32::MAX);
+        assert_eq!(log.iter().count(), 0);
+    }
+
+    #[test]
+    fn writer_reports_log_full_and_free_bytes_from_volatile_cursor() {
+        let mut buf = vec![0u8; 256];
+        let log = make_log(&mut buf);
+        log.init();
+        let mut w = LogWriter::begin(log).unwrap();
+        let first_free = w.free_bytes();
+        assert!(first_free > 0);
+        w.append(0, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &[1; 8])
+            .unwrap();
+        assert!(w.free_bytes() < first_free);
+        // The durable header never moved, so LogRef::free_bytes is stale...
+        assert_eq!(log.free_bytes(), first_free);
+        // ...and the writer's own view governs the LogFull check.
+        let too_big = vec![0u8; w.free_bytes() + 1];
+        assert!(matches!(
+            w.append(0, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, &too_big),
+            Err(PmError::LogFull { .. })
+        ));
+        let just_fits = vec![0u8; w.free_bytes()];
+        w.append(
+            0,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Undo,
+            &just_fits,
+        )
+        .unwrap();
     }
 }

@@ -157,14 +157,14 @@ pub fn replay_log<T: ReplayTarget>(
     apply_volatile: bool,
 ) -> ReplayStats {
     let range = log.seq_range();
-    let entries = log.entries();
     let mut stats = ReplayStats::default();
 
-    let mut reverse_group: Vec<&(LogEntryHeader, Vec<u8>)> = Vec::new();
-    let mut forward_group: Vec<&(LogEntryHeader, Vec<u8>)> = Vec::new();
+    // Group borrowed views of the live entries: payloads stay in the log
+    // memory (zero-copy) and are copied exactly once, into their targets.
+    let mut reverse_group: Vec<(LogEntryHeader, &[u8])> = Vec::new();
+    let mut forward_group: Vec<(LogEntryHeader, &[u8])> = Vec::new();
 
-    for pair in &entries {
-        let (hdr, _) = pair;
+    for (hdr, data) in log.iter() {
         if !range.contains(hdr.seq) {
             stats.skipped_sequence += 1;
             continue;
@@ -181,8 +181,8 @@ pub fn replay_log<T: ReplayTarget>(
             continue;
         }
         match order {
-            ReplayOrder::Reverse => reverse_group.push(pair),
-            ReplayOrder::Forward => forward_group.push(pair),
+            ReplayOrder::Reverse => reverse_group.push((hdr, data)),
+            ReplayOrder::Forward => forward_group.push((hdr, data)),
         }
     }
 

@@ -29,6 +29,16 @@ pub enum PmError {
     },
     /// Persistent data failed a validity check (bad magic, bad checksum...).
     Corruption(String),
+    /// A log area cannot fit another entry: the aligned stored size of the
+    /// entry exceeds the remaining capacity. Distinct from [`PmError::OutOfRange`]
+    /// so `libtx` can surface "transaction too large" instead of a generic
+    /// addressing error.
+    LogFull {
+        /// Bytes the entry would occupy (header + aligned payload).
+        need: usize,
+        /// Bytes still free in the log area.
+        free: usize,
+    },
     /// A crash was injected by an armed failpoint.
     CrashInjected(&'static str),
 }
@@ -45,6 +55,9 @@ impl fmt::Display for PmError {
                 write!(f, "value {value:#x} not aligned to {align:#x}")
             }
             PmError::Corruption(msg) => write!(f, "corruption detected: {msg}"),
+            PmError::LogFull { need, free } => {
+                write!(f, "log full: entry needs {need} B but only {free} B remain")
+            }
             PmError::CrashInjected(name) => write!(f, "crash injected at failpoint `{name}`"),
         }
     }

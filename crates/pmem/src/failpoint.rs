@@ -112,6 +112,10 @@ pub mod names {
     pub const COMMIT_BEFORE_INVALIDATE: &str = "tx.commit.before_invalidate";
     /// In the middle of writing a log entry (models a torn log append).
     pub const LOG_APPEND_TORN: &str = "log.append.torn";
+    /// Before a log append begins (models a power failure after N fully
+    /// flushed, unfenced appends: arm with `after == N` and exactly the
+    /// first N entries are durable).
+    pub const LOG_APPEND_CRASH: &str = "log.append.crash";
     /// During transaction body execution, before commit begins.
     pub const TX_BODY: &str = "tx.body";
     /// While the allocator mutates persistent metadata inside a transaction.

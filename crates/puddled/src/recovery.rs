@@ -162,15 +162,22 @@ fn recover_log_space(
             }
             // Validate first: if any live entry targets memory the client
             // could not write, do not replay anything from this log space.
-            let live = log.live_entries();
-            let denied = live.iter().any(|(hdr, data)| {
-                hdr.entry_kind() != Some(puddles_logfmt::EntryKind::Volatile)
+            // The iterator borrows payloads straight from the mapped log —
+            // nothing is materialized for validation.
+            let mut live_count = 0u64;
+            let mut denied = false;
+            for (hdr, data) in log.live() {
+                live_count += 1;
+                if hdr.entry_kind() != Some(puddles_logfmt::EntryKind::Volatile)
                     && !ranges.iter().any(|&(start, len)| {
                         hdr.addr >= start && hdr.addr + data.len() as u64 <= start + len
                     })
-            });
+                {
+                    denied = true;
+                }
+            }
             if denied {
-                report.entries_denied += live.len() as u64;
+                report.entries_denied += live_count;
                 outcome = LogSpaceOutcome::Invalidate;
                 continue;
             }
