@@ -106,7 +106,7 @@ fn main() {
     );
 
     // ----- Puddles -----
-    let (_tmp, _daemon, client) = test_env();
+    let (_tmp, daemon, client) = test_env();
     let pool = client
         .create_pool("table3", puddles::PoolOptions::default())
         .unwrap();
@@ -188,6 +188,49 @@ fn main() {
         );
     }
 
+    // ----- Chained-commit macrobenchmark: one transaction undo-logs 1 MiB
+    // in 16 KiB chunks. With the default 4 MiB log puddle the whole log
+    // fits one segment; a second client using 256 KiB log puddles chains
+    // ~5 segments per transaction (alloc + register + release round trips
+    // included), quantifying the amortized cost of the chain boundary. -----
+    let region = 1usize << 20;
+    let big = pool.tx(|tx| pool.alloc_raw(tx, region, 0)).unwrap();
+    let chain_iters = scale.pick(4u64, 64u64);
+    let chunk = 16 * 1024;
+    let logged_mbps = |client: &puddles::PuddleClient| -> f64 {
+        let (d, _) = time_it(|| {
+            for _ in 0..chain_iters {
+                client
+                    .tx(|tx| {
+                        for off in (0..region).step_by(chunk) {
+                            tx.add_range(big + off, chunk)?;
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+            }
+        });
+        (chain_iters as f64 * region as f64) / (1 << 20) as f64 / d.as_secs_f64()
+    };
+    let single_mbps = logged_mbps(&client);
+    let chained_client = puddles::PuddleClient::connect_local(&daemon).unwrap();
+    chained_client.set_log_puddle_size(256 * 1024);
+    let chained_mbps = logged_mbps(&chained_client);
+    emit_row(
+        "table3",
+        "puddles",
+        "tx_1MiB_undo_MBps",
+        "1seg",
+        single_mbps,
+    );
+    emit_row(
+        "table3",
+        "puddles",
+        "tx_1MiB_undo_MBps",
+        "chained",
+        chained_mbps,
+    );
+
     // ----- PMDK-sim -----
     let tmp = tempfile::tempdir().unwrap();
     let pmdk = pmdk_sim::PmdkPool::create(tmp.path().join("t3.pmdk"), 256 << 20).unwrap();
@@ -265,7 +308,7 @@ fn main() {
     // ----- CI perf-tracking artifact -----
     if let Some(path) = json_path {
         let json = format!(
-            "{{\n  \"appends_per_sec_1t\": {unfenced:.0},\n  \"appends_per_sec_8t\": {unfenced_8t:.0},\n  \"appends_per_sec_1t_fenced_baseline\": {fenced:.0},\n  \"append_speedup_vs_fenced\": {:.3},\n  \"commit_latency_ns\": {commit_latency_ns:.1}\n}}\n",
+            "{{\n  \"appends_per_sec_1t\": {unfenced:.0},\n  \"appends_per_sec_8t\": {unfenced_8t:.0},\n  \"appends_per_sec_1t_fenced_baseline\": {fenced:.0},\n  \"append_speedup_vs_fenced\": {:.3},\n  \"commit_latency_ns\": {commit_latency_ns:.1},\n  \"tx_1MiB_undo_single_segment_MBps\": {single_mbps:.0},\n  \"tx_1MiB_undo_chained_MBps\": {chained_mbps:.0}\n}}\n",
             unfenced / fenced
         );
         std::fs::write(&path, json).expect("write bench json");

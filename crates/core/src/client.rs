@@ -47,6 +47,9 @@ pub(crate) struct ClientInner {
     /// Per-thread cached logs; read-locked on the transaction fast path so
     /// concurrent transactions on different threads never serialize here.
     thread_logs: RwLock<HashMap<ThreadId, ThreadLog>>,
+    /// Size of log puddles this client requests ([`LOG_PUDDLE_SIZE`] unless
+    /// overridden); applies to thread logs and chained segments alike.
+    log_puddle_size: std::sync::atomic::AtomicU64,
 }
 
 #[derive(Default)]
@@ -70,6 +73,17 @@ struct ThreadLog {
     info: PuddleInfo,
     log_base: usize,
     log_capacity: usize,
+    /// The log-space `log_id` this thread's log was registered under; chain
+    /// segments added mid-transaction register under the same id with
+    /// ascending `chain_index`.
+    log_id: u64,
+}
+
+/// A thread's cached log plus the identity a transaction needs to chain
+/// further segments onto it.
+pub(crate) struct ThreadLogHandle {
+    pub(crate) log: LogRef,
+    pub(crate) log_id: u64,
 }
 
 impl PuddleClient {
@@ -146,8 +160,19 @@ impl PuddleClient {
                 registered_types: Mutex::new(HashSet::new()),
                 logging: Mutex::new(LoggingState::default()),
                 thread_logs: RwLock::new(HashMap::new()),
+                log_puddle_size: std::sync::atomic::AtomicU64::new(LOG_PUDDLE_SIZE),
             }),
         })
+    }
+
+    /// Overrides the size of log puddles this client creates (thread logs
+    /// and chain segments). Mainly a test/bench knob: small segments make
+    /// the chaining path cheap to exercise. Takes effect for puddles
+    /// created after the call; clamped to a workable minimum.
+    pub fn set_log_puddle_size(&self, bytes: u64) {
+        self.inner
+            .log_puddle_size
+            .store(bytes.max(16 * 1024), std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Creates a pool with the given options.
@@ -346,9 +371,15 @@ impl ClientInner {
         Ok(merged)
     }
 
+    /// Current log-puddle size (thread logs and chain segments).
+    pub(crate) fn log_puddle_size(&self) -> u64 {
+        self.log_puddle_size
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Returns this thread's cached log, creating the log space and the log
     /// puddle on first use.
-    pub(crate) fn thread_log(&self) -> Result<LogRef> {
+    pub(crate) fn thread_log(&self) -> Result<ThreadLogHandle> {
         let tid = std::thread::current().id();
         {
             // Fast path: a shared read lock, so transactions on different
@@ -359,14 +390,40 @@ impl ClientInner {
                 // mapped writable for the client's lifetime (thread logs are
                 // never unmapped), and only the owning thread reaches this
                 // entry (the map is keyed by the calling thread's id).
-                return Ok(unsafe { LogRef::from_raw(tl.log_base as *mut u8, tl.log_capacity) });
+                let log = unsafe { LogRef::from_raw(tl.log_base as *mut u8, tl.log_capacity) };
+                return Ok(ThreadLogHandle {
+                    log,
+                    log_id: tl.log_id,
+                });
             }
         }
         // Slow path: make sure the log space exists, then create a log
         // puddle for this thread.
         let log_id = self.ensure_logspace()?;
+        let (info, log) = self.acquire_log_segment()?;
+        log.init();
+        self.register_log_segment(&info, log_id, 0)?;
+        let log_base = log.base_addr();
+        let mut logs = self.thread_logs.write();
+        logs.insert(
+            tid,
+            ThreadLog {
+                info,
+                log_base,
+                log_capacity: log.capacity(),
+                log_id,
+            },
+        );
+        Ok(ThreadLogHandle { log, log_id })
+    }
+
+    /// Creates and maps one fresh log puddle, returning its metadata and a
+    /// log view over its heap. The caller initializes the log and registers
+    /// the puddle in the log space (thread logs at `chain_index` 0,
+    /// mid-transaction chain segments at the next index).
+    pub(crate) fn acquire_log_segment(&self) -> Result<(PuddleInfo, LogRef)> {
         let info = match self.call(&Request::CreatePuddle {
-            size: LOG_PUDDLE_SIZE,
+            size: self.log_puddle_size(),
             pool: None,
             purpose: PuddlePurpose::Log,
             mode: 0o600,
@@ -375,32 +432,54 @@ impl ClientInner {
             other => return Err(Error::UnexpectedResponse(format!("{other:?}"))),
         };
         let addr = self.map_puddle_raw(&info)?;
-        // SAFETY: the puddle was just mapped writable for `info.size` bytes
-        // and stays mapped for the client's lifetime (thread logs are never
-        // unmapped).
+        // SAFETY: the puddle was just mapped writable for `info.size` bytes;
+        // it stays mapped until `release_log_segment` (chain tails) or for
+        // the client's lifetime (thread logs).
         let log = unsafe {
             LogRef::from_raw(
                 (addr + LOG_REGION_OFFSET) as *mut u8,
                 info.size as usize - LOG_REGION_OFFSET,
             )
         };
-        log.init();
+        Ok((info, log))
+    }
+
+    /// Durably records a chained log segment in the client's log space under
+    /// `log_id` at `chain_index` (the slot write is persisted and fenced
+    /// before this returns, so recovery can find the tail before any entry
+    /// lands in it).
+    pub(crate) fn register_log_segment(
+        &self,
+        info: &PuddleInfo,
+        log_id: u64,
+        chain_index: u32,
+    ) -> Result<()> {
+        let logging = self.logging.lock();
+        match &logging.logspace {
+            Some(ls) => ls
+                .ls
+                .register(info.id.0, log_id, chain_index)
+                .map_err(Error::from),
+            None => Err(Error::Corruption(
+                "chain extension without a registered log space".into(),
+            )),
+        }
+    }
+
+    /// Releases a chain segment after the transaction resolved: removes its
+    /// log-space slot (durably, so recovery never chases a freed puddle),
+    /// unmaps it, and returns the puddle to the daemon. Best-effort — a
+    /// failure leaves a benign orphan that the daemon's startup reclamation
+    /// sweeps.
+    pub(crate) fn release_log_segment(&self, info: &PuddleInfo) {
         {
             let logging = self.logging.lock();
             if let Some(ls) = &logging.logspace {
-                ls.ls.register(info.id.0, log_id, 0).map_err(Error::from)?;
+                ls.ls.unregister(info.id.0);
             }
         }
-        let mut logs = self.thread_logs.write();
-        logs.insert(
-            tid,
-            ThreadLog {
-                info,
-                log_base: (addr + LOG_REGION_OFFSET),
-                log_capacity: log.capacity(),
-            },
-        );
-        Ok(log)
+        self.unmap_puddle(info);
+        let _ = self.call(&Request::FreePuddle { id: info.id });
     }
 
     fn ensure_logspace(&self) -> Result<u64> {

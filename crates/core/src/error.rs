@@ -21,11 +21,14 @@ pub enum Error {
     UnexpectedResponse(String),
     /// A pool or puddle ran out of space and could not grow.
     OutOfMemory(String),
-    /// The transaction logged more data than its log puddle can hold.
+    /// The transaction's log could not grow any further: the daemon refused
+    /// to supply another log puddle for chaining (or a single entry exceeds
+    /// a whole segment). A merely full segment never surfaces as this error
+    /// — the transaction chains a fresh log puddle and keeps going.
     TxTooLarge {
         /// Bytes the rejected log entry would occupy.
         need: usize,
-        /// Bytes still free in the transaction's log.
+        /// Bytes still free in the transaction's active log segment.
         free: usize,
     },
     /// The requested object or address does not belong to this pool.
@@ -77,7 +80,10 @@ impl From<PmError> for Error {
     fn from(e: PmError) -> Self {
         match e {
             PmError::CrashInjected(name) => Error::CrashInjected(name),
-            PmError::LogFull { need, free } => Error::TxTooLarge { need, free },
+            // LogFull is an internal chain-extension signal, not a failure:
+            // the transaction layer intercepts it and grows the log. It is
+            // deliberately NOT mapped to TxTooLarge — that error is raised
+            // only when the daemon refuses another log puddle.
             other => Error::Pm(other),
         }
     }
@@ -130,18 +136,15 @@ mod tests {
     }
 
     #[test]
-    fn log_full_converts_to_tx_too_large() {
+    fn log_full_is_not_tx_too_large() {
+        // LogFull is the chain-extension signal; the conversion must keep it
+        // a Pm error so only the transaction layer (when the daemon refuses
+        // another log puddle) ever constructs TxTooLarge.
         let e: Error = PmError::LogFull {
             need: 100,
             free: 10,
         }
         .into();
-        assert!(matches!(
-            e,
-            Error::TxTooLarge {
-                need: 100,
-                free: 10
-            }
-        ));
+        assert!(matches!(e, Error::Pm(PmError::LogFull { .. })));
     }
 }

@@ -42,16 +42,17 @@
 //! back, after it the redo entries roll it forward.
 
 use crate::alloc::MetaLogger;
-use crate::client::ClientInner;
+use crate::client::{ClientInner, ThreadLogHandle};
 use crate::error::{Error, Result};
 use crate::interval::IntervalSet;
 use puddles_logfmt::{
-    replay_log, DirectMemoryTarget, EntryKind, LogRef, LogWriter, ReplayOrder, RANGE_REDO,
-    SEQ_REDO, SEQ_UNDO,
+    chain_iter, replay_chain, segment_payload_capacity, DirectMemoryTarget, EntryKind, LogWriter,
+    ReplayOrder, RANGE_REDO, SEQ_REDO, SEQ_UNDO,
 };
 use puddles_pmem::failpoint;
 use puddles_pmem::persist;
-use puddles_pmem::CACHELINE;
+use puddles_pmem::{PmError, CACHELINE};
+use puddles_proto::PuddleInfo;
 use std::cell::Cell;
 use std::sync::Arc;
 
@@ -63,16 +64,114 @@ thread_local! {
 ///
 /// Obtained through [`crate::PuddleClient::tx`] (or `Pool::tx`); all undo /
 /// redo records of one transaction go to this thread's cached log puddle.
+/// A transaction that outgrows that puddle transparently *chains* further
+/// log puddles (Fig. 5's `chain_index`): the daemon supplies a fresh
+/// puddle, it is registered in the log space under the same `log_id`, and
+/// logging continues — [`Error::TxTooLarge`] is raised only when the daemon
+/// cannot supply another log puddle (or a single entry exceeds a whole
+/// segment). Chained segments are released back to the daemon once the
+/// transaction commits or aborts.
 pub struct Transaction<'c> {
-    #[allow(dead_code)]
     client: &'c ClientInner,
     writer: LogWriter,
     /// Undo-logged `[addr, addr+len)` ranges: dedups re-logging and drives
     /// the coalesced stage-1 flush.
     undo_set: IntervalSet,
+    /// Log-space id shared by every segment of this thread's log chain.
+    log_id: u64,
+    /// Chain segments acquired mid-transaction, in `chain_index` order
+    /// starting at 1; released after commit/abort (never on an injected
+    /// crash — the daemon's recovery reclaims them, like real power loss).
+    chain: Vec<PuddleInfo>,
 }
 
 impl<'c> Transaction<'c> {
+    /// Appends one log entry, growing the log chain when the active segment
+    /// is full. Every logging path funnels through here so chaining is
+    /// transparent to `add`/`set`/`redo_set`/allocator metadata logging.
+    fn append_entry(
+        &mut self,
+        addr: u64,
+        seq: u32,
+        order: ReplayOrder,
+        kind: EntryKind,
+        data: &[u8],
+    ) -> Result<()> {
+        match self.writer.append(addr, seq, order, kind, data) {
+            Ok(()) => Ok(()),
+            Err(PmError::LogFull { need, free }) => {
+                let segment_capacity =
+                    self.client.log_puddle_size() as usize - puddled::LOG_REGION_OFFSET;
+                if data.len() > segment_payload_capacity(segment_capacity) {
+                    // No fresh segment could ever hold this payload; chaining
+                    // would allocate puddles forever without making progress.
+                    return Err(Error::TxTooLarge { need, free });
+                }
+                self.extend_chain(need, free)?;
+                self.writer
+                    .append(addr, seq, order, kind, data)
+                    .map_err(Error::from)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Chains one more log puddle onto this transaction's log.
+    ///
+    /// Ordering at the chain boundary (the Fig. 7 discipline): the new
+    /// tail's header is initialized and fenced by [`LogWriter::extend`]
+    /// (which also commits every unfenced flush into earlier segments),
+    /// then the log-space slot is persisted and fenced — only after that
+    /// does the first append land in the tail, so recovery always finds a
+    /// registered (possibly empty) segment, never entries it cannot reach.
+    fn extend_chain(&mut self, need: usize, free: usize) -> Result<()> {
+        let (info, seg) = match self.client.acquire_log_segment() {
+            Ok(pair) => pair,
+            // The daemon cannot supply another log puddle — the log cannot
+            // grow, which is what TxTooLarge reports. Other daemon errors
+            // (permission, shutdown) keep their own diagnosis.
+            Err(Error::Daemon(e)) if e.code == puddles_proto::ErrorCode::OutOfSpace => {
+                return Err(Error::TxTooLarge { need, free })
+            }
+            Err(e) => return Err(e),
+        };
+        if failpoint::should_fail(failpoint::names::LOG_CHAIN_ALLOC_CRASH) {
+            // Crash window: the puddle exists daemon-side but no log space
+            // references it yet — only the startup sweep can reclaim it.
+            return Err(Error::CrashInjected(
+                failpoint::names::LOG_CHAIN_ALLOC_CRASH,
+            ));
+        }
+        let chain_index = self.chain.len() as u32 + 1;
+        // Track the segment before registering it: if registration fails,
+        // the abort path still releases the acquired puddle.
+        self.chain.push(info);
+        let info = self.chain.last().expect("just pushed");
+        self.writer.extend(seg).map_err(Error::from)?;
+        self.client
+            .register_log_segment(info, self.log_id, chain_index)
+            .map_err(|e| match e {
+                // Every log-space slot is taken: the log genuinely cannot
+                // grow any further, same condition as a daemon refusal.
+                Error::Pm(PmError::OutOfRange { .. }) => Error::TxTooLarge { need, free },
+                other => other,
+            })?;
+        if failpoint::should_fail(failpoint::names::LOG_CHAIN_REGISTER_CRASH) {
+            return Err(Error::CrashInjected(
+                failpoint::names::LOG_CHAIN_REGISTER_CRASH,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Unregisters, unmaps and frees every chained segment (best-effort);
+    /// called after the head log was reset, so the chain is already invalid
+    /// for recovery whichever prefix of the release survives.
+    fn release_chain(&mut self) {
+        for info in std::mem::take(&mut self.chain) {
+            self.client.release_log_segment(&info);
+        }
+    }
     /// Undo-logs the current contents of `*target` so the transaction can
     /// roll it back (the analogue of `TX_ADD`). The caller then updates the
     /// location in place.
@@ -97,7 +196,7 @@ impl<'c> Transaction<'c> {
         // call) that `[addr, addr+len)` is a mapped, readable persistent
         // location it owns for the duration of the transaction.
         let data = unsafe { std::slice::from_raw_parts(addr as *const u8, len) };
-        self.writer.append(
+        self.append_entry(
             addr as u64,
             SEQ_UNDO,
             ReplayOrder::Reverse,
@@ -130,14 +229,13 @@ impl<'c> Transaction<'c> {
 
     /// Redo-logs a store of `bytes` at `addr`.
     pub fn redo_set_bytes(&mut self, addr: usize, bytes: &[u8]) -> Result<()> {
-        self.writer.append(
+        self.append_entry(
             addr as u64,
             SEQ_REDO,
             ReplayOrder::Forward,
             EntryKind::Redo,
             bytes,
-        )?;
-        Ok(())
+        )
     }
 
     /// Logs the current contents of a *volatile* location so an abort can
@@ -150,19 +248,32 @@ impl<'c> Transaction<'c> {
         let len = std::mem::size_of::<T>();
         // SAFETY: as in `add_range`, for a volatile location.
         let data = unsafe { std::slice::from_raw_parts(addr as *const u8, len) };
-        self.writer.append(
+        self.append_entry(
             addr as u64,
             SEQ_UNDO,
             ReplayOrder::Reverse,
             EntryKind::Volatile,
             data,
-        )?;
-        Ok(())
+        )
     }
 
     /// Returns the number of log entries recorded so far.
     pub fn entries(&self) -> u64 {
         self.writer.num_entries()
+    }
+
+    /// Number of log puddles backing this transaction's log chain
+    /// (1 = no chaining has happened yet).
+    pub fn chain_segments(&self) -> usize {
+        self.writer.segment_count()
+    }
+
+    /// Largest payload that can still be logged **without chaining another
+    /// segment** — the active segment's headroom. Chaining extends this
+    /// transparently; the hard limit is the daemon's willingness to supply
+    /// further log puddles.
+    pub fn log_free_bytes(&self) -> usize {
+        self.writer.free_bytes()
     }
 
     fn commit(&mut self) -> Result<()> {
@@ -195,10 +306,10 @@ impl<'c> Transaction<'c> {
         }
 
         // Stage 2: apply the redo entries in logging order, copying each
-        // payload straight out of the log memory (zero-copy).
-        let log = self.writer.log_ref();
+        // payload straight out of the log memory (zero-copy), stitched
+        // across every chained segment.
         let mut applied = 0usize;
-        for (hdr, data) in log.iter() {
+        for (hdr, data) in chain_iter(self.writer.chain()) {
             if !RANGE_REDO.contains(hdr.seq) {
                 continue;
             }
@@ -225,16 +336,21 @@ impl<'c> Transaction<'c> {
             ));
         }
 
-        // Stage 3: the transaction is complete; drop the log.
+        // Stage 3: the transaction is complete; drop the log (the head
+        // reset is the single fenced write invalidating the whole chain)
+        // and return any chained segments to the daemon.
         self.writer.reset();
+        self.release_chain();
         Ok(())
     }
 
     fn abort(&mut self) {
-        // Roll back in-place (undo-logged) updates and volatile locations.
+        // Roll back in-place (undo-logged) updates and volatile locations,
+        // replaying across every chained segment.
         let mut target = DirectMemoryTarget::unrestricted();
-        replay_log(&self.writer.log_ref(), &mut target, true);
+        replay_chain(self.writer.chain(), &mut target, true);
         self.writer.reset();
+        self.release_chain();
     }
 }
 
@@ -252,25 +368,27 @@ pub(crate) fn run_tx<R>(
     if IN_TX.with(|flag| flag.get()) {
         return Err(Error::NestedTransaction);
     }
-    let log = client.thread_log()?;
+    let handle = client.thread_log()?;
     IN_TX.with(|flag| flag.set(true));
-    let result = run_tx_inner(client, log, body);
+    let result = run_tx_inner(client, handle, body);
     IN_TX.with(|flag| flag.set(false));
     result
 }
 
 fn run_tx_inner<R>(
     client: &Arc<ClientInner>,
-    log: LogRef,
+    handle: ThreadLogHandle,
     body: impl FnOnce(&mut Transaction<'_>) -> Result<R>,
 ) -> Result<R> {
     // One fenced header write starts the transaction: bump the generation
     // (orphaning any leftover entries) and publish the exec-stage range.
-    let writer = LogWriter::begin(log)?;
+    let writer = LogWriter::begin(handle.log)?;
     let mut tx = Transaction {
         client,
         writer,
         undo_set: IntervalSet::new(),
+        log_id: handle.log_id,
+        chain: Vec::new(),
     };
     match body(&mut tx) {
         Ok(value) => match tx.commit() {

@@ -25,6 +25,16 @@ struct ListRoot {
 }
 impl_pm_type!(ListRoot, "pool_tx::ListRoot", [head => Node]);
 
+/// Serializes the tests that arm process-global failpoints AND the
+/// append-heavy chaining tests: an armed countdown (e.g. `LOG_APPEND_CRASH`
+/// after N) decrements on every append from any thread, so a concurrently
+/// running transaction-heavy test would otherwise consume it (or crash on
+/// it) and make both tests flaky.
+fn failpoint_lock() -> parking_lot::MutexGuard<'static, ()> {
+    static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+    LOCK.lock()
+}
+
 fn setup() -> (tempfile::TempDir, DaemonConfig, Daemon, PuddleClient) {
     let tmp = tempfile::tempdir().unwrap();
     let config = DaemonConfig::for_testing(tmp.path());
@@ -231,6 +241,7 @@ fn pool_grows_beyond_one_puddle() {
 #[test]
 fn crash_during_commit_is_recovered_by_the_system() {
     use puddles_pmem::failpoint;
+    let _guard = failpoint_lock();
 
     let failpoints = [
         failpoint::names::COMMIT_AFTER_UNDO_FLUSH,
@@ -311,6 +322,7 @@ fn crash_during_commit_is_recovered_by_the_system() {
 #[test]
 fn crash_after_unfenced_appends_rolls_back_exactly_the_logged_prefix() {
     use puddles_pmem::failpoint;
+    let _guard = failpoint_lock();
 
     // The volatile-cursor log keeps no durable head pointer: after a crash
     // mid-body, recovery must replay exactly the checksummed prefix of
@@ -419,17 +431,72 @@ fn relogging_a_covered_range_appends_nothing() {
 }
 
 #[test]
-fn oversized_transaction_reports_tx_too_large() {
+fn oversized_transaction_chains_and_tx_too_large_needs_daemon_refusal() {
+    let _guard = failpoint_lock();
     let (_tmp, _config, _daemon, client) = setup();
     let pool = client.create_pool("huge", PoolOptions::default()).unwrap();
-    // Redo-log more bytes than the 4 MiB log puddle can hold; the failure
-    // must surface as TxTooLarge, and the abort must leave data intact.
-    let blob = vec![0u8; 256 * 1024];
+    // Redo-log more bytes than one 4 MiB log puddle can hold: since PR 4
+    // the transaction chains additional log puddles and *commits* instead
+    // of failing with TxTooLarge.
+    let blob: Vec<u8> = (0..256 * 1024).map(|i| (i % 251) as u8).collect();
     let addr = pool.tx(|tx| pool.alloc_raw(tx, blob.len(), 0)).unwrap();
+    pool.tx(|tx| {
+        // 64 x 256 KiB = 16 MiB of redo payload against 4 MiB segments.
+        for _ in 0..64 {
+            tx.redo_set_bytes(addr, &blob)?;
+        }
+        assert!(tx.chain_segments() > 1, "16 MiB must have chained");
+        Ok(())
+    })
+    .unwrap();
+    // The committed redo landed.
+    // SAFETY: `addr` is a live allocation of `blob.len()` bytes.
+    let stored = unsafe { std::slice::from_raw_parts(addr as *const u8, blob.len()) };
+    assert_eq!(stored, &blob[..]);
+}
+
+#[test]
+fn tx_too_large_is_raised_only_when_the_daemon_refuses_a_log_puddle() {
+    let _guard = failpoint_lock();
+    // A daemon with a deliberately tiny global space: the pool, log space,
+    // thread log and a couple of chained segments fit, then CreatePuddle
+    // fails with OutOfSpace — only then may TxTooLarge surface.
+    let tmp = tempfile::tempdir().unwrap();
+    let config = puddled::DaemonConfig {
+        pm_dir: tmp.path().to_path_buf(),
+        space_base: None,
+        space_size: 16 << 20,
+        auto_recover: true,
+    };
+    let daemon = Daemon::start(config).unwrap();
+    let client = PuddleClient::connect_local(&daemon).unwrap();
+    // 1 MiB log segments so the accounting is easy: 16 MiB space minus a
+    // 2 MiB pool leaves room for the log space, the thread log, and a
+    // handful of chained segments.
+    client.set_log_puddle_size(1 << 20);
+    let options = PoolOptions::default().puddle_size(2 << 20);
+    let pool = client.create_pool("tiny", options).unwrap();
+    pool.tx(|tx| {
+        pool.create_root(
+            tx,
+            Counter {
+                value: 7,
+                touched: 0,
+            },
+        )
+    })
+    .unwrap();
+    let root: PmPtr<Counter> = pool.root().unwrap();
+    let blob = vec![0xEEu8; 512 * 1024];
+    let addr = pool.tx(|tx| pool.alloc_raw(tx, blob.len(), 0)).unwrap();
+
     let err = pool
         .tx(|tx| {
-            // 64 x 256 KiB = 16 MiB of redo payload against a 4 MiB log.
-            for _ in 0..64 {
+            let c = pool.deref_mut(root)?;
+            tx.set(&mut c.value, 8)?;
+            // Unbounded redo logging: chaining grows until the global space
+            // is exhausted and the daemon refuses the next log puddle.
+            for _ in 0..1024 {
                 tx.redo_set_bytes(addr, &blob)?;
             }
             Ok(())
@@ -437,8 +504,265 @@ fn oversized_transaction_reports_tx_too_large() {
         .unwrap_err();
     assert!(
         matches!(err, Error::TxTooLarge { .. }),
-        "expected TxTooLarge, got {err}"
+        "expected TxTooLarge after daemon refusal, got {err}"
     );
+    // The abort rolled the whole chain back and released its segments, so
+    // ordinary transactions keep working afterwards.
+    assert_eq!(pool.deref(root).unwrap().value, 7);
+    pool.tx(|tx| {
+        let c = pool.deref_mut(root)?;
+        tx.set(&mut c.value, 9)?;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(pool.deref(root).unwrap().value, 9);
+}
+
+#[test]
+fn transaction_one_entry_past_a_full_segment_commits_via_chaining() {
+    let _guard = failpoint_lock();
+    // The capacity-accounting regression: fill the log to exactly
+    // free_bytes == 0, then one more entry must chain (not fail), and the
+    // chained segment must be released back to the daemon after commit.
+    let (_tmp, _config, _daemon, client) = setup();
+    client.set_log_puddle_size(64 * 1024);
+    let pool = client.create_pool("exact", PoolOptions::default()).unwrap();
+    let region = 128 * 1024;
+    let addr = pool.tx(|tx| pool.alloc_raw(tx, region, 0)).unwrap();
+    // SAFETY: fresh allocation in a writable mapping.
+    unsafe { std::ptr::write_bytes(addr as *mut u8, 0x11, region) };
+    let puddles_before = client.stats().unwrap().puddles;
+
+    pool.tx(|tx| {
+        let free = tx.log_free_bytes();
+        assert!(free > 0 && free < region);
+        // One entry of exactly free_bytes() fills the segment...
+        tx.add_range(addr, free)?;
+        assert_eq!(tx.log_free_bytes(), 0);
+        assert_eq!(tx.chain_segments(), 1);
+        // ...and the next entry — one more than the segment holds — chains.
+        tx.add_range(addr + free + 64, 8)?;
+        assert_eq!(tx.chain_segments(), 2);
+        // After chaining, free_bytes reports the fresh tail's headroom.
+        assert!(tx.log_free_bytes() > 0);
+        // SAFETY: both logged ranges lie inside the allocated region.
+        unsafe { std::ptr::write_bytes(addr as *mut u8, 0x22, free) };
+        Ok(())
+    })
+    .unwrap();
+
+    // The committed write stuck and the chained segment was freed.
+    // SAFETY: `addr` is a live `region`-byte allocation.
+    let first = unsafe { std::slice::from_raw_parts(addr as *const u8, 8) };
+    assert_eq!(first, &[0x22; 8]);
+    assert_eq!(client.stats().unwrap().puddles, puddles_before);
+}
+
+#[test]
+fn max_segment_payload_chains_and_oversized_payload_is_rejected() {
+    let _guard = failpoint_lock();
+    // Boundary of the never-fits check: when the active segment is full, a
+    // payload of *exactly* a fresh segment's capacity must chain and
+    // commit; one byte more can never fit any segment and must be
+    // TxTooLarge (without looping on chain extensions).
+    let (_tmp, _config, _daemon, client) = setup();
+    client.set_log_puddle_size(64 * 1024);
+    let segment_capacity = 64 * 1024 - puddled::LOG_REGION_OFFSET;
+    let max_payload = puddles_logfmt::segment_payload_capacity(segment_capacity);
+    let pool = client
+        .create_pool("maxpay", PoolOptions::default())
+        .unwrap();
+    let region = 2 * max_payload;
+    let addr = pool.tx(|tx| pool.alloc_raw(tx, region, 0)).unwrap();
+
+    pool.tx(|tx| {
+        // Exhaust the active segment...
+        let fill = tx.log_free_bytes();
+        tx.add_range(addr, fill)?;
+        assert_eq!(tx.log_free_bytes(), 0);
+        // ...then log a payload of exactly one whole fresh segment.
+        let max = vec![0x7Au8; max_payload];
+        tx.redo_set_bytes(addr, &max)?;
+        assert_eq!(tx.chain_segments(), 2);
+        Ok(())
+    })
+    .unwrap();
+    // SAFETY: `addr` is a live `region`-byte allocation.
+    let stored = unsafe { std::slice::from_raw_parts(addr as *const u8, max_payload) };
+    assert!(stored.iter().all(|&b| b == 0x7A));
+
+    let err = pool
+        .tx(|tx| {
+            let fill = tx.log_free_bytes();
+            tx.add_range(addr, fill)?;
+            let too_big = vec![0u8; max_payload + 1];
+            tx.redo_set_bytes(addr, &too_big)?;
+            Ok(())
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::TxTooLarge { .. }),
+        "payload over a whole segment must be TxTooLarge, got {err}"
+    );
+}
+
+/// Sets up a pool with a 0xAB-filled 256 KiB region and a root counter,
+/// using 64 KiB log puddles so chaining is cheap to trigger. Returns the
+/// region address.
+fn chain_crash_setup(client: &PuddleClient, pool: &puddles::Pool) -> usize {
+    client.set_log_puddle_size(64 * 1024);
+    pool.tx(|tx| {
+        pool.create_root(
+            tx,
+            Counter {
+                value: 1,
+                touched: 0,
+            },
+        )
+    })
+    .unwrap();
+    let region = 256 * 1024;
+    let addr = pool.tx(|tx| pool.alloc_raw(tx, region, 0)).unwrap();
+    // SAFETY: fresh allocation in a writable mapping.
+    unsafe { std::ptr::write_bytes(addr as *mut u8, 0xAB, region) };
+    addr
+}
+
+/// The transaction body used by the chain crash tests: undo-log and
+/// overwrite the region in 16 KiB chunks, which outgrows a 64 KiB log
+/// segment after a few chunks and forces chain extensions.
+fn chain_crash_body(
+    pool: &puddles::Pool,
+    root: PmPtr<Counter>,
+    addr: usize,
+) -> impl Fn(&mut puddles::Transaction<'_>) -> Result<(), Error> + '_ {
+    move |tx| {
+        let c = pool.deref_mut(root)?;
+        tx.set(&mut c.value, 2)?;
+        for chunk in 0..16usize {
+            let chunk_addr = addr + chunk * 16 * 1024;
+            tx.add_range(chunk_addr, 16 * 1024)?;
+            // SAFETY: the chunk lies inside the allocated region.
+            unsafe { std::ptr::write_bytes(chunk_addr as *mut u8, 0xCD, 16 * 1024) };
+        }
+        Ok(())
+    }
+}
+
+fn assert_chain_rolled_back(pool: &puddles::Pool, addr: usize, context: &str) {
+    let root: PmPtr<Counter> = pool.root().unwrap();
+    assert_eq!(pool.deref(root).unwrap().value, 1, "{context}: root value");
+    // SAFETY: the region is a live 256 KiB allocation in the reopened pool.
+    let region = unsafe { std::slice::from_raw_parts(addr as *const u8, 256 * 1024) };
+    assert!(
+        region.iter().all(|&b| b == 0xAB),
+        "{context}: region must be uniformly rolled back"
+    );
+}
+
+#[test]
+fn crash_during_chain_extension_is_recovered_and_tails_reclaimed() {
+    use puddles_pmem::failpoint;
+    let _guard = failpoint_lock();
+
+    // Crash (a) after the daemon allocated the next chain segment but
+    // before it was registered — the unreferenced puddle is swept at the
+    // next daemon startup; (b) after registration but before the first
+    // append — recovery treats the empty tail as benign and reclaims it.
+    for fp in [
+        failpoint::names::LOG_CHAIN_ALLOC_CRASH,
+        failpoint::names::LOG_CHAIN_REGISTER_CRASH,
+    ] {
+        let tmp = tempfile::tempdir().unwrap();
+        let config = DaemonConfig::for_testing(tmp.path());
+        let addr;
+        {
+            let daemon = Daemon::start(config.clone()).unwrap();
+            let client = PuddleClient::connect_local(&daemon).unwrap();
+            let pool = client
+                .create_pool("chaincrash", PoolOptions::default())
+                .unwrap();
+            addr = chain_crash_setup(&client, &pool);
+            let root: PmPtr<Counter> = pool.root().unwrap();
+
+            failpoint::arm(fp, 0);
+            let err = pool.tx(chain_crash_body(&pool, root, addr)).unwrap_err();
+            failpoint::clear_all();
+            assert!(err.is_injected_crash(), "{fp}: got {err}");
+        }
+
+        // Restart without auto-recovery so the report is observable.
+        let daemon = Daemon::start(config.no_auto_recover()).unwrap();
+        let client = PuddleClient::connect_local(&daemon).unwrap();
+        let report = client.recover().unwrap();
+        match fp {
+            x if x == failpoint::names::LOG_CHAIN_ALLOC_CRASH => {
+                // The never-registered segment was already swept at startup.
+                assert!(
+                    client.stats().unwrap().log_puddles_swept >= 1,
+                    "alloc-crash puddle must be swept at startup"
+                );
+                assert_eq!(report.chain_tails_reclaimed, 0);
+            }
+            _ => {
+                // The registered-but-empty tail is benign and reclaimed.
+                assert!(
+                    report.chain_tails_reclaimed >= 1,
+                    "register-crash tail must be reclaimed, report {report:?}"
+                );
+            }
+        }
+        let pool = client.open_pool("chaincrash").unwrap();
+        assert_chain_rolled_back(&pool, addr, fp);
+    }
+}
+
+#[test]
+fn crash_mid_chain_rolls_back_across_segment_boundaries() {
+    use puddles_pmem::failpoint;
+    let _guard = failpoint_lock();
+
+    // Crash after N unfenced appends with N chosen to land in the *second*
+    // chain segment: recovery must stitch (log_id, chain_index) segments,
+    // replay the undo entries of both, and reclaim the tail.
+    for n in [6usize, 9, 13] {
+        let tmp = tempfile::tempdir().unwrap();
+        let config = DaemonConfig::for_testing(tmp.path());
+        let addr;
+        {
+            let daemon = Daemon::start(config.clone()).unwrap();
+            let client = PuddleClient::connect_local(&daemon).unwrap();
+            let pool = client
+                .create_pool("midchain", PoolOptions::default())
+                .unwrap();
+            addr = chain_crash_setup(&client, &pool);
+            let root: PmPtr<Counter> = pool.root().unwrap();
+
+            failpoint::arm(failpoint::names::LOG_APPEND_CRASH, n);
+            let err = pool.tx(chain_crash_body(&pool, root, addr)).unwrap_err();
+            failpoint::clear_all();
+            assert!(err.is_injected_crash(), "n={n}: got {err}");
+        }
+
+        let daemon = Daemon::start(config.no_auto_recover()).unwrap();
+        let client = PuddleClient::connect_local(&daemon).unwrap();
+        let report = client.recover().unwrap();
+        // 16 KiB entries against 64 KiB segments: appends 1..=4 land in the
+        // head, later ones in chained segments.
+        if n > 4 {
+            assert!(
+                report.chained_logs >= 1,
+                "n={n}: expected a chained log in {report:?}"
+            );
+            assert!(
+                report.chain_tails_reclaimed >= 1,
+                "n={n}: expected reclaimed tails in {report:?}"
+            );
+        }
+        assert!(report.entries_applied > 0, "n={n}: {report:?}");
+        let pool = client.open_pool("midchain").unwrap();
+        assert_chain_rolled_back(&pool, addr, &format!("n={n}"));
+    }
 }
 
 #[test]

@@ -10,7 +10,10 @@
 //!   were registered through this directory.
 //! * **Log** ([`log::LogRef`]) — a sequence of log entries plus metadata: a
 //!   *sequence range* controlling which entries are live, head/tail
-//!   pointers, and capacity.
+//!   pointers, and capacity. A log that outgrows its puddle is continued in
+//!   further puddles ([`log::LogWriter::extend`], Fig. 5's `chain_index`);
+//!   the head segment's range governs replay of the whole chain
+//!   ([`replay::replay_chain`]).
 //! * **Log entry** ([`entry::LogEntryHeader`]) — checksum, target virtual
 //!   address, size, *sequence number*, replay *order* (forward for redo,
 //!   reverse for undo) and *kind* (undo / redo / volatile), followed by the
@@ -34,9 +37,11 @@ pub mod logspace;
 pub mod replay;
 
 pub use entry::{EntryKind, LogEntryHeader, ReplayOrder};
-pub use log::{LogEntries, LogRef, LogWriter, SeqRange};
+pub use log::{chain_iter, segment_payload_capacity, LogEntries, LogRef, LogWriter, SeqRange};
 pub use logspace::{LogSpaceEntry, LogSpaceRef};
-pub use replay::{replay_log, BufferTarget, DirectMemoryTarget, ReplayStats, ReplayTarget};
+pub use replay::{
+    replay_chain, replay_log, BufferTarget, DirectMemoryTarget, ReplayStats, ReplayTarget,
+};
 
 /// Sequence number assigned to undo entries in the hybrid-logging scheme.
 pub const SEQ_UNDO: u32 = 1;

@@ -148,6 +148,12 @@ impl LogRef {
         self.capacity
     }
 
+    /// Returns the base address of the log area (for callers that cache the
+    /// view as raw parts).
+    pub fn base_addr(&self) -> usize {
+        self.base as usize
+    }
+
     /// Returns the current log generation.
     pub fn generation(&self) -> u32 {
         self.read_header().gen
@@ -389,8 +395,30 @@ fn payload_capacity(capacity: usize, head: usize) -> usize {
         & !(ENTRY_ALIGN - 1)
 }
 
-/// The fast, fence-free append path: a [`LogRef`] plus a DRAM mirror of the
-/// append cursor.
+/// Largest single payload an *empty* log area of `capacity` bytes can hold.
+///
+/// Callers deciding whether chaining another segment can satisfy an append
+/// use this: an entry whose payload exceeds it can never fit in one segment
+/// and must be rejected outright instead of growing the chain forever.
+pub fn segment_payload_capacity(capacity: usize) -> usize {
+    payload_capacity(capacity, LOG_HEADER_SIZE)
+}
+
+/// Iterates over every structurally valid entry of a multi-segment log
+/// chain in global append order: segment 0's entries first, then segment
+/// 1's, and so on — exactly the order a chain-aware writer appended them.
+///
+/// Each segment's entries are validated against that segment's own
+/// generation (the per-segment checksum/generation scan of
+/// [`LogRef::iter`]); the *head* segment's sequence range governs which of
+/// the yielded entries are live, so callers filter with the head's
+/// [`SeqRange`], never a tail's.
+pub fn chain_iter(segments: &[LogRef]) -> impl Iterator<Item = (LogEntryHeader, &[u8])> {
+    segments.iter().flat_map(|seg| seg.iter())
+}
+
+/// The fast, fence-free append path: a chain of [`LogRef`] segments plus a
+/// DRAM mirror of the append cursor.
 ///
 /// A `LogWriter` spans one transaction: [`LogWriter::begin`] bumps the log
 /// generation and publishes [`crate::RANGE_EXEC`] in a single fenced header
@@ -398,14 +426,35 @@ fn payload_capacity(capacity: usize, head: usize) -> usize {
 /// flush; the commit-stage fences (already required by Fig. 7) make the
 /// appended entries durable before any sequence-range transition that could
 /// replay them.
+///
+/// # Multi-segment chains
+///
+/// A transaction that outgrows one log puddle *chains* additional segments
+/// ([`LogWriter::extend`], Fig. 5's `chain_index`): when an append reports
+/// [`PmError::LogFull`] the caller acquires a fresh log area, extends the
+/// writer, and retries. Three properties keep the chain crash-consistent:
+///
+/// * **Head authority** — the head segment's sequence range governs replay
+///   of the *entire* chain. Stage transitions ([`LogWriter::set_seq_range`])
+///   and invalidation ([`LogWriter::reset`]) each remain one fenced header
+///   write to the head, so commit atomicity is unchanged by chaining.
+/// * **Per-segment validity** — each segment keeps its own generation;
+///   entries are validated by the usual checksum + generation scan within
+///   their segment, and [`chain_iter`] stitches the per-segment valid
+///   prefixes in append order.
+/// * **Boundary fences** — extending issues a fenced header write on the
+///   new tail before any entry lands in it, so every unfenced flush into
+///   earlier segments is durable first: a crash can never leave entries in
+///   segment *k+1* durable while segment *k*'s are lost (no holes).
 #[derive(Debug)]
 pub struct LogWriter {
-    log: LogRef,
-    /// Next free byte (DRAM only; never persisted).
+    /// Chain segments in order; `[0]` is the head, the last is active.
+    segments: Vec<LogRef>,
+    /// Next free byte within the active segment (DRAM only).
     head: usize,
-    /// Entries appended since `begin` (DRAM only).
+    /// Entries appended since `begin`, across all segments (DRAM only).
     entries: u64,
-    /// Generation stamped into every appended entry.
+    /// Generation of the active segment, stamped into appended entries.
     gen: u32,
 }
 
@@ -414,6 +463,19 @@ impl LogWriter {
     /// every existing entry) and publishes [`crate::RANGE_EXEC`], in one
     /// fenced header write.
     pub fn begin(log: LogRef) -> Result<LogWriter> {
+        let gen = Self::begin_segment(log)?;
+        Ok(LogWriter {
+            segments: vec![log],
+            head: LOG_HEADER_SIZE,
+            entries: 0,
+            gen,
+        })
+    }
+
+    /// One fenced header write that (re)starts `log` for the current
+    /// transaction: generation bump + [`crate::RANGE_EXEC`] + rewound
+    /// advisory head. Returns the new generation.
+    fn begin_segment(log: LogRef) -> Result<u32> {
         let mut hdr = log.read_header();
         if hdr.magic != LOG_MAGIC {
             return Err(PmError::Corruption("begin on uninitialized log".into()));
@@ -425,12 +487,26 @@ impl LogWriter {
         hdr.tail_off = u64::MAX;
         hdr.num_entries = 0;
         log.write_header(hdr);
-        Ok(LogWriter {
-            log,
-            head: LOG_HEADER_SIZE,
-            entries: 0,
-            gen: hdr.gen,
-        })
+        Ok(hdr.gen)
+    }
+
+    /// Chains `seg` onto the log and makes it the active segment.
+    ///
+    /// The segment is initialized if it never held a log, then restarted
+    /// with a fenced header write (generation bump, so stale entries in
+    /// recycled memory cannot alias into this transaction). That fence also
+    /// commits every unfenced entry flush issued so far, which is the
+    /// Fig. 7 discipline at the chain boundary: by the time the first entry
+    /// lands in the new tail, everything before it is durable.
+    pub fn extend(&mut self, seg: LogRef) -> Result<()> {
+        if !seg.is_initialized() {
+            seg.init();
+        }
+        let gen = Self::begin_segment(seg)?;
+        self.segments.push(seg);
+        self.head = LOG_HEADER_SIZE;
+        self.gen = gen;
+        Ok(())
     }
 
     /// Appends an entry with **one unfenced flush** and no header write.
@@ -439,6 +515,10 @@ impl LogWriter {
     /// caller's commit-stage `sfence`, or a fenced header write). A crash
     /// before that fence leaves a durable *prefix* of the appended entries
     /// — the checksum/generation scan finds exactly that prefix.
+    ///
+    /// When the active segment cannot hold the entry, [`PmError::LogFull`]
+    /// is returned; the caller may chain a fresh segment with
+    /// [`LogWriter::extend`] and retry.
     pub fn append(
         &mut self,
         addr: u64,
@@ -450,15 +530,16 @@ impl LogWriter {
         if failpoint::should_fail(failpoint::names::LOG_APPEND_CRASH) {
             return Err(PmError::CrashInjected(failpoint::names::LOG_APPEND_CRASH));
         }
+        let active = self.active();
         let entry = LogEntryHeader::new(addr, seq, order, kind, self.gen, data);
         let need = entry.stored_size();
-        if self.head + need > self.log.capacity {
+        if self.head + need > active.capacity {
             return Err(PmError::LogFull {
                 need,
-                free: self.log.capacity.saturating_sub(self.head),
+                free: active.capacity.saturating_sub(self.head),
             });
         }
-        let torn = self.log.write_entry(self.head, &entry, data);
+        let torn = active.write_entry(self.head, &entry, data);
         if torn {
             return Err(PmError::CrashInjected(failpoint::names::LOG_APPEND_TORN));
         }
@@ -467,35 +548,62 @@ impl LogWriter {
         Ok(())
     }
 
-    /// The underlying log view.
+    /// The head segment's log view (authoritative for the chain's sequence
+    /// range).
     pub fn log_ref(&self) -> LogRef {
-        self.log
+        self.segments[0]
     }
 
-    /// Entries appended since [`LogWriter::begin`] (volatile count).
+    /// The segment currently being appended to.
+    fn active(&self) -> LogRef {
+        *self.segments.last().expect("writer always has a segment")
+    }
+
+    /// Every segment of the chain in order (`[0]` is the head).
+    pub fn chain(&self) -> &[LogRef] {
+        &self.segments
+    }
+
+    /// Number of segments in the chain (1 = no chaining happened).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Entries appended since [`LogWriter::begin`], across every segment
+    /// (volatile count).
     pub fn num_entries(&self) -> u64 {
         self.entries
     }
 
-    /// Largest payload that still fits in a single further append, based on
-    /// the volatile cursor.
+    /// Largest payload that still fits in a single further append **without
+    /// chaining another segment**, based on the volatile cursor of the
+    /// active segment. After [`LogWriter::extend`] this reports the fresh
+    /// tail's headroom, not the exhausted previous segment's.
     pub fn free_bytes(&self) -> usize {
-        payload_capacity(self.log.capacity, self.head)
+        payload_capacity(self.active().capacity, self.head)
     }
 
-    /// Publishes a new sequence range (fenced; also makes every entry
-    /// flushed before it durable).
+    /// Publishes a new sequence range on the **head** segment (fenced; also
+    /// makes every entry flushed before it durable). One store moves the
+    /// whole chain between the stages of Fig. 7.
     pub fn set_seq_range(&self, range: SeqRange) {
-        self.log.set_seq_range(range);
+        self.segments[0].set_seq_range(range);
     }
 
-    /// Ends the transaction: resets the log (bumping the generation) and
-    /// rewinds the volatile cursor.
+    /// Ends the transaction: resets the head (bumping its generation — the
+    /// single fenced write that invalidates the *entire* chain, since the
+    /// head's range governs chain replay), then scrubs any tail segments
+    /// and drops them from the chain. The caller releases the tail areas'
+    /// backing storage afterwards.
     pub fn reset(&mut self) {
-        self.log.reset();
+        self.segments[0].reset();
+        for seg in &self.segments[1..] {
+            seg.reset();
+        }
+        self.segments.truncate(1);
         self.head = LOG_HEADER_SIZE;
         self.entries = 0;
-        self.gen = self.log.generation();
+        self.gen = self.segments[0].generation();
     }
 }
 
@@ -884,6 +992,149 @@ mod tests {
         // surface — the bytes are gone.
         log.set_generation_for_test(u32::MAX);
         assert_eq!(log.iter().count(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-segment chains.
+    // ------------------------------------------------------------------
+
+    /// Appends `data` and on LogFull chains a fresh segment from `spare`
+    /// (the logfmt-level analogue of what the transaction layer does).
+    fn append_chaining(
+        w: &mut LogWriter,
+        spare: &mut Vec<Vec<u8>>,
+        addr: u64,
+        data: &[u8],
+    ) -> usize {
+        match w.append(addr, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, data) {
+            Ok(()) => 0,
+            Err(PmError::LogFull { .. }) => {
+                let buf = spare.pop().expect("out of spare segments");
+                // SAFETY: the Vec lives in the caller's `bufs` holder for the
+                // whole test.
+                let seg = unsafe { LogRef::from_raw(buf.leak().as_mut_ptr(), 1024) };
+                w.extend(seg).unwrap();
+                w.append(addr, SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo, data)
+                    .unwrap();
+                1
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn chained_appends_span_segments_and_scan_in_order() {
+        let mut head_buf = vec![0u8; 1024];
+        let head = make_log(&mut head_buf);
+        head.init();
+        let mut w = LogWriter::begin(head).unwrap();
+        let mut spare: Vec<Vec<u8>> = (0..4).map(|_| vec![0u8; 1024]).collect();
+        let mut extended = 0;
+        for i in 0..40u64 {
+            let e = append_chaining(&mut w, &mut spare, 0x9000 + i, &[i as u8; 64]);
+            if e == 1 {
+                // free_bytes reports the fresh tail's headroom, not the
+                // exhausted previous segment's.
+                assert!(w.free_bytes() > 0, "fresh tail must report headroom");
+            }
+            extended += e;
+        }
+        assert!(extended >= 2, "40 x ~96 B entries must outgrow 1 KiB");
+        assert_eq!(w.segment_count(), extended + 1);
+        assert_eq!(w.num_entries(), 40);
+        // The stitched scan returns every entry in global append order.
+        let addrs: Vec<u64> = chain_iter(w.chain()).map(|(h, _)| h.addr).collect();
+        assert_eq!(addrs, (0..40u64).map(|i| 0x9000 + i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chain_reset_invalidates_every_segment_via_the_head() {
+        let mut head_buf = vec![0u8; 1024];
+        let head = make_log(&mut head_buf);
+        head.init();
+        let mut w = LogWriter::begin(head).unwrap();
+        let mut spare: Vec<Vec<u8>> = (0..2).map(|_| vec![0u8; 1024]).collect();
+        for i in 0..20u64 {
+            append_chaining(&mut w, &mut spare, i, &[3; 64]);
+        }
+        let tails: Vec<LogRef> = w.chain()[1..].to_vec();
+        assert!(!tails.is_empty());
+        w.reset();
+        assert_eq!(w.segment_count(), 1);
+        assert_eq!(head.seq_range(), RANGE_DONE);
+        assert_eq!(head.iter().count(), 0);
+        // The scrubbed tails hold nothing valid either.
+        for tail in tails {
+            assert_eq!(tail.iter().count(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_chain_tail_is_benign_for_the_scan() {
+        // The LOG_CHAIN crash window at logfmt level: a tail was chained
+        // (initialized + restarted) but the crash hit before its first
+        // append. The stitched scan must return exactly the head's entries.
+        let mut head_buf = vec![0u8; 4096];
+        let head = make_log(&mut head_buf);
+        head.init();
+        let mut w = LogWriter::begin(head).unwrap();
+        for i in 0..3u64 {
+            w.append(
+                0x70 + i,
+                SEQ_UNDO,
+                ReplayOrder::Reverse,
+                EntryKind::Undo,
+                &[1; 8],
+            )
+            .unwrap();
+        }
+        let mut tail_buf = vec![0u8; 4096];
+        let tail = make_log(&mut tail_buf);
+        w.extend(tail).unwrap();
+        let addrs: Vec<u64> = chain_iter(w.chain()).map(|(h, _)| h.addr).collect();
+        assert_eq!(addrs, vec![0x70, 0x71, 0x72]);
+        assert_eq!(tail.seq_range(), RANGE_EXEC);
+    }
+
+    #[test]
+    fn extend_orphans_stale_entries_in_recycled_segments() {
+        // A tail area that previously held a committed chain segment is
+        // recycled into a new transaction: its old entries carry a valid
+        // checksum for the *previous* generation and must stay invisible.
+        let mut tail_buf = vec![0u8; 4096];
+        let tail = make_log(&mut tail_buf);
+        tail.init();
+        let mut w1 = LogWriter::begin(tail).unwrap();
+        w1.append(
+            0xAA,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Undo,
+            &[9; 16],
+        )
+        .unwrap();
+        // (no reset — simulates memory handed back without scrubbing)
+
+        let mut head_buf = vec![0u8; 4096];
+        let head = make_log(&mut head_buf);
+        head.init();
+        let mut w = LogWriter::begin(head).unwrap();
+        w.extend(tail).unwrap();
+        assert_eq!(
+            chain_iter(w.chain()).count(),
+            0,
+            "stale recycled-tail entries must be orphaned by the generation bump"
+        );
+    }
+
+    #[test]
+    fn segment_payload_capacity_matches_an_empty_log() {
+        let mut buf = vec![0u8; 2048];
+        let log = make_log(&mut buf);
+        log.init();
+        assert_eq!(segment_payload_capacity(2048), log.free_bytes());
+        let w = LogWriter::begin(log).unwrap();
+        assert_eq!(segment_payload_capacity(2048), w.free_bytes());
     }
 
     #[test]

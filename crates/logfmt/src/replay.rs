@@ -156,7 +156,28 @@ pub fn replay_log<T: ReplayTarget>(
     target: &mut T,
     apply_volatile: bool,
 ) -> ReplayStats {
-    let range = log.seq_range();
+    replay_chain(std::slice::from_ref(log), target, apply_volatile)
+}
+
+/// Replays a multi-segment log chain (`segments[0]` is the head) into
+/// `target`, exactly like [`replay_log`] over one logical log.
+///
+/// The **head** segment's sequence range decides which entries are live
+/// throughout the chain; each segment contributes its own checksummed,
+/// generation-valid prefix ([`crate::log::chain_iter`]). Reverse-order
+/// (undo) entries are applied last-logged-first *globally* — the last
+/// segment's entries roll back before the first's — and forward-order
+/// (redo) entries first-logged-first, so multi-segment replay is
+/// indistinguishable from replaying the same entries out of one large log.
+pub fn replay_chain<T: ReplayTarget>(
+    segments: &[LogRef],
+    target: &mut T,
+    apply_volatile: bool,
+) -> ReplayStats {
+    let Some(head) = segments.first() else {
+        return ReplayStats::default();
+    };
+    let range = head.seq_range();
     let mut stats = ReplayStats::default();
 
     // Group borrowed views of the live entries: payloads stay in the log
@@ -164,7 +185,7 @@ pub fn replay_log<T: ReplayTarget>(
     let mut reverse_group: Vec<(LogEntryHeader, &[u8])> = Vec::new();
     let mut forward_group: Vec<(LogEntryHeader, &[u8])> = Vec::new();
 
-    for (hdr, data) in log.iter() {
+    for (hdr, data) in crate::log::chain_iter(segments) {
         if !range.contains(hdr.seq) {
             stats.skipped_sequence += 1;
             continue;
@@ -374,6 +395,126 @@ mod tests {
         assert_eq!(stats.applied, 1);
         assert_eq!(stats.denied, 1);
         assert_eq!(target.read(0x500, 8), &[1; 8]);
+    }
+
+    // ------------------------------------------------------------------
+    // Chained replay.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn replay_chain_of_one_segment_equals_replay_log() {
+        let mut buf = vec![0u8; 4096];
+        let log = make_log(&mut buf);
+        log.init();
+        log.set_seq_range(RANGE_EXEC);
+        log.append(
+            0x100,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Undo,
+            &[5; 8],
+        )
+        .unwrap();
+        let mut a = BufferTarget::new(0x100, 64);
+        let mut b = BufferTarget::new(0x100, 64);
+        let sa = replay_log(&log, &mut a, false);
+        let sb = replay_chain(std::slice::from_ref(&log), &mut b, false);
+        assert_eq!(sa, sb);
+        assert_eq!(a.bytes(), b.bytes());
+        assert_eq!(replay_chain(&[], &mut a, false), ReplayStats::default());
+    }
+
+    /// One logical entry of the randomized chained-replay property.
+    #[derive(Clone, Copy)]
+    struct PropEntry {
+        off: usize,
+        len: usize,
+        redo: bool,
+        fill: u8,
+    }
+
+    fn build_prop_entries(raw: &[(usize, usize, u8)], region: usize) -> Vec<PropEntry> {
+        raw.iter()
+            .map(|&(off, len, tag)| {
+                let len = len.min(region - 1);
+                PropEntry {
+                    off: off % (region - len),
+                    len,
+                    redo: tag % 2 == 1,
+                    fill: tag,
+                }
+            })
+            .collect()
+    }
+
+    fn append_prop_entry(w: &mut crate::log::LogWriter, base: u64, e: &PropEntry) -> bool {
+        let data: Vec<u8> = (0..e.len).map(|i| e.fill ^ (i as u8)).collect();
+        let (seq, order, kind) = if e.redo {
+            (SEQ_REDO, ReplayOrder::Forward, EntryKind::Redo)
+        } else {
+            (SEQ_UNDO, ReplayOrder::Reverse, EntryKind::Undo)
+        };
+        match w.append(base + e.off as u64, seq, order, kind, &data) {
+            Ok(()) => true,
+            Err(puddles_pmem::PmError::LogFull { .. }) => false,
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn chained_replay_equals_single_log_replay(
+            raw in proptest::collection::vec((0usize..4096, 0usize..200, 0u8..255), 16..48)
+        ) {
+            const REGION: usize = 4096;
+            const BASE: u64 = 0x10_0000;
+            let entries = build_prop_entries(&raw, REGION);
+
+            // (a) One large log holding every entry.
+            let mut big_buf = vec![0u8; 64 * 1024];
+            let big = make_log(&mut big_buf);
+            big.init();
+            let mut bw = crate::log::LogWriter::begin(big).unwrap();
+            for e in &entries {
+                proptest::prop_assert!(append_prop_entry(&mut bw, BASE, e));
+            }
+
+            // (b) The same entries split across small chained segments.
+            let mut head_buf = vec![0u8; 512];
+            let head = make_log(&mut head_buf);
+            head.init();
+            let mut cw = crate::log::LogWriter::begin(head).unwrap();
+            for e in &entries {
+                if !append_prop_entry(&mut cw, BASE, e) {
+                    let buf: &'static mut [u8] = vec![0u8; 512].leak();
+                    // SAFETY: the leaked buffer lives for the process.
+                    let seg = unsafe { LogRef::from_raw(buf.as_mut_ptr(), buf.len()) };
+                    cw.extend(seg).unwrap();
+                    proptest::prop_assert!(append_prop_entry(&mut cw, BASE, e));
+                }
+            }
+            proptest::prop_assert!(
+                cw.segment_count() >= 2,
+                "workload must actually straddle segments (got {})",
+                cw.segment_count()
+            );
+
+            // Replaying the chain must produce memory identical to replaying
+            // the single log, in every stage.
+            let init: Vec<u8> = (0..REGION).map(|i| (i * 31 % 251) as u8).collect();
+            for range in [RANGE_EXEC, RANGE_REDO] {
+                bw.set_seq_range(range);
+                cw.set_seq_range(range);
+                let mut single = BufferTarget::from_bytes(BASE, init.clone());
+                let mut chained = BufferTarget::from_bytes(BASE, init.clone());
+                let ss = replay_log(&big, &mut single, false);
+                let sc = replay_chain(cw.chain(), &mut chained, false);
+                proptest::prop_assert_eq!(ss, sc);
+                proptest::prop_assert_eq!(single.bytes(), chained.bytes());
+            }
+        }
     }
 
     #[test]

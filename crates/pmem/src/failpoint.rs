@@ -116,6 +116,15 @@ pub mod names {
     /// flushed, unfenced appends: arm with `after == N` and exactly the
     /// first N entries are durable).
     pub const LOG_APPEND_CRASH: &str = "log.append.crash";
+    /// While a transaction extends its log chain: after the daemon
+    /// allocated the next log puddle but before it was registered in the
+    /// log space (the puddle is unreachable by recovery and must be swept
+    /// at the next daemon startup).
+    pub const LOG_CHAIN_ALLOC_CRASH: &str = "log.chain.after_alloc";
+    /// While a transaction extends its log chain: after the next segment
+    /// was registered in the log space but before its first append (the
+    /// empty tail is benign for replay and is reclaimed by recovery).
+    pub const LOG_CHAIN_REGISTER_CRASH: &str = "log.chain.after_register";
     /// During transaction body execution, before commit begins.
     pub const TX_BODY: &str = "tx.body";
     /// While the allocator mutates persistent metadata inside a transaction.

@@ -179,6 +179,11 @@ pub struct RecoveryReport {
     pub logs_clean: u64,
     /// Logs marked invalid because replay was not permitted.
     pub logs_invalidated: u64,
+    /// Logs that spanned more than one puddle (chained via `chain_index`).
+    pub chained_logs: u64,
+    /// Chained tail segments unregistered and freed after their transaction
+    /// was resolved (orphaned by a crash before the client released them).
+    pub chain_tails_reclaimed: u64,
 }
 
 /// Daemon statistics (puddle/pool counts and space usage).
@@ -206,6 +211,9 @@ pub struct DaemonStats {
     pub checkpoint_age_ms: u64,
     /// Orphan puddle files deleted by the startup directory sweep.
     pub orphan_files_swept: u64,
+    /// Log puddles referenced by no log space, reclaimed at startup (the
+    /// crash window between allocating a chain segment and registering it).
+    pub log_puddles_swept: u64,
 }
 
 /// Machine-readable error categories returned by the daemon.
@@ -282,6 +290,8 @@ mod tests {
             entries_denied: 0,
             logs_clean: 1,
             logs_invalidated: 0,
+            chained_logs: 1,
+            chain_tails_reclaimed: 2,
         };
         let json = serde_json::to_string(&report).unwrap();
         assert_eq!(

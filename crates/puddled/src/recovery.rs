@@ -13,9 +13,11 @@ use crate::gspace::GlobalSpace;
 use crate::layout::LOG_REGION_OFFSET;
 use crate::registry::PuddleRecord;
 use crate::service::DaemonInner;
-use puddles_logfmt::{replay_log, DirectMemoryTarget, LogRef, LogSpaceRef, RANGE_DONE};
+use puddles_logfmt::{
+    chain_iter, replay_chain, DirectMemoryTarget, LogRef, LogSpaceEntry, LogSpaceRef, RANGE_DONE,
+};
 use puddles_pmem::Result;
-use puddles_proto::{Credentials, PuddlePurpose, RecoveryReport};
+use puddles_proto::{Credentials, PuddleId, PuddlePurpose, RecoveryReport};
 
 /// Runs one recovery pass over every registered log space.
 pub fn run_recovery(inner: &DaemonInner) -> Result<RecoveryReport> {
@@ -47,15 +49,89 @@ pub fn run_recovery(inner: &DaemonInner) -> Result<RecoveryReport> {
         }
     }
 
-    if !invalidated.is_empty() {
+    if !invalidated.is_empty() || report.chain_tails_reclaimed > 0 {
         for id in invalidated {
             inner.registry.invalidate_log_space(id);
             report.logs_invalidated += 1;
         }
-        // One group commit makes every invalidation record durable.
+        // One group commit makes every invalidation and every reclaimed
+        // chain tail's registry removal durable.
         inner.registry.commit()?;
     }
     Ok(report)
+}
+
+/// Removes a log puddle from the registry and deletes its backing file
+/// (best-effort). Used when recovery reclaims orphaned chain tails and by
+/// the startup sweep of unreferenced log puddles; the caller commits the
+/// registry afterwards.
+fn free_log_puddle(inner: &DaemonInner, record: &PuddleRecord) {
+    if let Some(record) = inner.registry.unregister_puddle(record.id) {
+        inner.registry.free_space(record.offset, record.size);
+        let _ = inner.pmdir.delete_puddle_file(&record.file);
+    }
+}
+
+/// Reclaims log puddles that no log space references.
+///
+/// The chain-extension crash window leaves exactly this state: the daemon
+/// allocated the next segment but the client crashed before registering it
+/// in its log space, so no recovery pass (and no client) can ever reach the
+/// puddle again. Run at daemon startup only — after registry load and
+/// recovery, before any client connects — because a *live* client is
+/// briefly in this window on every chain extension. Returns the number of
+/// puddles reclaimed.
+pub(crate) fn sweep_unreferenced_log_puddles(inner: &DaemonInner) -> Result<u64> {
+    let log_spaces = inner.registry.log_spaces_snapshot();
+    let all_puddles: Vec<PuddleRecord> = inner.registry.puddles_snapshot();
+    let gspace = &inner.gspace;
+    let mut referenced: std::collections::BTreeSet<u128> = std::collections::BTreeSet::new();
+    // Walk every log space (including invalidated ones: their logs are kept
+    // as evidence) and collect the puddles they reference.
+    for ls in &log_spaces {
+        let Some(record) = all_puddles.iter().find(|p| p.id == ls.puddle) else {
+            continue;
+        };
+        let mut mapped: Vec<usize> = Vec::new();
+        let map_result = map_record(inner, gspace, record, true, &mut mapped);
+        if let Ok(addr) = map_result {
+            // SAFETY: mapped writable for the puddle's full size; the log
+            // space occupies its heap.
+            let ls_ref = unsafe {
+                LogSpaceRef::from_raw(
+                    (addr + LOG_REGION_OFFSET) as *mut u8,
+                    record.size as usize - LOG_REGION_OFFSET,
+                )
+            };
+            if ls_ref.is_initialized() {
+                referenced.extend(ls_ref.log_puddles());
+            }
+        }
+        for offset in mapped {
+            // SAFETY: no references into the mapping survive this loop.
+            unsafe {
+                let _ = gspace.unmap_puddle(offset);
+            }
+        }
+        if map_result.is_err() {
+            // A log space we cannot read may reference any log puddle: with
+            // its references unknown, deleting "unreferenced" puddles could
+            // destroy a live undo log. Skip the sweep entirely — leaking a
+            // puddle until the space heals is recoverable, deletion is not.
+            return Ok(0);
+        }
+    }
+    let mut swept = 0;
+    for record in &all_puddles {
+        if record.purpose == PuddlePurpose::Log && !referenced.contains(&record.id.0) {
+            free_log_puddle(inner, record);
+            swept += 1;
+        }
+    }
+    if swept > 0 {
+        inner.registry.commit()?;
+    }
+    Ok(swept)
 }
 
 /// Deletes puddle files that have no registry record.
@@ -137,56 +213,110 @@ fn recover_log_space(
             ranges.push((addr as u64, record.size));
         }
 
-        // Replay each registered log.
+        // Group the log space's live slots into chains: slots sharing a
+        // `log_id`, ordered by `chain_index` (a single-puddle log is a
+        // chain of one). `live_slots` already sorts by (log_id, chain_index).
+        let mut chains: Vec<Vec<LogSpaceEntry>> = Vec::new();
+        for slot in ls_ref.live_slots() {
+            match chains.last_mut() {
+                Some(chain) if chain[0].log_id == slot.log_id => chain.push(slot),
+                _ => chains.push(vec![slot]),
+            }
+        }
+
+        // Replay each registered log chain.
         let mut outcome = LogSpaceOutcome::Ok;
-        for log_puddle_id in ls_ref.log_puddles() {
-            let Some(log_record) = all_puddles
-                .iter()
-                .find(|p| p.id == puddles_proto::PuddleId(log_puddle_id))
-            else {
-                continue;
-            };
+        for chain in &chains {
             report.logs += 1;
-            let log_addr = map_record(inner, gspace, log_record, true, &mut mapped)?;
-            // SAFETY: mapped writable for the puddle's full size; the log
-            // occupies the heap region.
-            let log = unsafe {
-                LogRef::from_raw(
-                    (log_addr + LOG_REGION_OFFSET) as *mut u8,
-                    log_record.size as usize - LOG_REGION_OFFSET,
-                )
-            };
-            if !log.is_initialized() || log.seq_range() == RANGE_DONE {
-                report.logs_clean += 1;
-                continue;
-            }
-            // Validate first: if any live entry targets memory the client
-            // could not write, do not replay anything from this log space.
-            // The iterator borrows payloads straight from the mapped log —
-            // nothing is materialized for validation.
-            let mut live_count = 0u64;
-            let mut denied = false;
-            for (hdr, data) in log.live() {
-                live_count += 1;
-                if hdr.entry_kind() != Some(puddles_logfmt::EntryKind::Volatile)
-                    && !ranges.iter().any(|&(start, len)| {
-                        hdr.addr >= start && hdr.addr + data.len() as u64 <= start + len
-                    })
-                {
-                    denied = true;
+            // Map the chain's segments in order, stitching until the first
+            // gap or missing record: registration is ordered (index k is
+            // durable before any entry lands in k+1), so everything past a
+            // hole belongs to an older, already-resolved incarnation.
+            let mut segments: Vec<LogRef> = Vec::new();
+            for (i, slot) in chain.iter().enumerate() {
+                if slot.chain_index != i as u32 {
+                    break;
                 }
+                let uuid = (slot.puddle_uuid_hi as u128) << 64 | slot.puddle_uuid_lo as u128;
+                let Some(log_record) = all_puddles.iter().find(|p| p.id == PuddleId(uuid)) else {
+                    break;
+                };
+                let log_addr = map_record(inner, gspace, log_record, true, &mut mapped)?;
+                // SAFETY: mapped writable for the puddle's full size; the
+                // log occupies the heap region.
+                let log = unsafe {
+                    LogRef::from_raw(
+                        (log_addr + LOG_REGION_OFFSET) as *mut u8,
+                        log_record.size as usize - LOG_REGION_OFFSET,
+                    )
+                };
+                segments.push(log);
             }
-            if denied {
-                report.entries_denied += live_count;
-                outcome = LogSpaceOutcome::Invalidate;
-                continue;
+
+            let head_live = segments
+                .first()
+                .map(|h| h.is_initialized() && h.seq_range() != RANGE_DONE)
+                .unwrap_or(false);
+            if head_live {
+                let head = segments[0];
+                // Validate first: if any live entry of the chain targets
+                // memory the client could not write, do not replay anything
+                // from this log space. The head's sequence range governs
+                // liveness throughout the chain; the stitched iterator
+                // borrows payloads straight from the mapped logs.
+                let range = head.seq_range();
+                let mut live_count = 0u64;
+                let mut denied = false;
+                for (hdr, data) in chain_iter(&segments) {
+                    if !range.contains(hdr.seq) {
+                        continue;
+                    }
+                    live_count += 1;
+                    if hdr.entry_kind() != Some(puddles_logfmt::EntryKind::Volatile)
+                        && !ranges.iter().any(|&(start, len)| {
+                            hdr.addr >= start && hdr.addr + data.len() as u64 <= start + len
+                        })
+                    {
+                        denied = true;
+                    }
+                }
+                if denied {
+                    report.entries_denied += live_count;
+                    outcome = LogSpaceOutcome::Invalidate;
+                    // Leave the chain (and its tails) untouched as evidence.
+                    continue;
+                }
+                let mut target = DirectMemoryTarget::restricted(ranges.clone());
+                let stats = replay_chain(&segments, &mut target, false);
+                report.entries_applied += stats.applied as u64;
+                report.entries_denied += stats.denied as u64;
+                if segments.len() > 1 {
+                    report.chained_logs += 1;
+                }
+                // The transaction is resolved; drop the log. Resetting the
+                // head is the single fenced write that invalidates the
+                // whole chain.
+                head.reset();
+            } else if !segments.is_empty() {
+                report.logs_clean += 1;
             }
-            let mut target = DirectMemoryTarget::restricted(ranges.clone());
-            let stats = replay_log(&log, &mut target, false);
-            report.entries_applied += stats.applied as u64;
-            report.entries_denied += stats.denied as u64;
-            // The transaction is resolved; drop the log.
-            log.reset();
+
+            // Reclaim orphaned chain tails: the crashed client can no
+            // longer release them, and the next transaction on this log
+            // starts a fresh chain. A tail that never saw an append (crash
+            // between registration and first append) is just as benign —
+            // it contributed no entries above. Unregister first (durably),
+            // then free the puddle, so a crash mid-reclaim leaves either a
+            // registered empty-ish tail (reclaimed next pass) or an
+            // unreferenced puddle (swept at startup).
+            for slot in chain.iter().filter(|s| s.chain_index > 0) {
+                let uuid = (slot.puddle_uuid_hi as u128) << 64 | slot.puddle_uuid_lo as u128;
+                ls_ref.unregister(uuid);
+                if let Some(record) = all_puddles.iter().find(|p| p.id == PuddleId(uuid)) {
+                    free_log_puddle(inner, record);
+                }
+                report.chain_tails_reclaimed += 1;
+            }
         }
         Ok(outcome)
     })();

@@ -84,6 +84,9 @@ pub struct DaemonInner {
     pub(crate) registry: Registry,
     /// Orphan puddle files deleted by the startup directory sweep.
     pub(crate) orphans_swept: AtomicU64,
+    /// Log puddles referenced by no log space, reclaimed at startup (the
+    /// crash window between allocating a chain segment and registering it).
+    pub(crate) log_puddles_swept: AtomicU64,
 }
 
 /// The Puddles daemon: a privileged service managing every puddle on the
@@ -151,6 +154,7 @@ impl Daemon {
                 gspace,
                 registry,
                 orphans_swept: AtomicU64::new(0),
+                log_puddles_swept: AtomicU64::new(0),
             }),
         };
         daemon
@@ -165,6 +169,15 @@ impl Daemon {
         if daemon.inner.config.auto_recover {
             let _ = recovery::run_recovery(&daemon.inner)?;
         }
+        // Reclaim log puddles no log space references (the crash window
+        // between allocating a chain segment and registering it). Startup
+        // only: once clients connect, a live chain extension is briefly in
+        // exactly this state.
+        let logs_swept = recovery::sweep_unreferenced_log_puddles(&daemon.inner)?;
+        daemon
+            .inner
+            .log_puddles_swept
+            .store(logs_swept, Ordering::Relaxed);
         Ok(daemon)
     }
 
@@ -317,6 +330,7 @@ impl Daemon {
             checkpoints: wal.checkpoints,
             checkpoint_age_ms: wal.checkpoint_age_ms,
             orphan_files_swept: self.inner.orphans_swept.load(Ordering::Relaxed),
+            log_puddles_swept: self.inner.log_puddles_swept.load(Ordering::Relaxed),
         }
     }
 

@@ -841,3 +841,249 @@ fn shutdown_is_bounded_under_busy_and_stalled_clients() {
     drop(stalled);
     busy.join().unwrap();
 }
+
+#[test]
+fn recovery_replays_chained_logs_in_order_and_reclaims_tails() {
+    let tmp = tempfile::tempdir().unwrap();
+    let config = DaemonConfig::for_testing(tmp.path());
+    let daemon = Daemon::start(config.clone()).unwrap();
+    let gspace = daemon.global_space();
+
+    let create = |purpose| {
+        expect_puddle(daemon.handle(
+            USER_A,
+            Request::CreatePuddle {
+                size: 1 << 20,
+                pool: None,
+                purpose,
+                mode: 0o600,
+            },
+        ))
+    };
+    // One data puddle, a log space, and a three-segment log chain whose
+    // last tail never saw an append (the chain-extension crash window).
+    let data = create(PuddlePurpose::Data);
+    let ls = create(PuddlePurpose::LogSpace);
+    let head = create(PuddlePurpose::Log);
+    let tail = create(PuddlePurpose::Log);
+    let empty_tail = create(PuddlePurpose::Log);
+    assert_eq!(
+        daemon.handle(USER_A, Request::RegLogSpace { puddle: ls.id }),
+        Response::Ok
+    );
+
+    let base = gspace.base() as u64;
+    let map = |info: &puddles_proto::PuddleInfo| -> usize {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&info.path)
+            .unwrap();
+        gspace
+            .map_puddle(
+                &file,
+                (info.assigned_addr - base) as usize,
+                info.size as usize,
+                true,
+            )
+            .unwrap()
+    };
+    let data_addr = map(&data);
+    let ls_addr = map(&ls);
+    let head_addr = map(&head);
+    let tail_addr = map(&tail);
+    let empty_addr = map(&empty_tail);
+
+    let target = data_addr + 0x4000;
+    // SAFETY: `target` lies inside the freshly mapped writable data puddle.
+    unsafe { std::ptr::write_bytes(target as *mut u8, 0xCC, 8) };
+
+    // SAFETY: the puddles are mapped writable for their full size.
+    let ls_ref = unsafe {
+        LogSpaceRef::from_raw(
+            (ls_addr + LOG_REGION_OFFSET) as *mut u8,
+            ls.size as usize - LOG_REGION_OFFSET,
+        )
+    };
+    ls_ref.init();
+    ls_ref.register(head.id.0, 1, 0).unwrap();
+    ls_ref.register(tail.id.0, 1, 1).unwrap();
+    ls_ref.register(empty_tail.id.0, 1, 2).unwrap();
+
+    let make_log = |addr: usize, info: &puddles_proto::PuddleInfo| -> LogRef {
+        // SAFETY: mapped writable for the puddle's full size above.
+        let log = unsafe {
+            LogRef::from_raw(
+                (addr + LOG_REGION_OFFSET) as *mut u8,
+                info.size as usize - LOG_REGION_OFFSET,
+            )
+        };
+        log.init();
+        log
+    };
+    // Two undo entries for the SAME address, split across segments: the
+    // head's (older, 0xAA) was logged before the tail's (0xBB). Reverse
+    // replay must apply the tail entry first and the head entry last, so
+    // the oldest value wins — exactly as if both sat in one log.
+    let head_log = make_log(head_addr, &head);
+    head_log.set_seq_range(RANGE_EXEC);
+    head_log
+        .append(
+            target as u64,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Undo,
+            &[0xAA; 8],
+        )
+        .unwrap();
+    let tail_log = make_log(tail_addr, &tail);
+    // Tail headers carry EXEC too, but recovery must key off the *head*.
+    tail_log.set_seq_range(RANGE_EXEC);
+    tail_log
+        .append(
+            target as u64,
+            SEQ_UNDO,
+            ReplayOrder::Reverse,
+            EntryKind::Undo,
+            &[0xBB; 8],
+        )
+        .unwrap();
+    make_log(empty_addr, &empty_tail); // registered, never appended to
+
+    // "Crash": drop every mapping and the daemon handle.
+    for info in [&data, &ls, &head, &tail, &empty_tail] {
+        // SAFETY: no references into the mappings remain.
+        unsafe {
+            gspace
+                .unmap_puddle((info.assigned_addr - base) as usize)
+                .unwrap();
+        }
+    }
+    drop(gspace);
+    drop(daemon);
+
+    // Restart: recovery stitches the chain, replays across the boundary,
+    // and reclaims both tails (the empty one is benign).
+    let daemon = Daemon::start(config).unwrap();
+    let gspace = daemon.global_space();
+    let data2 = expect_puddle(daemon.handle(
+        USER_A,
+        Request::GetPuddle {
+            id: data.id,
+            writable: false,
+        },
+    ));
+    let file = std::fs::OpenOptions::new()
+        .read(true)
+        .open(&data2.path)
+        .unwrap();
+    let addr = gspace
+        .map_puddle(
+            &file,
+            (data2.assigned_addr - base) as usize,
+            data2.size as usize,
+            false,
+        )
+        .unwrap();
+    // SAFETY: mapped read-only just above.
+    let recovered = unsafe { std::slice::from_raw_parts((addr + 0x4000) as *const u8, 8) };
+    assert_eq!(
+        recovered, &[0xAA; 8],
+        "reverse replay across the chain must leave the oldest value"
+    );
+    // SAFETY: `recovered` is not used past this point.
+    unsafe {
+        gspace
+            .unmap_puddle((data2.assigned_addr - base) as usize)
+            .unwrap();
+    }
+
+    // The head survives (reset), the tails are gone.
+    assert!(matches!(
+        daemon.handle(
+            USER_A,
+            Request::GetPuddle {
+                id: head.id,
+                writable: true
+            }
+        ),
+        Response::Puddle(_)
+    ));
+    for freed in [tail.id, empty_tail.id] {
+        assert!(
+            matches!(
+                daemon.handle(
+                    USER_A,
+                    Request::GetPuddle {
+                        id: freed,
+                        writable: true
+                    }
+                ),
+                Response::Error {
+                    code: ErrorCode::NotFound,
+                    ..
+                }
+            ),
+            "chain tail must have been reclaimed"
+        );
+    }
+}
+
+#[test]
+fn unreferenced_log_puddles_are_swept_at_startup() {
+    let tmp = tempfile::tempdir().unwrap();
+    let config = DaemonConfig::for_testing(tmp.path());
+    let daemon = Daemon::start(config.clone()).unwrap();
+
+    // A log puddle that no log space ever references: the crash window
+    // between allocating a chain segment and registering it.
+    let orphan = expect_puddle(daemon.handle(
+        USER_A,
+        Request::CreatePuddle {
+            size: 1 << 20,
+            pool: None,
+            purpose: PuddlePurpose::Log,
+            mode: 0o600,
+        },
+    ));
+    // A data puddle must NOT be touched by the sweep.
+    let data = expect_puddle(daemon.handle(
+        USER_A,
+        Request::CreatePuddle {
+            size: 1 << 20,
+            pool: None,
+            purpose: PuddlePurpose::Data,
+            mode: 0o600,
+        },
+    ));
+    drop(daemon);
+
+    let daemon = Daemon::start(config).unwrap();
+    match daemon.handle(USER_A, Request::Stats) {
+        Response::Stats(stats) => assert_eq!(stats.log_puddles_swept, 1, "{stats:?}"),
+        other => panic!("unexpected response {other:?}"),
+    }
+    assert!(matches!(
+        daemon.handle(
+            USER_A,
+            Request::GetPuddle {
+                id: orphan.id,
+                writable: true
+            }
+        ),
+        Response::Error {
+            code: ErrorCode::NotFound,
+            ..
+        }
+    ));
+    assert!(matches!(
+        daemon.handle(
+            USER_A,
+            Request::GetPuddle {
+                id: data.id,
+                writable: true
+            }
+        ),
+        Response::Puddle(_)
+    ));
+}
