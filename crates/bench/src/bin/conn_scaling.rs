@@ -1,0 +1,216 @@
+//! Connection-scaling benchmark for the daemon's reactor runtime.
+//!
+//! The old `UdsServer` spawned one OS thread per connection, hard-capped at
+//! 256; the reactor holds one fd + state machine per connection and
+//! executes requests on a small worker pool. This harness measures
+//! requests/s and p99 latency with 64 / 512 / 2048 **concurrently
+//! connected** clients in two mixes:
+//!
+//! * `all_active` — every connection issues `Ping` requests back-to-back
+//!   (driver threads multiplex many connections each, so the *daemon*'s
+//!   concurrency is what is measured, not the harness's thread count);
+//! * `mostly_idle` — the same connection count, but only 1 in 16
+//!   connections is active; the rest sit connected and silent. This is the
+//!   "millions of users" shape: a large connected population, a small hot
+//!   set.
+//!
+//! Output rows: `conn_scaling,puddles,<mix>_{reqs_per_s|p99_us},<conns>,<v>`.
+//! Pass `--json <path>` to also write `BENCH_conn_scaling.json` for CI.
+
+use puddles_bench::{emit_header, emit_row, Scale};
+use puddles_proto::{read_frame, write_frame, Credentials, Request, Response};
+use std::io::Write as _;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Raises `RLIMIT_NOFILE` to its hard limit: 2048 connections mean >4096
+/// fds in this process (client + daemon ends), above the usual 1024 soft
+/// default.
+fn raise_nofile_limit() {
+    let mut lim = libc::rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: `lim` is a valid in/out pointer for both calls.
+    unsafe {
+        if libc::getrlimit(libc::RLIMIT_NOFILE, &mut lim) == 0 && lim.rlim_cur < lim.rlim_max {
+            lim.rlim_cur = lim.rlim_max;
+            let _ = libc::setrlimit(libc::RLIMIT_NOFILE, &lim);
+        }
+    }
+}
+
+/// Connects and handshakes one client connection (with a short retry: a
+/// burst of 2048 connects can transiently fill the listen backlog).
+fn connect(socket: &Path) -> UnixStream {
+    let mut delay = Duration::from_millis(1);
+    for attempt in 0.. {
+        match UnixStream::connect(socket) {
+            Ok(mut stream) => {
+                write_frame(
+                    &mut stream,
+                    &Request::Hello {
+                        creds: Credentials::current_process(),
+                    },
+                )
+                .expect("hello");
+                let resp: Response = read_frame(&mut stream).expect("welcome");
+                assert!(matches!(resp, Response::Welcome { .. }));
+                return stream;
+            }
+            Err(_) if attempt < 50 => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(100));
+            }
+            Err(e) => panic!("connect failed after retries: {e}"),
+        }
+    }
+    unreachable!()
+}
+
+struct MixResult {
+    reqs_per_s: f64,
+    p99_us: f64,
+}
+
+/// Drives `conns` live connections for `duration`, with only every
+/// `active_stride`-th connection issuing requests (1 = all active). The
+/// active set is split across a handful of driver threads, each cycling
+/// round-robin over its share.
+fn run_mix(socket: &Path, conns: usize, active_stride: usize, duration: Duration) -> MixResult {
+    // Establish the whole population first; it stays connected throughout.
+    let streams: Vec<UnixStream> = (0..conns).map(|_| connect(socket)).collect();
+    let mut active: Vec<UnixStream> = Vec::new();
+    let mut idle: Vec<UnixStream> = Vec::new();
+    for (i, stream) in streams.into_iter().enumerate() {
+        if i % active_stride == 0 {
+            active.push(stream);
+        } else {
+            idle.push(stream);
+        }
+    }
+
+    let drivers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 16)
+        .min(active.len());
+    let mut shards: Vec<Vec<UnixStream>> = (0..drivers).map(|_| Vec::new()).collect();
+    for (i, stream) in active.into_iter().enumerate() {
+        shards[i % drivers].push(stream);
+    }
+
+    let start = Instant::now();
+    let workers: Vec<_> = shards
+        .into_iter()
+        .map(|shard| {
+            std::thread::spawn(move || {
+                let mut latencies_ns: Vec<u64> = Vec::new();
+                let mut done = 0u64;
+                'outer: loop {
+                    for stream in &shard {
+                        if start.elapsed() >= duration {
+                            break 'outer;
+                        }
+                        let mut stream = stream;
+                        let t0 = Instant::now();
+                        if write_frame(&mut stream, &Request::Ping).is_err() {
+                            break 'outer;
+                        }
+                        let resp: Response = match read_frame(&mut stream) {
+                            Ok(resp) => resp,
+                            Err(_) => break 'outer,
+                        };
+                        assert!(!matches!(resp, Response::Error { .. }));
+                        latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                        done += 1;
+                    }
+                }
+                (done, latencies_ns, shard)
+            })
+        })
+        .collect();
+
+    let mut total = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut keep_alive: Vec<Vec<UnixStream>> = Vec::new();
+    for worker in workers {
+        let (done, mut lat, shard) = worker.join().expect("driver");
+        total += done;
+        latencies.append(&mut lat);
+        keep_alive.push(shard);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let p99 = latencies
+        .get(latencies.len().saturating_sub(1) * 99 / 100)
+        .copied()
+        .unwrap_or(0);
+    assert!(total > 0, "no requests completed at {conns} connections");
+    // The idle population stayed connected for the whole measurement.
+    drop(idle);
+    MixResult {
+        reqs_per_s: total as f64 / elapsed,
+        p99_us: p99 as f64 / 1000.0,
+    }
+}
+
+fn main() {
+    raise_nofile_limit();
+    let scale = Scale::from_args();
+    let json_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    emit_header();
+
+    let tmp = tempfile::tempdir().expect("tempdir");
+    let daemon =
+        puddled::Daemon::start(puddled::DaemonConfig::for_testing(tmp.path())).expect("daemon");
+    let socket = tmp.path().join("conn_scaling.sock");
+    let _server = puddled::UdsServer::start(daemon, &socket).expect("server");
+
+    // 2048 connections is the acceptance bar (old hard cap: 256 threads);
+    // quick scale keeps the measurement window short, not the population.
+    let conn_counts: &[usize] = &[64, 512, 2048];
+    let duration = Duration::from_millis(scale.pick(300, 2000));
+
+    let mut json = String::from("{\n  \"experiment\": \"conn_scaling\",\n  \"rows\": [\n");
+    let mut first = true;
+    for &conns in conn_counts {
+        for (mix, stride) in [("all_active", 1usize), ("mostly_idle", 16)] {
+            let result = run_mix(&socket, conns, stride, duration);
+            emit_row(
+                "conn_scaling",
+                "puddles",
+                &format!("{mix}_reqs_per_s"),
+                &conns.to_string(),
+                result.reqs_per_s,
+            );
+            emit_row(
+                "conn_scaling",
+                "puddles",
+                &format!("{mix}_p99_us"),
+                &conns.to_string(),
+                result.p99_us,
+            );
+            if !first {
+                json.push_str(",\n");
+            }
+            first = false;
+            json.push_str(&format!(
+                "    {{\"mix\": \"{mix}\", \"connections\": {conns}, \
+                 \"reqs_per_s\": {:.1}, \"p99_us\": {:.1}}}",
+                result.reqs_per_s, result.p99_us
+            ));
+        }
+    }
+    json.push_str("\n  ]\n}\n");
+    if let Some(path) = json_path {
+        std::fs::write(&path, json).expect("write bench json");
+    }
+    let _ = std::io::stdout().flush();
+}

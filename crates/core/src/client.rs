@@ -13,6 +13,7 @@ use crate::types::{PmType, TypeRegistry};
 use parking_lot::{Mutex, RwLock};
 use puddled::{Daemon, GlobalSpace, LOG_REGION_OFFSET};
 use puddles_logfmt::{LogRef, LogSpaceRef};
+use puddles_pmem::failpoint;
 use puddles_proto::{
     Credentials, Endpoint, PoolInfo, PuddleId, PuddleInfo, PuddlePurpose, RecoveryReport, Request,
     Response,
@@ -29,6 +30,10 @@ use std::time::{Duration, Instant};
 pub const LOGSPACE_PUDDLE_SIZE: u64 = 64 * 1024;
 /// Size of each per-thread log puddle.
 pub const LOG_PUDDLE_SIZE: u64 = 4 * 1024 * 1024;
+/// Spare log puddles a client parks for reuse instead of freeing. Chained
+/// transactions release one tail per extension; parking a couple covers the
+/// common chain depths while bounding what an idle client pins.
+pub const SPARE_LOG_CACHE: usize = 2;
 
 /// A connection to the Puddles daemon plus per-client state.
 ///
@@ -50,6 +55,12 @@ pub(crate) struct ClientInner {
     /// Size of log puddles this client requests ([`LOG_PUDDLE_SIZE`] unless
     /// overridden); applies to thread logs and chained segments alike.
     log_puddle_size: std::sync::atomic::AtomicU64,
+    /// Spare log puddles parked for reuse (still mapped, unregistered from
+    /// the log space): a chained commit/abort parks its tail here instead of
+    /// `FreePuddle`-ing it, and the next segment acquisition — a chain
+    /// extension or a new thread log — skips the daemon round trip *and*
+    /// the mmap. Freed for real when the client drops.
+    spare_logs: Mutex<Vec<PuddleInfo>>,
 }
 
 #[derive(Default)]
@@ -161,6 +172,7 @@ impl PuddleClient {
                 logging: Mutex::new(LoggingState::default()),
                 thread_logs: RwLock::new(HashMap::new()),
                 log_puddle_size: std::sync::atomic::AtomicU64::new(LOG_PUDDLE_SIZE),
+                spare_logs: Mutex::new(Vec::new()),
             }),
         })
     }
@@ -398,10 +410,17 @@ impl ClientInner {
             }
         }
         // Slow path: make sure the log space exists, then create a log
-        // puddle for this thread.
+        // puddle for this thread. A recycled spare already carries an
+        // initialized log whose generation must keep counting up (init
+        // would rewind it to 0, re-exposing stale same-generation entries);
+        // reset bumps it instead.
         let log_id = self.ensure_logspace()?;
         let (info, log) = self.acquire_log_segment()?;
-        log.init();
+        if log.is_initialized() {
+            log.reset();
+        } else {
+            log.init();
+        }
         self.register_log_segment(&info, log_id, 0)?;
         let log_base = log.base_addr();
         let mut logs = self.thread_logs.write();
@@ -417,11 +436,30 @@ impl ClientInner {
         Ok(ThreadLogHandle { log, log_id })
     }
 
-    /// Creates and maps one fresh log puddle, returning its metadata and a
-    /// log view over its heap. The caller initializes the log and registers
-    /// the puddle in the log space (thread logs at `chain_index` 0,
-    /// mid-transaction chain segments at the next index).
+    /// Provides one mapped log puddle — a parked spare when one fits, a
+    /// fresh daemon allocation otherwise — returning its metadata and a log
+    /// view over its heap. The caller initializes/resets the log and
+    /// registers the puddle in the log space (thread logs at `chain_index`
+    /// 0, mid-transaction chain segments at the next index).
     pub(crate) fn acquire_log_segment(&self) -> Result<(PuddleInfo, LogRef)> {
+        // Reuse a spare of the current size: no daemon round trip, no mmap
+        // (the spare kept its mapping reference). A spare of the wrong size
+        // (the log-puddle-size knob moved) is freed for real instead.
+        while let Some(info) = self.spare_logs.lock().pop() {
+            if info.size == self.log_puddle_size() {
+                // SAFETY: the spare's mapping reference was retained when it
+                // was parked (`release_log_segment`), so `assigned_addr` is
+                // still a live writable mapping of `info.size` bytes.
+                let log = unsafe {
+                    LogRef::from_raw(
+                        (info.assigned_addr as usize + LOG_REGION_OFFSET) as *mut u8,
+                        info.size as usize - LOG_REGION_OFFSET,
+                    )
+                };
+                return Ok((info, log));
+            }
+            self.free_log_segment(&info);
+        }
         let info = match self.call(&Request::CreatePuddle {
             size: self.log_puddle_size(),
             pool: None,
@@ -433,8 +471,8 @@ impl ClientInner {
         };
         let addr = self.map_puddle_raw(&info)?;
         // SAFETY: the puddle was just mapped writable for `info.size` bytes;
-        // it stays mapped until `release_log_segment` (chain tails) or for
-        // the client's lifetime (thread logs).
+        // it stays mapped until `free_log_segment` (chain tails, spares) or
+        // for the client's lifetime (thread logs).
         let log = unsafe {
             LogRef::from_raw(
                 (addr + LOG_REGION_OFFSET) as *mut u8,
@@ -468,9 +506,17 @@ impl ClientInner {
 
     /// Releases a chain segment after the transaction resolved: removes its
     /// log-space slot (durably, so recovery never chases a freed puddle),
-    /// unmaps it, and returns the puddle to the daemon. Best-effort — a
-    /// failure leaves a benign orphan that the daemon's startup reclamation
-    /// sweeps.
+    /// then **parks** the puddle in the spare cache — still mapped — for the
+    /// next chain extension or thread log, rather than `FreePuddle`-ing it.
+    /// Chain-heavy transactions would otherwise pay a daemon round trip +
+    /// file create + mmap *per extension, per transaction* (the ~2x
+    /// chained-vs-single gap in `tx_1MiB_undo_MBps`). With the cache full
+    /// (or the segment size stale) the puddle is freed for real.
+    ///
+    /// A parked spare is unreachable by recovery (no log-space slot) and
+    /// already reset by `LogWriter::reset`, so it holds nothing replayable;
+    /// if the client dies while holding spares, the daemon's startup sweep
+    /// of unreferenced log puddles reclaims them.
     pub(crate) fn release_log_segment(&self, info: &PuddleInfo) {
         {
             let logging = self.logging.lock();
@@ -478,6 +524,20 @@ impl ClientInner {
                 ls.ls.unregister(info.id.0);
             }
         }
+        if info.size == self.log_puddle_size() {
+            let mut spares = self.spare_logs.lock();
+            if spares.len() < SPARE_LOG_CACHE {
+                spares.push(info.clone());
+                return;
+            }
+        }
+        self.free_log_segment(info);
+    }
+
+    /// Actually returns a log puddle to the daemon: drops the mapping
+    /// reference and frees the puddle. Best-effort — a failure leaves a
+    /// benign orphan that the daemon's startup reclamation sweeps.
+    fn free_log_segment(&self, info: &PuddleInfo) {
         self.unmap_puddle(info);
         let _ = self.call(&Request::FreePuddle { id: info.id });
     }
@@ -494,6 +554,12 @@ impl ClientInner {
                 Response::Puddle(info) => info,
                 other => return Err(Error::UnexpectedResponse(format!("{other:?}"))),
             };
+            if failpoint::should_fail(failpoint::names::LOGSPACE_ALLOC_CRASH) {
+                // Crash window: the LogSpace puddle exists daemon-side but
+                // carries no LogSpaceRecord yet — only the daemon's startup
+                // sweep of unregistered LogSpace puddles can reclaim it.
+                return Err(Error::CrashInjected(failpoint::names::LOGSPACE_ALLOC_CRASH));
+            }
             let addr = self.map_puddle_raw(&info)?;
             // SAFETY: mapped writable just above; stays mapped for the
             // client's lifetime.
@@ -509,6 +575,19 @@ impl ClientInner {
         }
         logging.next_log_id += 1;
         Ok(logging.next_log_id)
+    }
+}
+
+impl Drop for ClientInner {
+    fn drop(&mut self) {
+        // The spare-log cache lives exactly as long as the client: on
+        // disconnect the parked puddles go back to the daemon (best-effort
+        // — if the daemon is already gone, its next startup sweep reclaims
+        // them as unreferenced log puddles).
+        let spares = std::mem::take(&mut *self.spare_logs.lock());
+        for info in &spares {
+            self.free_log_segment(info);
+        }
     }
 }
 

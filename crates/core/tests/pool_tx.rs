@@ -551,11 +551,76 @@ fn transaction_one_entry_past_a_full_segment_commits_via_chaining() {
     })
     .unwrap();
 
-    // The committed write stuck and the chained segment was freed.
+    // The committed write stuck. The chained segment is no longer part of
+    // any log chain but sits *parked* in the client's spare cache (one
+    // puddle still registered daemon-side), ready for the next extension.
     // SAFETY: `addr` is a live `region`-byte allocation.
     let first = unsafe { std::slice::from_raw_parts(addr as *const u8, 8) };
     assert_eq!(first, &[0x22; 8]);
-    assert_eq!(client.stats().unwrap().puddles, puddles_before);
+    assert_eq!(client.stats().unwrap().puddles, puddles_before + 1);
+
+    // A second chaining transaction reuses the spare instead of allocating:
+    // the daemon-side puddle count stays flat.
+    pool.tx(|tx| {
+        let free = tx.log_free_bytes();
+        tx.add_range(addr, free)?;
+        tx.add_range(addr + free + 64, 8)?;
+        assert_eq!(tx.chain_segments(), 2);
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(client.stats().unwrap().puddles, puddles_before + 1);
+}
+
+#[test]
+fn spare_log_cache_parks_tails_and_frees_them_on_disconnect() {
+    let _guard = failpoint_lock();
+    let (_tmp, _config, daemon, client) = setup();
+    // A second client observes daemon state after the first disconnects.
+    let observer = PuddleClient::connect_local(&daemon).unwrap();
+    client.set_log_puddle_size(64 * 1024);
+    let pool = client.create_pool("spare", PoolOptions::default()).unwrap();
+    let region = 256 * 1024;
+    let addr = pool.tx(|tx| pool.alloc_raw(tx, region, 0)).unwrap();
+
+    // A transaction that undo-logs `total` bytes in 8 KiB entries (small
+    // enough to fit any segment size used here), chaining as needed.
+    let chain_tx = |total: usize| {
+        pool.tx(|tx| {
+            let mut off = 0;
+            while off < total {
+                let len = (total - off).min(8 * 1024);
+                tx.add_range(addr + off, len)?;
+                off += len;
+            }
+            Ok(tx.chain_segments())
+        })
+        .unwrap()
+    };
+    let segments = chain_tx(150 * 1024);
+    assert!(segments >= 3, "150 KiB undo must chain 64 KiB segments");
+    let parked = observer.stats().unwrap().puddles;
+    // Subsequent chain-heavy transactions run entirely out of the cache up
+    // to its capacity: the daemon-side puddle count stays flat.
+    for _ in 0..3 {
+        assert!(chain_tx(120 * 1024) >= 2);
+        assert_eq!(observer.stats().unwrap().puddles, parked);
+    }
+
+    // Changing the segment size invalidates parked spares: the next
+    // acquisition frees them rather than reusing the wrong geometry.
+    client.set_log_puddle_size(32 * 1024);
+    assert!(chain_tx(80 * 1024) >= 2);
+
+    // Disconnect: the cache is dropped and every parked puddle is freed.
+    let before_drop = observer.stats().unwrap().puddles;
+    drop(pool);
+    drop(client);
+    let after_drop = observer.stats().unwrap().puddles;
+    assert!(
+        after_drop < before_drop,
+        "disconnect must free parked spares ({before_drop} -> {after_drop})"
+    );
 }
 
 #[test]

@@ -11,16 +11,32 @@
 //! Failpoints are compiled in unconditionally (they are a handful of hash
 //! lookups guarded by a fast atomic emptiness check), so integration tests
 //! and the crash-consistency harness can use them against release builds.
+//!
+//! # Scoping
+//!
+//! [`arm`] arms a point **globally**: any thread's next matching
+//! [`should_fail`] fires it. [`arm_scoped`] restricts the point to the
+//! *calling thread*, which is what lets the randomized crash-consistency
+//! sweep run trials in parallel — each trial thread arms its own crash
+//! points and cannot trip (or consume) another trial's. A scoped point
+//! shadows nothing: scoped and global arms of the same name coexist, and
+//! `should_fail` consults the caller's scoped entry first, then the global
+//! one.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread::ThreadId;
 
 /// Number of currently armed failpoints; fast path check.
 static ARMED: AtomicUsize = AtomicUsize::new(0);
 
+/// Key of one armed point: the name plus an optional owning thread
+/// (`None` = global, fires on any thread).
+type Key = (String, Option<ThreadId>);
+
 struct Registry {
-    points: HashMap<String, usize>,
+    points: HashMap<Key, usize>,
     log: Vec<String>,
 }
 
@@ -35,20 +51,37 @@ fn registry() -> &'static Mutex<Registry> {
     })
 }
 
-/// Arms `name` so that the `after`-th call to [`should_fail`] fires
-/// (`after == 0` fires on the first call).
-pub fn arm(name: &str, after: usize) {
+fn arm_key(key: Key, after: usize) {
     let mut reg = registry().lock();
-    if reg.points.insert(name.to_string(), after).is_none() {
+    if reg.points.insert(key, after).is_none() {
         ARMED.fetch_add(1, Ordering::SeqCst);
     }
 }
 
-/// Disarms `name`; does nothing if it was not armed.
+/// Arms `name` so that the `after`-th call to [`should_fail`] — from any
+/// thread — fires (`after == 0` fires on the first call).
+pub fn arm(name: &str, after: usize) {
+    arm_key((name.to_string(), None), after);
+}
+
+/// Arms `name` for the **calling thread only**: `should_fail(name)` from
+/// other threads neither fires nor consumes the countdown. Parallel test
+/// harnesses use this so concurrent trials' crash points stay independent.
+pub fn arm_scoped(name: &str, after: usize) {
+    arm_key((name.to_string(), Some(std::thread::current().id())), after);
+}
+
+/// Disarms `name` (both the global entry and the calling thread's scoped
+/// entry); does nothing if it was not armed.
 pub fn disarm(name: &str) {
     let mut reg = registry().lock();
-    if reg.points.remove(name).is_some() {
-        ARMED.fetch_sub(1, Ordering::SeqCst);
+    for key in [
+        (name.to_string(), None),
+        (name.to_string(), Some(std::thread::current().id())),
+    ] {
+        if reg.points.remove(&key).is_some() {
+            ARMED.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 }
 
@@ -62,16 +95,42 @@ pub fn clear_all() {
     reg.log.clear();
 }
 
+/// Disarms every failpoint scoped to the calling thread (global entries and
+/// other threads' scoped entries are untouched); per-trial cleanup for
+/// parallel harnesses.
+pub fn clear_current_thread() {
+    let tid = std::thread::current().id();
+    let mut reg = registry().lock();
+    let mine: Vec<Key> = reg
+        .points
+        .keys()
+        .filter(|(_, scope)| *scope == Some(tid))
+        .cloned()
+        .collect();
+    for key in mine {
+        reg.points.remove(&key);
+        ARMED.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Returns `true` when the named failpoint fires on this call.
 ///
 /// The armed counter is decremented on every call; the point fires (and is
-/// disarmed) when the counter reaches zero.
+/// disarmed) when the counter reaches zero. The calling thread's scoped
+/// entry is consulted first, then the global one.
 pub fn should_fail(name: &str) -> bool {
     if ARMED.load(Ordering::Relaxed) == 0 {
         return false;
     }
     let mut reg = registry().lock();
-    let fire = match reg.points.get_mut(name) {
+    let scoped = (name.to_string(), Some(std::thread::current().id()));
+    let global = (name.to_string(), None);
+    let key = if reg.points.contains_key(&scoped) {
+        scoped
+    } else {
+        global
+    };
+    let fire = match reg.points.get_mut(&key) {
         Some(remaining) => {
             if *remaining == 0 {
                 true
@@ -83,7 +142,7 @@ pub fn should_fail(name: &str) -> bool {
         None => false,
     };
     if fire {
-        reg.points.remove(name);
+        reg.points.remove(&key);
         ARMED.fetch_sub(1, Ordering::SeqCst);
         reg.log.push(name.to_string());
     }
@@ -125,6 +184,11 @@ pub mod names {
     /// was registered in the log space but before its first append (the
     /// empty tail is benign for replay and is reclaimed by recovery).
     pub const LOG_CHAIN_REGISTER_CRASH: &str = "log.chain.after_register";
+    /// While a client creates its log space: after the daemon allocated the
+    /// LogSpace puddle but before `RegLogSpace` registered it (the puddle
+    /// is unreachable by recovery and must be swept at the next daemon
+    /// startup).
+    pub const LOGSPACE_ALLOC_CRASH: &str = "logspace.after_alloc";
     /// During transaction body execution, before commit begins.
     pub const TX_BODY: &str = "tx.body";
     /// While the allocator mutates persistent metadata inside a transaction.
@@ -174,6 +238,52 @@ mod tests {
         arm("q", 0);
         disarm("q");
         assert!(!should_fail("q"));
+        clear_all();
+    }
+
+    #[test]
+    fn scoped_points_are_invisible_to_other_threads() {
+        clear_all();
+        arm_scoped("s", 0);
+        // Another thread neither fires nor consumes the scoped point...
+        let other = std::thread::spawn(|| should_fail("s"));
+        assert!(!other.join().unwrap());
+        // ...but the arming thread does.
+        assert!(should_fail("s"));
+        assert!(!should_fail("s"), "fired scoped point is disarmed");
+        clear_all();
+    }
+
+    #[test]
+    fn scoped_points_on_distinct_threads_are_independent() {
+        clear_all();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    // Each thread arms its own countdown of 2 and must see
+                    // exactly its own third call fire, regardless of how
+                    // the other threads interleave.
+                    arm_scoped("par", 2);
+                    let hits = [should_fail("par"), should_fail("par"), should_fail("par")];
+                    clear_current_thread();
+                    hits
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), [false, false, true]);
+        }
+        clear_all();
+    }
+
+    #[test]
+    fn clear_current_thread_spares_global_and_foreign_points() {
+        clear_all();
+        arm("g", 0);
+        arm_scoped("mine", 0);
+        clear_current_thread();
+        assert!(!should_fail("mine"));
+        assert!(should_fail("g"), "global point must survive a scoped clear");
         clear_all();
     }
 }

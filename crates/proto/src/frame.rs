@@ -47,6 +47,55 @@ pub fn decode_frame<T: DeserializeOwned>(body: &[u8]) -> io::Result<T> {
     serde_json::from_slice(body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
+/// Incremental frame decoder for nonblocking transports.
+///
+/// A reactor-style server reads whatever bytes the socket has — which may
+/// be half a length prefix, several frames back-to-back, or a frame split
+/// at any byte boundary — and feeds them here; [`FrameDecoder::next_frame`]
+/// yields each complete message exactly once. The decoder owns a single
+/// contiguous buffer; consumed frames are drained from its front.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of bytes buffered but not yet decoded (partial frame plus any
+    /// frames not yet pulled with [`FrameDecoder::next_frame`]).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decodes the next complete frame, if the buffer holds one.
+    ///
+    /// Returns `Ok(None)` while the frame is still incomplete. A corrupt
+    /// prefix (length beyond [`MAX_FRAME`]) or an undecodable body is an
+    /// error; the connection should be dropped — after a framing error the
+    /// stream position is unrecoverable.
+    pub fn next_frame<T: DeserializeOwned>(&mut self) -> io::Result<Option<T>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = frame_len(self.buf[..4].try_into().expect("4 bytes checked"))?;
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let value = decode_frame(&self.buf[4..4 + len])?;
+        self.buf.drain(..4 + len);
+        Ok(Some(value))
+    }
+}
+
 /// Reads one length-prefixed JSON frame.
 pub fn read_frame<R: Read, T: DeserializeOwned>(reader: &mut R) -> io::Result<T> {
     let mut len_buf = [0u8; 4];
@@ -90,5 +139,97 @@ mod tests {
         buf.truncate(buf.len() - 1);
         let mut cursor = std::io::Cursor::new(buf);
         assert!(read_frame::<_, Request>(&mut cursor).is_err());
+    }
+
+    /// A stream of frames the decoder tests chop up.
+    fn sample_stream() -> (Vec<Request>, Vec<u8>) {
+        let reqs = vec![
+            Request::Ping,
+            Request::OpenPool {
+                name: "pool-with-a-longer-name".into(),
+            },
+            Request::GetPtrMaps,
+            Request::CreatePool {
+                name: "p".into(),
+                root_size: 1 << 20,
+                mode: 0o640,
+            },
+            Request::Ping,
+        ];
+        let mut bytes = Vec::new();
+        for req in &reqs {
+            bytes.extend_from_slice(&encode_frame(req).unwrap());
+        }
+        (reqs, bytes)
+    }
+
+    #[test]
+    fn decoder_yields_frames_fed_byte_by_byte() {
+        let (reqs, bytes) = sample_stream();
+        let mut dec = FrameDecoder::new();
+        let mut out: Vec<Request> = Vec::new();
+        for b in bytes {
+            dec.feed(&[b]);
+            while let Some(req) = dec.next_frame().unwrap() {
+                out.push(req);
+            }
+        }
+        assert_eq!(out, reqs);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_yields_frames_fed_all_at_once() {
+        let (reqs, bytes) = sample_stream();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        let mut out: Vec<Request> = Vec::new();
+        while let Some(req) = dec.next_frame().unwrap() {
+            out.push(req);
+        }
+        assert_eq!(out, reqs);
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_length_prefix() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(dec.next_frame::<Request>().is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+
+        /// Frames split across arbitrary read boundaries decode exactly as
+        /// the unsplit stream: the reactor's invariant that socket read
+        /// chunking can never change what the daemon sees.
+        #[test]
+        fn decoder_is_chunking_invariant(
+            cuts in proptest::collection::vec(1usize..24, 0..40)
+        ) {
+            let (reqs, bytes) = sample_stream();
+            let mut dec = FrameDecoder::new();
+            let mut out: Vec<Request> = Vec::new();
+            let mut pos = 0usize;
+            // Interpret the sampled values as successive chunk lengths;
+            // whatever remains after the last cut is fed in one piece.
+            for cut in cuts {
+                if pos >= bytes.len() {
+                    break;
+                }
+                let end = (pos + cut).min(bytes.len());
+                dec.feed(&bytes[pos..end]);
+                pos = end;
+                while let Some(req) = dec.next_frame().unwrap() {
+                    out.push(req);
+                }
+            }
+            dec.feed(&bytes[pos..]);
+            while let Some(req) = dec.next_frame().unwrap() {
+                out.push(req);
+            }
+            proptest::prop_assert_eq!(&out, &reqs);
+            proptest::prop_assert_eq!(dec.buffered(), 0);
+        }
     }
 }

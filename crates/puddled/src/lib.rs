@@ -19,6 +19,7 @@
 //! UNIX-domain socket ([`uds::UdsServer`], the `puddled` binary).
 
 pub mod acl;
+pub mod background;
 pub mod gspace;
 pub mod importexport;
 pub mod layout;
@@ -28,6 +29,7 @@ pub mod service;
 pub mod uds;
 pub mod wal;
 
+pub use background::Background;
 pub use gspace::GlobalSpace;
 pub use layout::{PuddleHeader, LOG_REGION_OFFSET, PUDDLE_HEADER_SIZE, PUDDLE_MAGIC};
 pub use service::{Daemon, DaemonConfig, LocalEndpoint};

@@ -134,6 +134,37 @@ pub(crate) fn sweep_unreferenced_log_puddles(inner: &DaemonInner) -> Result<u64>
     Ok(swept)
 }
 
+/// Reclaims `LogSpace`-purpose puddles that have no [`LogSpaceRecord`].
+///
+/// `ensure_logspace` on the client first allocates the puddle, then
+/// registers it with `RegLogSpace`; a crash in between leaves a LogSpace
+/// puddle the registry's log-space table never heard of. No recovery pass
+/// walks it (recovery iterates *registered* log spaces) and no client can
+/// reach it (the crashed client's handle died with it), so — like the
+/// unregistered-`Log` case above — only this startup sweep can reclaim it.
+/// Run after registry load + recovery, before any client connects (a live
+/// client is briefly in exactly this window while creating its log space).
+/// Returns the number of puddles reclaimed.
+pub(crate) fn sweep_unregistered_logspace_puddles(inner: &DaemonInner) -> Result<u64> {
+    let registered: std::collections::BTreeSet<u128> = inner
+        .registry
+        .log_spaces_snapshot()
+        .iter()
+        .map(|ls| ls.puddle.0)
+        .collect();
+    let mut swept = 0;
+    for record in inner.registry.puddles_snapshot() {
+        if record.purpose == PuddlePurpose::LogSpace && !registered.contains(&record.id.0) {
+            free_log_puddle(inner, &record);
+            swept += 1;
+        }
+    }
+    if swept > 0 {
+        inner.registry.commit()?;
+    }
+    Ok(swept)
+}
+
 /// Deletes puddle files that have no registry record.
 ///
 /// A crash mid-`DropPool` removes members from the registry before their

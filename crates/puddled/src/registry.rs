@@ -44,6 +44,7 @@
 //! while holding a dedicated checkpoint lock, so concurrent checkpoints
 //! serialize but readers are never blocked for the I/O.
 
+use crate::background::Background;
 use crate::wal::{self, RegistryOp, Wal, WalHandle};
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use puddles_pmem::failpoint::{self, names};
@@ -53,8 +54,8 @@ use puddles_pmem::{PmError, Result, PAGE_SIZE};
 use puddles_proto::{PoolInfo, PtrMapDecl, PuddleId, PuddlePurpose, Translation};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 
 /// Persistent record of one puddle.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
@@ -182,6 +183,19 @@ pub struct Registry {
     next_seq: AtomicU64,
     /// Serializes checkpoint snapshot + write-out + WAL truncation.
     ckpt_lock: Mutex<()>,
+    /// Background executor for threshold-triggered checkpoints (the daemon
+    /// attaches one via [`Registry::enable_background_checkpoints`]; bare
+    /// registries — tests, benches — checkpoint inline as before). The
+    /// `Weak` is this registry's own handle, captured by submitted tasks.
+    background: Mutex<Option<(Background, Weak<Registry>)>>,
+    /// `true` while a background checkpoint is queued or running; dedups
+    /// submissions so a burst of commits enqueues one checkpoint, not N.
+    ckpt_pending: AtomicBool,
+    /// Checkpoints completed by the background scheduler.
+    background_checkpoints: AtomicU64,
+    /// Checkpoints forced inline on the request path because the WAL passed
+    /// the hard ceiling (the background scheduler fell behind).
+    forced_inline_checkpoints: AtomicU64,
 }
 
 /// Name of the registry document inside the PM directory.
@@ -309,6 +323,10 @@ impl Registry {
             }),
             next_seq: AtomicU64::new(data.next_seq),
             ckpt_lock: Mutex::new(()),
+            background: Mutex::new(None),
+            ckpt_pending: AtomicBool::new(false),
+            background_checkpoints: AtomicU64::new(0),
+            forced_inline_checkpoints: AtomicU64::new(0),
         };
         reg.checkpoint()?;
         Ok(reg)
@@ -317,6 +335,40 @@ impl Registry {
     /// Returns the registry's WAL handle (stats, tests).
     pub fn wal(&self) -> &WalHandle {
         &self.wal
+    }
+
+    /// Routes threshold-triggered checkpoints to `bg` instead of running
+    /// them inline on whichever request trips the byte threshold. Tasks hold
+    /// only a `Weak` back-reference, so the scheduler never keeps a dropped
+    /// registry alive.
+    pub fn enable_background_checkpoints(self: &Arc<Self>, bg: Background) {
+        *self.background.lock() = Some((bg, Arc::downgrade(self)));
+    }
+
+    /// `(background, forced_inline)` checkpoint counters — how often the
+    /// byte threshold was absorbed off the request path vs. paid inline
+    /// because the WAL passed the hard ceiling.
+    pub fn checkpoint_counters(&self) -> (u64, u64) {
+        (
+            self.background_checkpoints.load(Ordering::Relaxed),
+            self.forced_inline_checkpoints.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Checkpoints if records have sat uncheckpointed longer than
+    /// `max_age_ms` — the **age-based** trigger the daemon's timer wheel
+    /// fires periodically, complementing the byte threshold: a quiet daemon
+    /// whose trickle of mutations never reaches the threshold still gets
+    /// its WAL folded away, bounding replay work at the next start. Returns
+    /// `true` if a checkpoint ran (counted as a background checkpoint).
+    pub fn checkpoint_if_stale(&self, max_age_ms: u64) -> Result<bool> {
+        let stats = self.wal.stats();
+        if stats.records == 0 || stats.checkpoint_age_ms < max_age_ms {
+            return Ok(false);
+        }
+        self.checkpoint()?;
+        self.background_checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
     }
 
     /// Enqueues one WAL record, deferring any failure to the next
@@ -385,18 +437,64 @@ impl Registry {
         self.checkpoint_locked(guard)
     }
 
-    /// Checkpoints only if the WAL passed its threshold and no other thread
-    /// is already checkpointing (mutators call this from [`Registry::commit`];
-    /// skipping under contention keeps the request path from piling up
-    /// behind one writer).
+    /// Handles a WAL that outgrew its checkpoint threshold. In steady state
+    /// (a [`Background`] is attached) the triggering request only *enqueues*
+    /// a checkpoint and returns — the latency lands on the scheduler, not
+    /// the request path. Two fallbacks keep the WAL bounded and bare
+    /// registries working:
+    ///
+    /// * past the **hard ceiling** (threshold × factor) the checkpoint runs
+    ///   inline even with a scheduler attached — it has fallen behind, and
+    ///   unbounded WAL growth would make every recovery slower;
+    /// * with no scheduler (tests, benches, tools) the old inline-on-trip
+    ///   behaviour is preserved (contended trips skip; the next commit
+    ///   re-trips).
     fn maybe_checkpoint(&self) -> Result<()> {
         if !self.wal.should_checkpoint() {
+            return Ok(());
+        }
+        if self.wal.past_hard_ceiling() {
+            let guard = self.ckpt_lock.lock();
+            // Re-check under the lock: a checkpoint that just finished may
+            // already have cut the WAL back below the ceiling.
+            if !self.wal.past_hard_ceiling() {
+                return Ok(());
+            }
+            self.forced_inline_checkpoints
+                .fetch_add(1, Ordering::Relaxed);
+            return self.checkpoint_locked(guard);
+        }
+        if self.submit_background_checkpoint() {
             return Ok(());
         }
         match self.ckpt_lock.try_lock() {
             Some(guard) => self.checkpoint_locked(guard),
             None => Ok(()),
         }
+    }
+
+    /// Enqueues one checkpoint on the attached background scheduler.
+    /// Returns `false` when none is attached; dedups while one is pending.
+    fn submit_background_checkpoint(&self) -> bool {
+        let background = self.background.lock();
+        let Some((bg, weak)) = &*background else {
+            return false;
+        };
+        if self.ckpt_pending.swap(true, Ordering::SeqCst) {
+            return true;
+        }
+        let weak = weak.clone();
+        bg.submit(Box::new(move || {
+            let Some(reg) = weak.upgrade() else { return };
+            let result = reg.checkpoint();
+            // Clear the dedup flag *after* the checkpoint so commits racing
+            // it enqueue a fresh one only once this one's cut is taken.
+            reg.ckpt_pending.store(false, Ordering::SeqCst);
+            if result.is_ok() {
+                reg.background_checkpoints.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+        true
     }
 
     fn checkpoint_locked(&self, _guard: MutexGuard<'_, ()>) -> Result<()> {
@@ -964,6 +1062,25 @@ mod tests {
             reused < reg.snapshot().next_offset,
             "leaked extent was not reclaimed"
         );
+    }
+
+    #[test]
+    fn stale_records_are_checkpointed_by_age_not_just_bytes() {
+        let (_tmp, reg) = registry();
+        // Far below the byte threshold: the trickle case.
+        let rec = record(&reg, None);
+        reg.register_puddle(rec).unwrap();
+        reg.commit().unwrap();
+        assert!(reg.wal().stats().records > 0);
+        // Young records are left alone...
+        assert!(!reg.checkpoint_if_stale(u64::MAX).unwrap());
+        assert!(reg.wal().stats().records > 0);
+        // ...stale ones are folded into a checkpoint (age floor 0 makes
+        // "stale" immediate for the test).
+        assert!(reg.checkpoint_if_stale(0).unwrap());
+        assert_eq!(reg.wal().stats().records, 0);
+        // Nothing pending: the next age check is a no-op.
+        assert!(!reg.checkpoint_if_stale(0).unwrap());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! on the tables they touch — a `Translation`/`GetPuddle` lookup runs under
 //! a read lock and never waits for traffic on other pools.
 
+use crate::background::Background;
 use crate::gspace::GlobalSpace;
 use crate::importexport;
 use crate::recovery;
@@ -21,6 +22,35 @@ use puddles_proto::{
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// How often the background timer wheel re-checks WAL checkpoint age.
+const CHECKPOINT_AGE_CHECK_INTERVAL: std::time::Duration = std::time::Duration::from_secs(2);
+
+/// Records older than this get checkpointed even below the byte threshold
+/// (bounds the WAL replay a restart of a *quiet* daemon must do).
+const MAX_CHECKPOINT_AGE_MS: u64 = 30_000;
+
+/// Arms the recurring age-based checkpoint check on the timer wheel. The
+/// task holds only a `Weak` registry handle and re-arms itself until the
+/// scheduler shuts down (the re-arm guard keeps the shutdown drain from
+/// looping) or the registry is dropped.
+fn arm_age_checkpoint(bg: Background, registry: std::sync::Weak<Registry>) {
+    let bg_next = bg.clone();
+    bg.submit_after(
+        CHECKPOINT_AGE_CHECK_INTERVAL,
+        Box::new(move || {
+            if bg_next.is_shutdown() {
+                return;
+            }
+            let Some(reg) = registry.upgrade() else {
+                return;
+            };
+            let _ = reg.checkpoint_if_stale(MAX_CHECKPOINT_AGE_MS);
+            drop(reg);
+            arm_age_checkpoint(bg_next, registry);
+        }),
+    );
+}
 
 /// Configuration for a daemon instance (one per "machine").
 #[derive(Debug, Clone)]
@@ -80,13 +110,30 @@ pub struct DaemonInner {
     /// The sharded metadata registry; locked per table internally, so there
     /// is no daemon-wide lock on the request path. The metadata WAL it
     /// persists through is reachable via [`Registry::wal`] (`Stats` reads
-    /// WAL length and checkpoint age from it).
-    pub(crate) registry: Registry,
+    /// WAL length and checkpoint age from it). Shared (`Arc`) because the
+    /// background scheduler's checkpoint tasks hold a weak handle to it.
+    pub(crate) registry: Arc<Registry>,
+    /// Background task scheduler: WAL checkpoints (and any future deferred
+    /// maintenance) run here instead of on the request path. Drained on
+    /// daemon drop.
+    pub(crate) background: Background,
     /// Orphan puddle files deleted by the startup directory sweep.
     pub(crate) orphans_swept: AtomicU64,
     /// Log puddles referenced by no log space, reclaimed at startup (the
     /// crash window between allocating a chain segment and registering it).
     pub(crate) log_puddles_swept: AtomicU64,
+    /// LogSpace puddles with no log-space registration, reclaimed at
+    /// startup (the crash window inside `ensure_logspace`, between the
+    /// puddle allocation and `RegLogSpace`).
+    pub(crate) logspace_puddles_swept: AtomicU64,
+}
+
+impl Drop for DaemonInner {
+    fn drop(&mut self) {
+        // Drain-on-shutdown: a checkpoint enqueued moments before the last
+        // daemon handle dropped still lands on disk.
+        self.background.shutdown();
+    }
 }
 
 /// The Puddles daemon: a privileged service managing every puddle on the
@@ -141,20 +188,25 @@ impl Daemon {
         let pmdir = PmDir::open(&config.pm_dir)?;
         let gspace = Arc::new(GlobalSpace::reserve(config.space_base, config.space_size)?);
         let wal: WalHandle = Arc::new(Wal::open(&pmdir)?);
-        let registry = Registry::load_or_create_with_wal(
+        let registry = Arc::new(Registry::load_or_create_with_wal(
             &pmdir,
             wal,
             gspace.base() as u64,
             gspace.size() as u64,
-        )?;
+        )?);
+        let background = Background::start("puddled-bg");
+        registry.enable_background_checkpoints(background.clone());
+        arm_age_checkpoint(background.clone(), Arc::downgrade(&registry));
         let daemon = Daemon {
             inner: Arc::new(DaemonInner {
                 config,
                 pmdir,
                 gspace,
                 registry,
+                background,
                 orphans_swept: AtomicU64::new(0),
                 log_puddles_swept: AtomicU64::new(0),
+                logspace_puddles_swept: AtomicU64::new(0),
             }),
         };
         daemon
@@ -178,7 +230,27 @@ impl Daemon {
             .inner
             .log_puddles_swept
             .store(logs_swept, Ordering::Relaxed);
+        // Likewise for LogSpace puddles that never made it into the
+        // registry's log-space table (a crash inside `ensure_logspace`
+        // between the allocation and `RegLogSpace`): unreachable forever,
+        // safe to reclaim before any client connects.
+        let ls_swept = recovery::sweep_unregistered_logspace_puddles(&daemon.inner)?;
+        daemon
+            .inner
+            .logspace_puddles_swept
+            .store(ls_swept, Ordering::Relaxed);
         Ok(daemon)
+    }
+
+    /// The daemon's background task scheduler (tests use its pause/resume
+    /// knobs to pin down checkpoint scheduling deterministically).
+    pub fn background(&self) -> &Background {
+        &self.inner.background
+    }
+
+    /// The metadata WAL handle (tests and tools tune thresholds through it).
+    pub fn wal(&self) -> &WalHandle {
+        self.inner.registry.wal()
     }
 
     /// Forces a registry checkpoint now (normally triggered by WAL growth).
@@ -318,6 +390,7 @@ impl Daemon {
         let reg = &self.inner.registry;
         let (puddles, space_used) = reg.puddle_usage();
         let wal = reg.wal().stats();
+        let (checkpoints_background, checkpoints_forced_inline) = reg.checkpoint_counters();
         puddles_proto::DaemonStats {
             puddles,
             pools: reg.pool_count(),
@@ -328,9 +401,13 @@ impl Daemon {
             wal_bytes: wal.bytes,
             wal_records: wal.records,
             checkpoints: wal.checkpoints,
+            checkpoints_background,
+            checkpoints_forced_inline,
+            background_tasks_executed: self.inner.background.executed(),
             checkpoint_age_ms: wal.checkpoint_age_ms,
             orphan_files_swept: self.inner.orphans_swept.load(Ordering::Relaxed),
             log_puddles_swept: self.inner.log_puddles_swept.load(Ordering::Relaxed),
+            logspace_puddles_swept: self.inner.logspace_puddles_swept.load(Ordering::Relaxed),
         }
     }
 

