@@ -1,10 +1,13 @@
 //! Connection-scaling benchmark for the daemon's reactor runtime.
 //!
 //! The old `UdsServer` spawned one OS thread per connection, hard-capped at
-//! 256; the reactor holds one fd + state machine per connection and
-//! executes requests on a small worker pool. This harness measures
-//! requests/s and p99 latency with 64 / 512 / 2048 **concurrently
-//! connected** clients in two mixes:
+//! 256; the sharded reactor runtime holds one fd + state machine per
+//! connection, spreads connections across `min(cores, 4)` reactor threads,
+//! and executes requests on a small worker pool. This harness measures two
+//! axes:
+//!
+//! **Population scaling** — requests/s and p99 latency with 64 / 2048 /
+//! 10000 **concurrently connected** clients in three mixes:
 //!
 //! * `all_active` — every connection issues `Ping` requests back-to-back
 //!   (driver threads multiplex many connections each, so the *daemon*'s
@@ -12,37 +15,58 @@
 //! * `mostly_idle` — the same connection count, but only 1 in 16
 //!   connections is active; the rest sit connected and silent. This is the
 //!   "millions of users" shape: a large connected population, a small hot
-//!   set.
+//!   set;
+//! * `registry_churn` — the `mostly_idle` population, but the hot set
+//!   issues `RegisterPtrMap` mutations instead of pings, so every request
+//!   takes the WAL-append path while thousands of idle connections hold
+//!   reactor slots.
 //!
-//! Output rows: `conn_scaling,puddles,<mix>_{reqs_per_s|p99_us},<conns>,<v>`.
-//! Pass `--json <path>` to also write `BENCH_conn_scaling.json` for CI.
+//! **Pipelining × reactors** — protocol-v2 clients keep a window of
+//! `depth` enveloped requests in flight per connection against daemons
+//! configured with 1 / 2 / 4 reactors. The `--assert-scaling` flag turns
+//! the headline claim into a hard check: 4 reactors with pipelining must
+//! deliver at least 2x the single-reactor depth-1 baseline.
+//!
+//! Output rows: `conn_scaling,puddles,<op>,<conns>,<v>`. Pass
+//! `--json <path>` to also write `BENCH_conn_scaling.json` for CI.
 
+use puddled::ServerConfig;
 use puddles_bench::{emit_header, emit_row, Scale};
-use puddles_proto::{read_frame, write_frame, Credentials, Request, Response};
+use puddles_proto::frame::V2_MAGIC;
+use puddles_proto::{
+    read_frame, write_frame, Credentials, PtrField, PtrMapDecl, Request, RequestEnvelope, Response,
+    ServerFrame,
+};
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
-/// Raises `RLIMIT_NOFILE` to its hard limit: 2048 connections mean >4096
-/// fds in this process (client + daemon ends), above the usual 1024 soft
-/// default.
-fn raise_nofile_limit() {
+/// Raises `RLIMIT_NOFILE` to its hard limit and returns the resulting
+/// soft limit: 10000 connections mean >20000 fds in this process (client +
+/// daemon ends), far above the usual 1024 soft default.
+fn raise_nofile_limit() -> u64 {
     let mut lim = libc::rlimit {
         rlim_cur: 0,
         rlim_max: 0,
     };
     // SAFETY: `lim` is a valid in/out pointer for both calls.
     unsafe {
-        if libc::getrlimit(libc::RLIMIT_NOFILE, &mut lim) == 0 && lim.rlim_cur < lim.rlim_max {
+        if libc::getrlimit(libc::RLIMIT_NOFILE, &mut lim) != 0 {
+            return 1024;
+        }
+        if lim.rlim_cur < lim.rlim_max {
             lim.rlim_cur = lim.rlim_max;
             let _ = libc::setrlimit(libc::RLIMIT_NOFILE, &lim);
+            let _ = libc::getrlimit(libc::RLIMIT_NOFILE, &mut lim);
         }
     }
+    lim.rlim_cur
 }
 
-/// Connects and handshakes one client connection (with a short retry: a
-/// burst of 2048 connects can transiently fill the listen backlog).
+/// Connects and handshakes one v1 client connection (with a short retry: a
+/// burst of 10000 connects can transiently fill the listen backlog).
 fn connect(socket: &Path) -> UnixStream {
     let mut delay = Duration::from_millis(1);
     for attempt in 0.. {
@@ -69,16 +93,106 @@ fn connect(socket: &Path) -> UnixStream {
     unreachable!()
 }
 
+/// Connects and handshakes one protocol-v2 (enveloped, pipelined)
+/// connection.
+fn connect_v2(socket: &Path) -> UnixStream {
+    let mut stream = connect_raw(socket);
+    stream.write_all(&V2_MAGIC).expect("v2 magic");
+    write_frame(
+        &mut stream,
+        &RequestEnvelope {
+            req_id: 0,
+            req: Request::Hello {
+                creds: Credentials::current_process(),
+            },
+        },
+    )
+    .expect("hello");
+    match read_frame::<_, ServerFrame>(&mut stream).expect("welcome") {
+        ServerFrame::Enveloped(env) => {
+            assert_eq!(env.req_id, 0);
+            assert!(matches!(env.resp, Response::Welcome { .. }));
+        }
+        ServerFrame::Bare(resp) => panic!("expected enveloped welcome, got bare {resp:?}"),
+    }
+    stream
+}
+
+/// Raw connect with the same backlog retry as [`connect`].
+fn connect_raw(socket: &Path) -> UnixStream {
+    let mut delay = Duration::from_millis(1);
+    for attempt in 0.. {
+        match UnixStream::connect(socket) {
+            Ok(stream) => return stream,
+            Err(_) if attempt < 50 => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(100));
+            }
+            Err(e) => panic!("connect failed after retries: {e}"),
+        }
+    }
+    unreachable!()
+}
+
+/// What the hot set of a population mix sends.
+#[derive(Clone, Copy)]
+enum MixOp {
+    /// No-op round trips: measures pure dispatch overhead.
+    Ping,
+    /// Registry mutations: every request appends to the metadata WAL.
+    /// A bounded set of type ids is re-registered round-robin so the
+    /// registry churns without growing unboundedly.
+    RegistryChurn,
+}
+
+impl MixOp {
+    fn request(self, shard: usize, seq: u64) -> Request {
+        match self {
+            MixOp::Ping => Request::Ping,
+            MixOp::RegistryChurn => {
+                let slot = seq % 32;
+                Request::RegisterPtrMap {
+                    decl: PtrMapDecl {
+                        type_id: 0xC0DE_0000 + (shard as u64) * 64 + slot,
+                        type_name: format!("bench::Churn{shard}x{slot}"),
+                        size: 64,
+                        fields: vec![PtrField {
+                            offset: 8 * (seq % 4),
+                            target_type: 0,
+                        }],
+                    },
+                }
+            }
+        }
+    }
+}
+
 struct MixResult {
     reqs_per_s: f64,
     p99_us: f64,
 }
 
+/// Computes the p99 from a list of nanosecond latencies.
+fn p99_us(latencies_ns: &mut [u64]) -> f64 {
+    latencies_ns.sort_unstable();
+    latencies_ns
+        .get(latencies_ns.len().saturating_sub(1) * 99 / 100)
+        .copied()
+        .unwrap_or(0) as f64
+        / 1000.0
+}
+
 /// Drives `conns` live connections for `duration`, with only every
-/// `active_stride`-th connection issuing requests (1 = all active). The
-/// active set is split across a handful of driver threads, each cycling
-/// round-robin over its share.
-fn run_mix(socket: &Path, conns: usize, active_stride: usize, duration: Duration) -> MixResult {
+/// `active_stride`-th connection issuing `op` requests (1 = all active).
+/// The active set is split across a handful of driver threads, each
+/// cycling round-robin over its share.
+fn run_mix(
+    socket: &Path,
+    conns: usize,
+    active_stride: usize,
+    op: MixOp,
+    duration: Duration,
+) -> MixResult {
     // Establish the whole population first; it stays connected throughout.
     let streams: Vec<UnixStream> = (0..conns).map(|_| connect(socket)).collect();
     let mut active: Vec<UnixStream> = Vec::new();
@@ -104,7 +218,8 @@ fn run_mix(socket: &Path, conns: usize, active_stride: usize, duration: Duration
     let start = Instant::now();
     let workers: Vec<_> = shards
         .into_iter()
-        .map(|shard| {
+        .enumerate()
+        .map(|(shard_no, shard)| {
             std::thread::spawn(move || {
                 let mut latencies_ns: Vec<u64> = Vec::new();
                 let mut done = 0u64;
@@ -115,14 +230,14 @@ fn run_mix(socket: &Path, conns: usize, active_stride: usize, duration: Duration
                         }
                         let mut stream = stream;
                         let t0 = Instant::now();
-                        if write_frame(&mut stream, &Request::Ping).is_err() {
+                        if write_frame(&mut stream, &op.request(shard_no, done)).is_err() {
                             break 'outer;
                         }
                         let resp: Response = match read_frame(&mut stream) {
                             Ok(resp) => resp,
                             Err(_) => break 'outer,
                         };
-                        assert!(!matches!(resp, Response::Error { .. }));
+                        assert!(!matches!(resp, Response::Error { .. }), "{resp:?}");
                         latencies_ns.push(t0.elapsed().as_nanos() as u64);
                         done += 1;
                     }
@@ -142,75 +257,248 @@ fn run_mix(socket: &Path, conns: usize, active_stride: usize, duration: Duration
         keep_alive.push(shard);
     }
     let elapsed = start.elapsed().as_secs_f64();
-    latencies.sort_unstable();
-    let p99 = latencies
-        .get(latencies.len().saturating_sub(1) * 99 / 100)
-        .copied()
-        .unwrap_or(0);
     assert!(total > 0, "no requests completed at {conns} connections");
     // The idle population stayed connected for the whole measurement.
     drop(idle);
     MixResult {
         reqs_per_s: total as f64 / elapsed,
-        p99_us: p99 as f64 / 1000.0,
+        p99_us: p99_us(&mut latencies),
+    }
+}
+
+/// Drives `conns` protocol-v2 connections, each keeping a window of
+/// `depth` enveloped pings in flight (one thread per connection: the
+/// window, not the harness, provides the concurrency under test).
+fn run_pipelined(socket: &Path, conns: usize, depth: usize, duration: Duration) -> MixResult {
+    let start = Instant::now();
+    let workers: Vec<_> = (0..conns)
+        .map(|_| {
+            let socket = socket.to_path_buf();
+            std::thread::spawn(move || {
+                let mut stream = connect_v2(&socket);
+                let mut sent_at: HashMap<u64, Instant> = HashMap::with_capacity(depth);
+                let mut latencies_ns: Vec<u64> = Vec::new();
+                let mut next_id: u64 = 1;
+                let mut done = 0u64;
+                // Prime the window.
+                for _ in 0..depth {
+                    sent_at.insert(next_id, Instant::now());
+                    write_frame(
+                        &mut stream,
+                        &RequestEnvelope {
+                            req_id: next_id,
+                            req: Request::Ping,
+                        },
+                    )
+                    .expect("prime");
+                    next_id += 1;
+                }
+                // Steady state: read one completion, top the window back up.
+                while start.elapsed() < duration {
+                    let env = match read_frame::<_, ServerFrame>(&mut stream).expect("response") {
+                        ServerFrame::Enveloped(env) => env,
+                        ServerFrame::Bare(resp) => panic!("unexpected bare frame {resp:?}"),
+                    };
+                    let t0 = sent_at.remove(&env.req_id).expect("unknown req_id");
+                    latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                    done += 1;
+                    sent_at.insert(next_id, Instant::now());
+                    write_frame(
+                        &mut stream,
+                        &RequestEnvelope {
+                            req_id: next_id,
+                            req: Request::Ping,
+                        },
+                    )
+                    .expect("refill");
+                    next_id += 1;
+                }
+                // Drain the window so the connection closes cleanly.
+                while !sent_at.is_empty() {
+                    let env = match read_frame::<_, ServerFrame>(&mut stream).expect("drain") {
+                        ServerFrame::Enveloped(env) => env,
+                        ServerFrame::Bare(resp) => panic!("unexpected bare frame {resp:?}"),
+                    };
+                    let t0 = sent_at.remove(&env.req_id).expect("unknown req_id");
+                    latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                    done += 1;
+                }
+                (done, latencies_ns)
+            })
+        })
+        .collect();
+
+    let mut total = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for worker in workers {
+        let (done, mut lat) = worker.join().expect("pipelined driver");
+        total += done;
+        latencies.append(&mut lat);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(
+        total > 0,
+        "no pipelined requests completed at depth {depth}"
+    );
+    MixResult {
+        reqs_per_s: total as f64 / elapsed,
+        p99_us: p99_us(&mut latencies),
     }
 }
 
 fn main() {
-    raise_nofile_limit();
+    let nofile = raise_nofile_limit();
     let scale = Scale::from_args();
-    let json_path = {
-        let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--json")
-            .and_then(|i| args.get(i + 1).cloned())
-    };
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned());
+    let assert_scaling = args.iter().any(|a| a == "--assert-scaling");
     emit_header();
-
-    let tmp = tempfile::tempdir().expect("tempdir");
-    let daemon =
-        puddled::Daemon::start(puddled::DaemonConfig::for_testing(tmp.path())).expect("daemon");
-    let socket = tmp.path().join("conn_scaling.sock");
-    let _server = puddled::UdsServer::start(daemon, &socket).expect("server");
-
-    // 2048 connections is the acceptance bar (old hard cap: 256 threads);
-    // quick scale keeps the measurement window short, not the population.
-    let conn_counts: &[usize] = &[64, 512, 2048];
-    let duration = Duration::from_millis(scale.pick(300, 2000));
 
     let mut json = String::from("{\n  \"experiment\": \"conn_scaling\",\n  \"rows\": [\n");
     let mut first = true;
-    for &conns in conn_counts {
-        for (mix, stride) in [("all_active", 1usize), ("mostly_idle", 16)] {
-            let result = run_mix(&socket, conns, stride, duration);
+    let mut push_row = |json: &mut String, row: String| {
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str(&row);
+    };
+
+    // ---- Population scaling: one daemon, three mixes, up to 10k conns ----
+    {
+        let tmp = tempfile::tempdir().expect("tempdir");
+        let daemon =
+            puddled::Daemon::start(puddled::DaemonConfig::for_testing(tmp.path())).expect("daemon");
+        let socket = tmp.path().join("conn_scaling.sock");
+        let config = ServerConfig {
+            // 10k concurrent connections is the acceptance bar (old hard
+            // cap: 256 threads); leave headroom above it.
+            max_connections: 16384,
+            ..ServerConfig::default()
+        };
+        let _server =
+            puddled::UdsServer::start_with_config(daemon, &socket, config).expect("server");
+
+        // Quick scale shortens the measurement window, not the population.
+        // Each connection costs two fds in this one process (client end +
+        // daemon end); if the fd rlimit cannot hold the 10k cell even
+        // after being raised, clamp it rather than wedging the acceptor
+        // against EMFILE.
+        let population_cap = ((nofile.saturating_sub(256)) / 2) as usize;
+        let big = 10_000.min(population_cap);
+        if big < 10_000 {
+            println!("# RLIMIT_NOFILE {nofile} clamps the large population cell to {big}");
+        }
+        let conn_counts: &[usize] = &[64, 2048, big];
+        let duration = Duration::from_millis(scale.pick(300, 2000));
+        let mixes: &[(&str, usize, MixOp)] = &[
+            ("all_active", 1, MixOp::Ping),
+            ("mostly_idle", 16, MixOp::Ping),
+            ("registry_churn", 16, MixOp::RegistryChurn),
+        ];
+        for &conns in conn_counts {
+            for &(mix, stride, op) in mixes {
+                let result = run_mix(&socket, conns, stride, op, duration);
+                emit_row(
+                    "conn_scaling",
+                    "puddles",
+                    &format!("{mix}_reqs_per_s"),
+                    &conns.to_string(),
+                    result.reqs_per_s,
+                );
+                emit_row(
+                    "conn_scaling",
+                    "puddles",
+                    &format!("{mix}_p99_us"),
+                    &conns.to_string(),
+                    result.p99_us,
+                );
+                push_row(
+                    &mut json,
+                    format!(
+                        "    {{\"mix\": \"{mix}\", \"connections\": {conns}, \
+                         \"reqs_per_s\": {:.1}, \"p99_us\": {:.1}}}",
+                        result.reqs_per_s, result.p99_us
+                    ),
+                );
+            }
+        }
+    }
+
+    // ---- Pipelining x reactors: fresh daemon per reactor count ----------
+    let pipelined_conns = 64;
+    let depths: &[usize] = &[1, 16, 64];
+    let reactor_counts: &[usize] = &[1, 2, 4];
+    let pipe_duration = Duration::from_millis(scale.pick(300, 2000));
+    let mut pipelined: Vec<(usize, usize, f64)> = Vec::new();
+    for &reactors in reactor_counts {
+        let tmp = tempfile::tempdir().expect("tempdir");
+        let daemon =
+            puddled::Daemon::start(puddled::DaemonConfig::for_testing(tmp.path())).expect("daemon");
+        let socket = tmp.path().join("conn_scaling.sock");
+        let config = ServerConfig {
+            reactors,
+            ..ServerConfig::default()
+        };
+        let _server =
+            puddled::UdsServer::start_with_config(daemon, &socket, config).expect("server");
+        for &depth in depths {
+            let result = run_pipelined(&socket, pipelined_conns, depth, pipe_duration);
             emit_row(
                 "conn_scaling",
                 "puddles",
-                &format!("{mix}_reqs_per_s"),
-                &conns.to_string(),
+                &format!("pipelined_r{reactors}_d{depth}_reqs_per_s"),
+                &pipelined_conns.to_string(),
                 result.reqs_per_s,
             );
             emit_row(
                 "conn_scaling",
                 "puddles",
-                &format!("{mix}_p99_us"),
-                &conns.to_string(),
+                &format!("pipelined_r{reactors}_d{depth}_p99_us"),
+                &pipelined_conns.to_string(),
                 result.p99_us,
             );
-            if !first {
-                json.push_str(",\n");
-            }
-            first = false;
-            json.push_str(&format!(
-                "    {{\"mix\": \"{mix}\", \"connections\": {conns}, \
-                 \"reqs_per_s\": {:.1}, \"p99_us\": {:.1}}}",
-                result.reqs_per_s, result.p99_us
-            ));
+            push_row(
+                &mut json,
+                format!(
+                    "    {{\"mix\": \"pipelined\", \"connections\": {pipelined_conns}, \
+                     \"reactors\": {reactors}, \"depth\": {depth}, \
+                     \"reqs_per_s\": {:.1}, \"p99_us\": {:.1}}}",
+                    result.reqs_per_s, result.p99_us
+                ),
+            );
+            pipelined.push((reactors, depth, result.reqs_per_s));
         }
     }
+
     json.push_str("\n  ]\n}\n");
     if let Some(path) = json_path {
         std::fs::write(&path, json).expect("write bench json");
+    }
+
+    // Headline scaling check: 4 reactors + pipelining vs. 1 reactor at
+    // depth 1. Reported always; enforced under `--assert-scaling`.
+    let baseline = pipelined
+        .iter()
+        .find(|&&(r, d, _)| r == 1 && d == 1)
+        .map(|&(_, _, v)| v)
+        .expect("baseline cell");
+    let best = pipelined
+        .iter()
+        .filter(|&&(r, d, _)| r == 4 && d >= 16)
+        .map(|&(_, _, v)| v)
+        .fold(0.0f64, f64::max);
+    let ratio = best / baseline;
+    println!("# pipelined 4-reactor best vs 1-reactor depth-1 baseline: {ratio:.2}x");
+    if assert_scaling {
+        assert!(
+            ratio >= 2.0,
+            "pipelined 4-reactor throughput ({best:.0} reqs/s) is below 2x the \
+             single-reactor depth-1 baseline ({baseline:.0} reqs/s): {ratio:.2}x"
+        );
     }
     let _ = std::io::stdout().flush();
 }

@@ -30,10 +30,25 @@ use std::time::{Duration, Instant};
 pub const LOGSPACE_PUDDLE_SIZE: u64 = 64 * 1024;
 /// Size of each per-thread log puddle.
 pub const LOG_PUDDLE_SIZE: u64 = 4 * 1024 * 1024;
-/// Spare log puddles a client parks for reuse instead of freeing. Chained
-/// transactions release one tail per extension; parking a couple covers the
-/// common chain depths while bounding what an idle client pins.
-pub const SPARE_LOG_CACHE: usize = 2;
+/// Floor on the spare-log cache capacity: even a client that has never
+/// chained parks a couple of puddles (a new thread log, a first chain
+/// extension).
+pub const SPARE_LOG_CACHE_MIN: usize = 2;
+/// Ceiling on the spare-log cache capacity, bounding what an idle client
+/// pins no matter how deep its transactions chain.
+pub const SPARE_LOG_CACHE_MAX: usize = 16;
+
+/// Spare log puddles a client parks for reuse instead of freeing.
+///
+/// Chained transactions release one tail per extension, so the useful
+/// capacity tracks the deepest chain this client has built: a fixed small
+/// cache makes chain-heavy transactions round-trip to the daemon for most
+/// of their tails, while a fixed large one pins puddles a chain-free client
+/// never uses. `depth_hwm` is the high-water mark of observed chain indexes
+/// (0 until the first chain extension).
+fn spare_capacity_for(depth_hwm: usize) -> usize {
+    depth_hwm.clamp(SPARE_LOG_CACHE_MIN, SPARE_LOG_CACHE_MAX)
+}
 
 /// A connection to the Puddles daemon plus per-client state.
 ///
@@ -61,6 +76,10 @@ pub(crate) struct ClientInner {
     /// extension or a new thread log — skips the daemon round trip *and*
     /// the mmap. Freed for real when the client drops.
     spare_logs: Mutex<Vec<PuddleInfo>>,
+    /// Deepest chain index this client has registered (0 until the first
+    /// chain extension); sizes the spare-log cache adaptively — see
+    /// [`spare_capacity_for`].
+    chain_depth_hwm: std::sync::atomic::AtomicUsize,
 }
 
 #[derive(Default)]
@@ -111,13 +130,24 @@ impl PuddleClient {
         Self::finish_connect(endpoint, Some(gspace), creds)
     }
 
-    /// Connects to a daemon over its UNIX-domain socket.
+    /// Connects to a daemon over its UNIX-domain socket, speaking the
+    /// pipelined v2 protocol (requests carry ids, dozens may be in flight
+    /// per connection, responses pair by id).
     ///
     /// The client reserves the global puddle space at the base address the
     /// daemon reports; if that address range is unavailable in this process
     /// the connection fails (native pointers require the same base in every
     /// process of the "machine").
     pub fn connect_uds(path: impl AsRef<Path>) -> Result<Self> {
+        let creds = Credentials::current_process();
+        let endpoint = Box::new(PipelinedEndpoint::new(path.as_ref()));
+        Self::finish_connect(endpoint, None, creds)
+    }
+
+    /// Connects over the UNIX-domain socket speaking the legacy v1 protocol
+    /// (bare frames, one request in flight per pooled connection). Kept for
+    /// interoperability tests and as a fallback against pre-v2 daemons.
+    pub fn connect_uds_v1(path: impl AsRef<Path>) -> Result<Self> {
         let creds = Credentials::current_process();
         let endpoint = Box::new(UdsEndpoint::new(path.as_ref()));
         Self::finish_connect(endpoint, None, creds)
@@ -132,7 +162,7 @@ impl PuddleClient {
     /// [`PuddleClient::connect_uds`].
     pub fn connect_uds_shared(path: impl AsRef<Path>, space: Arc<GlobalSpace>) -> Result<Self> {
         let creds = Credentials::current_process();
-        let endpoint = Box::new(UdsEndpoint::new(path.as_ref()));
+        let endpoint = Box::new(PipelinedEndpoint::new(path.as_ref()));
         Self::finish_connect(endpoint, Some(space), creds)
     }
 
@@ -173,6 +203,7 @@ impl PuddleClient {
                 thread_logs: RwLock::new(HashMap::new()),
                 log_puddle_size: std::sync::atomic::AtomicU64::new(LOG_PUDDLE_SIZE),
                 spare_logs: Mutex::new(Vec::new()),
+                chain_depth_hwm: std::sync::atomic::AtomicUsize::new(0),
             }),
         })
     }
@@ -492,6 +523,12 @@ impl ClientInner {
         log_id: u64,
         chain_index: u32,
     ) -> Result<()> {
+        if chain_index > 0 {
+            // Observed chain depth feeds the spare-cache capacity: a client
+            // that chains to depth d wants ~d parked tails.
+            self.chain_depth_hwm
+                .fetch_max(chain_index as usize, std::sync::atomic::Ordering::Relaxed);
+        }
         let logging = self.logging.lock();
         match &logging.logspace {
             Some(ls) => ls
@@ -525,8 +562,12 @@ impl ClientInner {
             }
         }
         if info.size == self.log_puddle_size() {
+            let capacity = spare_capacity_for(
+                self.chain_depth_hwm
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            );
             let mut spares = self.spare_logs.lock();
-            if spares.len() < SPARE_LOG_CACHE {
+            if spares.len() < capacity {
                 spares.push(info.clone());
                 return;
             }
@@ -753,6 +794,294 @@ impl Endpoint for UdsEndpoint {
     }
 }
 
+/// Connections a [`PipelinedEndpoint`] multiplexes calls over. Each carries
+/// up to the daemon's pipeline window of in-flight requests, so a couple of
+/// sockets serve far more concurrent callers than the old
+/// one-request-per-connection pool.
+const PIPELINE_CONNECTIONS: usize = 2;
+
+/// One caller parked on a pipelined response.
+struct Waiter {
+    slot: std::sync::Mutex<Option<std::io::Result<Response>>>,
+    ready: std::sync::Condvar,
+}
+
+impl Waiter {
+    fn new() -> Waiter {
+        Waiter {
+            slot: std::sync::Mutex::new(None),
+            ready: std::sync::Condvar::new(),
+        }
+    }
+
+    fn fill(&self, result: std::io::Result<Response>) {
+        *self.slot.lock().unwrap() = Some(result);
+        self.ready.notify_one();
+    }
+
+    fn wait(&self) -> std::io::Result<Response> {
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.ready.wait(slot).unwrap();
+        }
+    }
+}
+
+/// One v2 connection: a shared writer, a reader thread, and the id→waiter
+/// completion map that pairs out-of-order responses with their callers.
+struct PipeConn {
+    /// Write half (a `try_clone` of the socket; the reader owns the other).
+    /// The lock covers one whole frame write, so concurrent callers never
+    /// interleave frame bytes.
+    writer: Mutex<UnixStream>,
+    /// Callers waiting for their response, keyed by request id.
+    pending: Mutex<HashMap<u64, Arc<Waiter>>>,
+    next_id: std::sync::atomic::AtomicU64,
+    /// The reader exited (EOF, I/O error, protocol violation): no future
+    /// call on this connection can complete. The endpoint replaces it.
+    dead: std::sync::atomic::AtomicBool,
+    reader: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl PipeConn {
+    /// Wraps an already-connected (and preamble-sent) stream, spawning the
+    /// reader thread.
+    fn over_stream(stream: UnixStream) -> std::io::Result<Arc<PipeConn>> {
+        let reader_stream = stream.try_clone()?;
+        let conn = Arc::new(PipeConn {
+            writer: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+            next_id: std::sync::atomic::AtomicU64::new(1),
+            dead: std::sync::atomic::AtomicBool::new(false),
+            reader: Mutex::new(None),
+        });
+        let for_reader = Arc::clone(&conn);
+        let handle = std::thread::Builder::new()
+            .name("puddles-pipe-reader".into())
+            .spawn(move || reader_loop(for_reader, reader_stream))?;
+        *conn.reader.lock() = Some(handle);
+        Ok(conn)
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Sends one enveloped request and blocks until the reader fills this
+    /// call's waiter. Any number of calls may be in flight concurrently.
+    fn call(&self, req: &Request) -> std::io::Result<Response> {
+        if self.is_dead() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "pipelined connection is closed",
+            ));
+        }
+        let req_id = self
+            .next_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let waiter = Arc::new(Waiter::new());
+        self.pending.lock().insert(req_id, Arc::clone(&waiter));
+        let env = puddles_proto::RequestEnvelope {
+            req_id,
+            req: req.clone(),
+        };
+        let written = {
+            let mut writer = self.writer.lock();
+            puddles_proto::write_frame(&mut *writer, &env)
+        };
+        if let Err(e) = written {
+            self.pending.lock().remove(&req_id);
+            self.dead.store(true, std::sync::atomic::Ordering::Relaxed);
+            return Err(e);
+        }
+        waiter.wait()
+    }
+
+    /// Marks the connection dead and fails every parked caller (the reader
+    /// is gone; their responses can never arrive).
+    fn fail_all(&self, error: &std::io::Error) {
+        self.dead.store(true, std::sync::atomic::Ordering::Relaxed);
+        let pending: Vec<Arc<Waiter>> = self.pending.lock().drain().map(|(_, w)| w).collect();
+        for waiter in pending {
+            waiter.fill(Err(std::io::Error::new(error.kind(), error.to_string())));
+        }
+    }
+
+    /// Unblocks the reader (both socket halves are clones of one fd, so
+    /// shutting down the writer EOFs the reader too).
+    fn close(&self) {
+        let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// The reader half of one pipelined connection: decodes server frames and
+/// routes each to its waiter by id. Exits — failing all parked callers — on
+/// EOF, an I/O error, or a protocol violation (an id nobody is waiting on,
+/// or a bare frame after the handshake, which can only be the acceptor's
+/// `Busy` rejection).
+fn reader_loop(conn: Arc<PipeConn>, mut stream: UnixStream) {
+    use std::io::Read;
+    let mut decoder = puddles_proto::frame::FrameDecoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    let failure: std::io::Error = 'read: loop {
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                break 'read std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection",
+                )
+            }
+            Ok(n) => {
+                decoder.feed(&buf[..n]);
+                loop {
+                    match decoder.next_frame::<puddles_proto::ServerFrame>() {
+                        Ok(Some(puddles_proto::ServerFrame::Enveloped(env))) => {
+                            let waiter = conn.pending.lock().remove(&env.req_id);
+                            match waiter {
+                                Some(waiter) => waiter.fill(Ok(env.resp)),
+                                None => {
+                                    break 'read std::io::Error::new(
+                                        std::io::ErrorKind::InvalidData,
+                                        format!("response for unknown req_id {}", env.req_id),
+                                    )
+                                }
+                            }
+                        }
+                        Ok(Some(puddles_proto::ServerFrame::Bare(resp))) => {
+                            break 'read bare_frame_error(resp)
+                        }
+                        Ok(None) => break,
+                        Err(e) => break 'read e,
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => break 'read e,
+        }
+    };
+    conn.fail_all(&failure);
+}
+
+/// Maps a bare (un-enveloped) server frame to the error every parked caller
+/// gets. The daemon only sends one legitimately: the pre-handshake `Busy`
+/// rejection at the connection cap, which maps to `ConnectionRefused` so
+/// callers treat it as transient and back off.
+fn bare_frame_error(resp: Response) -> std::io::Error {
+    match resp {
+        Response::Error {
+            code: puddles_proto::ErrorCode::Busy,
+            message,
+        } => std::io::Error::new(
+            std::io::ErrorKind::ConnectionRefused,
+            format!("daemon busy: {message}"),
+        ),
+        other => std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("bare frame on a pipelined connection: {other:?}"),
+        ),
+    }
+}
+
+/// Client-side endpoint speaking the pipelined v2 protocol.
+///
+/// Keeps a small pool of connections ([`PIPELINE_CONNECTIONS`]) and spreads
+/// calls round-robin across them; each connection multiplexes any number of
+/// concurrent callers through its id→waiter map, so client threads never
+/// wait for each other's round trips (the old v1 pool dedicated one socket
+/// per concurrent call). Dead connections are replaced on the next call; a
+/// call that fails transiently on an idempotent request is retried once.
+struct PipelinedEndpoint {
+    path: std::path::PathBuf,
+    pool: Mutex<Vec<Arc<PipeConn>>>,
+    rr: std::sync::atomic::AtomicUsize,
+}
+
+impl PipelinedEndpoint {
+    fn new(path: &Path) -> Self {
+        PipelinedEndpoint {
+            path: path.to_path_buf(),
+            pool: Mutex::new(Vec::new()),
+            rr: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Returns a live connection, pruning dead ones and dialing
+    /// replacements up to the pool size.
+    fn conn(&self) -> std::io::Result<Arc<PipeConn>> {
+        let mut pool = self.pool.lock();
+        pool.retain(|c| !c.is_dead());
+        if pool.len() < PIPELINE_CONNECTIONS {
+            pool.push(self.connect_conn()?);
+        }
+        let i = self.rr.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % pool.len();
+        Ok(Arc::clone(&pool[i]))
+    }
+
+    /// Dials and handshakes a new v2 connection, retrying once on a
+    /// transient failure (daemon restarting, or its connection cap — the
+    /// `Busy` rejection surfaces as `ConnectionRefused`).
+    fn connect_conn(&self) -> std::io::Result<Arc<PipeConn>> {
+        match self.try_connect_conn() {
+            Err(e) if is_transient(&e) => {
+                std::thread::sleep(Duration::from_millis(10));
+                self.try_connect_conn()
+            }
+            other => other,
+        }
+    }
+
+    fn try_connect_conn(&self) -> std::io::Result<Arc<PipeConn>> {
+        use std::io::Write;
+        let mut stream = UnixStream::connect(&self.path)?;
+        // The version preamble: everything after it is enveloped frames.
+        stream.write_all(&puddles_proto::frame::V2_MAGIC)?;
+        let conn = PipeConn::over_stream(stream)?;
+        // Handshake round trip: proves the daemon accepted the connection
+        // (a cap rejection fails here, not on a later caller) and fixes the
+        // connection's credentials daemon-side.
+        conn.call(&Request::Hello {
+            creds: Credentials::current_process(),
+        })?;
+        Ok(conn)
+    }
+}
+
+impl Endpoint for PipelinedEndpoint {
+    fn call(&self, req: &Request) -> std::io::Result<Response> {
+        let conn = self.conn()?;
+        match conn.call(req) {
+            Err(e) if is_transient(&e) && is_idempotent(req) => {
+                // The connection died under us (daemon restart, stale
+                // socket). The daemon may have applied the request and lost
+                // only the response, so only idempotent requests are
+                // retried — once, on a connection that just handshook.
+                let conn = self.conn()?;
+                conn.call(req)
+            }
+            other => other,
+        }
+    }
+}
+
+impl Drop for PipelinedEndpoint {
+    fn drop(&mut self) {
+        // Shut every socket down first (EOFs all readers at once), then
+        // join the reader threads.
+        let pool = std::mem::take(&mut *self.pool.lock());
+        for conn in &pool {
+            conn.close();
+        }
+        for conn in &pool {
+            if let Some(handle) = conn.reader.lock().take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -800,5 +1129,173 @@ mod tests {
         assert!(is_transient(&Error::new(ErrorKind::ConnectionRefused, "x")));
         assert!(!is_transient(&Error::new(ErrorKind::InvalidData, "x")));
         assert!(!is_transient(&Error::new(ErrorKind::PermissionDenied, "x")));
+    }
+
+    #[test]
+    fn spare_capacity_tracks_chain_depth() {
+        // Below the floor (chain-free clients, shallow chains).
+        assert_eq!(spare_capacity_for(0), SPARE_LOG_CACHE_MIN);
+        assert_eq!(spare_capacity_for(1), SPARE_LOG_CACHE_MIN);
+        // Tracking observed depth in the adaptive band.
+        assert_eq!(spare_capacity_for(3), 3);
+        assert_eq!(spare_capacity_for(9), 9);
+        // Capped at the ceiling.
+        assert_eq!(
+            spare_capacity_for(SPARE_LOG_CACHE_MAX + 50),
+            SPARE_LOG_CACHE_MAX
+        );
+    }
+
+    #[test]
+    fn busy_frames_map_to_transient_connection_refused() {
+        let err = bare_frame_error(Response::Error {
+            code: puddles_proto::ErrorCode::Busy,
+            message: "cap".into(),
+        });
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+        assert!(is_transient(&err));
+        // Any other bare frame is a protocol violation, not retryable.
+        let err = bare_frame_error(Response::Ok);
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(!is_transient(&err));
+    }
+
+    mod pipelined {
+        use super::*;
+        use proptest::prelude::*;
+        use puddles_proto::frame::FrameDecoder;
+        use puddles_proto::{frame, RequestEnvelope, ResponseEnvelope};
+        use std::io::{Read, Write};
+
+        /// Concurrent pipelined callers on one connection.
+        const CALLERS: usize = 8;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Whatever order the server completes requests in, and however
+            /// the response bytes are split on the wire, every caller gets
+            /// exactly the response carrying its own `req_id` (verified by
+            /// echoing each request's pool name in its response).
+            #[test]
+            fn out_of_order_responses_resolve_to_their_waiters(
+                plan in proptest::collection::vec((0u64..1_000_000, 1usize..48), CALLERS..CALLERS + 1)
+            ) {
+                // Per caller: a completion-order seed and a wire-split size.
+                let cuts: Vec<usize> = plan.iter().map(|&(_, cut)| cut).collect();
+                // Completion order: argsort of the random seeds.
+                let mut order: Vec<usize> = (0..CALLERS).collect();
+                order.sort_by_key(|&i| (plan[i].0, i));
+
+                let (client_sock, mut server_sock) = UnixStream::pair().unwrap();
+                let conn = PipeConn::over_stream(client_sock).unwrap();
+
+                // Fake daemon: gather every request, then answer them in
+                // the permuted order, splitting the byte stream at the
+                // arbitrary `cuts` boundaries.
+                let server = std::thread::spawn(move || {
+                    let mut dec = FrameDecoder::new();
+                    let mut buf = [0u8; 4096];
+                    let mut reqs: Vec<RequestEnvelope> = Vec::new();
+                    while reqs.len() < CALLERS {
+                        let n = server_sock.read(&mut buf).unwrap();
+                        assert!(n > 0, "client hung up early");
+                        dec.feed(&buf[..n]);
+                        while let Some(env) = dec.next_frame::<RequestEnvelope>().unwrap() {
+                            reqs.push(env);
+                        }
+                    }
+                    let mut bytes = Vec::new();
+                    for &i in &order {
+                        let env = &reqs[i];
+                        let name = match &env.req {
+                            Request::OpenPool { name } => name.clone(),
+                            other => panic!("unexpected request {other:?}"),
+                        };
+                        let resp = ResponseEnvelope {
+                            req_id: env.req_id,
+                            resp: Response::Pool(PoolInfo {
+                                name,
+                                root_puddle: PuddleId(0),
+                                puddles: Vec::new(),
+                            }),
+                        };
+                        bytes.extend_from_slice(&frame::encode_frame(&resp).unwrap());
+                    }
+                    let mut pos = 0usize;
+                    for &cut in &cuts {
+                        if pos >= bytes.len() {
+                            break;
+                        }
+                        let end = (pos + cut).min(bytes.len());
+                        server_sock.write_all(&bytes[pos..end]).unwrap();
+                        pos = end;
+                    }
+                    server_sock.write_all(&bytes[pos..]).unwrap();
+                });
+
+                let mut callers = Vec::new();
+                for i in 0..CALLERS {
+                    let conn = Arc::clone(&conn);
+                    callers.push(std::thread::spawn(move || {
+                        let resp = conn
+                            .call(&Request::OpenPool {
+                                name: format!("pool-{i}"),
+                            })
+                            .unwrap();
+                        match resp {
+                            Response::Pool(info) => {
+                                assert_eq!(info.name, format!("pool-{i}"))
+                            }
+                            other => panic!("unexpected response {other:?}"),
+                        }
+                    }));
+                }
+                for caller in callers {
+                    caller.join().unwrap();
+                }
+                server.join().unwrap();
+                conn.close();
+                let handle = conn.reader.lock().take();
+                if let Some(handle) = handle {
+                    let _ = handle.join();
+                }
+            }
+        }
+
+        /// A response whose id matches no waiter is a protocol violation:
+        /// the connection dies and parked callers fail instead of hanging.
+        #[test]
+        fn unknown_req_id_kills_the_connection() {
+            let (client_sock, mut server_sock) = UnixStream::pair().unwrap();
+            let conn = PipeConn::over_stream(client_sock).unwrap();
+            let server = std::thread::spawn(move || {
+                let mut dec = FrameDecoder::new();
+                let mut buf = [0u8; 4096];
+                let env = loop {
+                    let n = server_sock.read(&mut buf).unwrap();
+                    dec.feed(&buf[..n]);
+                    if let Some(env) = dec.next_frame::<RequestEnvelope>().unwrap() {
+                        break env;
+                    }
+                };
+                let resp = ResponseEnvelope {
+                    req_id: env.req_id.wrapping_add(1000),
+                    resp: Response::Ok,
+                };
+                server_sock
+                    .write_all(&frame::encode_frame(&resp).unwrap())
+                    .unwrap();
+                server_sock
+            });
+            let err = conn.call(&Request::Ping).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+            assert!(conn.is_dead());
+            drop(server.join().unwrap());
+            let handle = conn.reader.lock().take();
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+        }
     }
 }

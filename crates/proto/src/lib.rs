@@ -156,6 +156,67 @@ pub enum Response {
     },
 }
 
+/// A protocol-v2 request frame: a client-assigned id plus the request.
+///
+/// Ids are chosen by the client (any `u64`; monotonically increasing in
+/// practice) and echoed back verbatim in the matching [`ResponseEnvelope`].
+/// A v2 daemon may complete and write responses in any order, so the id is
+/// the only way to pair a response with its request.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct RequestEnvelope {
+    /// Client-assigned request id, echoed in the response.
+    pub req_id: u64,
+    /// The wrapped request.
+    pub req: Request,
+}
+
+/// A protocol-v2 response frame: the echoed id plus the response.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ResponseEnvelope {
+    /// The id of the request this response answers.
+    pub req_id: u64,
+    /// The wrapped response.
+    pub resp: Response,
+}
+
+/// A daemon→client frame as a v2 client must parse it.
+///
+/// Almost every frame on a v2 connection is a [`ResponseEnvelope`], but the
+/// daemon can emit one bare v1 [`Response`] before it has seen the client's
+/// preamble: the `Busy` rejection written when the connection cap is hit.
+/// Decoding is structural — an object carrying a `req_id` key is an
+/// envelope, anything else is a bare response — so no extra tag byte is
+/// needed on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerFrame {
+    /// An id-tagged v2 response.
+    Enveloped(ResponseEnvelope),
+    /// A bare v1 response (pre-handshake `Busy` rejection).
+    Bare(Response),
+}
+
+impl Serialize for ServerFrame {
+    fn serialize(&self) -> serde::Value {
+        match self {
+            ServerFrame::Enveloped(env) => env.serialize(),
+            ServerFrame::Bare(resp) => resp.serialize(),
+        }
+    }
+}
+
+impl Deserialize for ServerFrame {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let is_envelope = v
+            .as_map()
+            .is_some_and(|m| m.iter().any(|(k, _)| k == "req_id"));
+        if is_envelope {
+            Ok(ServerFrame::Enveloped(ResponseEnvelope::deserialize(v)?))
+        } else {
+            Ok(ServerFrame::Bare(Response::deserialize(v)?))
+        }
+    }
+}
+
 impl Response {
     /// Converts an error response into `Err`, passing others through.
     pub fn into_result(self) -> Result<Response, ProtoError> {
@@ -246,6 +307,44 @@ mod tests {
         .into_result()
         .unwrap_err();
         assert_eq!(err.code, ErrorCode::PermissionDenied);
+    }
+
+    #[test]
+    fn server_frame_distinguishes_envelopes_from_bare_responses() {
+        let env = ResponseEnvelope {
+            req_id: 7,
+            resp: Response::Welcome {
+                space_base: 0x1000,
+                space_size: 0x2000,
+            },
+        };
+        let json = serde_json::to_string(&env).unwrap();
+        let frame: ServerFrame = serde_json::from_str(&json).unwrap();
+        assert_eq!(frame, ServerFrame::Enveloped(env));
+
+        let bare = Response::Error {
+            code: ErrorCode::Busy,
+            message: "connection limit reached".into(),
+        };
+        let json = serde_json::to_string(&bare).unwrap();
+        let frame: ServerFrame = serde_json::from_str(&json).unwrap();
+        assert_eq!(frame, ServerFrame::Bare(bare));
+
+        let unit = Response::Ok;
+        let json = serde_json::to_string(&unit).unwrap();
+        let frame: ServerFrame = serde_json::from_str(&json).unwrap();
+        assert_eq!(frame, ServerFrame::Bare(unit));
+    }
+
+    #[test]
+    fn request_envelope_roundtrips_through_json() {
+        let env = RequestEnvelope {
+            req_id: u64::MAX,
+            req: Request::OpenPool { name: "p".into() },
+        };
+        let json = serde_json::to_string(&env).unwrap();
+        let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, env);
     }
 
     #[test]

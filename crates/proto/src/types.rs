@@ -225,6 +225,8 @@ pub struct DaemonStats {
     /// LogSpace puddles with no log-space registration, reclaimed at
     /// startup (the crash window between allocation and `RegLogSpace`).
     pub logspace_puddles_swept: u64,
+    /// Connections rejected at the connection cap with a `Busy` frame.
+    pub connections_rejected: u64,
 }
 
 /// Machine-readable error categories returned by the daemon.
@@ -242,6 +244,8 @@ pub enum ErrorCode {
     OutOfSpace,
     /// An internal daemon error (I/O, corruption...).
     Internal,
+    /// The daemon is at its connection cap; retry after backing off.
+    Busy,
 }
 
 #[cfg(test)]

@@ -5,13 +5,14 @@
 //! ```text
 //! puddled --pm-dir /mnt/pmem0/puddles --socket /run/puddled.sock \
 //!         [--space-size BYTES] [--space-base HEX] [--no-recover]
+//!         [--max-connections N] [--reactors N]
 //! ```
 //!
 //! Starts the daemon (running crash recovery unless `--no-recover` is
 //! given) and serves client requests on the UNIX-domain socket until the
 //! process is terminated.
 
-use puddled::{Daemon, DaemonConfig, UdsServer};
+use puddled::{Daemon, DaemonConfig, ServerConfig, UdsServer};
 use std::process::exit;
 
 struct Args {
@@ -20,6 +21,7 @@ struct Args {
     space_size: usize,
     space_base: Option<usize>,
     auto_recover: bool,
+    server: ServerConfig,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +31,7 @@ fn parse_args() -> Result<Args, String> {
         space_size: puddles_pmem::DEFAULT_SPACE_SIZE,
         space_base: Some(puddles_pmem::DEFAULT_SPACE_BASE),
         auto_recover: true,
+        server: ServerConfig::default(),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -50,10 +53,25 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--no-recover" => args.auto_recover = false,
+            "--max-connections" => {
+                args.server.max_connections = iter
+                    .next()
+                    .ok_or("--max-connections needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-connections: {e}"))?
+            }
+            "--reactors" => {
+                args.server.reactors = iter
+                    .next()
+                    .ok_or("--reactors needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --reactors: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: puddled --pm-dir DIR --socket PATH [--space-size BYTES] \
-                     [--space-base HEX] [--no-recover]"
+                     [--space-base HEX] [--no-recover] [--max-connections N] \
+                     [--reactors N]"
                 );
                 exit(0);
             }
@@ -87,7 +105,7 @@ fn main() {
             exit(1);
         }
     };
-    let _server = match UdsServer::start(daemon, &args.socket) {
+    let _server = match UdsServer::start_with_config(daemon, &args.socket, args.server.clone()) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("puddled: failed to bind {}: {e}", args.socket);

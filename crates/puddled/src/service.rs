@@ -126,6 +126,9 @@ pub struct DaemonInner {
     /// startup (the crash window inside `ensure_logspace`, between the
     /// puddle allocation and `RegLogSpace`).
     pub(crate) logspace_puddles_swept: AtomicU64,
+    /// Connections the UDS acceptor rejected at the connection cap with a
+    /// `Busy` frame.
+    pub(crate) connections_rejected: AtomicU64,
 }
 
 impl Drop for DaemonInner {
@@ -178,6 +181,31 @@ impl From<RegistryOpError> for DaemonError {
 
 pub(crate) type DaemonResult<T> = std::result::Result<T, DaemonError>;
 
+/// Dispatch lane for a request: which half of the two-lane worker queue it
+/// rides (see `crate::uds`). Heavyweight requests go to the bulk lane so a
+/// burst of imports can occupy at most the bulk lane's worker reservation
+/// and never starves cheap metadata operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Lane {
+    /// Cheap metadata operations: lookups, registrations, pings.
+    Fast,
+    /// Heavyweight operations that copy puddle contents or replay logs:
+    /// pool import/export/creation/deletion and recovery.
+    Bulk,
+}
+
+/// Classifies a request into its dispatch lane.
+pub(crate) fn lane_of(req: &Request) -> Lane {
+    match req {
+        Request::ImportPool { .. }
+        | Request::ExportPool { .. }
+        | Request::CreatePool { .. }
+        | Request::DropPool { .. }
+        | Request::Recover => Lane::Bulk,
+        _ => Lane::Fast,
+    }
+}
+
 impl Daemon {
     /// Starts the daemon: opens the PM directory, reserves the global
     /// space, opens the metadata WAL and loads the registry through it
@@ -207,6 +235,7 @@ impl Daemon {
                 orphans_swept: AtomicU64::new(0),
                 log_puddles_swept: AtomicU64::new(0),
                 logspace_puddles_swept: AtomicU64::new(0),
+                connections_rejected: AtomicU64::new(0),
             }),
         };
         daemon
@@ -408,7 +437,16 @@ impl Daemon {
             orphan_files_swept: self.inner.orphans_swept.load(Ordering::Relaxed),
             log_puddles_swept: self.inner.log_puddles_swept.load(Ordering::Relaxed),
             logspace_puddles_swept: self.inner.logspace_puddles_swept.load(Ordering::Relaxed),
+            connections_rejected: self.inner.connections_rejected.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records one connection turned away at the connection cap (the UDS
+    /// acceptor calls this after writing the `Busy` frame).
+    pub(crate) fn note_rejected_connection(&self) {
+        self.inner
+            .connections_rejected
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn puddle_info(&self, record: &PuddleRecord, writable: bool) -> PuddleInfo {

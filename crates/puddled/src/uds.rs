@@ -8,47 +8,64 @@
 //!
 //! # Runtime
 //!
-//! The server is an **epoll reactor plus a worker pool** (it replaced the
-//! original thread-per-connection design, which was hard-capped at 256 OS
-//! threads):
+//! The server is a **sharded epoll runtime plus a two-lane worker pool**:
 //!
-//! * One **reactor thread** owns the poller (`compat/polling`), the
-//!   nonblocking listener, and every connection's state machine: it
-//!   accepts, reads whatever bytes are available, feeds them to an
-//!   incremental frame decoder ([`puddles_proto::frame::FrameDecoder`] —
-//!   frames split at arbitrary byte boundaries reassemble transparently),
-//!   and flushes response bytes, parking partial writes in a per-connection
-//!   output buffer until the socket drains. The reactor never executes a
-//!   request.
-//! * A small **worker pool** executes requests (`Daemon::handle`), so a
-//!   slow request — a recovery-time replay, a large `ImportPool` — occupies
-//!   one worker and never stalls the event loop or other connections. One
-//!   request per connection is in flight at a time (responses stay in
-//!   request order); further pipelined requests queue per connection.
+//! * One **acceptor thread** owns the nonblocking listener. Each accepted
+//!   socket is handed to the least-loaded reactor whose slice of the
+//!   connection budget has room; at the global connection cap the acceptor
+//!   writes a [`puddles_proto::ErrorCode::Busy`] error frame and closes the
+//!   socket, so clients can back off instead of parsing a bare EOF.
+//! * **N reactor threads** (default `min(cores, 4)`, see [`ServerConfig`])
+//!   each own a private poller, waker, and connection table: a reactor
+//!   reads whatever bytes its sockets have, feeds them to an incremental
+//!   frame decoder ([`puddles_proto::frame::FrameDecoder`] — frames split
+//!   at arbitrary byte boundaries reassemble transparently), and flushes
+//!   response bytes, parking partial writes in a per-connection output
+//!   buffer until the socket drains. Reactors never execute a request and
+//!   never touch each other's connections, so accept/decode/write work
+//!   scales with cores instead of funneling through one event loop.
+//! * A **worker pool** executes requests (`Daemon::handle`) off a
+//!   **two-lane queue**: heavyweight requests (pool import/export,
+//!   creation/deletion, recovery — see `service::lane_of`) ride the bulk
+//!   lane, which only a reserved minority of workers prefer; the remaining
+//!   workers serve the fast lane exclusively, so a burst of imports can
+//!   never starve cheap metadata operations. Workers push the encoded
+//!   response to the owning reactor's completion queue and wake it.
+//!
+//! # Protocol versions
+//!
+//! A connection speaks **v1** (bare `Request`/`Response` frames, one
+//! request in flight, responses in request order) unless its first four
+//! bytes are the [`puddles_proto::frame::V2_MAGIC`] preamble, which can
+//! never be a valid v1 length prefix. After the preamble every frame is an
+//! id-carrying envelope ([`puddles_proto::RequestEnvelope`] /
+//! [`puddles_proto::ResponseEnvelope`]): up to [`MAX_PIPELINED_REQUESTS`]
+//! requests may be in flight at once and responses complete — and are
+//! written — **out of order**, paired by `req_id`.
 //!
 //! # Backpressure
 //!
-//! Three bounds keep a misbehaving peer from ballooning daemon memory:
-//! the connection cap (accepting pauses at [`DEFAULT_MAX_CONNECTIONS`];
-//! the kernel listen backlog queues beyond it), a per-connection cap on
-//! queued pipelined requests, and a per-connection output high-water mark —
-//! a client that stops reading its responses (or pipelines without
-//! reading) has its *read* interest dropped until the output buffer drains,
-//! so its socket fills and the client blocks instead of the daemon
-//! buffering without bound.
+//! Three bounds keep a misbehaving peer from ballooning daemon memory: the
+//! global connection cap (excess connections are turned away with a `Busy`
+//! frame), a per-connection cap on parsed-plus-in-flight requests, and a
+//! per-connection output high-water mark — a client that stops reading its
+//! responses (or pipelines without reading) has its *read* interest dropped
+//! until the output buffer drains, so its socket fills and the client
+//! blocks instead of the daemon buffering without bound.
 //!
 //! # Shutdown
 //!
-//! [`UdsServer::shutdown`] is graceful and *bounded*: the reactor stops
-//! accepting, drops idle connections immediately, gives in-flight requests
-//! and partially written responses [`SHUTDOWN_GRACE`] to finish, then
-//! force-drops stragglers; the worker pool is drained and joined (detached
-//! past the deadline, so a pathological request cannot wedge the process).
+//! [`UdsServer::shutdown`] is graceful and *bounded*: the acceptor stops,
+//! every reactor drops idle connections immediately, gives in-flight
+//! requests and partially written responses [`SHUTDOWN_GRACE`] to finish,
+//! then force-drops stragglers; the worker pool is drained and joined
+//! (detached past the deadline, so a pathological request cannot wedge the
+//! process).
 
-use crate::service::Daemon;
+use crate::service::{lane_of, Daemon, Lane};
 use polling::{Event, Interest, Poller, Waker};
-use puddles_proto::frame::FrameDecoder;
-use puddles_proto::{frame, Credentials, Request, Response};
+use puddles_proto::frame::{FrameDecoder, V2_MAGIC};
+use puddles_proto::{frame, Credentials, Request, RequestEnvelope, Response, ResponseEnvelope};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::os::unix::io::AsRawFd;
@@ -59,95 +76,205 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Default bound on simultaneous client connections. The reactor holds one
+/// Default bound on simultaneous client connections. A reactor holds one
 /// fd and a small state machine per connection — no thread — so this is a
 /// memory/fd bound, not a thread-count bound (the old design capped at 256
 /// threads).
 pub const DEFAULT_MAX_CONNECTIONS: usize = 4096;
 
+/// Hard ceiling on reactor threads (more event loops than this buys
+/// nothing: the worker pool, not event demultiplexing, is the next
+/// bottleneck).
+pub const MAX_REACTORS: usize = 4;
+
 /// How long in-flight requests and partially written responses are given to
 /// finish once shutdown is requested.
 const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
 
-/// Pipelined requests queued per connection beyond the one in flight;
-/// above this the connection's read interest is dropped until the queue
-/// drains (its socket fills; the kernel pushes back on the client).
-const MAX_PIPELINED_REQUESTS: usize = 64;
+/// Requests a single connection may have parsed-but-undispatched plus in
+/// flight at once; above this the connection's read interest is dropped
+/// until completions drain (its socket fills; the kernel pushes back on the
+/// client). This is also the useful upper bound on a v2 client's pipeline
+/// depth.
+pub const MAX_PIPELINED_REQUESTS: usize = 64;
 
 /// Per-connection output high-water mark: once this many bytes are parked
 /// waiting for a slow reader, the connection's read interest is dropped
 /// until the buffer drains below it.
 const OUT_HIGH_WATER: usize = 1 << 20;
 
-/// Largest chunk the reactor reads per `read` call.
+/// Largest chunk a reactor reads per `read` call.
 const READ_CHUNK: usize = 64 * 1024;
 
-/// Reactor poll-token namespace: listener, waker, then connections.
+/// Acceptor poll-token namespace: listener plus waker.
 const TOKEN_LISTENER: u64 = 0;
+/// Waker token (used by the acceptor's and every reactor's poller).
 const TOKEN_WAKER: u64 = 1;
+/// First token handed to a connection (per-reactor token space).
 const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Runtime shape of a [`UdsServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bound on simultaneous connections across all reactors; beyond it the
+    /// acceptor answers with a `Busy` frame and closes.
+    pub max_connections: usize,
+    /// Number of reactor (event-loop) threads. Clamped to
+    /// `1..=`[`MAX_REACTORS`].
+    pub reactors: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            reactors: default_reactor_count(),
+        }
+    }
+}
+
+/// The default reactor count: `min(cores, 4)`, at least 1.
+pub fn default_reactor_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, MAX_REACTORS)
+}
 
 /// One request handed to the worker pool.
 struct WorkItem {
+    /// Index of the reactor owning the connection (completion routing).
+    reactor: usize,
+    /// Connection token within that reactor.
     conn: u64,
+    /// v2 request id to echo in the response envelope; `None` on v1
+    /// connections (bare response).
+    req_id: Option<u64>,
     creds: Credentials,
     req: Request,
 }
 
-/// The blocking FIFO feeding the worker pool.
+/// What a worker thread is allowed to pull from the two-lane queue.
+#[derive(Clone, Copy)]
+enum WorkerRole {
+    /// Serves the fast lane only (while the queue is open): these workers
+    /// are the fast lane's reservation and can never be captured by a
+    /// burst of imports.
+    FastOnly,
+    /// Prefers the bulk lane, falls back to the fast lane when it is
+    /// empty: the bulk lane's reservation, which still helps with cheap
+    /// requests when no heavyweight work is queued.
+    BulkPreferring,
+}
+
+/// The blocking two-lane queue feeding the worker pool.
 struct WorkQueue {
-    state: Mutex<(VecDeque<WorkItem>, bool)>,
+    state: Mutex<Queues>,
     ready: Condvar,
+}
+
+struct Queues {
+    fast: VecDeque<WorkItem>,
+    bulk: VecDeque<WorkItem>,
+    closed: bool,
 }
 
 impl WorkQueue {
     fn new() -> WorkQueue {
         WorkQueue {
-            state: Mutex::new((VecDeque::new(), false)),
+            state: Mutex::new(Queues {
+                fast: VecDeque::new(),
+                bulk: VecDeque::new(),
+                closed: false,
+            }),
             ready: Condvar::new(),
         }
     }
 
-    fn push(&self, item: WorkItem) {
-        let mut state = self.state.lock().unwrap();
-        state.0.push_back(item);
-        self.ready.notify_one();
+    fn push(&self, lane: Lane, item: WorkItem) {
+        let mut q = self.state.lock().unwrap();
+        match lane {
+            Lane::Fast => q.fast.push_back(item),
+            Lane::Bulk => q.bulk.push_back(item),
+        }
+        // Consumers are selective (a FastOnly worker skips bulk items), so
+        // waking just one waiter could wake a thread that cannot take the
+        // new item while an eligible one keeps sleeping. Wake them all.
+        self.ready.notify_all();
     }
 
-    /// Blocks for the next item; `None` once closed **and** empty (close
-    /// drains: queued requests still execute, their responses are simply
-    /// discarded for connections that no longer exist).
-    fn pop(&self) -> Option<WorkItem> {
-        let mut state = self.state.lock().unwrap();
+    /// Blocks for the next item this role may take; `None` once closed
+    /// **and** empty (close drains: queued requests still execute, their
+    /// responses are simply discarded for connections that no longer
+    /// exist — role restrictions are lifted so the drain cannot strand
+    /// bulk items behind exited bulk workers).
+    fn pop(&self, role: WorkerRole) -> Option<WorkItem> {
+        let mut q = self.state.lock().unwrap();
         loop {
-            if let Some(item) = state.0.pop_front() {
+            let item = match role {
+                WorkerRole::BulkPreferring => {
+                    let bulk = q.bulk.pop_front();
+                    bulk.or_else(|| q.fast.pop_front())
+                }
+                WorkerRole::FastOnly if q.closed => {
+                    let fast = q.fast.pop_front();
+                    fast.or_else(|| q.bulk.pop_front())
+                }
+                WorkerRole::FastOnly => q.fast.pop_front(),
+            };
+            if let Some(item) = item {
                 return Some(item);
             }
-            if state.1 {
+            if q.closed {
                 return None;
             }
-            state = self.ready.wait(state).unwrap();
+            q = self.ready.wait(q).unwrap();
         }
     }
 
     fn close(&self) {
-        let mut state = self.state.lock().unwrap();
-        state.1 = true;
+        let mut q = self.state.lock().unwrap();
+        q.closed = true;
         self.ready.notify_all();
     }
 }
 
-/// State shared between the reactor, the workers, and the server handle.
-struct Shared {
-    daemon: Daemon,
-    shutdown: AtomicBool,
+/// Per-reactor state shared with the acceptor and the workers.
+struct ReactorShared {
+    /// Wakes this reactor's poller (new incoming connection or completion).
     waker: Waker,
-    queue: WorkQueue,
+    /// Sockets handed off by the acceptor, not yet registered.
+    incoming: Mutex<Vec<(UnixStream, Option<Credentials>)>>,
     /// Completed responses: `(conn token, encoded frame)`. Workers push,
     /// the reactor drains after a waker event.
     completions: Mutex<Vec<(u64, Vec<u8>)>>,
-    /// Live connections (reactor-maintained; read by `active_connections`).
+    /// Connections owned by this reactor, **including** handed-off sockets
+    /// it has not registered yet: the acceptor increments at handoff, the
+    /// reactor decrements on close, so the global cap check never races a
+    /// not-yet-registered socket past the limit.
     active: AtomicUsize,
+}
+
+impl ReactorShared {
+    fn new() -> io::Result<ReactorShared> {
+        Ok(ReactorShared {
+            waker: Waker::new()?,
+            incoming: Mutex::new(Vec::new()),
+            completions: Mutex::new(Vec::new()),
+            active: AtomicUsize::new(0),
+        })
+    }
+}
+
+/// State shared between the acceptor, the reactors, the workers, and the
+/// server handle.
+struct Shared {
+    daemon: Daemon,
+    shutdown: AtomicBool,
+    /// Wakes the acceptor's poller (shutdown).
+    acceptor_waker: Waker,
+    queue: WorkQueue,
+    reactors: Vec<Arc<ReactorShared>>,
 }
 
 /// A running UNIX-domain-socket server for one daemon instance.
@@ -155,14 +282,15 @@ struct Shared {
 pub struct UdsServer {
     path: PathBuf,
     shared: Arc<Shared>,
-    reactor: Option<JoinHandle<()>>,
+    acceptor: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for Shared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Shared")
-            .field("active", &self.active.load(Ordering::Relaxed))
+            .field("reactors", &self.reactors.len())
             .field("shutdown", &self.shutdown.load(Ordering::Relaxed))
             .finish()
     }
@@ -170,59 +298,107 @@ impl std::fmt::Debug for Shared {
 
 impl UdsServer {
     /// Starts serving `daemon` on a socket at `path` (any stale socket file
-    /// is replaced), allowing up to [`DEFAULT_MAX_CONNECTIONS`] simultaneous
-    /// connections.
+    /// is replaced) with the default [`ServerConfig`].
     pub fn start(daemon: Daemon, path: impl AsRef<Path>) -> io::Result<UdsServer> {
-        Self::start_with_limit(daemon, path, DEFAULT_MAX_CONNECTIONS)
+        Self::start_with_config(daemon, path, ServerConfig::default())
     }
 
-    /// Starts the server with an explicit bound on simultaneous connections.
+    /// Starts the server with an explicit bound on simultaneous connections
+    /// (default reactor count).
     pub fn start_with_limit(
         daemon: Daemon,
         path: impl AsRef<Path>,
         max_connections: usize,
     ) -> io::Result<UdsServer> {
+        Self::start_with_config(
+            daemon,
+            path,
+            ServerConfig {
+                max_connections,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Starts the server with an explicit runtime shape.
+    pub fn start_with_config(
+        daemon: Daemon,
+        path: impl AsRef<Path>,
+        config: ServerConfig,
+    ) -> io::Result<UdsServer> {
         let path = path.as_ref().to_path_buf();
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
         listener.set_nonblocking(true)?;
+        let max_connections = config.max_connections.max(1);
+        let reactor_count = config.reactors.clamp(1, MAX_REACTORS);
+        let mut reactor_shared = Vec::with_capacity(reactor_count);
+        for _ in 0..reactor_count {
+            reactor_shared.push(Arc::new(ReactorShared::new()?));
+        }
         let shared = Arc::new(Shared {
             daemon,
             shutdown: AtomicBool::new(false),
-            waker: Waker::new()?,
+            acceptor_waker: Waker::new()?,
             queue: WorkQueue::new(),
-            completions: Mutex::new(Vec::new()),
-            active: AtomicUsize::new(0),
+            reactors: reactor_shared,
         });
 
         let worker_count = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
             .clamp(2, 8);
+        // The bulk lane's worker reservation: a minority of the pool (at
+        // least one) prefers heavyweight requests; everyone else is pinned
+        // to the fast lane.
+        let bulk_workers = (worker_count / 4).max(1);
         let mut workers = Vec::with_capacity(worker_count);
         for i in 0..worker_count {
             let shared = Arc::clone(&shared);
+            let role = if i < bulk_workers {
+                WorkerRole::BulkPreferring
+            } else {
+                WorkerRole::FastOnly
+            };
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("puddled-worker-{i}"))
-                    .spawn(move || worker_loop(shared))?,
+                    .spawn(move || worker_loop(shared, role))?,
             );
         }
 
-        let reactor_shared = Arc::clone(&shared);
-        let reactor = std::thread::Builder::new()
-            .name("puddled-reactor".into())
+        let mut reactors = Vec::with_capacity(reactor_count);
+        for index in 0..reactor_count {
+            let shared = Arc::clone(&shared);
+            reactors.push(
+                std::thread::Builder::new()
+                    .name(format!("puddled-reactor-{index}"))
+                    .spawn(move || {
+                        let mut r = match Reactor::new(shared, index) {
+                            Ok(r) => r,
+                            Err(_) => return,
+                        };
+                        r.run();
+                    })?,
+            );
+        }
+
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("puddled-acceptor".into())
             .spawn(move || {
-                let mut r = match Reactor::new(reactor_shared, listener, max_connections.max(1)) {
-                    Ok(r) => r,
+                let mut a = match Acceptor::new(acceptor_shared, listener, max_connections) {
+                    Ok(a) => a,
                     Err(_) => return,
                 };
-                r.run();
+                a.run();
             })?;
+
         Ok(UdsServer {
             path,
             shared,
-            reactor: Some(reactor),
+            acceptor: Some(acceptor),
+            reactors,
             workers,
         })
     }
@@ -232,24 +408,34 @@ impl UdsServer {
         &self.path
     }
 
-    /// Number of currently connected clients.
+    /// Number of currently connected clients (summed across reactors).
     pub fn active_connections(&self) -> usize {
-        self.shared.active.load(Ordering::Relaxed)
+        self.shared
+            .reactors
+            .iter()
+            .map(|r| r.active.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Stops accepting, disconnects idle clients, lets in-flight requests
-    /// finish within [`SHUTDOWN_GRACE`], and joins the reactor and worker
-    /// threads. The join is *bounded*: any straggler past the deadline is
-    /// detached instead of joined, so a wedged peer or request cannot hang
-    /// the process.
+    /// finish within [`SHUTDOWN_GRACE`], and joins the acceptor, reactor,
+    /// and worker threads. The join is *bounded*: any straggler past the
+    /// deadline is detached instead of joined, so a wedged peer or request
+    /// cannot hang the process.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.waker.wake();
+        self.shared.acceptor_waker.wake();
+        for r in &self.shared.reactors {
+            r.waker.wake();
+        }
         let deadline = Instant::now() + SHUTDOWN_GRACE + Duration::from_secs(2);
-        if let Some(handle) = self.reactor.take() {
+        if let Some(handle) = self.acceptor.take() {
             join_with_deadline(handle, deadline.saturating_duration_since(Instant::now()));
         }
-        // The reactor is gone; nothing enqueues work anymore. Drain the
+        for handle in self.reactors.drain(..) {
+            join_with_deadline(handle, deadline.saturating_duration_since(Instant::now()));
+        }
+        // The reactors are gone; nothing enqueues work anymore. Drain the
         // workers (queued requests still execute — their mutations matter
         // even if no connection remains to read the response).
         self.shared.queue.close();
@@ -281,21 +467,32 @@ impl Drop for UdsServer {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>) {
-    while let Some(item) = shared.queue.pop() {
+fn worker_loop(shared: Arc<Shared>, role: WorkerRole) {
+    while let Some(item) = shared.queue.pop(role) {
         let resp = shared.daemon.handle(item.creds, item.req);
-        let bytes = match frame::encode_frame(&resp) {
-            Ok(bytes) => bytes,
+        let encoded = encode_response(item.req_id, resp);
+        let bytes = encoded.unwrap_or_else(|e| {
             // Unencodable response (outsized payload): report the failure
             // in-band so the client is not left waiting on a silent drop.
-            Err(e) => frame::encode_frame(&Response::Error {
+            let err = Response::Error {
                 code: puddles_proto::ErrorCode::Internal,
                 message: format!("response encoding failed: {e}"),
-            })
-            .unwrap_or_default(),
-        };
-        shared.completions.lock().unwrap().push((item.conn, bytes));
-        shared.waker.wake();
+            };
+            encode_response(item.req_id, err).unwrap_or_default()
+        });
+        let target = &shared.reactors[item.reactor];
+        target.completions.lock().unwrap().push((item.conn, bytes));
+        target.waker.wake();
+    }
+}
+
+/// Encodes a response as the connection's protocol version demands: a
+/// [`ResponseEnvelope`] echoing the request id on v2, a bare [`Response`]
+/// on v1.
+fn encode_response(req_id: Option<u64>, resp: Response) -> io::Result<Vec<u8>> {
+    match req_id {
+        Some(req_id) => frame::encode_frame(&ResponseEnvelope { req_id, resp }),
+        None => frame::encode_frame(&resp),
     }
 }
 
@@ -328,19 +525,190 @@ fn peer_credentials(stream: &UnixStream) -> Option<Credentials> {
     }
 }
 
+// -- Acceptor ---------------------------------------------------------------
+
+/// The accept loop: owns the listener, places sockets onto reactors.
+struct Acceptor {
+    shared: Arc<Shared>,
+    poller: Poller,
+    listener: UnixListener,
+    max_connections: usize,
+    /// The listener is registered with the poller (deregistered while a
+    /// persistent accept failure backs off, so a full backlog does not
+    /// busy-loop on level-triggered accept readiness).
+    accepting: bool,
+    /// Accepting is paused until this instant after a persistent accept
+    /// failure (e.g. EMFILE under a low fd rlimit).
+    accept_backoff_until: Option<Instant>,
+    /// Pre-encoded `Busy` rejection frame (a bare v1 response: it is sent
+    /// before the client's preamble could have been read, and v2 clients
+    /// decode bare frames via `ServerFrame`).
+    busy_frame: Vec<u8>,
+}
+
+impl Acceptor {
+    fn new(
+        shared: Arc<Shared>,
+        listener: UnixListener,
+        max_connections: usize,
+    ) -> io::Result<Acceptor> {
+        let poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+        poller.add(shared.acceptor_waker.fd(), TOKEN_WAKER, Interest::READABLE)?;
+        let busy_frame = frame::encode_frame(&Response::Error {
+            code: puddles_proto::ErrorCode::Busy,
+            message: format!("connection limit reached ({max_connections})"),
+        })?;
+        Ok(Acceptor {
+            shared,
+            poller,
+            listener,
+            max_connections,
+            accepting: true,
+            accept_backoff_until: None,
+            busy_frame,
+        })
+    }
+
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let timeout = self.accept_backoff_until.map(|_| Duration::from_millis(10));
+            let _ = self.poller.wait(&mut events, timeout);
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Some(until) = self.accept_backoff_until {
+                if Instant::now() >= until {
+                    self.accept_backoff_until = None;
+                    self.resume_accepting();
+                }
+            }
+            for &event in &events {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => {
+                        self.shared.acceptor_waker.drain();
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.place(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Persistent accept failure (e.g. EMFILE under a low fd
+                // rlimit): the level-triggered listener readiness would
+                // fire on every wait while the backlog is non-empty,
+                // spinning the loop hot. Deregister and retry after a
+                // short backoff.
+                Err(_) => {
+                    self.pause_accepting();
+                    self.accept_backoff_until = Some(Instant::now() + Duration::from_millis(10));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Routes one accepted socket: least-loaded reactor with room in its
+    /// slice of the budget, or a `Busy` rejection at the global cap.
+    fn place(&mut self, stream: UnixStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let n = self.shared.reactors.len();
+        // Per-reactor slice of the budget. Ceiling division: if the total
+        // is below the cap, at least one reactor is below its slice, so a
+        // non-rejected socket always finds a home.
+        let slice = self.max_connections.div_ceil(n);
+        let mut total = 0usize;
+        let mut best: Option<(usize, usize)> = None;
+        for (i, r) in self.shared.reactors.iter().enumerate() {
+            let active = r.active.load(Ordering::Relaxed);
+            total += active;
+            if active < slice && best.is_none_or(|(_, b)| active < b) {
+                best = Some((i, active));
+            }
+        }
+        let target = match best {
+            Some((i, _)) if total < self.max_connections => i,
+            // At (or, transiently, above) the cap: tell the client to back
+            // off. Best-effort — the frame is far smaller than a socket
+            // buffer, so the nonblocking write only fails if the peer is
+            // already gone.
+            _ => {
+                let mut stream = stream;
+                let _ = stream.write(&self.busy_frame);
+                self.shared.daemon.note_rejected_connection();
+                return;
+            }
+        };
+        let peer = peer_credentials(&stream);
+        let reactor = &self.shared.reactors[target];
+        // Count the connection *before* the reactor sees it so the cap
+        // check above can never race a handed-off socket past the limit.
+        reactor.active.fetch_add(1, Ordering::Relaxed);
+        reactor.incoming.lock().unwrap().push((stream, peer));
+        reactor.waker.wake();
+    }
+
+    fn pause_accepting(&mut self) {
+        if self.accepting {
+            let _ = self.poller.delete(self.listener.as_raw_fd());
+            self.accepting = false;
+        }
+    }
+
+    fn resume_accepting(&mut self) {
+        if !self.accepting
+            && self
+                .poller
+                .add(
+                    self.listener.as_raw_fd(),
+                    TOKEN_LISTENER,
+                    Interest::READABLE,
+                )
+                .is_ok()
+        {
+            self.accepting = true;
+        }
+    }
+}
+
+// -- Connections ------------------------------------------------------------
+
+/// Wire protocol spoken by one connection, fixed by its first bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnProto {
+    /// Fewer than four bytes seen; could still become either version.
+    Unknown,
+    /// Bare frames, one request in flight, responses in request order.
+    V1,
+    /// Enveloped frames, pipelined, responses out of order.
+    V2,
+}
+
 /// Per-connection state machine.
 struct Conn {
     stream: UnixStream,
     decoder: FrameDecoder,
+    proto: ConnProto,
     /// Kernel-verified peer credentials captured at accept (when available).
     peer: Option<Credentials>,
     /// Effective credentials, fixed by the first frame (peer credentials
     /// override whatever the client claims in `Hello`).
     creds: Option<Credentials>,
-    /// Parsed requests not yet dispatched (pipelining queue).
-    pending: VecDeque<Request>,
-    /// A request for this connection is with the worker pool.
-    in_flight: bool,
+    /// Parsed requests not yet dispatched: `(req_id, request)` with the id
+    /// present exactly on v2 connections.
+    pending: VecDeque<(Option<u64>, Request)>,
+    /// Requests from this connection currently with the worker pool.
+    in_flight: usize,
     /// Encoded response bytes not yet accepted by the socket.
     out: Vec<u8>,
     /// Prefix of `out` already written.
@@ -359,10 +727,11 @@ impl Conn {
         Conn {
             stream,
             decoder: FrameDecoder::new(),
+            proto: ConnProto::Unknown,
             peer,
             creds: None,
             pending: VecDeque::new(),
-            in_flight: false,
+            in_flight: 0,
             out: Vec::new(),
             out_pos: 0,
             peer_closed: false,
@@ -376,60 +745,58 @@ impl Conn {
         self.out.len() - self.out_pos
     }
 
+    /// How many of this connection's requests may execute concurrently:
+    /// v1 responses must stay in request order, so one; v2 responses carry
+    /// ids, so the whole pipeline window may run at once.
+    fn max_in_flight(&self) -> usize {
+        match self.proto {
+            ConnProto::V2 => MAX_PIPELINED_REQUESTS,
+            ConnProto::V1 | ConnProto::Unknown => 1,
+        }
+    }
+
     /// `true` when nothing remains to serve: no in-flight request, no
     /// queued request, no unwritten response bytes.
     fn idle(&self) -> bool {
-        !self.in_flight && self.pending.is_empty() && self.out_len() == 0
+        self.in_flight == 0 && self.pending.is_empty() && self.out_len() == 0
     }
 
     /// Whether the reactor should keep consuming bytes from this peer.
     fn wants_read(&self) -> bool {
         !self.dead
             && !self.peer_closed
-            && self.pending.len() < MAX_PIPELINED_REQUESTS
+            && self.pending.len() + self.in_flight < MAX_PIPELINED_REQUESTS
             && self.out_len() < OUT_HIGH_WATER
     }
 }
 
-/// The event loop: owns the poller, the listener, and every connection.
+// -- Reactor ----------------------------------------------------------------
+
+/// One event loop: owns a poller and a shard of the connections.
 struct Reactor {
     shared: Arc<Shared>,
+    /// This reactor's slot in `shared.reactors`.
+    index: usize,
+    me: Arc<ReactorShared>,
     poller: Poller,
-    listener: UnixListener,
     conns: HashMap<u64, Conn>,
     next_token: u64,
-    max_connections: usize,
-    /// The listener is registered with the poller (deregistered while the
-    /// connection cap is reached, so a full house does not busy-loop on
-    /// accept readiness).
-    accepting: bool,
-    /// Accepting is paused until this instant after a persistent accept
-    /// failure (e.g. EMFILE below the connection cap): the level-triggered
-    /// listener readiness would otherwise spin the loop hot while the
-    /// error condition lasts.
-    accept_backoff_until: Option<Instant>,
     /// Set once shutdown is observed; records the drain deadline.
     draining: Option<Instant>,
 }
 
 impl Reactor {
-    fn new(
-        shared: Arc<Shared>,
-        listener: UnixListener,
-        max_connections: usize,
-    ) -> io::Result<Reactor> {
+    fn new(shared: Arc<Shared>, index: usize) -> io::Result<Reactor> {
+        let me = Arc::clone(&shared.reactors[index]);
         let poller = Poller::new()?;
-        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
-        poller.add(shared.waker.fd(), TOKEN_WAKER, Interest::READABLE)?;
+        poller.add(me.waker.fd(), TOKEN_WAKER, Interest::READABLE)?;
         Ok(Reactor {
             shared,
+            index,
+            me,
             poller,
-            listener,
             conns: HashMap::new(),
             next_token: FIRST_CONN_TOKEN,
-            max_connections,
-            accepting: true,
-            accept_backoff_until: None,
             draining: None,
         })
     }
@@ -437,114 +804,63 @@ impl Reactor {
     fn run(&mut self) {
         let mut events: Vec<Event> = Vec::new();
         loop {
-            // While draining (or backing off a failed accept), wake at
-            // least every 20 ms to check the deadline; otherwise sleep
-            // until an event or waker.
-            let timeout = if self.draining.is_some() || self.accept_backoff_until.is_some() {
-                Some(Duration::from_millis(20))
-            } else {
-                None
-            };
+            // While draining, wake at least every 20 ms to check the
+            // deadline; otherwise sleep until an event or waker.
+            let timeout = self.draining.map(|_| Duration::from_millis(20));
             let _ = self.poller.wait(&mut events, timeout);
-            if let Some(until) = self.accept_backoff_until {
-                if Instant::now() >= until {
-                    self.accept_backoff_until = None;
-                    self.resume_accepting();
-                }
-            }
-            let shutdown = self.shared.shutdown.load(Ordering::SeqCst);
-            if shutdown && self.draining.is_none() {
+            if self.shared.shutdown.load(Ordering::SeqCst) && self.draining.is_none() {
                 self.begin_drain();
             }
 
             for &event in &events {
                 match event.token {
-                    TOKEN_LISTENER => self.accept_ready(),
                     TOKEN_WAKER => {
-                        self.shared.waker.drain();
+                        self.me.waker.drain();
                     }
                     token => self.conn_ready(token, event),
                 }
             }
-            // Completions may arrive with or without a waker event in this
-            // round (coalesced wakes); drain unconditionally.
+            // Handoffs and completions may arrive with or without a waker
+            // event in this round (coalesced wakes); drain unconditionally.
+            self.process_incoming();
             self.process_completions();
 
             if self.draining.is_some() && self.drain_finished() {
                 break;
             }
         }
-        // Teardown: connections drop here, closing their sockets.
+        // Teardown: connections (and any never-registered handoffs) drop
+        // here, closing their sockets.
         self.conns.clear();
-        self.shared.active.store(0, Ordering::Relaxed);
+        self.me.incoming.lock().unwrap().clear();
+        self.me.active.store(0, Ordering::Relaxed);
     }
 
-    // -- Accept path --------------------------------------------------------
+    // -- Accept handoff -----------------------------------------------------
 
-    fn accept_ready(&mut self) {
-        loop {
-            if self.conns.len() >= self.max_connections || self.draining.is_some() {
-                self.pause_accepting();
-                return;
+    /// Registers sockets the acceptor handed to this reactor. Their
+    /// `active` count was already taken at handoff; undone here on failure.
+    fn process_incoming(&mut self) {
+        let incoming: Vec<(UnixStream, Option<Credentials>)> =
+            std::mem::take(&mut *self.me.incoming.lock().unwrap());
+        for (stream, peer) in incoming {
+            if self.draining.is_some() {
+                self.me.active.fetch_sub(1, Ordering::Relaxed);
+                continue;
             }
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
-                    }
-                    let peer = peer_credentials(&stream);
-                    let token = self.next_token;
-                    self.next_token += 1;
-                    if self
-                        .poller
-                        .add(stream.as_raw_fd(), token, Interest::READABLE)
-                        .is_err()
-                    {
-                        continue;
-                    }
-                    self.conns.insert(token, Conn::new(stream, peer));
-                    self.shared
-                        .active
-                        .store(self.conns.len(), Ordering::Relaxed);
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                // Persistent accept failure (e.g. EMFILE under a low fd
-                // rlimit, below the connection cap): the level-triggered
-                // listener readiness would fire on every wait while the
-                // backlog is non-empty, spinning the loop hot. Deregister
-                // and retry after a short backoff.
-                Err(_) => {
-                    self.pause_accepting();
-                    self.accept_backoff_until = Some(Instant::now() + Duration::from_millis(10));
-                    return;
-                }
-            }
-        }
-    }
-
-    fn pause_accepting(&mut self) {
-        if self.accepting {
-            let _ = self.poller.delete(self.listener.as_raw_fd());
-            self.accepting = false;
-        }
-    }
-
-    fn resume_accepting(&mut self) {
-        if !self.accepting
-            && self.draining.is_none()
-            && self.accept_backoff_until.is_none()
-            && self.conns.len() < self.max_connections
-            && self
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
                 .poller
-                .add(
-                    self.listener.as_raw_fd(),
-                    TOKEN_LISTENER,
-                    Interest::READABLE,
-                )
-                .is_ok()
-        {
-            self.accepting = true;
+                .add(stream.as_raw_fd(), token, Interest::READABLE)
+                .is_err()
+            {
+                self.me.active.fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+            // Bytes that raced in before registration are reported by the
+            // next level-triggered wait; no eager read needed.
+            self.conns.insert(token, Conn::new(stream, peer));
         }
     }
 
@@ -578,10 +894,10 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        // Dispatch the next queued request unless we are draining (drain
-        // finishes in-flight work only).
+        // Dispatch queued requests unless we are draining (drain finishes
+        // in-flight work only).
         if self.draining.is_none() {
-            dispatch_next(&self.shared, token, conn);
+            dispatch_ready(&self.shared, self.index, token, conn);
         }
         let drop_now = conn.dead || (conn.peer_closed && conn.idle());
         if drop_now {
@@ -613,21 +929,15 @@ impl Reactor {
     fn remove_conn(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(&token) {
             let _ = self.poller.delete(conn.stream.as_raw_fd());
+            self.me.active.fetch_sub(1, Ordering::Relaxed);
         }
-        self.shared
-            .active
-            .store(self.conns.len(), Ordering::Relaxed);
-        // A closed connection freed an fd: an EMFILE backoff is worth
-        // cutting short.
-        self.accept_backoff_until = None;
-        self.resume_accepting();
     }
 
     // -- Worker completions -------------------------------------------------
 
     fn process_completions(&mut self) {
         let completed: Vec<(u64, Vec<u8>)> =
-            std::mem::take(&mut *self.shared.completions.lock().unwrap());
+            std::mem::take(&mut *self.me.completions.lock().unwrap());
         for (token, bytes) in completed {
             let Some(conn) = self.conns.get_mut(&token) else {
                 // The connection died while its request executed; the
@@ -636,7 +946,7 @@ impl Reactor {
                 // its request.
                 continue;
             };
-            conn.in_flight = false;
+            conn.in_flight = conn.in_flight.saturating_sub(1);
             if bytes.is_empty() {
                 conn.dead = true;
             } else {
@@ -656,9 +966,8 @@ impl Reactor {
 
     fn begin_drain(&mut self) {
         self.draining = Some(Instant::now() + SHUTDOWN_GRACE);
-        self.pause_accepting();
         // Idle connections go immediately; busy ones get the grace period
-        // to finish their in-flight request and flush.
+        // to finish their in-flight requests and flush.
         let idle: Vec<u64> = self
             .conns
             .iter()
@@ -675,7 +984,7 @@ impl Reactor {
         let done: Vec<u64> = self
             .conns
             .iter()
-            .filter(|(_, c)| c.dead || (!c.in_flight && c.out_len() == 0))
+            .filter(|(_, c)| c.dead || (c.in_flight == 0 && c.out_len() == 0))
             .map(|(t, _)| *t)
             .collect();
         for token in done {
@@ -717,50 +1026,81 @@ fn read_ready(conn: &mut Conn) {
     parse_frames(conn);
 }
 
-/// Pulls complete frames out of the decoder. Returns `false` when the
-/// connection turned dead (framing error).
+/// Pulls complete frames out of the decoder, negotiating the protocol
+/// version off the first four bytes. Returns `false` when the connection
+/// turned dead (framing error).
 fn parse_frames(conn: &mut Conn) -> bool {
-    loop {
-        match conn.decoder.next_frame::<Request>() {
-            Ok(Some(req)) => {
-                if conn.creds.is_none() {
-                    // First frame fixes the connection's credentials:
-                    // kernel-verified peer credentials win; otherwise an
-                    // explicit Hello is trusted (tests); otherwise fall
-                    // back to this process's identity.
-                    conn.creds = Some(match (conn.peer, &req) {
-                        (Some(peer), _) => peer,
-                        (None, Request::Hello { creds }) => *creds,
-                        (None, _) => Credentials::current_process(),
-                    });
-                }
-                conn.pending.push_back(req);
+    if conn.proto == ConnProto::Unknown {
+        match conn.decoder.peek(4) {
+            Some(head) if head == V2_MAGIC => {
+                conn.decoder.consume(4);
+                conn.proto = ConnProto::V2;
             }
-            Ok(None) => return true,
-            Err(_) => {
-                conn.dead = true;
-                return false;
-            }
+            // Anything else is a v1 length prefix (the magic LE-decodes
+            // above MAX_FRAME, so the two cannot collide).
+            Some(_) => conn.proto = ConnProto::V1,
+            // Fewer than four bytes buffered: still ambiguous, wait.
+            None => return true,
         }
+    }
+    loop {
+        let parsed = match conn.proto {
+            ConnProto::V1 => match conn.decoder.next_frame::<Request>() {
+                Ok(Some(req)) => Some((None, req)),
+                Ok(None) => return true,
+                Err(_) => None,
+            },
+            ConnProto::V2 => match conn.decoder.next_frame::<RequestEnvelope>() {
+                Ok(Some(env)) => Some((Some(env.req_id), env.req)),
+                Ok(None) => return true,
+                Err(_) => None,
+            },
+            ConnProto::Unknown => unreachable!("negotiated above"),
+        };
+        let Some((req_id, req)) = parsed else {
+            conn.dead = true;
+            return false;
+        };
+        if conn.creds.is_none() {
+            // First frame fixes the connection's credentials:
+            // kernel-verified peer credentials win; otherwise an explicit
+            // Hello is trusted (tests); otherwise fall back to this
+            // process's identity.
+            conn.creds = Some(match (conn.peer, &req) {
+                (Some(peer), _) => peer,
+                (None, Request::Hello { creds }) => *creds,
+                (None, _) => Credentials::current_process(),
+            });
+        }
+        conn.pending.push_back((req_id, req));
     }
 }
 
-/// Sends the next queued request to the worker pool (one in flight per
-/// connection keeps responses in request order).
-fn dispatch_next(shared: &Arc<Shared>, token: u64, conn: &mut Conn) {
-    if conn.in_flight || conn.dead {
+/// Feeds queued requests to the worker pool, up to the connection's
+/// in-flight window (one for v1 — responses stay in request order — the
+/// whole pipeline window for v2).
+fn dispatch_ready(shared: &Arc<Shared>, reactor: usize, token: u64, conn: &mut Conn) {
+    if conn.dead {
         return;
     }
-    let Some(req) = conn.pending.pop_front() else {
-        return;
-    };
-    let creds = conn.creds.unwrap_or_else(Credentials::current_process);
-    conn.in_flight = true;
-    shared.queue.push(WorkItem {
-        conn: token,
-        creds,
-        req,
-    });
+    while conn.in_flight < conn.max_in_flight() {
+        let Some((req_id, req)) = conn.pending.pop_front() else {
+            return;
+        };
+        let creds = conn.creds.unwrap_or_else(Credentials::current_process);
+        conn.in_flight += 1;
+        let lane = lane_of(&req);
+        shared.queue.push(
+            lane,
+            WorkItem {
+                reactor,
+                conn: token,
+                req_id,
+                creds,
+                req,
+            },
+        );
+    }
 }
 
 /// Writes as much of the output buffer as the socket accepts; the rest
