@@ -227,6 +227,20 @@ pub struct DaemonStats {
     pub logspace_puddles_swept: u64,
     /// Connections rejected at the connection cap with a `Busy` frame.
     pub connections_rejected: u64,
+    /// Bytes on the space allocator's free lists (fragmented free space
+    /// below the bump frontier, canonical merged view).
+    pub space_free_bytes: u64,
+    /// Free extents in the allocator's canonical view.
+    pub free_extents: u64,
+    /// External fragmentation of the free space in basis points:
+    /// `10000 × (1 − largest_free_extent / free_bytes)`; 0 when the free
+    /// space is contiguous or empty.
+    pub fragmentation_bp: u64,
+    /// Lazy (threshold-triggered) allocator coalesce passes run.
+    pub lazy_coalesce_runs: u64,
+    /// Allocator coalesce passes forced inline (hard ceiling or allocation
+    /// pressure).
+    pub forced_inline_coalesces: u64,
 }
 
 /// Machine-readable error categories returned by the daemon.

@@ -1,0 +1,660 @@
+//! The global-space address allocator: size-bucketed segregated free lists
+//! with lazy coalescing and a sharded front-end.
+//!
+//! The seed allocator was first-fit over a flat `Vec` with a full
+//! sort-and-coalesce on **every** free — O(extents) per operation behind a
+//! single mutex. Fine for dozens of puddles; hopeless for the millions the
+//! roadmap targets (every log segment, B-tree node pool, and user pool is a
+//! daemon-granted extent). This module replaces it with:
+//!
+//! * **Segregated free lists** — freed extents are binned into power-of-two
+//!   buckets by page count (bucket *b* holds extents of `[2^b, 2^(b+1))`
+//!   pages). Alloc pops from the first bucket guaranteed to fit (a bounded
+//!   first-fit scan of the floor bucket first, so exact-size churn reuses
+//!   exact-size extents), splits, and re-bins the remainder: O(1). Free is
+//!   a push: O(1).
+//! * **Lazy coalescing** — adjacent free extents are *not* merged on free.
+//!   A deferred merge pass (collect, sort, merge, re-bin, and absorb any
+//!   extent touching the bump frontier back into it) runs when the
+//!   free-extent count passes a threshold — on the [`Background`] scheduler
+//!   when the daemon attaches one, inline otherwise, and *forced* inline
+//!   past a hard ceiling or when an allocation would otherwise fail. This
+//!   mirrors the WAL checkpoint pattern exactly (threshold → background,
+//!   ceiling → inline).
+//! * **A sharded front-end** — threads are round-robined onto `NSHARDS`
+//!   shards; small allocations (≤ [`SHARD_MAX_BYTES`]) are served from the
+//!   shard's own buckets or its private bump **slab** (refilled from the
+//!   global arena [`SLAB_BYTES`] at a time), so create/drop storms from
+//!   many pipelined clients stop serializing on one mutex. Large extents
+//!   and slab refills go through the global arena.
+//!
+//! [`Background`]: crate::background::Background
+//!
+//! # Persistence contract
+//!
+//! The allocator itself is volatile. Grants and frees are logged by the
+//! registry as `AllocExtent`/`FreeExtent` WAL records (slab refills are
+//! *not* logged — they are not user-visible grants), and recovery rebuilds
+//! the allocator from the live puddle extents regardless
+//! ([`crate::registry`]'s `reconcile`). [`FrozenSpace::canonical`] serializes
+//! the in-memory state in exactly the form `reconcile` would rebuild —
+//! sorted, fully merged, frontier-adjacent extents absorbed into the bump
+//! pointer — so a checkpoint taken from a live allocator and one rebuilt
+//! after a crash are bit-identical, and pre-existing WALs/checkpoints
+//! replay unchanged.
+
+use parking_lot::{Mutex, MutexGuard};
+use puddles_pmem::util::align_up;
+use puddles_pmem::{PmError, Result, PAGE_SIZE};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of front-end shards. Threads are assigned round-robin, so up to
+/// this many allocating threads proceed without touching a shared lock.
+pub const NSHARDS: usize = 8;
+
+/// Largest allocation served from a shard (and binned into shard buckets on
+/// free); bigger extents go straight to the global arena.
+pub const SHARD_MAX_BYTES: u64 = 64 * PAGE_SIZE as u64; // 256 KiB
+
+/// Bytes a shard reserves from the global arena per refill. Each refill is
+/// one global-lock acquisition amortized over many small grants.
+pub const SLAB_BYTES: u64 = 256 * PAGE_SIZE as u64; // 1 MiB
+
+/// Shard buckets cover `[2^0, 2^(SHARD_BUCKETS))` pages = up to
+/// `SHARD_MAX_BYTES`.
+const SHARD_BUCKETS: usize = 7;
+
+/// Global buckets cover any u64 extent length.
+const GLOBAL_BUCKETS: usize = 48;
+
+/// Entries of the floor bucket examined before giving up and splitting a
+/// larger extent. Bounds the alloc path at O(1) while letting exact-size
+/// churn (the common create/drop pattern) reuse exact-size extents.
+const FLOOR_SCAN: usize = 8;
+
+/// Default free-extent count that triggers a lazy coalesce pass.
+pub const DEFAULT_COALESCE_THRESHOLD: u64 = 1024;
+
+/// Past `threshold × FACTOR` free extents the pass runs forced-inline even
+/// with a background scheduler attached (it has fallen behind).
+pub const COALESCE_HARD_FACTOR: u64 = 4;
+
+/// Why a coalesce pass ran (the registry's counters distinguish the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoalesceKind {
+    /// Threshold-triggered, deferred off the request path (or inline for
+    /// bare registries with no scheduler — still amortized).
+    Lazy,
+    /// Forced inline: the hard ceiling was passed or an allocation would
+    /// otherwise fail. Also reclaims shard slabs back into the pool.
+    ForcedInline,
+}
+
+/// Allocator observability, surfaced through the daemon's `Stats` response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Bytes sitting on free lists below the bump frontier (canonical view:
+    /// merged, frontier-absorbed).
+    pub free_bytes: u64,
+    /// Free extents in the canonical view.
+    pub free_extents: u64,
+    /// Largest single free extent.
+    pub largest_free: u64,
+    /// External fragmentation in basis points:
+    /// `10000 × (1 − largest_free / free_bytes)`. 0 when the free space is
+    /// one extent (or there is none); approaches 10000 as it shatters.
+    pub fragmentation_bp: u64,
+    /// Lazy (threshold-triggered) coalesce passes run.
+    pub lazy_coalesce_runs: u64,
+    /// Coalesce passes forced inline (hard ceiling or allocation pressure).
+    pub forced_inline_coalesces: u64,
+}
+
+/// One front-end shard: segregated buckets for small freed extents plus a
+/// private bump slab `[cur, end)` carved from the global arena.
+#[derive(Debug)]
+struct Shard {
+    buckets: [Vec<(u64, u64)>; SHARD_BUCKETS],
+    slab: (u64, u64),
+}
+
+/// The global arena: geometry, the bump frontier, and buckets for large
+/// extents, slab-refill reserves, and everything a coalesce pass merged.
+#[derive(Debug)]
+struct GlobalArena {
+    space_base: u64,
+    space_size: u64,
+    next_offset: u64,
+    buckets: [Vec<(u64, u64)>; GLOBAL_BUCKETS],
+}
+
+/// The segregated-fit allocator. All methods take `&self`; shards and the
+/// global arena are locked internally (lock order: one shard, then global —
+/// a coalesce pass drains shards one at a time, never holding two).
+pub struct SpaceAlloc {
+    shards: [Mutex<Shard>; NSHARDS],
+    global: Mutex<GlobalArena>,
+    /// Extents across all buckets (shard + global); the lazy-coalesce
+    /// trigger reads this without any lock.
+    bucket_extents: AtomicU64,
+    /// Extents in the *global* buckets only: a zero lets the shard fast
+    /// path skip the global lock entirely during first-touch storms.
+    global_hint: AtomicU64,
+    coalesce_threshold: AtomicU64,
+    /// Extents the last coalesce pass could *not* merge (its residue). The
+    /// trigger re-arms relative to this floor: a fragmented heap whose holes
+    /// genuinely cannot merge must not re-run an O(n log n) pass on every
+    /// subsequent free.
+    coalesce_floor: AtomicU64,
+    lazy_coalesces: AtomicU64,
+    forced_coalesces: AtomicU64,
+}
+
+impl std::fmt::Debug for SpaceAlloc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpaceAlloc")
+            .field(
+                "bucket_extents",
+                &self.bucket_extents.load(Ordering::Relaxed),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+/// Round-robin thread→shard assignment (stable for a thread's lifetime).
+fn my_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    SLOT.with(|s| *s % NSHARDS)
+}
+
+/// Bucket index for an extent of `len` bytes: `floor(log2(pages))`, clamped
+/// to the table. Bucket `b` holds extents of `[2^b, 2^(b+1))` pages.
+fn bucket_of(len: u64, nbuckets: usize) -> usize {
+    let pages = (len / PAGE_SIZE as u64).max(1);
+    ((63 - pages.leading_zeros()) as usize).min(nbuckets - 1)
+}
+
+/// Pops an extent of at least `size` bytes from `buckets`: a bounded
+/// first-fit scan of the floor bucket, then the first non-empty larger
+/// bucket (whose every extent is guaranteed to fit). Returns the whole
+/// extent; the caller splits. O(1): the scan is bounded and the bucket walk
+/// is over at most `buckets.len()` heads.
+fn take_fit(buckets: &mut [Vec<(u64, u64)>], size: u64) -> Option<(u64, u64)> {
+    let floor = bucket_of(size, buckets.len());
+    let list = &mut buckets[floor];
+    let scan = list.len().min(FLOOR_SCAN);
+    for back in 1..=scan {
+        let idx = list.len() - back;
+        if list[idx].1 >= size {
+            return Some(list.swap_remove(idx));
+        }
+    }
+    for bucket in buckets.iter_mut().skip(floor + 1) {
+        if let Some(extent) = bucket.pop() {
+            return Some(extent);
+        }
+    }
+    None
+}
+
+impl SpaceAlloc {
+    /// Builds the allocator from reconciled registry state: the free list
+    /// goes into the global buckets (shards warm up from subsequent frees),
+    /// the bump frontier is taken as-is.
+    pub fn new(
+        space_base: u64,
+        space_size: u64,
+        next_offset: u64,
+        free_list: Vec<(u64, u64)>,
+    ) -> Self {
+        let mut global = GlobalArena {
+            space_base,
+            space_size,
+            next_offset,
+            buckets: std::array::from_fn(|_| Vec::new()),
+        };
+        let count = free_list.len() as u64;
+        for (off, len) in free_list {
+            global.buckets[bucket_of(len, GLOBAL_BUCKETS)].push((off, len));
+        }
+        SpaceAlloc {
+            shards: std::array::from_fn(|_| {
+                Mutex::new(Shard {
+                    buckets: std::array::from_fn(|_| Vec::new()),
+                    slab: (0, 0),
+                })
+            }),
+            global: Mutex::new(global),
+            bucket_extents: AtomicU64::new(count),
+            global_hint: AtomicU64::new(count),
+            coalesce_threshold: AtomicU64::new(DEFAULT_COALESCE_THRESHOLD),
+            // A reconciled free list is already fully merged: treat it as
+            // the first pass's residue so recovery into a fragmented heap
+            // doesn't trip an immediate (useless) pass.
+            coalesce_floor: AtomicU64::new(count),
+            lazy_coalesces: AtomicU64::new(0),
+            forced_coalesces: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocates `size` bytes (page-aligned up), returning the offset. On
+    /// exhaustion a forced coalesce pass (merge everything, reclaim shard
+    /// slabs) runs once before the allocation is declared impossible.
+    pub fn alloc(&self, size: u64) -> Result<u64> {
+        let size = align_up(size.max(1) as usize, PAGE_SIZE) as u64;
+        for attempt in 0..2 {
+            if let Some(off) = self.try_alloc(size) {
+                return Ok(off);
+            }
+            if attempt == 0 && !self.coalesce(CoalesceKind::ForcedInline) {
+                break;
+            }
+        }
+        Err(PmError::OutOfRange {
+            offset: self.global.lock().next_offset as usize,
+            len: size as usize,
+        })
+    }
+
+    fn try_alloc(&self, size: u64) -> Option<u64> {
+        if size > SHARD_MAX_BYTES {
+            let mut global = self.global.lock();
+            return self.global_grab(&mut global, size);
+        }
+        let mut shard = self.shards[my_shard()].lock();
+        // 1. The shard's own buckets: the create/drop churn fast path.
+        if let Some((off, len)) = take_fit(&mut shard.buckets, size) {
+            self.bucket_extents.fetch_sub(1, Ordering::Relaxed);
+            let rem = len - size;
+            if rem > 0 {
+                shard.buckets[bucket_of(rem, SHARD_BUCKETS)].push((off + size, rem));
+                self.bucket_extents.fetch_add(1, Ordering::Relaxed);
+            }
+            return Some(off);
+        }
+        // 2. Global buckets, but only when the lock-free hint says they are
+        //    non-empty (reuse of coalesced/reconciled free space).
+        if self.global_hint.load(Ordering::Relaxed) > 0 {
+            let mut global = self.global.lock();
+            if let Some((off, len)) = take_fit(&mut global.buckets, size) {
+                self.bucket_extents.fetch_sub(1, Ordering::Relaxed);
+                self.global_hint.fetch_sub(1, Ordering::Relaxed);
+                let rem = len - size;
+                if rem > 0 {
+                    global.buckets[bucket_of(rem, GLOBAL_BUCKETS)].push((off + size, rem));
+                    self.bucket_extents.fetch_add(1, Ordering::Relaxed);
+                    self.global_hint.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(off);
+            }
+        }
+        // 3. The shard's private bump slab.
+        if shard.slab.1 - shard.slab.0 >= size {
+            let off = shard.slab.0;
+            shard.slab.0 += size;
+            return Some(off);
+        }
+        // 4. Refill the slab from the global arena; the leftover of the old
+        //    slab (smaller than `size` ≤ SHARD_MAX_BYTES) is re-binned, not
+        //    leaked.
+        let mut global = self.global.lock();
+        if let Some(off) = self.global_grab(&mut global, SLAB_BYTES) {
+            if shard.slab.0 < shard.slab.1 {
+                let (cur, end) = shard.slab;
+                shard.buckets[bucket_of(end - cur, SHARD_BUCKETS)].push((cur, end - cur));
+                self.bucket_extents.fetch_add(1, Ordering::Relaxed);
+            }
+            shard.slab = (off + size, off + SLAB_BYTES);
+            return Some(off);
+        }
+        // 5. Too tight for a whole slab: grab exactly `size`.
+        self.global_grab(&mut global, size)
+    }
+
+    /// Takes `size` bytes from the global arena: buckets first, bump second.
+    fn global_grab(&self, global: &mut GlobalArena, size: u64) -> Option<u64> {
+        if let Some((off, len)) = take_fit(&mut global.buckets, size) {
+            self.bucket_extents.fetch_sub(1, Ordering::Relaxed);
+            self.global_hint.fetch_sub(1, Ordering::Relaxed);
+            let rem = len - size;
+            if rem > 0 {
+                global.buckets[bucket_of(rem, GLOBAL_BUCKETS)].push((off + size, rem));
+                self.bucket_extents.fetch_add(1, Ordering::Relaxed);
+                self.global_hint.fetch_add(1, Ordering::Relaxed);
+            }
+            return Some(off);
+        }
+        let off = global.next_offset;
+        if off + size > global.space_size {
+            return None;
+        }
+        global.next_offset = off + size;
+        Some(off)
+    }
+
+    /// Returns `[offset, offset + size)` to the free lists: one push, no
+    /// merging — coalescing is the deferred pass's job.
+    pub fn free(&self, offset: u64, size: u64) {
+        let size = align_up(size.max(1) as usize, PAGE_SIZE) as u64;
+        if size <= SHARD_MAX_BYTES {
+            let mut shard = self.shards[my_shard()].lock();
+            shard.buckets[bucket_of(size, SHARD_BUCKETS)].push((offset, size));
+        } else {
+            let mut global = self.global.lock();
+            global.buckets[bucket_of(size, GLOBAL_BUCKETS)].push((offset, size));
+            self.global_hint.fetch_add(1, Ordering::Relaxed);
+        }
+        self.bucket_extents.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Runs one coalesce pass: drain every bucket (shards one at a time,
+    /// then the global arena), sort, merge adjacent extents, absorb an
+    /// extent touching the bump frontier back into it, and re-bin the rest
+    /// into the **global** buckets (where any shard can reuse them via the
+    /// hint). `ForcedInline` additionally reclaims shard slabs — under
+    /// allocation pressure a half-empty slab parked on an idle shard is
+    /// space the failing thread needs. Returns `false` when there was
+    /// nothing to merge.
+    pub fn coalesce(&self, kind: CoalesceKind) -> bool {
+        match kind {
+            CoalesceKind::Lazy => self.lazy_coalesces.fetch_add(1, Ordering::Relaxed),
+            CoalesceKind::ForcedInline => self.forced_coalesces.fetch_add(1, Ordering::Relaxed),
+        };
+        let reclaim_slabs = kind == CoalesceKind::ForcedInline;
+        let mut collected: Vec<(u64, u64)> = Vec::new();
+        let mut drained_buckets = 0u64;
+        let mut drained_global = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            for bucket in shard.buckets.iter_mut() {
+                drained_buckets += bucket.len() as u64;
+                collected.append(bucket);
+            }
+            if reclaim_slabs && shard.slab.0 < shard.slab.1 {
+                collected.push((shard.slab.0, shard.slab.1 - shard.slab.0));
+                shard.slab = (0, 0);
+            }
+        }
+        let mut global = self.global.lock();
+        for bucket in global.buckets.iter_mut() {
+            drained_buckets += bucket.len() as u64;
+            drained_global += bucket.len() as u64;
+            collected.append(bucket);
+        }
+        if collected.is_empty() {
+            self.coalesce_floor.store(0, Ordering::Relaxed);
+            return false;
+        }
+        collected.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(collected.len());
+        for (off, len) in collected {
+            match merged.last_mut() {
+                Some((moff, mlen)) if *moff + *mlen == off => *mlen += len,
+                _ => merged.push((off, len)),
+            }
+        }
+        // Merged extents are pairwise non-adjacent, so at most one can touch
+        // the frontier; absorbing it lowers the bump pointer.
+        if let Some(&(off, len)) = merged.last() {
+            if off + len == global.next_offset {
+                global.next_offset = off;
+                merged.pop();
+            }
+        }
+        let kept = merged.len() as u64;
+        for (off, len) in merged {
+            global.buckets[bucket_of(len, GLOBAL_BUCKETS)].push((off, len));
+        }
+        // Delta updates: frees racing the drain have already bumped the
+        // counters for extents we never saw, so stores would lose them.
+        fetch_signed(&self.bucket_extents, kept as i64 - drained_buckets as i64);
+        fetch_signed(&self.global_hint, kept as i64 - drained_global as i64);
+        self.coalesce_floor.store(kept, Ordering::Relaxed);
+        true
+    }
+
+    /// Residual extent count left by the last coalesce pass (the trigger's
+    /// re-arm baseline).
+    pub fn coalesce_floor(&self) -> u64 {
+        self.coalesce_floor.load(Ordering::Relaxed)
+    }
+
+    /// Lock-free view of the coalesce trigger inputs.
+    pub fn bucket_extents(&self) -> u64 {
+        self.bucket_extents.load(Ordering::Relaxed)
+    }
+
+    /// Free-extent count that triggers a lazy coalesce pass.
+    pub fn coalesce_threshold(&self) -> u64 {
+        self.coalesce_threshold.load(Ordering::Relaxed)
+    }
+
+    /// Overrides the lazy-coalesce threshold (tests, benches).
+    pub fn set_coalesce_threshold(&self, threshold: u64) {
+        self.coalesce_threshold
+            .store(threshold.max(1), Ordering::Relaxed);
+    }
+
+    /// Base address of the global space.
+    pub fn space_base(&self) -> u64 {
+        self.global.lock().space_base
+    }
+
+    /// Records a new base, returning the previous one.
+    pub fn set_space_base(&self, new_base: u64) -> u64 {
+        let mut global = self.global.lock();
+        std::mem::replace(&mut global.space_base, new_base)
+    }
+
+    /// Size of the global space in bytes.
+    pub fn space_size(&self) -> u64 {
+        self.global.lock().space_size
+    }
+
+    /// Locks every shard (ascending) plus the global arena, freezing the
+    /// allocator for a consistent read. The registry holds the freeze while
+    /// reading the WAL cut so checkpoints are exact.
+    pub fn freeze(&self) -> FrozenSpace<'_> {
+        FrozenSpace {
+            shards: self.shards.iter().map(|s| s.lock()).collect(),
+            global: self.global.lock(),
+        }
+    }
+
+    /// Observability snapshot (computed under a short freeze).
+    pub fn stats(&self) -> AllocStats {
+        let frozen = self.freeze();
+        let (free_list, _next) = frozen.canonical();
+        drop(frozen);
+        let free_bytes: u64 = free_list.iter().map(|&(_, len)| len).sum();
+        let largest_free = free_list.iter().map(|&(_, len)| len).max().unwrap_or(0);
+        let fragmentation_bp = (largest_free * 10_000)
+            .checked_div(free_bytes)
+            .map_or(0, |solid| 10_000 - solid);
+        AllocStats {
+            free_bytes,
+            free_extents: free_list.len() as u64,
+            largest_free,
+            fragmentation_bp,
+            lazy_coalesce_runs: self.lazy_coalesces.load(Ordering::Relaxed),
+            forced_inline_coalesces: self.forced_coalesces.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Adds a signed delta to an unsigned counter.
+fn fetch_signed(counter: &AtomicU64, delta: i64) {
+    if delta >= 0 {
+        counter.fetch_add(delta as u64, Ordering::Relaxed);
+    } else {
+        counter.fetch_sub(delta.unsigned_abs(), Ordering::Relaxed);
+    }
+}
+
+/// A consistent point-in-time view of the allocator (all locks held).
+pub struct FrozenSpace<'a> {
+    shards: Vec<MutexGuard<'a, Shard>>,
+    global: MutexGuard<'a, GlobalArena>,
+}
+
+impl FrozenSpace<'_> {
+    /// Base address of the global space.
+    pub fn space_base(&self) -> u64 {
+        self.global.space_base
+    }
+
+    /// Size of the global space.
+    pub fn space_size(&self) -> u64 {
+        self.global.space_size
+    }
+
+    /// The canonical `(free_list, next_offset)` pair: every free extent
+    /// (bucketed or sitting in a shard slab) sorted and merged, with a
+    /// frontier-adjacent extent absorbed into the bump pointer. This is
+    /// byte-for-byte the state `reconcile` rebuilds from the live extents
+    /// at load, which keeps crash-replayed registries bit-identical to the
+    /// checkpoints the live daemon writes.
+    pub fn canonical(&self) -> (Vec<(u64, u64)>, u64) {
+        let mut extents: Vec<(u64, u64)> = Vec::new();
+        for shard in &self.shards {
+            for bucket in &shard.buckets {
+                extents.extend_from_slice(bucket);
+            }
+            if shard.slab.0 < shard.slab.1 {
+                extents.push((shard.slab.0, shard.slab.1 - shard.slab.0));
+            }
+        }
+        for bucket in &self.global.buckets {
+            extents.extend_from_slice(bucket);
+        }
+        extents.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(extents.len());
+        for (off, len) in extents {
+            match merged.last_mut() {
+                Some((moff, mlen)) if *moff + *mlen == off => *mlen += len,
+                _ => merged.push((off, len)),
+            }
+        }
+        let mut next_offset = self.global.next_offset;
+        if let Some(&(off, len)) = merged.last() {
+            if off + len == next_offset {
+                next_offset = off;
+                merged.pop();
+            }
+        }
+        (merged, next_offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: u64 = PAGE_SIZE as u64;
+
+    fn fresh(size: u64) -> SpaceAlloc {
+        SpaceAlloc::new(0, size, P, Vec::new())
+    }
+
+    #[test]
+    fn alloc_is_page_granular_and_disjoint() {
+        let alloc = fresh(1 << 30);
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        for size in [1, 100, P, P + 1, 17 * P] {
+            let off = alloc.alloc(size).unwrap();
+            let len = align_up(size as usize, PAGE_SIZE) as u64;
+            assert_eq!(off % P, 0);
+            for &(o, l) in &seen {
+                assert!(off + len <= o || o + l <= off, "overlap at {off:#x}");
+            }
+            seen.push((off, len));
+        }
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_after_coalesce() {
+        let alloc = fresh(1 << 30);
+        let a = alloc.alloc(P).unwrap();
+        let b = alloc.alloc(P).unwrap();
+        alloc.free(a, P);
+        alloc.free(b, P);
+        // Lazily: the two pages sit unmerged in shard buckets, so a 2-page
+        // request cannot use them yet...
+        assert_eq!(alloc.bucket_extents(), 2);
+        // ...until a merge pass runs.
+        assert!(alloc.coalesce(CoalesceKind::ForcedInline));
+        let c = alloc.alloc(2 * P).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn canonical_merges_and_absorbs_the_frontier() {
+        let alloc = fresh(1 << 30);
+        let a = alloc.alloc(P).unwrap();
+        let _b = alloc.alloc(P).unwrap();
+        let c = alloc.alloc(P).unwrap();
+        alloc.free(a, P);
+        alloc.free(c, P);
+        let (free_list, next) = alloc.freeze().canonical();
+        // `c` and the slab remainder merge into the frontier; `a` stays.
+        assert_eq!(free_list, vec![(a, P)]);
+        assert_eq!(next, c);
+    }
+
+    #[test]
+    fn exhaustion_reclaims_slabs_before_failing() {
+        // Space fits a slab exactly once; the second shard-sized request
+        // must claw back the first shard's half-empty slab via the forced
+        // coalesce, then genuinely fail only when nothing is left.
+        let alloc = fresh(P + SLAB_BYTES);
+        let a = alloc.alloc(P).unwrap();
+        assert_eq!(a, P);
+        // Slab holds the rest; a same-thread alloc bumps within it.
+        let b = alloc.alloc(P).unwrap();
+        assert_eq!(b, 2 * P);
+        // Exhaust the slab remainder exactly.
+        let rest = SLAB_BYTES - 2 * P;
+        let c = alloc.alloc(rest).unwrap();
+        assert_eq!(c, 3 * P);
+        assert!(alloc.alloc(P).is_err());
+        // Freeing makes it allocatable again (via the pressure coalesce).
+        alloc.free(c, rest);
+        let d = alloc.alloc(P).unwrap();
+        assert_eq!(d, 3 * P);
+    }
+
+    #[test]
+    fn large_allocations_bypass_shards() {
+        let alloc = fresh(1 << 30);
+        let big = alloc.alloc(SHARD_MAX_BYTES + P).unwrap();
+        alloc.free(big, SHARD_MAX_BYTES + P);
+        assert_eq!(alloc.bucket_extents(), 1);
+        // Large frees land in global buckets, immediately reusable.
+        let again = alloc.alloc(SHARD_MAX_BYTES + P).unwrap();
+        assert_eq!(again, big);
+    }
+
+    #[test]
+    fn stats_report_fragmentation() {
+        let alloc = fresh(1 << 30);
+        let offs: Vec<u64> = (0..8).map(|_| alloc.alloc(P).unwrap()).collect();
+        // Free alternating pages: four 1-page islands.
+        for chunk in offs.chunks(2) {
+            alloc.free(chunk[0], P);
+        }
+        let stats = alloc.stats();
+        assert_eq!(stats.free_extents, 4);
+        assert_eq!(stats.free_bytes, 4 * P);
+        assert_eq!(stats.largest_free, P);
+        assert_eq!(stats.fragmentation_bp, 7_500);
+        // One contiguous free region → fragmentation 0.
+        let alloc = fresh(1 << 30);
+        let a = alloc.alloc(P).unwrap();
+        let _pin = alloc.alloc(P).unwrap();
+        alloc.free(a, P);
+        assert_eq!(alloc.stats().fragmentation_bp, 0);
+    }
+}

@@ -1,8 +1,9 @@
 //! Background task scheduler: a submit queue plus a hashed timer wheel,
 //! executed by one daemon-owned worker thread.
 //!
-//! The daemon keeps latency-insensitive work — WAL checkpoints above all
-//! (see [`crate::registry`]) — off the request path by handing it to this
+//! The daemon keeps latency-insensitive work — WAL checkpoints and the
+//! space allocator's lazy coalesce passes (see [`crate::registry`] and
+//! [`crate::alloc`]) — off the request path by handing it to this
 //! scheduler: a request that *triggers* such work enqueues it and returns,
 //! instead of absorbing the work's latency inline. Two entry points:
 //!

@@ -19,6 +19,7 @@
 //! UNIX-domain socket ([`uds::UdsServer`], the `puddled` binary).
 
 pub mod acl;
+pub mod alloc;
 pub mod background;
 pub mod gspace;
 pub mod importexport;
@@ -29,6 +30,7 @@ pub mod service;
 pub mod uds;
 pub mod wal;
 
+pub use alloc::{AllocStats, SpaceAlloc};
 pub use background::Background;
 pub use gspace::GlobalSpace;
 pub use layout::{PuddleHeader, LOG_REGION_OFFSET, PUDDLE_HEADER_SIZE, PUDDLE_MAGIC};

@@ -34,7 +34,7 @@ pub fn run_recovery(inner: &DaemonInner) -> Result<RecoveryReport> {
         if ls.invalid {
             continue;
         }
-        let Some(ls_record) = all_puddles.iter().find(|p| p.id == ls.puddle) else {
+        let Some(ls_record) = inner.registry.puddle(ls.puddle) else {
             continue;
         };
         let owner = Credentials {
@@ -43,7 +43,7 @@ pub fn run_recovery(inner: &DaemonInner) -> Result<RecoveryReport> {
         };
         report.log_spaces += 1;
 
-        let outcome = recover_log_space(inner, ls_record, owner, &all_puddles, &mut report)?;
+        let outcome = recover_log_space(inner, &ls_record, owner, &all_puddles, &mut report)?;
         if let LogSpaceOutcome::Invalidate = outcome {
             invalidated.push(ls.puddle);
         }
@@ -89,9 +89,12 @@ pub(crate) fn sweep_unreferenced_log_puddles(inner: &DaemonInner) -> Result<u64>
     // Walk every log space (including invalidated ones: their logs are kept
     // as evidence) and collect the puddles they reference.
     for ls in &log_spaces {
-        let Some(record) = all_puddles.iter().find(|p| p.id == ls.puddle) else {
+        // Keyed lookup (the puddle table is keyed by `PuddleId`), not a
+        // linear scan of the snapshot.
+        let Some(record) = inner.registry.puddle(ls.puddle) else {
             continue;
         };
+        let record = &record;
         let mut mapped: Vec<usize> = Vec::new();
         let map_result = map_record(inner, gspace, record, true, &mut mapped);
         if let Ok(addr) = map_result {
@@ -269,10 +272,10 @@ fn recover_log_space(
                     break;
                 }
                 let uuid = (slot.puddle_uuid_hi as u128) << 64 | slot.puddle_uuid_lo as u128;
-                let Some(log_record) = all_puddles.iter().find(|p| p.id == PuddleId(uuid)) else {
+                let Some(log_record) = inner.registry.puddle(PuddleId(uuid)) else {
                     break;
                 };
-                let log_addr = map_record(inner, gspace, log_record, true, &mut mapped)?;
+                let log_addr = map_record(inner, gspace, &log_record, true, &mut mapped)?;
                 // SAFETY: mapped writable for the puddle's full size; the
                 // log occupies the heap region.
                 let log = unsafe {
@@ -343,8 +346,8 @@ fn recover_log_space(
             for slot in chain.iter().filter(|s| s.chain_index > 0) {
                 let uuid = (slot.puddle_uuid_hi as u128) << 64 | slot.puddle_uuid_lo as u128;
                 ls_ref.unregister(uuid);
-                if let Some(record) = all_puddles.iter().find(|p| p.id == PuddleId(uuid)) {
-                    free_log_puddle(inner, record);
+                if let Some(record) = inner.registry.puddle(PuddleId(uuid)) {
+                    free_log_puddle(inner, &record);
                 }
                 report.chain_tails_reclaimed += 1;
             }

@@ -420,6 +420,7 @@ impl Daemon {
         let (puddles, space_used) = reg.puddle_usage();
         let wal = reg.wal().stats();
         let (checkpoints_background, checkpoints_forced_inline) = reg.checkpoint_counters();
+        let alloc = reg.alloc_stats();
         puddles_proto::DaemonStats {
             puddles,
             pools: reg.pool_count(),
@@ -438,6 +439,11 @@ impl Daemon {
             log_puddles_swept: self.inner.log_puddles_swept.load(Ordering::Relaxed),
             logspace_puddles_swept: self.inner.logspace_puddles_swept.load(Ordering::Relaxed),
             connections_rejected: self.inner.connections_rejected.load(Ordering::Relaxed),
+            space_free_bytes: alloc.free_bytes,
+            free_extents: alloc.free_extents,
+            fragmentation_bp: alloc.fragmentation_bp,
+            lazy_coalesce_runs: alloc.lazy_coalesce_runs,
+            forced_inline_coalesces: alloc.forced_inline_coalesces,
         }
     }
 

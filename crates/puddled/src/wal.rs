@@ -147,9 +147,13 @@ pub enum RegistryOp {
 
 /// Applies one replayed op to a loaded registry document.
 ///
-/// Allocator ops mirror `alloc_space`/`free_space`; the reconcile pass that
-/// follows replay rebuilds the allocator from live extents anyway, so they
-/// only need to be approximately faithful. `next_seq` is re-derived from
+/// Allocator ops mirror the *logical* effect of `alloc_space`/`free_space`
+/// on the flat document schema (first-fit grant, push-and-merge free); the
+/// reconcile pass that follows replay rebuilds the allocator from live
+/// extents anyway — and since PR 7 seeds the segregated buckets from the
+/// result — so they only need to be approximately faithful, and WALs
+/// written before the segregated allocator replay unchanged. `next_seq` is
+/// re-derived from
 /// the ids of created puddles (ids embed the daemon's sequence counter in
 /// their low 64 bits).
 pub fn apply_op(data: &mut RegistryData, op: &RegistryOp) {
