@@ -72,13 +72,8 @@ fn connect(socket: &Path) -> UnixStream {
     for attempt in 0.. {
         match UnixStream::connect(socket) {
             Ok(mut stream) => {
-                write_frame(
-                    &mut stream,
-                    &Request::Hello {
-                        creds: Credentials::current_process(),
-                    },
-                )
-                .expect("hello");
+                write_frame(&mut stream, &Request::hello(Credentials::current_process()))
+                    .expect("hello");
                 let resp: Response = read_frame(&mut stream).expect("welcome");
                 assert!(matches!(resp, Response::Welcome { .. }));
                 return stream;
@@ -102,9 +97,7 @@ fn connect_v2(socket: &Path) -> UnixStream {
         &mut stream,
         &RequestEnvelope {
             req_id: 0,
-            req: Request::Hello {
-                creds: Credentials::current_process(),
-            },
+            req: Request::hello(Credentials::current_process()),
         },
     )
     .expect("hello");

@@ -139,8 +139,14 @@ impl PuddleClient {
     /// the connection fails (native pointers require the same base in every
     /// process of the "machine").
     pub fn connect_uds(path: impl AsRef<Path>) -> Result<Self> {
+        Self::connect_uds_with_retry(path, RetryPolicy::default())
+    }
+
+    /// Like [`PuddleClient::connect_uds`], with an explicit retry/backoff
+    /// policy governing connection dials and idempotent re-sends.
+    pub fn connect_uds_with_retry(path: impl AsRef<Path>, retry: RetryPolicy) -> Result<Self> {
         let creds = Credentials::current_process();
-        let endpoint = Box::new(PipelinedEndpoint::new(path.as_ref()));
+        let endpoint = Box::new(PipelinedEndpoint::new(path.as_ref(), retry));
         Self::finish_connect(endpoint, None, creds)
     }
 
@@ -149,7 +155,7 @@ impl PuddleClient {
     /// interoperability tests and as a fallback against pre-v2 daemons.
     pub fn connect_uds_v1(path: impl AsRef<Path>) -> Result<Self> {
         let creds = Credentials::current_process();
-        let endpoint = Box::new(UdsEndpoint::new(path.as_ref()));
+        let endpoint = Box::new(UdsEndpoint::new(path.as_ref(), RetryPolicy::default()));
         Self::finish_connect(endpoint, None, creds)
     }
 
@@ -161,8 +167,33 @@ impl PuddleClient {
     /// reserve it again); out-of-process clients use
     /// [`PuddleClient::connect_uds`].
     pub fn connect_uds_shared(path: impl AsRef<Path>, space: Arc<GlobalSpace>) -> Result<Self> {
+        Self::connect_uds_shared_with_retry(path, space, RetryPolicy::default())
+    }
+
+    /// Like [`PuddleClient::connect_uds_shared`], with an explicit
+    /// retry/backoff policy.
+    pub fn connect_uds_shared_with_retry(
+        path: impl AsRef<Path>,
+        space: Arc<GlobalSpace>,
+        retry: RetryPolicy,
+    ) -> Result<Self> {
+        Self::connect_uds_shared_tuned(path, space, retry, 0)
+    }
+
+    /// Full-control shared-space connection: an explicit retry policy plus
+    /// a requested connection-pool depth (0 = server default). The daemon
+    /// clamps the request to its configured maximum and the grant comes
+    /// back in `Welcome`; use depth 1 to hold a single connection slot
+    /// against a capped server.
+    pub fn connect_uds_shared_tuned(
+        path: impl AsRef<Path>,
+        space: Arc<GlobalSpace>,
+        retry: RetryPolicy,
+        pool_depth: u32,
+    ) -> Result<Self> {
         let creds = Credentials::current_process();
-        let endpoint = Box::new(PipelinedEndpoint::new(path.as_ref()));
+        let endpoint =
+            Box::new(PipelinedEndpoint::new(path.as_ref(), retry).with_requested_depth(pool_depth));
         Self::finish_connect(endpoint, Some(space), creds)
     }
 
@@ -171,11 +202,12 @@ impl PuddleClient {
         shared_space: Option<Arc<GlobalSpace>>,
         creds: Credentials,
     ) -> Result<Self> {
-        let resp = endpoint.call(&Request::Hello { creds })?.into_result()?;
+        let resp = endpoint.call(&Request::hello(creds))?.into_result()?;
         let (space_base, space_size) = match resp {
             Response::Welcome {
                 space_base,
                 space_size,
+                ..
             } => (space_base, space_size),
             other => return Err(Error::UnexpectedResponse(format!("{other:?}"))),
         };
@@ -691,6 +723,145 @@ fn is_idempotent(req: &Request) -> bool {
     )
 }
 
+/// Reusable bounded retry policy: exponential backoff with jitter, capped
+/// attempts and an overall deadline.
+///
+/// One policy instance covers every retryable edge of a client endpoint —
+/// dialing the daemon (refused while it restarts, `Busy` at the connection
+/// cap) and re-sending idempotent requests after a mid-pipeline connection
+/// loss. Only errors [`is_transient`] classifies as connection-level are
+/// retried; the caller is responsible for never handing a non-idempotent
+/// request to [`RetryPolicy::run`].
+#[derive(Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try plus retries); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry up to `max_delay`.
+    pub base_delay: Duration,
+    /// Ceiling on a single backoff sleep.
+    pub max_delay: Duration,
+    /// Overall budget: once elapsed, no further retry is attempted even if
+    /// attempts remain.
+    pub deadline: Duration,
+    /// Jitter stream state (deterministic per policy instance, so tests can
+    /// reason about sleep bounds; the *bounds* are what matters, not the
+    /// exact draw).
+    jitter_seq: std::sync::atomic::AtomicU64,
+}
+
+impl Clone for RetryPolicy {
+    fn clone(&self) -> Self {
+        RetryPolicy {
+            max_attempts: self.max_attempts,
+            base_delay: self.base_delay,
+            max_delay: self.max_delay,
+            deadline: self.deadline,
+            jitter_seq: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Defaults tuned for a local daemon: a handful of quick retries well
+    /// under human-visible latency, giving a restarting daemon ~2 s to
+    /// come back.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(200),
+            deadline: Duration::from_secs(2),
+            jitter_seq: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with explicit attempt and deadline budgets (delays keep the
+    /// defaults).
+    pub fn new(max_attempts: u32, deadline: Duration) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            deadline,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Overrides the backoff schedule: first retry after `base`, doubling
+    /// per retry up to `max`.
+    pub fn with_backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.base_delay = base;
+        self.max_delay = max.max(base);
+        self
+    }
+
+    /// A policy that never retries (tests that want raw first-failure
+    /// semantics).
+    pub fn no_retries() -> Self {
+        RetryPolicy::new(1, Duration::ZERO)
+    }
+
+    /// Runs `op` until it succeeds, fails non-transiently, or the attempt /
+    /// deadline budget is spent. `op` receives the 0-based attempt number;
+    /// attempts past the first follow a backoff sleep.
+    fn run<T>(&self, mut op: impl FnMut(u32) -> std::io::Result<T>) -> std::io::Result<T> {
+        let start = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if !is_transient(&e) => return Err(e),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.max_attempts {
+                        return Err(e);
+                    }
+                    let delay = self.backoff_delay(attempt - 1);
+                    if start.elapsed() + delay > self.deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+    }
+
+    /// Backoff for the given retry: `base · 2^retry` capped at `max_delay`,
+    /// then jittered into `[d/2, d]` so a herd of clients kicked off one
+    /// daemon restart does not re-dial in lockstep.
+    fn backoff_delay(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << retry.min(16))
+            .min(self.max_delay);
+        let nanos = exp.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        let n = self
+            .jitter_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // SplitMix64 over (instance address ⊕ sequence): decorrelates
+        // concurrent clients without a shared RNG.
+        let mut z = (self as *const _ as u64) ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        Duration::from_nanos(nanos / 2 + z % (nanos / 2 + 1))
+    }
+}
+
+/// A `Hello` flagged as a reconnection (the daemon counts these in its
+/// stats); requests default connection parameters like [`Request::hello`].
+fn hello_reconnect(creds: Credentials) -> Request {
+    Request::Hello {
+        creds,
+        max_in_flight: 0,
+        pool_depth: 0,
+        reconnect: true,
+    }
+}
+
 /// Client-side endpoint speaking the framed protocol over a UNIX socket.
 ///
 /// Maintains a pool of daemon connections instead of one mutex-guarded
@@ -699,18 +870,24 @@ fn is_idempotent(req: &Request) -> bool {
 /// per-connection handler threads serve them concurrently. Idle
 /// connections are pruned after [`IDLE_CONNECTION_TTL`], and a call that
 /// fails transiently — a stale pooled socket, or a connect refused while
-/// the daemon finishes (re)starting — is retried once on a fresh
-/// connection.
+/// the daemon finishes (re)starting — is retried under the endpoint's
+/// [`RetryPolicy`] on fresh connections.
 struct UdsEndpoint {
     path: std::path::PathBuf,
     idle: Mutex<Vec<(UnixStream, Instant)>>,
+    retry: RetryPolicy,
+    /// Set after the first successful handshake; later dials flag
+    /// themselves `reconnect` in `Hello` so the daemon's stats count them.
+    connected_once: std::sync::atomic::AtomicBool,
 }
 
 impl UdsEndpoint {
-    fn new(path: &Path) -> Self {
+    fn new(path: &Path, retry: RetryPolicy) -> Self {
         UdsEndpoint {
             path: path.to_path_buf(),
             idle: Mutex::new(Vec::new()),
+            retry,
+            connected_once: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -728,29 +905,30 @@ impl UdsEndpoint {
         Ok((self.connect_fresh()?, false))
     }
 
-    /// Opens and handshakes a new connection, retrying once on a transient
-    /// connect failure.
+    /// Opens and handshakes a new connection, retrying transient connect
+    /// failures (daemon restarting, cap rejections) under the endpoint's
+    /// backoff policy.
     fn connect_fresh(&self) -> std::io::Result<UnixStream> {
-        match self.try_connect() {
-            Err(e) if is_transient(&e) => {
-                std::thread::sleep(Duration::from_millis(10));
-                self.try_connect()
-            }
-            other => other,
-        }
+        self.retry.run(|_| self.try_connect())
     }
 
     fn try_connect(&self) -> std::io::Result<UnixStream> {
         let mut stream = UnixStream::connect(&self.path)?;
+        let creds = Credentials::current_process();
+        let hello = if self
+            .connected_once
+            .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            hello_reconnect(creds)
+        } else {
+            Request::hello(creds)
+        };
         // Introduce the connection; the daemon replies with Welcome, which
         // the pool consumes (the space geometry was recorded at connect).
-        puddles_proto::write_frame(
-            &mut stream,
-            &Request::Hello {
-                creds: Credentials::current_process(),
-            },
-        )?;
+        puddles_proto::write_frame(&mut stream, &hello)?;
         let _: Response = puddles_proto::read_frame(&mut stream)?;
+        self.connected_once
+            .store(true, std::sync::atomic::Ordering::Relaxed);
         Ok(stream)
     }
 
@@ -773,31 +951,35 @@ impl UdsEndpoint {
 
 impl Endpoint for UdsEndpoint {
     fn call(&self, req: &Request) -> std::io::Result<Response> {
-        let (mut stream, reused) = self.checkout()?;
+        let (mut stream, _reused) = self.checkout()?;
         match self.roundtrip(&mut stream, req) {
             Ok(resp) => {
                 self.checkin(stream);
                 Ok(resp)
             }
-            Err(e) if reused && is_transient(&e) && is_idempotent(req) => {
-                // The pooled socket went stale (daemon restart, idle
-                // disconnect). The daemon may have applied the request and
-                // lost only the response, so only idempotent requests are
-                // retried — once, on a known-fresh connection.
-                let mut stream = self.connect_fresh()?;
-                let resp = self.roundtrip(&mut stream, req)?;
-                self.checkin(stream);
-                Ok(resp)
+            Err(e) if is_transient(&e) && is_idempotent(req) => {
+                // The connection died under the request (stale pooled
+                // socket, daemon restart, injected reset). The daemon may
+                // have applied the request and lost only the response, so
+                // only idempotent requests are re-sent — each retry on a
+                // known-fresh connection, under the backoff policy.
+                self.retry.run(|_| {
+                    let mut stream = self.try_connect()?;
+                    let resp = self.roundtrip(&mut stream, req)?;
+                    self.checkin(stream);
+                    Ok(resp)
+                })
             }
             Err(e) => Err(e),
         }
     }
 }
 
-/// Connections a [`PipelinedEndpoint`] multiplexes calls over. Each carries
-/// up to the daemon's pipeline window of in-flight requests, so a couple of
-/// sockets serve far more concurrent callers than the old
-/// one-request-per-connection pool.
+/// Connections a [`PipelinedEndpoint`] multiplexes calls over until the
+/// daemon grants a pool depth in `Welcome` (the grant then takes over).
+/// Each carries up to the connection's negotiated window of in-flight
+/// requests, so a couple of sockets serve far more concurrent callers than
+/// the old one-request-per-connection pool.
 const PIPELINE_CONNECTIONS: usize = 2;
 
 /// One caller parked on a pipelined response.
@@ -997,40 +1179,63 @@ struct PipelinedEndpoint {
     path: std::path::PathBuf,
     pool: Mutex<Vec<Arc<PipeConn>>>,
     rr: std::sync::atomic::AtomicUsize,
+    retry: RetryPolicy,
+    /// Pool depth granted by the daemon's `Welcome`; starts at
+    /// [`PIPELINE_CONNECTIONS`] and is replaced by the negotiated grant
+    /// after the first handshake.
+    depth: std::sync::atomic::AtomicUsize,
+    /// Set after the first successful handshake; later dials flag
+    /// themselves `reconnect` in `Hello`.
+    connected_once: std::sync::atomic::AtomicBool,
+    /// Pool depth to *request* in `Hello` (0 = take the server default).
+    requested_depth: u32,
 }
 
 impl PipelinedEndpoint {
-    fn new(path: &Path) -> Self {
+    fn new(path: &Path, retry: RetryPolicy) -> Self {
         PipelinedEndpoint {
             path: path.to_path_buf(),
             pool: Mutex::new(Vec::new()),
             rr: std::sync::atomic::AtomicUsize::new(0),
+            retry,
+            depth: std::sync::atomic::AtomicUsize::new(PIPELINE_CONNECTIONS),
+            connected_once: std::sync::atomic::AtomicBool::new(false),
+            requested_depth: 0,
         }
     }
 
+    /// Requests a specific connection-pool depth in the handshake; the
+    /// server clamps to its configured maximum and the grant replaces
+    /// [`PIPELINE_CONNECTIONS`] as the pool target.
+    fn with_requested_depth(mut self, depth: u32) -> Self {
+        self.requested_depth = depth;
+        if depth > 0 {
+            // Until the grant arrives, don't dial beyond the request.
+            self.depth
+                .store(depth as usize, std::sync::atomic::Ordering::Relaxed);
+        }
+        self
+    }
+
     /// Returns a live connection, pruning dead ones and dialing
-    /// replacements up to the pool size.
+    /// replacements up to the granted pool depth.
     fn conn(&self) -> std::io::Result<Arc<PipeConn>> {
         let mut pool = self.pool.lock();
         pool.retain(|c| !c.is_dead());
-        if pool.len() < PIPELINE_CONNECTIONS {
+        if pool.len() < self.depth.load(std::sync::atomic::Ordering::Relaxed).max(1) {
             pool.push(self.connect_conn()?);
         }
         let i = self.rr.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % pool.len();
         Ok(Arc::clone(&pool[i]))
     }
 
-    /// Dials and handshakes a new v2 connection, retrying once on a
-    /// transient failure (daemon restarting, or its connection cap — the
-    /// `Busy` rejection surfaces as `ConnectionRefused`).
+    /// Dials and handshakes a new v2 connection, retrying transient
+    /// failures (daemon restarting, or its connection cap — the `Busy`
+    /// rejection surfaces as `ConnectionRefused`) with bounded exponential
+    /// backoff, so a client at the cap eventually gets through once load
+    /// drains instead of failing after one fixed sleep.
     fn connect_conn(&self) -> std::io::Result<Arc<PipeConn>> {
-        match self.try_connect_conn() {
-            Err(e) if is_transient(&e) => {
-                std::thread::sleep(Duration::from_millis(10));
-                self.try_connect_conn()
-            }
-            other => other,
-        }
+        self.retry.run(|_| self.try_connect_conn())
     }
 
     fn try_connect_conn(&self) -> std::io::Result<Arc<PipeConn>> {
@@ -1039,12 +1244,27 @@ impl PipelinedEndpoint {
         // The version preamble: everything after it is enveloped frames.
         stream.write_all(&puddles_proto::frame::V2_MAGIC)?;
         let conn = PipeConn::over_stream(stream)?;
+        let creds = Credentials::current_process();
+        let hello = Request::Hello {
+            creds,
+            max_in_flight: 0,
+            pool_depth: self.requested_depth,
+            reconnect: self
+                .connected_once
+                .load(std::sync::atomic::Ordering::Relaxed),
+        };
         // Handshake round trip: proves the daemon accepted the connection
-        // (a cap rejection fails here, not on a later caller) and fixes the
-        // connection's credentials daemon-side.
-        conn.call(&Request::Hello {
-            creds: Credentials::current_process(),
-        })?;
+        // (a cap rejection fails here, not on a later caller), fixes the
+        // connection's credentials daemon-side, and carries back the
+        // granted pool depth.
+        if let Response::Welcome { pool_depth, .. } = conn.call(&hello)? {
+            if pool_depth > 0 {
+                self.depth
+                    .store(pool_depth as usize, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        self.connected_once
+            .store(true, std::sync::atomic::Ordering::Relaxed);
         Ok(conn)
     }
 }
@@ -1055,11 +1275,14 @@ impl Endpoint for PipelinedEndpoint {
         match conn.call(req) {
             Err(e) if is_transient(&e) && is_idempotent(req) => {
                 // The connection died under us (daemon restart, stale
-                // socket). The daemon may have applied the request and lost
-                // only the response, so only idempotent requests are
-                // retried — once, on a connection that just handshook.
-                let conn = self.conn()?;
-                conn.call(req)
+                // socket, injected reset). The daemon may have applied the
+                // request and lost only the response, so only idempotent
+                // requests are re-sent — each retry on a connection that
+                // just handshook, under the backoff policy.
+                self.retry.run(|_| {
+                    let conn = self.conn()?;
+                    conn.call(req)
+                })
             }
             other => other,
         }
@@ -1144,6 +1367,104 @@ mod tests {
             spare_capacity_for(SPARE_LOG_CACHE_MAX + 50),
             SPARE_LOG_CACHE_MAX
         );
+    }
+
+    #[test]
+    fn retry_policy_backoff_stays_within_bounds() {
+        let policy = RetryPolicy::default();
+        let mut last_cap = Duration::ZERO;
+        for retry in 0..10 {
+            let cap = policy
+                .base_delay
+                .saturating_mul(1u32 << retry.min(16))
+                .min(policy.max_delay);
+            let delay = policy.backoff_delay(retry);
+            // Jittered into [cap/2, cap]: never zero, never past the cap.
+            assert!(delay >= cap / 2, "retry {retry}: {delay:?} < {:?}", cap / 2);
+            assert!(delay <= cap, "retry {retry}: {delay:?} > {cap:?}");
+            assert!(cap >= last_cap, "backoff schedule must not shrink");
+            last_cap = cap;
+        }
+    }
+
+    #[test]
+    fn retry_policy_retries_transient_until_success() {
+        use std::io::{Error, ErrorKind};
+        let policy = RetryPolicy {
+            base_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(50),
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0u32;
+        let result = policy.run(|_| {
+            calls += 1;
+            if calls < 3 {
+                Err(Error::new(ErrorKind::BrokenPipe, "flaky"))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(result.unwrap(), 3);
+    }
+
+    #[test]
+    fn retry_policy_fails_fast_on_non_transient_errors() {
+        use std::io::{Error, ErrorKind};
+        let policy = RetryPolicy::default();
+        let mut calls = 0u32;
+        let err = policy
+            .run(|_| -> std::io::Result<()> {
+                calls += 1;
+                Err(Error::new(ErrorKind::PermissionDenied, "no"))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 1);
+        assert_eq!(err.kind(), ErrorKind::PermissionDenied);
+    }
+
+    #[test]
+    fn retry_policy_exhausts_its_attempt_budget() {
+        use std::io::{Error, ErrorKind};
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(50),
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0u32;
+        let err = policy
+            .run(|_| -> std::io::Result<()> {
+                calls += 1;
+                Err(Error::new(ErrorKind::ConnectionReset, "down"))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 4);
+        assert_eq!(err.kind(), ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn retry_policy_respects_its_deadline() {
+        use std::io::{Error, ErrorKind};
+        // Huge attempt budget but a deadline shorter than one backoff:
+        // the policy must stop sleeping and return the last error.
+        let policy = RetryPolicy {
+            max_attempts: 1_000,
+            base_delay: Duration::from_secs(10),
+            max_delay: Duration::from_secs(10),
+            deadline: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0u32;
+        let start = Instant::now();
+        let err = policy
+            .run(|_| -> std::io::Result<()> {
+                calls += 1;
+                Err(Error::new(ErrorKind::BrokenPipe, "down"))
+            })
+            .unwrap_err();
+        assert!(calls < 3, "deadline should cut the schedule short");
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(err.kind(), ErrorKind::BrokenPipe);
     }
 
     #[test]
@@ -1261,6 +1582,124 @@ mod tests {
                     let _ = handle.join();
                 }
             }
+        }
+
+        /// A scripted daemon on a real socket: handshakes each connection,
+        /// then follows per-request directives — answer, or drop the
+        /// connection mid-pipeline (after reading the request, before
+        /// responding — the window where the client cannot know whether
+        /// the daemon applied it). Returns after `conns` connections.
+        fn scripted_server(
+            socket: std::path::PathBuf,
+            conns: usize,
+            create_pools_seen: Arc<std::sync::atomic::AtomicUsize>,
+            drop_pings: usize,
+        ) -> std::thread::JoinHandle<()> {
+            use std::sync::atomic::Ordering;
+            let listener = std::os::unix::net::UnixListener::bind(&socket).unwrap();
+            std::thread::spawn(move || {
+                let mut pings_to_drop = drop_pings;
+                for _ in 0..conns {
+                    let (mut stream, _) = listener.accept().unwrap();
+                    let mut magic = [0u8; frame::V2_MAGIC.len()];
+                    stream.read_exact(&mut magic).unwrap();
+                    assert_eq!(magic, frame::V2_MAGIC);
+                    let mut dec = FrameDecoder::new();
+                    let mut buf = [0u8; 4096];
+                    'conn: loop {
+                        let n = match stream.read(&mut buf) {
+                            Ok(0) | Err(_) => break 'conn,
+                            Ok(n) => n,
+                        };
+                        dec.feed(&buf[..n]);
+                        while let Some(env) = dec.next_frame::<RequestEnvelope>().unwrap() {
+                            let resp = match &env.req {
+                                Request::Hello { .. } => Response::Welcome {
+                                    space_base: 0x5000_0000_0000,
+                                    space_size: 1 << 30,
+                                    max_in_flight: 64,
+                                    pool_depth: 1,
+                                },
+                                Request::Ping if pings_to_drop > 0 => {
+                                    pings_to_drop -= 1;
+                                    break 'conn;
+                                }
+                                Request::Ping => Response::Ok,
+                                Request::CreatePool { .. } => {
+                                    create_pools_seen.fetch_add(1, Ordering::SeqCst);
+                                    break 'conn;
+                                }
+                                other => panic!("unexpected request {other:?}"),
+                            };
+                            let env = ResponseEnvelope {
+                                req_id: env.req_id,
+                                resp,
+                            };
+                            stream
+                                .write_all(&frame::encode_frame(&env).unwrap())
+                                .unwrap();
+                        }
+                    }
+                }
+            })
+        }
+
+        fn fast_retry() -> RetryPolicy {
+            RetryPolicy {
+                max_attempts: 4,
+                base_delay: Duration::from_micros(100),
+                max_delay: Duration::from_millis(2),
+                deadline: Duration::from_secs(2),
+                ..RetryPolicy::default()
+            }
+        }
+
+        /// A non-idempotent request whose connection dies mid-pipeline is
+        /// NEVER blindly re-sent: the daemon may already have applied it,
+        /// and a re-send could create the pool twice (or re-free a
+        /// puddle). The error surfaces to the caller instead — and the
+        /// endpoint still reconnects fine for the *next* call.
+        #[test]
+        fn non_idempotent_requests_are_not_resent_after_a_mid_pipeline_drop() {
+            use std::sync::atomic::Ordering;
+            let tmp = tempfile::tempdir().unwrap();
+            let socket = tmp.path().join("scripted.sock");
+            let creates = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let server = scripted_server(socket.clone(), 2, Arc::clone(&creates), 0);
+
+            let ep = PipelinedEndpoint::new(&socket, fast_retry());
+            let err = ep
+                .call(&Request::CreatePool {
+                    name: "once".into(),
+                    root_size: 4096,
+                    mode: 0o600,
+                })
+                .unwrap_err();
+            assert!(is_transient(&err), "drop should surface as transport loss");
+            // The endpoint recovers on a fresh connection for idempotent
+            // work...
+            assert!(matches!(ep.call(&Request::Ping), Ok(Response::Ok)));
+            // ...but the create was sent exactly once, ever.
+            assert_eq!(creates.load(Ordering::SeqCst), 1);
+            drop(ep);
+            server.join().unwrap();
+        }
+
+        /// Idempotent requests lost mid-pipeline ARE re-sent on a fresh
+        /// connection under the backoff policy, invisibly to the caller.
+        #[test]
+        fn idempotent_requests_are_resent_after_a_mid_pipeline_drop() {
+            let tmp = tempfile::tempdir().unwrap();
+            let socket = tmp.path().join("scripted.sock");
+            let creates = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let server = scripted_server(socket.clone(), 2, Arc::clone(&creates), 1);
+
+            let ep = PipelinedEndpoint::new(&socket, fast_retry());
+            // First Ping's connection is dropped mid-pipeline; the retry
+            // plane re-dials and re-sends without the caller noticing.
+            assert!(matches!(ep.call(&Request::Ping), Ok(Response::Ok)));
+            drop(ep);
+            server.join().unwrap();
         }
 
         /// A response whose id matches no waiter is a protocol violation:

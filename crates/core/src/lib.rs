@@ -56,11 +56,12 @@ pub mod pool;
 pub mod ptr;
 pub mod puddle;
 pub mod reloc;
+pub mod torture;
 pub mod tx;
 pub mod types;
 
 pub use alloc::{MetaLogger, NoLog, ObjRef, PuddleAlloc};
-pub use client::{PuddleClient, LOGSPACE_PUDDLE_SIZE, LOG_PUDDLE_SIZE};
+pub use client::{PuddleClient, RetryPolicy, LOGSPACE_PUDDLE_SIZE, LOG_PUDDLE_SIZE};
 pub use error::{Error, Result};
 pub use interval::IntervalSet;
 pub use pool::{Pool, PoolOptions};

@@ -1,0 +1,468 @@
+//! Deterministic torture harness: seeded fault injection + kill/restart
+//! cycles + invariant checking, end to end.
+//!
+//! One trial = one `TORTURE_SEED`. The seed derives *everything* random in
+//! the trial — the daemon's [`FaultPlan`] (short/torn writes, injected
+//! EIO/ENOSPC, dropped fsyncs, connection resets), the per-client workload
+//! mix, and the kill schedule — so a failing trial reproduces from the
+//! printed seed alone, with no dependence on thread count or wall-clock
+//! timing beyond which operations manage to run before a mid-phase kill
+//! (the *validity* checks are timing-independent: they accept any prefix of
+//! the workload having landed, but never a torn or leaked state).
+//!
+//! A trial runs several *phases*. Each phase starts the daemon and its UDS
+//! server, unleashes `clients` threads doing a mixed workload (counter
+//! transactions on a per-client pool, ephemeral pool create/drop, stats and
+//! reads), then tears the daemon down — either gracefully after the clients
+//! finish, or abruptly mid-work on seeds that schedule a kill. Between
+//! phases the harness restarts the daemon with faults quiesced, runs
+//! recovery, and checks:
+//!
+//! * the shared structural layer — [`puddled::Invariants`]: registry /
+//!   allocator consistency, no overlapping or leaked extents, no orphaned
+//!   puddles or log chains;
+//! * **committed-or-rolled-back visibility** — every pool whose creation
+//!   was *acknowledged* exists, every acknowledged drop stays dropped, and
+//!   each client counter holds a value between the highest acknowledged
+//!   and the highest attempted write (operations whose acknowledgement was
+//!   lost to an injected fault may land either way — but never partially).
+//!
+//! Faults are disabled during recovery + verification ([`FaultPlan`]
+//! `set_enabled(false)`): the fault plane models failing *production*
+//! I/O, and verifying through an unreliable lens would make every check
+//! vacuous. Recovery-under-fault is covered separately by the failpoint
+//! crash tests (`wal_crash`, `crash_sweep`).
+//!
+//! Consumed by `crates/puddled/tests/torture.rs` (bounded in-tree sweep)
+//! and the `torture_sweep` bench binary (deep CI sweeps).
+
+use crate::{PoolOptions, PuddleClient, RetryPolicy};
+use puddled::{Daemon, DaemonConfig, Invariants, UdsServer};
+use puddles_pmem::faultio::{FaultPlan, FaultProfile};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The persistent root of each client's counter pool.
+#[repr(C)]
+struct TortureCounter {
+    value: u64,
+}
+crate::impl_pm_type!(TortureCounter, "torture::Counter", []);
+
+/// Everything one torture trial needs; derived from the seed by
+/// [`TortureConfig::from_seed`], overridable for focused tests.
+#[derive(Debug, Clone)]
+pub struct TortureConfig {
+    /// The trial seed — drives the fault plan, workload, and kill schedule.
+    pub seed: u64,
+    /// Concurrent client threads per phase.
+    pub clients: usize,
+    /// Daemon start → teardown cycles (each ends in recovery + checks).
+    pub phases: usize,
+    /// Operations each client attempts per phase.
+    pub ops_per_client: usize,
+    /// Fault probabilities for the daemon's I/O plane.
+    pub profile: FaultProfile,
+}
+
+impl TortureConfig {
+    /// Derives a trial configuration from its seed: 2–4 clients, 2–3
+    /// phases, 20–51 ops per client, transient fault rates of 10k–50k ppm
+    /// with a pinch of ENOSPC and connection resets on some seeds.
+    pub fn from_seed(seed: u64) -> TortureConfig {
+        let mut r = Splitmix(seed ^ 0x7073_7465_7374_5f61);
+        let transient = 10_000 + (r.next() % 40_000) as u32;
+        let mut profile = FaultProfile::transient(transient);
+        // One trial in four injects ENOSPC (rare: each occurrence poisons
+        // the WAL until the next restart, so more would starve the phase).
+        if r.next().is_multiple_of(4) {
+            profile.write_enospc_ppm = 200;
+        }
+        // One in two injects connection resets.
+        if r.next().is_multiple_of(2) {
+            profile.conn_reset_ppm = 2_000 + (r.next() % 8_000) as u32;
+        }
+        TortureConfig {
+            seed,
+            clients: 2 + (r.next() % 3) as usize,
+            phases: 2 + (r.next() % 2) as usize,
+            ops_per_client: 20 + (r.next() % 32) as usize,
+            profile,
+        }
+    }
+}
+
+/// A passed trial's summary (what the fault plane actually did).
+#[derive(Debug)]
+pub struct TortureReport {
+    /// The trial seed.
+    pub seed: u64,
+    /// Faults the plan injected across all phases.
+    pub injected: u64,
+    /// Operations acknowledged across all clients and phases.
+    pub acked_ops: u64,
+    /// Phases that ended in a mid-work kill.
+    pub kills: usize,
+}
+
+/// A failed trial: the violation plus everything needed to reproduce it.
+#[derive(Debug)]
+pub struct TortureFailure {
+    /// The trial seed (`TORTURE_SEED=<seed>` reproduces the trial).
+    pub seed: u64,
+    /// What went wrong.
+    pub message: String,
+    /// The per-trial fault trace (`site#occurrence: fault`).
+    pub fault_trace: Vec<String>,
+}
+
+impl std::fmt::Display for TortureFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "torture trial failed: {}", self.message)?;
+        writeln!(
+            f,
+            "reproduce with TORTURE_SEED={} TORTURE_TRIALS=1",
+            self.seed
+        )?;
+        writeln!(f, "fault trace ({} injected):", self.fault_trace.len())?;
+        for line in &self.fault_trace {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// splitmix64 — the same generator the fault plan uses, so the whole trial
+/// is a pure function of the seed.
+struct Splitmix(u64);
+
+impl Splitmix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A private PM directory for one trial, removed on drop. (Hand-rolled so
+/// the harness lives in the library proper — `tempfile` is only a
+/// dev-dependency here.)
+struct TrialDir(PathBuf);
+
+impl TrialDir {
+    fn new(seed: u64) -> std::io::Result<TrialDir> {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "puddles-torture-{}-{seed:x}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(TrialDir(path))
+    }
+}
+
+impl Drop for TrialDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Outcome bookkeeping shared by the trial's client threads.
+#[derive(Default)]
+struct Shadow {
+    /// Pools whose creation the daemon acknowledged (and no drop was ever
+    /// attempted): must exist after recovery.
+    acked_created: BTreeSet<String>,
+    /// Pools whose drop was acknowledged: must stay gone.
+    acked_dropped: BTreeSet<String>,
+    /// Per-client counter state: (highest acked write, highest attempted).
+    counters: Vec<(u64, u64)>,
+    /// Total acknowledged operations (reporting only).
+    acked_ops: u64,
+}
+
+/// Runs one client thread's workload for one phase.
+#[allow(clippy::too_many_arguments)]
+fn client_phase(
+    socket: &std::path::Path,
+    space: Arc<puddled::GlobalSpace>,
+    shadow: &Mutex<Shadow>,
+    stop: &AtomicBool,
+    client_idx: usize,
+    phase: usize,
+    ops: usize,
+    mut rng: Splitmix,
+) {
+    // Short per-op deadlines: after a scheduled mid-phase kill every call
+    // fails, and the thread must notice `stop` quickly rather than sit out
+    // a long backoff schedule.
+    let retry = RetryPolicy::new(4, Duration::from_millis(150));
+    let Ok(client) = PuddleClient::connect_uds_shared_with_retry(socket, space, retry) else {
+        return; // Killed before the phase began; nothing acked, nothing owed.
+    };
+    let ctr_name = format!("ctr{client_idx}");
+    let ctr_pool = client
+        .open_or_create_pool(&ctr_name, PoolOptions::default())
+        .ok();
+    if let Some(pool) = &ctr_pool {
+        if pool.root::<TortureCounter>().is_none() {
+            let _ = pool.tx(|tx| pool.create_root(tx, TortureCounter { value: 0 }));
+        }
+    }
+    for op in 0..ops {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match rng.next() % 10 {
+            // Counter transaction: the data plane under metadata faults.
+            0..=4 => {
+                let Some(pool) = &ctr_pool else { continue };
+                let Some(root) = pool.root::<TortureCounter>() else {
+                    continue;
+                };
+                let next = {
+                    let mut sh = shadow.lock().unwrap();
+                    let (_, attempted) = &mut sh.counters[client_idx];
+                    *attempted += 1;
+                    *attempted
+                };
+                let result = pool.tx(|tx| {
+                    let counter = pool.deref_mut(root)?;
+                    tx.set(&mut counter.value, next)?;
+                    Ok(())
+                });
+                if result.is_ok() {
+                    let mut sh = shadow.lock().unwrap();
+                    sh.counters[client_idx].0 = next;
+                    sh.acked_ops += 1;
+                }
+            }
+            // Ephemeral pool create (non-idempotent), sometimes dropped
+            // again. Names are never reused, so an unacknowledged create
+            // can land either way without confusing a later attempt.
+            5 | 6 => {
+                let name = format!("e{client_idx}_{phase}_{op}");
+                if client.create_pool(&name, PoolOptions::default()).is_ok() {
+                    let mut sh = shadow.lock().unwrap();
+                    sh.acked_created.insert(name.clone());
+                    sh.acked_ops += 1;
+                    drop(sh);
+                    if rng.next().is_multiple_of(2) {
+                        let dropped = client.drop_pool(&name).is_ok();
+                        let mut sh = shadow.lock().unwrap();
+                        // Whether or not the drop was acknowledged, the
+                        // pool's fate is no longer "must exist".
+                        sh.acked_created.remove(&name);
+                        if dropped {
+                            sh.acked_dropped.insert(name);
+                            sh.acked_ops += 1;
+                        }
+                    }
+                }
+            }
+            // Idempotent reads: stats, pool open, ping.
+            7 => {
+                if client.stats().is_ok() {
+                    shadow.lock().unwrap().acked_ops += 1;
+                }
+            }
+            8 => {
+                let _ = client.open_pool(&ctr_name);
+            }
+            _ => {
+                let _ = client.ping();
+            }
+        }
+    }
+}
+
+/// Runs one seeded torture trial.
+pub fn run_trial(config: &TortureConfig) -> Result<TortureReport, TortureFailure> {
+    let plan = FaultPlan::new(config.seed, config.profile);
+    let fail = |message: String| TortureFailure {
+        seed: config.seed,
+        message,
+        fault_trace: plan.trace(),
+    };
+
+    let dir = TrialDir::new(config.seed).map_err(|e| fail(format!("trial dir: {e}")))?;
+    let daemon_config = DaemonConfig::for_testing(&dir.0).with_fault_plan(Arc::clone(&plan));
+    let shadow = Arc::new(Mutex::new(Shadow {
+        counters: vec![(0, 0); config.clients],
+        ..Shadow::default()
+    }));
+    let mut rng = Splitmix(config.seed);
+    let mut kills = 0usize;
+
+    for phase in 0..config.phases {
+        // Faults run only while clients are driving load; recovery and
+        // verification read through a quiet I/O plane (module docs).
+        plan.set_enabled(false);
+        let daemon = Daemon::start(daemon_config.clone())
+            .map_err(|e| fail(format!("phase {phase}: daemon start/recovery: {e}")))?;
+        plan.set_enabled(true);
+
+        let socket = dir.0.join(format!("torture-{phase}.sock"));
+        let mut server = Some(
+            UdsServer::start(daemon.clone(), &socket)
+                .map_err(|e| fail(format!("phase {phase}: server start: {e}")))?,
+        );
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers: Vec<_> = (0..config.clients)
+            .map(|idx| {
+                let socket = socket.clone();
+                let space = daemon.global_space();
+                let shadow = Arc::clone(&shadow);
+                let stop = Arc::clone(&stop);
+                let ops = config.ops_per_client;
+                let rng = Splitmix(config.seed ^ ((phase as u64) << 32) ^ (idx as u64 + 1));
+                std::thread::spawn(move || {
+                    client_phase(&socket, space, &shadow, &stop, idx, phase, ops, rng)
+                })
+            })
+            .collect();
+
+        // The kill schedule: some phases chop the daemon down mid-work.
+        let kill_after = (!rng.next().is_multiple_of(3)).then(|| 10 + rng.next() % 60);
+        if let Some(ms) = kill_after {
+            std::thread::sleep(Duration::from_millis(ms));
+            stop.store(true, Ordering::Relaxed);
+            server = None; // Abrupt: in-flight connections reset.
+            kills += 1;
+        }
+        for worker in workers {
+            worker
+                .join()
+                .map_err(|_| fail(format!("phase {phase}: client thread panicked")))?;
+        }
+        drop(server);
+        drop(daemon);
+
+        // Recovery + the invariant layer, faults quiesced.
+        plan.set_enabled(false);
+        let daemon = Daemon::start(daemon_config.clone())
+            .map_err(|e| fail(format!("phase {phase}: recovery failed: {e}")))?;
+        let violations = Invariants::check_all(daemon.registry());
+        if !violations.is_empty() {
+            return Err(fail(format!(
+                "phase {phase}: invariant violations after recovery: {}",
+                violations.join("; ")
+            )));
+        }
+
+        // Committed-or-rolled-back visibility.
+        let verifier = PuddleClient::connect_local(&daemon)
+            .map_err(|e| fail(format!("phase {phase}: verifier connect: {e}")))?;
+        let sh = shadow.lock().unwrap();
+        for name in &sh.acked_created {
+            if verifier.open_pool(name).is_err() {
+                return Err(fail(format!(
+                    "phase {phase}: pool {name}: creation was acknowledged but it is gone"
+                )));
+            }
+        }
+        for name in &sh.acked_dropped {
+            if verifier.open_pool(name).is_ok() {
+                return Err(fail(format!(
+                    "phase {phase}: pool {name}: drop was acknowledged but it still exists"
+                )));
+            }
+        }
+        for (idx, &(acked, attempted)) in sh.counters.iter().enumerate() {
+            if acked == 0 {
+                continue; // Counter pool may not even exist yet.
+            }
+            let name = format!("ctr{idx}");
+            let pool = verifier.open_pool(&name).map_err(|e| {
+                fail(format!(
+                    "phase {phase}: counter pool {name} had acked writes but won't open: {e}"
+                ))
+            })?;
+            let Some(root) = pool.root::<TortureCounter>() else {
+                return Err(fail(format!(
+                    "phase {phase}: counter pool {name} lost its root"
+                )));
+            };
+            let value = pool
+                .deref(root)
+                .map_err(|e| fail(format!("phase {phase}: counter deref: {e}")))?
+                .value;
+            if value < acked || value > attempted {
+                return Err(fail(format!(
+                    "phase {phase}: counter {idx} = {value}, outside \
+                     [acked {acked}, attempted {attempted}] — a write was \
+                     torn or an acknowledged commit was lost"
+                )));
+            }
+        }
+        drop(sh);
+    }
+
+    let acked_ops = shadow.lock().unwrap().acked_ops;
+    Ok(TortureReport {
+        seed: config.seed,
+        injected: plan.injected(),
+        acked_ops,
+        kills,
+    })
+}
+
+/// Runs `trials` seeded trials (`base_seed + index`) across `threads`
+/// worker threads, stealing trial indices from a shared counter so seeds
+/// are independent of the thread count. Returns per-trial reports, or the
+/// first failure.
+pub fn run_sweep(
+    base_seed: u64,
+    trials: u64,
+    threads: u64,
+) -> Result<Vec<TortureReport>, TortureFailure> {
+    let threads = threads.clamp(1, trials.max(1));
+    let next = Arc::new(AtomicU64::new(0));
+    let reports: Arc<Mutex<Vec<TortureReport>>> = Arc::new(Mutex::new(Vec::new()));
+    let failure: Arc<Mutex<Option<TortureFailure>>> = Arc::new(Mutex::new(None));
+    let workers: Vec<_> = (0..threads)
+        .map(|_| {
+            let next = Arc::clone(&next);
+            let reports = Arc::clone(&reports);
+            let failure = Arc::clone(&failure);
+            std::thread::spawn(move || loop {
+                let trial = next.fetch_add(1, Ordering::Relaxed);
+                if trial >= trials || failure.lock().unwrap().is_some() {
+                    return;
+                }
+                let config = TortureConfig::from_seed(base_seed.wrapping_add(trial));
+                match run_trial(&config) {
+                    Ok(report) => reports.lock().unwrap().push(report),
+                    Err(fail) => *failure.lock().unwrap() = Some(fail),
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("torture sweep worker panicked");
+    }
+    if let Some(fail) = failure.lock().unwrap().take() {
+        return Err(fail);
+    }
+    let mut reports = Arc::try_unwrap(reports)
+        .expect("workers joined")
+        .into_inner()
+        .unwrap();
+    reports.sort_by_key(|r| r.seed);
+    Ok(reports)
+}
+
+/// Reads a `u64` environment knob (`TORTURE_SEED`, `TORTURE_TRIALS`, ...).
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -463,10 +463,9 @@ fn tx_too_large_is_raised_only_when_the_daemon_refuses_a_log_puddle() {
     // fails with OutOfSpace — only then may TxTooLarge surface.
     let tmp = tempfile::tempdir().unwrap();
     let config = puddled::DaemonConfig {
-        pm_dir: tmp.path().to_path_buf(),
         space_base: None,
         space_size: 16 << 20,
-        auto_recover: true,
+        ..puddled::DaemonConfig::new(tmp.path())
     };
     let daemon = Daemon::start(config).unwrap();
     let client = PuddleClient::connect_local(&daemon).unwrap();

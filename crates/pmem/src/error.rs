@@ -41,6 +41,11 @@ pub enum PmError {
     },
     /// A crash was injected by an armed failpoint.
     CrashInjected(&'static str),
+    /// The backing device is out of space (`ENOSPC`, genuine or injected).
+    /// Distinct from [`PmError::Io`] so callers can degrade gracefully — a
+    /// retry cannot create free space, and the daemon maps this to its
+    /// typed `OutOfSpace` error instead of poisoning the WAL.
+    NoSpace(String),
 }
 
 impl fmt::Display for PmError {
@@ -59,6 +64,7 @@ impl fmt::Display for PmError {
                 write!(f, "log full: entry needs {need} B but only {free} B remain")
             }
             PmError::CrashInjected(name) => write!(f, "crash injected at failpoint `{name}`"),
+            PmError::NoSpace(msg) => write!(f, "device out of space: {msg}"),
         }
     }
 }
@@ -74,6 +80,13 @@ impl std::error::Error for PmError {
 
 impl From<io::Error> for PmError {
     fn from(e: io::Error) -> Self {
-        PmError::Io(e)
+        // ENOSPC (genuine or injected) gets its typed variant at the
+        // conversion boundary, so every `?` in the stack classifies it
+        // without per-site checks.
+        if crate::faultio::is_enospc(&e) {
+            PmError::NoSpace(e.to_string())
+        } else {
+            PmError::Io(e)
+        }
     }
 }

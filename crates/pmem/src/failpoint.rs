@@ -155,6 +155,32 @@ pub fn fired() -> Vec<String> {
     registry().lock().log.clone()
 }
 
+/// RAII guard that disarms the calling thread's scoped failpoints when
+/// dropped — **including on panic**, which a bare `clear_current_thread()`
+/// at the end of a trial misses. A trial thread that panics mid-trial would
+/// otherwise leak its scoped entries into the registry, where they pin the
+/// `ARMED` fast-path counter above zero and slow (or, after thread-id
+/// reuse, poison) every later trial. `!Send`, so the drop runs on the
+/// thread whose entries it clears.
+#[must_use = "the guard clears scoped failpoints when dropped"]
+pub struct ScopedClearGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Returns a guard that calls [`clear_current_thread`] when dropped. Take
+/// one at the top of every parallel-trial body that arms scoped points.
+pub fn scoped_clear_guard() -> ScopedClearGuard {
+    ScopedClearGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for ScopedClearGuard {
+    fn drop(&mut self) {
+        clear_current_thread();
+    }
+}
+
 /// Standard failpoint names used throughout the workspace, collected here so
 /// tests and implementation cannot drift apart.
 pub mod names {
@@ -274,6 +300,40 @@ mod tests {
             assert_eq!(t.join().unwrap(), [false, false, true]);
         }
         clear_all();
+    }
+
+    #[test]
+    fn scoped_guard_clears_on_panic() {
+        // A trial that panics mid-body must not leak its scoped entry: the
+        // guard's drop runs during unwinding, so a later probe on the same
+        // thread (the only thread the entry could ever fire on) sees it
+        // gone.
+        let hit = std::thread::spawn(|| {
+            let result = std::panic::catch_unwind(|| {
+                let _guard = scoped_clear_guard();
+                arm_scoped("guard-panicking-trial", 0);
+                panic!("trial failed");
+            });
+            assert!(result.is_err());
+            should_fail("guard-panicking-trial")
+        })
+        .join()
+        .unwrap();
+        assert!(!hit, "panicked trial's scoped failpoint leaked");
+    }
+
+    #[test]
+    fn scoped_guard_clears_on_normal_drop() {
+        let hit = std::thread::spawn(|| {
+            {
+                let _guard = scoped_clear_guard();
+                arm_scoped("guard-normal-trial", 0);
+            }
+            should_fail("guard-normal-trial")
+        })
+        .join()
+        .unwrap();
+        assert!(!hit);
     }
 
     #[test]

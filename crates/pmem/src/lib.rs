@@ -12,6 +12,9 @@
 //!   `clflush` when available, portable fences otherwise).
 //! * [`failpoint`] — named crash-injection points used by the transaction
 //!   commit path, the allocator and the daemon to simulate power failures.
+//! * [`faultio`] — the seeded fault-injection plane: short/torn writes,
+//!   `EIO`/`ENOSPC`, dropped fsyncs, and connection resets, reproducible
+//!   from one `TORTURE_SEED` and logged as a per-trial fault trace.
 //! * [`shadow::ShadowBuffer`] — a working/durable twin buffer that models
 //!   loss of unflushed cache lines for torn-write property tests.
 //! * [`checksum`] — FNV-1a 64-bit checksums used by log entries and
@@ -20,6 +23,7 @@
 pub mod checksum;
 pub mod error;
 pub mod failpoint;
+pub mod faultio;
 pub mod persist;
 pub mod pmdir;
 pub mod shadow;

@@ -22,6 +22,20 @@ pub enum Request {
     Hello {
         /// Client credentials used for access-control decisions.
         creds: Credentials,
+        /// Requested per-connection in-flight request window (protocol v2
+        /// pipelining). `0` asks for the server default; the server clamps
+        /// to its configured maximum and reports the grant in `Welcome`.
+        /// Defaulted so `Hello` frames from older clients still parse.
+        #[serde(default)]
+        max_in_flight: u32,
+        /// Requested client-side connection-pool depth. `0` asks for the
+        /// server default; clamped and granted like `max_in_flight`.
+        #[serde(default)]
+        pool_depth: u32,
+        /// `true` when this `Hello` re-establishes a connection the client
+        /// already had (retry/backoff path); counted in daemon stats.
+        #[serde(default)]
+        reconnect: bool,
     },
     /// Allocates a new puddle of `size` bytes.
     CreatePuddle {
@@ -116,12 +130,23 @@ pub enum Request {
 pub enum Response {
     /// Generic success.
     Ok,
-    /// Reply to `Hello`: where this machine's global puddle space lives.
+    /// Reply to `Hello`: where this machine's global puddle space lives,
+    /// plus the granted connection parameters.
     Welcome {
         /// Base virtual address of the global puddle space.
         space_base: u64,
         /// Size of the global puddle space in bytes.
         space_size: u64,
+        /// Granted per-connection in-flight window (the requested value
+        /// clamped to the server's configured maximum; v1 connections are
+        /// always granted 1). Defaulted (`0` = no grant information) so a
+        /// `Welcome` from an older daemon still parses.
+        #[serde(default)]
+        max_in_flight: u32,
+        /// Granted client connection-pool depth (`0` = no grant
+        /// information, keep the client's current depth).
+        #[serde(default)]
+        pool_depth: u32,
     },
     /// A puddle was created or opened.
     Puddle(PuddleInfo),
@@ -217,6 +242,19 @@ impl Deserialize for ServerFrame {
     }
 }
 
+impl Request {
+    /// A `Hello` with default connection parameters (server picks the
+    /// window and pool depth) on a fresh, first-time connection.
+    pub fn hello(creds: Credentials) -> Request {
+        Request::Hello {
+            creds,
+            max_in_flight: 0,
+            pool_depth: 0,
+            reconnect: false,
+        }
+    }
+}
+
 impl Response {
     /// Converts an error response into `Err`, passing others through.
     pub fn into_result(self) -> Result<Response, ProtoError> {
@@ -265,7 +303,11 @@ mod tests {
                     uid: 1000,
                     gid: 100,
                 },
+                max_in_flight: 64,
+                pool_depth: 2,
+                reconnect: true,
             },
+            Request::hello(Credentials { uid: 1, gid: 2 }),
             Request::CreatePuddle {
                 size: 2 << 20,
                 pool: Some("p".into()),
@@ -296,6 +338,34 @@ mod tests {
         }
     }
 
+    /// `Hello`/`Welcome` grew negotiation fields after the wire format
+    /// shipped; frames from peers that predate them must still parse, with
+    /// the absent fields falling back to "server default" semantics.
+    #[test]
+    fn hello_and_welcome_without_negotiation_fields_still_parse() {
+        let old_hello = r#"{"Hello":{"creds":{"uid":1000,"gid":100}}}"#;
+        let req: Request = serde_json::from_str(old_hello).unwrap();
+        assert_eq!(
+            req,
+            Request::hello(Credentials {
+                uid: 1000,
+                gid: 100
+            })
+        );
+
+        let old_welcome = r#"{"Welcome":{"space_base":4096,"space_size":8192}}"#;
+        let resp: Response = serde_json::from_str(old_welcome).unwrap();
+        assert_eq!(
+            resp,
+            Response::Welcome {
+                space_base: 4096,
+                space_size: 8192,
+                max_in_flight: 0,
+                pool_depth: 0,
+            }
+        );
+    }
+
     #[test]
     fn response_error_into_result() {
         let ok = Response::Ok.into_result().unwrap();
@@ -316,6 +386,8 @@ mod tests {
             resp: Response::Welcome {
                 space_base: 0x1000,
                 space_size: 0x2000,
+                max_in_flight: 64,
+                pool_depth: 2,
             },
         };
         let json = serde_json::to_string(&env).unwrap();

@@ -241,6 +241,17 @@ pub struct DaemonStats {
     /// Allocator coalesce passes forced inline (hard ceiling or allocation
     /// pressure).
     pub forced_inline_coalesces: u64,
+    /// Storage operations retried after a transient I/O error (WAL appends,
+    /// metadata writes, puddle-file creation/deletion).
+    pub io_retries: u64,
+    /// Transient storage errors observed (each retry attempt counts one).
+    pub transient_io_errors: u64,
+    /// `Hello` messages flagged as reconnections (clients re-dialing after
+    /// a dropped or reset connection).
+    pub client_reconnects: u64,
+    /// Operations refused with a typed out-of-space error instead of
+    /// poisoning the WAL or panicking.
+    pub enospc_rejections: u64,
 }
 
 /// Machine-readable error categories returned by the daemon.

@@ -93,10 +93,10 @@ fn main() {
         }
     };
     let config = DaemonConfig {
-        pm_dir: args.pm_dir.clone().into(),
         space_base: args.space_base,
         space_size: args.space_size,
         auto_recover: args.auto_recover,
+        ..DaemonConfig::new(args.pm_dir.clone())
     };
     let daemon = match Daemon::start(config) {
         Ok(d) => d,

@@ -23,6 +23,7 @@ pub mod alloc;
 pub mod background;
 pub mod gspace;
 pub mod importexport;
+pub mod invariants;
 pub mod layout;
 pub mod recovery;
 pub mod registry;
@@ -33,6 +34,7 @@ pub mod wal;
 pub use alloc::{AllocStats, SpaceAlloc};
 pub use background::Background;
 pub use gspace::GlobalSpace;
+pub use invariants::Invariants;
 pub use layout::{PuddleHeader, LOG_REGION_OFFSET, PUDDLE_HEADER_SIZE, PUDDLE_MAGIC};
 pub use service::{Daemon, DaemonConfig, LocalEndpoint};
 pub use uds::{ServerConfig, UdsServer, DEFAULT_MAX_CONNECTIONS, MAX_PIPELINED_REQUESTS};

@@ -13,6 +13,7 @@ use crate::recovery;
 use crate::registry::{LogSpaceRecord, PoolRecord, PuddleRecord, Registry, RegistryOpError};
 use crate::wal::{Wal, WalHandle};
 use crate::{acl, layout};
+use puddles_pmem::faultio::FaultPlan;
 use puddles_pmem::pmdir::PmDir;
 use puddles_pmem::util::align_up;
 use puddles_pmem::{PmError, Result, DEFAULT_SPACE_BASE, PAGE_SIZE};
@@ -52,6 +53,26 @@ fn arm_age_checkpoint(bg: Background, registry: std::sync::Weak<Registry>) {
     );
 }
 
+/// Default per-connection in-flight window granted to protocol-v2 clients
+/// that do not request one (matches `uds::MAX_PIPELINED_REQUESTS`).
+pub const DEFAULT_MAX_IN_FLIGHT: u32 = 64;
+
+/// Default client connection-pool depth granted when the client does not
+/// request one.
+pub const DEFAULT_POOL_DEPTH: u32 = 2;
+
+/// The deterministic clamp behind Hello/Welcome negotiation: `0` means
+/// "server default", anything else is clamped into `[1, configured_max]`.
+/// Both the UDS connection (enforcing the window) and the service (reporting
+/// the grant in `Welcome`) apply this same function, so they cannot drift.
+pub fn grant_limit(requested: u32, default: u32, configured_max: u32) -> u32 {
+    if requested == 0 {
+        default.min(configured_max).max(1)
+    } else {
+        requested.clamp(1, configured_max.max(1))
+    }
+}
+
 /// Configuration for a daemon instance (one per "machine").
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
@@ -63,6 +84,15 @@ pub struct DaemonConfig {
     pub space_size: usize,
     /// Run crash recovery automatically at startup (the paper's behaviour).
     pub auto_recover: bool,
+    /// Hard ceiling for the per-connection in-flight window a client may
+    /// negotiate in `Hello` (the server clamps requests above it).
+    pub max_in_flight: u32,
+    /// Hard ceiling for the client connection-pool depth a client may
+    /// negotiate in `Hello`.
+    pub max_pool_depth: u32,
+    /// Seeded fault-injection plan for torture testing; `None` (production)
+    /// injects nothing.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl DaemonConfig {
@@ -74,6 +104,9 @@ impl DaemonConfig {
             space_base: Some(DEFAULT_SPACE_BASE),
             space_size: puddles_pmem::DEFAULT_SPACE_SIZE,
             auto_recover: true,
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+            max_pool_depth: 8,
+            fault_plan: None,
         }
     }
 
@@ -90,6 +123,9 @@ impl DaemonConfig {
             space_base: Some(base),
             space_size,
             auto_recover: true,
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+            max_pool_depth: 8,
+            fault_plan: None,
         }
     }
 
@@ -97,6 +133,12 @@ impl DaemonConfig {
     /// to inspect the pre-recovery state).
     pub fn no_auto_recover(mut self) -> Self {
         self.auto_recover = false;
+        self
+    }
+
+    /// Attaches a seeded fault-injection plan (torture testing only).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }
@@ -129,6 +171,9 @@ pub struct DaemonInner {
     /// Connections the UDS acceptor rejected at the connection cap with a
     /// `Busy` frame.
     pub(crate) connections_rejected: AtomicU64,
+    /// `Hello` messages flagged `reconnect: true` (clients re-dialing after
+    /// a dropped or reset connection).
+    pub(crate) client_reconnects: AtomicU64,
 }
 
 impl Drop for DaemonInner {
@@ -165,7 +210,13 @@ impl DaemonError {
 
 impl From<PmError> for DaemonError {
     fn from(e: PmError) -> Self {
-        DaemonError::new(ErrorCode::Internal, e.to_string())
+        // Device exhaustion is a typed, client-actionable condition (free
+        // something and retry), not an internal fault.
+        let code = match &e {
+            PmError::NoSpace(_) => ErrorCode::OutOfSpace,
+            _ => ErrorCode::Internal,
+        };
+        DaemonError::new(code, e.to_string())
     }
 }
 
@@ -213,7 +264,10 @@ impl Daemon {
     /// base moved, sweeps orphan puddle files, and (by default) runs crash
     /// recovery before any client can connect.
     pub fn start(config: DaemonConfig) -> Result<Self> {
-        let pmdir = PmDir::open(&config.pm_dir)?;
+        let mut pmdir = PmDir::open(&config.pm_dir)?;
+        if let Some(plan) = &config.fault_plan {
+            pmdir = pmdir.with_fault_plan(Arc::clone(plan));
+        }
         let gspace = Arc::new(GlobalSpace::reserve(config.space_base, config.space_size)?);
         let wal: WalHandle = Arc::new(Wal::open(&pmdir)?);
         let registry = Arc::new(Registry::load_or_create_with_wal(
@@ -236,6 +290,7 @@ impl Daemon {
                 log_puddles_swept: AtomicU64::new(0),
                 logspace_puddles_swept: AtomicU64::new(0),
                 connections_rejected: AtomicU64::new(0),
+                client_reconnects: AtomicU64::new(0),
             }),
         };
         daemon
@@ -297,6 +352,11 @@ impl Daemon {
         &self.inner.pmdir
     }
 
+    /// Returns the metadata registry (consistency checks, tests).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.inner.registry
+    }
+
     /// Creates an in-process endpoint acting with the given credentials.
     pub fn endpoint(&self, creds: Credentials) -> LocalEndpoint {
         LocalEndpoint {
@@ -324,7 +384,18 @@ impl Daemon {
 
     fn dispatch(&self, creds: Credentials, req: Request) -> DaemonResult<Response> {
         match req {
-            Request::Hello { .. } | Request::Ping => Ok(self.welcome()),
+            Request::Hello {
+                max_in_flight,
+                pool_depth,
+                reconnect,
+                ..
+            } => {
+                if reconnect {
+                    self.inner.client_reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(self.welcome(max_in_flight, pool_depth))
+            }
+            Request::Ping => Ok(self.welcome(0, 0)),
             Request::CreatePuddle {
                 size,
                 pool,
@@ -408,10 +479,36 @@ impl Daemon {
         }
     }
 
-    fn welcome(&self) -> Response {
+    /// The per-connection in-flight window granted for a requested value.
+    /// The single source of truth: `Welcome` reports this number and the
+    /// UDS reactor enforces it, so the two can never disagree.
+    pub(crate) fn granted_in_flight(&self, requested: u32) -> u32 {
+        grant_limit(requested, DEFAULT_MAX_IN_FLIGHT, self.in_flight_cap())
+    }
+
+    /// The ceiling a connection's window can be negotiated up to.
+    pub(crate) fn in_flight_cap(&self) -> u32 {
+        self.inner
+            .config
+            .max_in_flight
+            .min(crate::uds::MAX_PIPELINED_REQUESTS as u32)
+    }
+
+    /// The client connection-pool depth granted for a requested value.
+    pub(crate) fn granted_pool_depth(&self, requested: u32) -> u32 {
+        grant_limit(
+            requested,
+            DEFAULT_POOL_DEPTH,
+            self.inner.config.max_pool_depth,
+        )
+    }
+
+    fn welcome(&self, requested_in_flight: u32, requested_pool_depth: u32) -> Response {
         Response::Welcome {
             space_base: self.inner.gspace.base() as u64,
             space_size: self.inner.gspace.size() as u64,
+            max_in_flight: self.granted_in_flight(requested_in_flight),
+            pool_depth: self.granted_pool_depth(requested_pool_depth),
         }
     }
 
@@ -421,6 +518,7 @@ impl Daemon {
         let wal = reg.wal().stats();
         let (checkpoints_background, checkpoints_forced_inline) = reg.checkpoint_counters();
         let alloc = reg.alloc_stats();
+        let io = self.inner.pmdir.io_stats();
         puddles_proto::DaemonStats {
             puddles,
             pools: reg.pool_count(),
@@ -444,6 +542,10 @@ impl Daemon {
             fragmentation_bp: alloc.fragmentation_bp,
             lazy_coalesce_runs: alloc.lazy_coalesce_runs,
             forced_inline_coalesces: alloc.forced_inline_coalesces,
+            io_retries: io.io_retries(),
+            transient_io_errors: io.transient_io_errors(),
+            client_reconnects: self.inner.client_reconnects.load(Ordering::Relaxed),
+            enospc_rejections: io.enospc_rejections(),
         }
     }
 

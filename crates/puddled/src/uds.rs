@@ -62,7 +62,7 @@
 //! (detached past the deadline, so a pathological request cannot wedge the
 //! process).
 
-use crate::service::{lane_of, Daemon, Lane};
+use crate::service::{grant_limit, lane_of, Daemon, Lane, DEFAULT_MAX_IN_FLIGHT};
 use polling::{Event, Interest, Poller, Waker};
 use puddles_proto::frame::{FrameDecoder, V2_MAGIC};
 use puddles_proto::{frame, Credentials, Request, RequestEnvelope, Response, ResponseEnvelope};
@@ -720,10 +720,16 @@ struct Conn {
     /// Interest bits currently registered with the poller.
     reg_readable: bool,
     reg_writable: bool,
+    /// Server-side ceiling on the negotiable in-flight window (the daemon's
+    /// configured max clamped to [`MAX_PIPELINED_REQUESTS`]).
+    cap: u32,
+    /// The in-flight window currently granted to this connection: the
+    /// default grant until a `Hello` negotiates one.
+    window: usize,
 }
 
 impl Conn {
-    fn new(stream: UnixStream, peer: Option<Credentials>) -> Conn {
+    fn new(stream: UnixStream, peer: Option<Credentials>, cap: u32) -> Conn {
         Conn {
             stream,
             decoder: FrameDecoder::new(),
@@ -738,6 +744,8 @@ impl Conn {
             dead: false,
             reg_readable: true,
             reg_writable: false,
+            cap,
+            window: grant_limit(0, DEFAULT_MAX_IN_FLIGHT, cap) as usize,
         }
     }
 
@@ -747,10 +755,10 @@ impl Conn {
 
     /// How many of this connection's requests may execute concurrently:
     /// v1 responses must stay in request order, so one; v2 responses carry
-    /// ids, so the whole pipeline window may run at once.
+    /// ids, so the connection's negotiated window may run at once.
     fn max_in_flight(&self) -> usize {
         match self.proto {
-            ConnProto::V2 => MAX_PIPELINED_REQUESTS,
+            ConnProto::V2 => self.window,
             ConnProto::V1 | ConnProto::Unknown => 1,
         }
     }
@@ -765,7 +773,7 @@ impl Conn {
     fn wants_read(&self) -> bool {
         !self.dead
             && !self.peer_closed
-            && self.pending.len() + self.in_flight < MAX_PIPELINED_REQUESTS
+            && self.pending.len() + self.in_flight < self.window
             && self.out_len() < OUT_HIGH_WATER
     }
 }
@@ -860,7 +868,8 @@ impl Reactor {
             }
             // Bytes that raced in before registration are reported by the
             // next level-triggered wait; no eager read needed.
-            self.conns.insert(token, Conn::new(stream, peer));
+            let cap = self.shared.daemon.in_flight_cap();
+            self.conns.insert(token, Conn::new(stream, peer, cap));
         }
     }
 
@@ -870,6 +879,16 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
+        // Torture only: a fault plan may reset this connection mid-stream —
+        // the peer sees an abrupt close, exactly like a crashed daemon
+        // thread or a dropped socket.
+        if let Some(plan) = self.shared.daemon.pm_dir().fault_plan() {
+            if plan.on_conn_event() {
+                conn.dead = true;
+                self.after_io(token);
+                return;
+            }
+        }
         if event.error {
             // EPOLLERR / EPOLLHUP: the peer is gone in both directions, so
             // no queued response is deliverable. (A graceful half-close
@@ -1068,9 +1087,15 @@ fn parse_frames(conn: &mut Conn) -> bool {
             // process's identity.
             conn.creds = Some(match (conn.peer, &req) {
                 (Some(peer), _) => peer,
-                (None, Request::Hello { creds }) => *creds,
+                (None, Request::Hello { creds, .. }) => *creds,
                 (None, _) => Credentials::current_process(),
             });
+        }
+        if let Request::Hello { max_in_flight, .. } = &req {
+            // Apply the negotiated window immediately: the same clamp the
+            // service reports in `Welcome`, so enforcement matches the
+            // grant the client is about to read.
+            conn.window = grant_limit(*max_in_flight, DEFAULT_MAX_IN_FLIGHT, conn.cap) as usize;
         }
         conn.pending.push_back((req_id, req));
     }

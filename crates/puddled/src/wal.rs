@@ -43,6 +43,9 @@
 use crate::registry::{LogSpaceRecord, PoolRecord, PuddleRecord, RegistryData};
 use puddles_pmem::checksum::{fnv1a64, fnv1a64_with_seed};
 use puddles_pmem::failpoint::{self, names};
+use puddles_pmem::faultio::{
+    self, FaultPlan, FaultSite, IoStats, SyncFault, WriteFault, MAX_IO_RETRIES,
+};
 use puddles_pmem::pmdir::PmDir;
 use puddles_pmem::util::align_up;
 use puddles_pmem::{PmError, Result};
@@ -672,6 +675,12 @@ pub struct Wal {
     /// the registry's replay does not read and decode the file a second
     /// time; taken once by [`Wal::take_initial_replay`].
     initial_replay: Mutex<Option<Vec<(u64, RegistryOp)>>>,
+    /// Fault-injection plan inherited from the `PmDir` this WAL was opened
+    /// in (torture harness only; `None` in production).
+    fault: Option<Arc<FaultPlan>>,
+    /// Robustness counters shared with the owning `PmDir` (and through it,
+    /// the daemon's `Stats` response).
+    io_stats: Arc<IoStats>,
 }
 
 impl Wal {
@@ -717,6 +726,8 @@ impl Wal {
             checkpoint_threshold: AtomicU64::new(DEFAULT_CHECKPOINT_BYTES),
             checkpoint_hard_ceiling: AtomicU64::new(0),
             initial_replay: Mutex::new(Some(records)),
+            fault: pmdir.fault_plan().cloned(),
+            io_stats: Arc::clone(pmdir.io_stats()),
         })
     }
 
@@ -834,6 +845,13 @@ impl Wal {
 
     /// Writes one batch and fsyncs it; the single place crash injection
     /// tears group commits.
+    ///
+    /// Transient I/O failures (injected EIO, short writes) are absorbed by
+    /// a bounded retry loop: the file is wound back to the batch start and
+    /// the whole batch re-appended, so a retried batch is never duplicated
+    /// or interleaved. ENOSPC and non-transient errors surface immediately
+    /// — the caller poisons the WAL, which is the correct degradation when
+    /// durability can no longer be promised.
     fn write_batch(&self, batch: &[u8]) -> Result<()> {
         let mut file = self.io.lock().unwrap();
         if failpoint::should_fail(names::WAL_MID_GROUP_COMMIT) {
@@ -851,7 +869,63 @@ impl Wal {
             let _ = file.sync_data();
             return Err(PmError::CrashInjected(names::WAL_APPEND_TORN));
         }
+        let start = file.metadata()?.len();
+        let mut attempt = 0usize;
+        loop {
+            match self.write_batch_once(&mut file, batch) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    let transient = matches!(&e, PmError::Io(io) if faultio::is_transient_io(io));
+                    if transient && attempt < MAX_IO_RETRIES {
+                        attempt += 1;
+                        self.io_stats.note_retry();
+                        // Wind back to the batch start; the file is in
+                        // append mode, so the retry re-appends from there.
+                        file.set_len(start)?;
+                        continue;
+                    }
+                    if matches!(e, PmError::NoSpace(_)) {
+                        self.io_stats.note_enospc();
+                        // Drop any partial write so the tail stays clean.
+                        let _ = file.set_len(start);
+                    } else if transient {
+                        self.io_stats.note_transient();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One physical append + fsync attempt, consulting the fault plan (if
+    /// any) before touching the file and before syncing it.
+    fn write_batch_once(&self, file: &mut File, batch: &[u8]) -> Result<()> {
+        if let Some(plan) = &self.fault {
+            match plan.on_write(FaultSite::WalWrite, batch.len()) {
+                Some(WriteFault::Eio) => return Err(faultio::eio(FaultSite::WalWrite).into()),
+                Some(WriteFault::Enospc) => return Err(faultio::enospc().into()),
+                Some(WriteFault::Short(keep)) => {
+                    // A torn append: part of the batch reaches the file,
+                    // then the device errors out.
+                    file.write_all(&batch[..keep])?;
+                    let _ = file.sync_data();
+                    return Err(faultio::eio(FaultSite::WalWrite).into());
+                }
+                None => {}
+            }
+        }
         file.write_all(batch)?;
+        if let Some(plan) = &self.fault {
+            match plan.on_sync(FaultSite::WalSync) {
+                Some(SyncFault::Eio) => return Err(faultio::eio(FaultSite::WalSync).into()),
+                // A dropped fsync: report success without the barrier. In
+                // this in-process simulation the data still reaches the
+                // file (there is no page cache to lose), so the fault is
+                // observable only in the trace.
+                Some(SyncFault::Dropped) => return Ok(()),
+                None => {}
+            }
+        }
         file.sync_data()?;
         Ok(())
     }
@@ -1273,6 +1347,59 @@ mod tests {
         }
         assert_eq!(wal.stats().records, 200);
         assert_eq!(wal.pending_replay().unwrap().len(), 200);
+    }
+
+    #[test]
+    fn transient_wal_faults_are_absorbed_by_retries() {
+        use puddles_pmem::faultio::FaultProfile;
+        let tmp = tempfile::tempdir().unwrap();
+        // 6% per-attempt fault rate: frequent enough to fire many times
+        // over 200 appends, low enough that 4 retries always clear it.
+        let plan = FaultPlan::new(0xBADC_0FFE, FaultProfile::transient(60_000));
+        let pm = PmDir::open(tmp.path())
+            .unwrap()
+            .with_fault_plan(Arc::clone(&plan));
+        let wal = Wal::open(&pm).unwrap();
+        for n in 0..200 {
+            wal.submit(&sample_op(n)).unwrap();
+            wal.flush().unwrap();
+        }
+        assert!(plan.injected() > 0, "fault plan never fired");
+        assert!(pm.io_stats().io_retries() > 0, "retries not counted");
+
+        // Quiesce injection and confirm every record survived intact.
+        plan.set_enabled(false);
+        assert_eq!(wal.pending_replay().unwrap().len(), 200);
+        drop(wal);
+        let reopened = Wal::open(&pm).unwrap();
+        assert_eq!(reopened.take_initial_replay().len(), 200);
+    }
+
+    #[test]
+    fn wal_enospc_surfaces_typed_without_partial_tail() {
+        use puddles_pmem::faultio::FaultProfile;
+        let tmp = tempfile::tempdir().unwrap();
+        let profile = FaultProfile {
+            write_enospc_ppm: 1_000_000,
+            ..FaultProfile::default()
+        };
+        let plan = FaultPlan::new(7, profile);
+        let pm = PmDir::open(tmp.path())
+            .unwrap()
+            .with_fault_plan(Arc::clone(&plan));
+        let wal = Wal::open(&pm).unwrap();
+        wal.submit(&sample_op(1)).unwrap();
+        let err = wal.flush().unwrap_err();
+        assert!(matches!(err, PmError::NoSpace(_)), "got {err:?}");
+        assert_eq!(pm.io_stats().enospc_rejections(), 1);
+
+        // The full-device WAL is poisoned (durability can't be promised)
+        // and the on-disk tail holds no partial record.
+        plan.set_enabled(false);
+        assert!(wal.flush().is_err());
+        drop(wal);
+        let reopened = Wal::open(&pm).unwrap();
+        assert_eq!(reopened.take_initial_replay().len(), 0);
     }
 
     #[test]

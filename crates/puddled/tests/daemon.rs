@@ -40,15 +40,73 @@ fn expect_pool(resp: Response) -> puddles_proto::PoolInfo {
 fn hello_reports_global_space() {
     let (_tmp, daemon) = start_daemon();
     let ep = daemon.endpoint(USER_A);
-    let resp = ep.call(&Request::Hello { creds: USER_A }).unwrap();
+    let resp = ep.call(&Request::hello(USER_A)).unwrap();
     match resp {
         Response::Welcome {
             space_base,
             space_size,
+            ..
         } => {
             assert_eq!(space_base, daemon.global_space().base() as u64);
             assert_eq!(space_size, daemon.global_space().size() as u64);
         }
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+/// The server clamps the Hello-negotiated in-flight window and pool depth
+/// to its configured maxima, and echoes the grant in Welcome.
+#[test]
+fn hello_negotiates_window_and_pool_depth_within_server_limits() {
+    let (_tmp, daemon) = start_daemon();
+    let ep = daemon.endpoint(USER_A);
+    let grant = |req_window: u32, req_depth: u32| -> (u32, u32) {
+        let resp = ep
+            .call(&Request::Hello {
+                creds: USER_A,
+                max_in_flight: req_window,
+                pool_depth: req_depth,
+                reconnect: false,
+            })
+            .unwrap();
+        match resp {
+            Response::Welcome {
+                max_in_flight,
+                pool_depth,
+                ..
+            } => (max_in_flight, pool_depth),
+            other => panic!("unexpected response {other:?}"),
+        }
+    };
+    // Zero means "server default" (64 in-flight, 2 connections).
+    assert_eq!(grant(0, 0), (64, 2));
+    // Modest requests are granted verbatim.
+    assert_eq!(grant(8, 3), (8, 3));
+    // Oversized requests are clamped to the configured maxima
+    // (`for_testing`: 64 in flight, pool depth 8).
+    assert_eq!(grant(10_000, 100), (64, 8));
+    // Degenerate requests still grant at least one slot.
+    assert_eq!(grant(1, 1), (1, 1));
+}
+
+/// Reconnect-flagged Hellos (sent by clients re-dialing after a lost
+/// connection) are counted in the daemon stats.
+#[test]
+fn reconnect_hellos_are_counted_in_stats() {
+    let (_tmp, daemon) = start_daemon();
+    let ep = daemon.endpoint(USER_A);
+    ep.call(&Request::hello(USER_A)).unwrap();
+    for _ in 0..3 {
+        ep.call(&Request::Hello {
+            creds: USER_A,
+            max_in_flight: 0,
+            pool_depth: 0,
+            reconnect: true,
+        })
+        .unwrap();
+    }
+    match ep.call(&Request::Stats).unwrap() {
+        Response::Stats(stats) => assert_eq!(stats.client_reconnects, 3),
         other => panic!("unexpected response {other:?}"),
     }
 }
@@ -589,13 +647,8 @@ fn uds_server_answers_requests_from_another_connection() {
     let stream = std::os::unix::net::UnixStream::connect(&socket).unwrap();
     let mut reader = stream.try_clone().unwrap();
     let mut writer = stream;
-    puddles_proto::write_frame(
-        &mut writer,
-        &Request::Hello {
-            creds: Credentials::current_process(),
-        },
-    )
-    .unwrap();
+    puddles_proto::write_frame(&mut writer, &Request::hello(Credentials::current_process()))
+        .unwrap();
     let resp: Response = puddles_proto::read_frame(&mut reader).unwrap();
     assert!(matches!(resp, Response::Welcome { .. }));
 
@@ -681,9 +734,7 @@ fn concurrent_clients_create_pools_transact_and_translate() {
                 let mut writer = stream;
                 puddles_proto::write_frame(
                     &mut writer,
-                    &Request::Hello {
-                        creds: Credentials::current_process(),
-                    },
+                    &Request::hello(Credentials::current_process()),
                 )
                 .unwrap();
                 let _: Response = puddles_proto::read_frame(&mut reader).unwrap();
@@ -805,13 +856,8 @@ fn shutdown_is_bounded_under_busy_and_stalled_clients() {
         let stream = std::os::unix::net::UnixStream::connect(&busy_socket).unwrap();
         let mut reader = stream.try_clone().unwrap();
         let mut writer = stream;
-        puddles_proto::write_frame(
-            &mut writer,
-            &Request::Hello {
-                creds: Credentials::current_process(),
-            },
-        )
-        .unwrap();
+        puddles_proto::write_frame(&mut writer, &Request::hello(Credentials::current_process()))
+            .unwrap();
         let _: Response = puddles_proto::read_frame(&mut reader).unwrap();
         while !busy_stop.load(Ordering::SeqCst) {
             if puddles_proto::write_frame(&mut writer, &Request::Ping).is_err() {

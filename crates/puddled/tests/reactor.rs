@@ -27,13 +27,7 @@ fn start_server() -> (tempfile::TempDir, Daemon, UdsServer, std::path::PathBuf) 
 
 fn hello(socket: &std::path::Path) -> UnixStream {
     let mut stream = UnixStream::connect(socket).unwrap();
-    write_frame(
-        &mut stream,
-        &Request::Hello {
-            creds: Credentials::current_process(),
-        },
-    )
-    .unwrap();
+    write_frame(&mut stream, &Request::hello(Credentials::current_process())).unwrap();
     let resp: Response = read_frame(&mut stream).unwrap();
     assert!(matches!(resp, Response::Welcome { .. }));
     stream
@@ -47,9 +41,7 @@ fn hello_v2(socket: &std::path::Path) -> UnixStream {
     write_env(
         &mut stream,
         0,
-        Request::Hello {
-            creds: Credentials::current_process(),
-        },
+        Request::hello(Credentials::current_process()),
     );
     let (req_id, resp) = read_env(&mut stream);
     assert_eq!(req_id, 0);

@@ -66,46 +66,11 @@ fn build_pool(reg: &Registry, name: &str, members: usize) -> Vec<PuddleId> {
     ids
 }
 
-/// Structural invariants every recovered registry must satisfy: pool
-/// members exist, membership is symmetric, the root is a member, and
-/// allocated extents are disjoint.
+/// Structural invariants every recovered registry must satisfy — the shared
+/// [`puddled::Invariants`] layer also used by `crash_sweep` and the torture
+/// harness.
 fn assert_consistent(data: &RegistryData) {
-    for pool in data.pools.values() {
-        assert!(
-            data.puddles.contains_key(&pool.root.to_hex()),
-            "pool {} root missing",
-            pool.name
-        );
-        assert!(
-            pool.puddles.contains(&pool.root),
-            "pool {} root not a member",
-            pool.name
-        );
-        for id in &pool.puddles {
-            let member = data
-                .puddles
-                .get(&id.to_hex())
-                .unwrap_or_else(|| panic!("pool {} lists missing puddle {id}", pool.name));
-            assert_eq!(member.pool.as_deref(), Some(pool.name.as_str()));
-        }
-    }
-    for rec in data.puddles.values() {
-        if let Some(pool) = &rec.pool {
-            let pool = data
-                .pools
-                .get(pool)
-                .unwrap_or_else(|| panic!("puddle {} names missing pool", rec.id));
-            assert!(pool.puddles.contains(&rec.id));
-        }
-    }
-    let mut extents: Vec<(u64, u64)> = data.puddles.values().map(|p| (p.offset, p.size)).collect();
-    extents.sort_unstable();
-    for pair in extents.windows(2) {
-        assert!(
-            pair[0].0 + pair[0].1 <= pair[1].0,
-            "overlapping extents {pair:?}"
-        );
-    }
+    puddled::Invariants::assert_data(data);
 }
 
 #[test]

@@ -210,6 +210,15 @@ fn run_trial(seed: u64) -> Result<(), String> {
     // Restart: the daemon recovers every registered log chain before any
     // application maps the data.
     let daemon = Daemon::start(config).unwrap();
+    // The shared structural layer first: registry/allocator consistency
+    // (same checks as `wal_crash` and the torture harness).
+    let violations = puddled::Invariants::check_all(daemon.registry());
+    if !violations.is_empty() {
+        return Err(format!(
+            "registry invariant violations after recovery: {}",
+            violations.join("; ")
+        ));
+    }
     let client = PuddleClient::connect_local(&daemon).unwrap();
     let pool = client.open_pool("sweep").unwrap();
     let root: PmPtr<Region> = pool.root().unwrap();
