@@ -11,7 +11,7 @@
 //! On a failure it prints the seed + fault trace, writes
 //! `target/torture_seed.txt` (uploaded by CI), and exits nonzero.
 
-use puddles::torture::{run_sweep, TortureFailure};
+use puddles::torture::{run_sweep_with, SweepOptions, TortureFailure};
 use std::process::exit;
 
 struct Args {
@@ -19,6 +19,7 @@ struct Args {
     start: u64,
     threads: u64,
     json: bool,
+    opts: SweepOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -31,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         start: 0x7011_70BE,
         threads: default_threads,
         json: false,
+        opts: SweepOptions::default(),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -57,8 +59,17 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --threads: {e}"))?
             }
             "--json" => args.json = true,
+            // The determinism gate: run each seed twice, fail on the first
+            // fault-trace or history divergence.
+            "--replay-check" => args.opts.replay_check = true,
+            // Free-running wall-clock trials (connection-reset coverage,
+            // no replay guarantee).
+            "--wall-clock" => args.opts.wall_clock = true,
             "--help" | "-h" => {
-                println!("usage: torture_sweep [--seeds N] [--start SEED] [--threads N] [--json]");
+                println!(
+                    "usage: torture_sweep [--seeds N] [--start SEED] [--threads N] \
+                     [--json] [--replay-check] [--wall-clock]"
+                );
                 exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -85,7 +96,7 @@ fn main() {
             exit(2);
         }
     };
-    match run_sweep(args.start, args.seeds, args.threads) {
+    match run_sweep_with(args.start, args.seeds, args.threads, args.opts) {
         Ok(reports) => {
             let injected: u64 = reports.iter().map(|r| r.injected).sum();
             let acked: u64 = reports.iter().map(|r| r.acked_ops).sum();

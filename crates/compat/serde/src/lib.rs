@@ -165,6 +165,21 @@ pub fn __field_or_default<T: Deserialize + Default>(
 // Primitive impls
 // ---------------------------------------------------------------------------
 
+// Identity impls: (de)serializing the dynamic tree itself, as real serde
+// does for `serde_json::Value` — used by tests and generic plumbing that
+// want the untyped representation.
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn serialize(&self) -> Value {
         Value::Bool(*self)
@@ -342,6 +357,22 @@ impl<T: Deserialize> Deserialize for Vec<T> {
 impl<T: Serialize> Serialize for [T] {
     fn serialize(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of {N} elements, got {got}")))
     }
 }
 

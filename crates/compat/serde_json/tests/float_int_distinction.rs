@@ -1,0 +1,75 @@
+//! Regression tests for the float/integer distinction (ROADMAP PR 1
+//! caveat): a whole-valued float must serialize *as a float* (`1.0`, never
+//! `1`), re-parse as `Value::Float`, and round-trip bit-exactly — while
+//! genuine integers keep serializing without a decimal point.
+
+use serde::{Deserialize, Serialize, Value};
+use serde_json::{from_str, to_string};
+
+#[test]
+fn whole_floats_keep_their_decimal_point() {
+    assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+    assert_eq!(to_string(&-0.0f64).unwrap(), "-0.0");
+    assert_eq!(to_string(&2.0f32).unwrap(), "2.0");
+    assert_eq!(to_string(&1e3f64).unwrap(), "1000.0");
+    // And integers stay integers: no decimal point creeps in.
+    assert_eq!(to_string(&1u64).unwrap(), "1");
+    assert_eq!(to_string(&-7i32).unwrap(), "-7");
+}
+
+#[test]
+fn serialized_whole_floats_reparse_as_floats() {
+    // The distinction must survive a trip through the dynamic Value
+    // representation, which is what typed deserialization reads.
+    let v: Value = from_str(&to_string(&1.0f64).unwrap()).unwrap();
+    assert!(matches!(v, Value::Float(f) if f == 1.0), "got {v:?}");
+    let v: Value = from_str("1").unwrap();
+    assert!(matches!(v, Value::UInt(1)), "got {v:?}");
+    let v: Value = from_str("-1").unwrap();
+    assert!(matches!(v, Value::Int(-1)), "got {v:?}");
+}
+
+#[test]
+fn floats_round_trip_bit_exactly() {
+    for &f in &[
+        0.0f64,
+        -0.0,
+        1.0,
+        -1.0,
+        0.1,
+        1.5,
+        2.5e3,
+        1e20,
+        1e-20,
+        f64::MAX,
+        f64::MIN_POSITIVE,
+        std::f64::consts::PI,
+    ] {
+        let json = to_string(&f).unwrap();
+        let back: f64 = from_str(&json).unwrap();
+        assert_eq!(
+            back.to_bits(),
+            f.to_bits(),
+            "{f:?} serialized as {json} but re-parsed as {back:?}"
+        );
+    }
+}
+
+#[test]
+fn float_fields_survive_struct_round_trips() {
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Sample {
+        ratio: f64,
+        count: u64,
+    }
+    let s = Sample {
+        ratio: 3.0,
+        count: 3,
+    };
+    let json = to_string(&s).unwrap();
+    assert!(
+        json.contains("3.0") && json.contains(":3"),
+        "float and int fields must stay distinguishable in {json}"
+    );
+    assert_eq!(from_str::<Sample>(&json).unwrap(), s);
+}

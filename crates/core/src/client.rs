@@ -13,6 +13,7 @@ use crate::types::{PmType, TypeRegistry};
 use parking_lot::{Mutex, RwLock};
 use puddled::{Daemon, GlobalSpace, LOG_REGION_OFFSET};
 use puddles_logfmt::{LogRef, LogSpaceRef};
+use puddles_pmem::clock::{entropy_seed, Clock};
 use puddles_pmem::failpoint;
 use puddles_proto::{
     Credentials, Endpoint, PoolInfo, PuddleId, PuddleInfo, PuddlePurpose, RecoveryReport, Request,
@@ -24,7 +25,7 @@ use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::sync::Arc;
 use std::thread::ThreadId;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Size of the puddle holding a client's log space.
 pub const LOGSPACE_PUDDLE_SIZE: u64 = 64 * 1024;
@@ -675,9 +676,10 @@ const MAX_IDLE_CONNECTIONS: usize = 16;
 /// pool again, and at the latest when the client is dropped.
 const IDLE_CONNECTION_TTL: Duration = Duration::from_secs(30);
 
-/// Drops pooled connections idle for longer than the TTL.
-fn prune_idle(idle: &mut Vec<(UnixStream, Instant)>, now: Instant) {
-    idle.retain(|(_, last_used)| now.duration_since(*last_used) < IDLE_CONNECTION_TTL);
+/// Drops pooled connections idle for longer than the TTL. Timestamps are
+/// [`Clock`] readings, so an idle pool drains under virtual time too.
+fn prune_idle(idle: &mut Vec<(UnixStream, Duration)>, now: Duration) {
+    idle.retain(|(_, last_used)| now.saturating_sub(*last_used) < IDLE_CONNECTION_TTL);
 }
 
 /// `true` for I/O failures that a fresh connection may fix: the daemon
@@ -743,10 +745,14 @@ pub struct RetryPolicy {
     /// Overall budget: once elapsed, no further retry is attempted even if
     /// attempts remain.
     pub deadline: Duration,
-    /// Jitter stream state (deterministic per policy instance, so tests can
-    /// reason about sleep bounds; the *bounds* are what matters, not the
-    /// exact draw).
+    /// Seed of the jitter stream. Drawn from OS entropy by default (so a
+    /// herd of clients decorrelates) and overridden with a derived torture
+    /// seed under test, making backoff sequences replayable.
+    jitter_seed: u64,
+    /// Position in the jitter stream (monotone per policy instance).
     jitter_seq: std::sync::atomic::AtomicU64,
+    /// Time source for deadlines and backoff sleeps.
+    clock: Clock,
 }
 
 impl Clone for RetryPolicy {
@@ -756,7 +762,9 @@ impl Clone for RetryPolicy {
             base_delay: self.base_delay,
             max_delay: self.max_delay,
             deadline: self.deadline,
+            jitter_seed: self.jitter_seed,
             jitter_seq: std::sync::atomic::AtomicU64::new(0),
+            clock: self.clock.clone(),
         }
     }
 }
@@ -771,7 +779,9 @@ impl Default for RetryPolicy {
             base_delay: Duration::from_millis(2),
             max_delay: Duration::from_millis(200),
             deadline: Duration::from_secs(2),
+            jitter_seed: entropy_seed(),
             jitter_seq: std::sync::atomic::AtomicU64::new(0),
+            clock: Clock::real(),
         }
     }
 }
@@ -801,11 +811,30 @@ impl RetryPolicy {
         RetryPolicy::new(1, Duration::ZERO)
     }
 
+    /// Pins the jitter stream to an explicit seed, making the backoff
+    /// sequence replayable (torture runs derive this from `TORTURE_SEED`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Replaces the time source; under a virtual clock, backoff sleeps
+    /// consume logical time instead of wall time.
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The policy's time source (endpoints share it for pool timestamps).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
     /// Runs `op` until it succeeds, fails non-transiently, or the attempt /
     /// deadline budget is spent. `op` receives the 0-based attempt number;
     /// attempts past the first follow a backoff sleep.
     fn run<T>(&self, mut op: impl FnMut(u32) -> std::io::Result<T>) -> std::io::Result<T> {
-        let start = Instant::now();
+        let start = self.clock.now();
         let mut attempt = 0u32;
         loop {
             match op(attempt) {
@@ -817,10 +846,10 @@ impl RetryPolicy {
                         return Err(e);
                     }
                     let delay = self.backoff_delay(attempt - 1);
-                    if start.elapsed() + delay > self.deadline {
+                    if self.clock.now().saturating_sub(start) + delay > self.deadline {
                         return Err(e);
                     }
-                    std::thread::sleep(delay);
+                    self.clock.sleep(delay);
                 }
             }
         }
@@ -841,9 +870,10 @@ impl RetryPolicy {
         let n = self
             .jitter_seq
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        // SplitMix64 over (instance address ⊕ sequence): decorrelates
-        // concurrent clients without a shared RNG.
-        let mut z = (self as *const _ as u64) ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        // SplitMix64 over (seed ⊕ sequence): decorrelates concurrent
+        // clients (seeds differ per instance) yet replays exactly when the
+        // seed is pinned.
+        let mut z = self.jitter_seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^= z >> 31;
@@ -874,8 +904,11 @@ fn hello_reconnect(creds: Credentials) -> Request {
 /// [`RetryPolicy`] on fresh connections.
 struct UdsEndpoint {
     path: std::path::PathBuf,
-    idle: Mutex<Vec<(UnixStream, Instant)>>,
+    idle: Mutex<Vec<(UnixStream, Duration)>>,
     retry: RetryPolicy,
+    /// Shared with `retry`: one time source covers backoff sleeps and the
+    /// idle pool's TTL timestamps.
+    clock: Clock,
     /// Set after the first successful handshake; later dials flag
     /// themselves `reconnect` in `Hello` so the daemon's stats count them.
     connected_once: std::sync::atomic::AtomicBool,
@@ -886,6 +919,7 @@ impl UdsEndpoint {
         UdsEndpoint {
             path: path.to_path_buf(),
             idle: Mutex::new(Vec::new()),
+            clock: retry.clock().clone(),
             retry,
             connected_once: std::sync::atomic::AtomicBool::new(false),
         }
@@ -897,7 +931,7 @@ impl UdsEndpoint {
     fn checkout(&self) -> std::io::Result<(UnixStream, bool)> {
         {
             let mut idle = self.idle.lock();
-            prune_idle(&mut idle, Instant::now());
+            prune_idle(&mut idle, self.clock.now());
             if let Some((stream, _)) = idle.pop() {
                 return Ok((stream, true));
             }
@@ -940,7 +974,7 @@ impl UdsEndpoint {
     /// Returns a connection that completed a full round trip to the pool;
     /// an errored one is simply dropped (closed).
     fn checkin(&self, stream: UnixStream) {
-        let now = Instant::now();
+        let now = self.clock.now();
         let mut idle = self.idle.lock();
         prune_idle(&mut idle, now);
         if idle.len() < MAX_IDLE_CONNECTIONS {
@@ -1311,10 +1345,9 @@ mod tests {
 
     #[test]
     fn prune_idle_drops_only_expired_connections() {
-        // Work forward from `base` (subtracting from Instant::now() can
-        // underflow on a freshly booted machine): entries stamped `base`
-        // are past the TTL at pruning time `now`, fresh ones are not.
-        let base = Instant::now();
+        // Entries stamped `base` are past the TTL at pruning time `now`,
+        // fresh ones are not.
+        let base = Duration::from_secs(100);
         let now = base + IDLE_CONNECTION_TTL + Duration::from_secs(1);
         let mut idle = Vec::new();
         for _ in 0..2 {
@@ -1445,17 +1478,20 @@ mod tests {
     #[test]
     fn retry_policy_respects_its_deadline() {
         use std::io::{Error, ErrorKind};
-        // Huge attempt budget but a deadline shorter than one backoff:
-        // the policy must stop sleeping and return the last error.
+        // Huge attempt budget but a deadline shorter than one backoff: the
+        // policy must stop sleeping and return the last error. Run it on a
+        // virtual clock — the whole schedule evaluates in logical time, so
+        // the test cannot hang even if the deadline check regresses.
+        let clock = Clock::simulated(7);
         let policy = RetryPolicy {
             max_attempts: 1_000,
             base_delay: Duration::from_secs(10),
             max_delay: Duration::from_secs(10),
             deadline: Duration::from_millis(5),
             ..RetryPolicy::default()
-        };
+        }
+        .with_clock(clock.clone());
         let mut calls = 0u32;
-        let start = Instant::now();
         let err = policy
             .run(|_| -> std::io::Result<()> {
                 calls += 1;
@@ -1463,8 +1499,25 @@ mod tests {
             })
             .unwrap_err();
         assert!(calls < 3, "deadline should cut the schedule short");
-        assert!(start.elapsed() < Duration::from_secs(5));
+        // The first backoff (≥ 5 s jittered) overshoots the 5 ms deadline,
+        // so no sleep was ever taken: virtual time did not move.
+        assert_eq!(clock.now(), Duration::ZERO);
         assert_eq!(err.kind(), ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn retry_policy_jitter_replays_from_a_pinned_seed() {
+        // Same seed ⇒ identical backoff sequences across instances; a
+        // different seed diverges somewhere in the first few draws.
+        let a = RetryPolicy::default().with_seed(42);
+        let b = RetryPolicy::default().with_seed(42);
+        let c = RetryPolicy::default().with_seed(43);
+        let seq = |p: &RetryPolicy| (0..8).map(|r| p.backoff_delay(r)).collect::<Vec<_>>();
+        let (sa, sb, sc) = (seq(&a), seq(&b), seq(&c));
+        assert_eq!(sa, sb, "pinned seed must replay the jitter stream");
+        assert_ne!(sa, sc, "distinct seeds should decorrelate");
+        // Cloning resets the stream position but keeps the seed.
+        assert_eq!(seq(&a.clone()), sa);
     }
 
     #[test]

@@ -3,20 +3,31 @@
 //!
 //! One trial = one `TORTURE_SEED`. The seed derives *everything* random in
 //! the trial — the daemon's [`FaultPlan`] (short/torn writes, injected
-//! EIO/ENOSPC, dropped fsyncs, connection resets), the per-client workload
-//! mix, and the kill schedule — so a failing trial reproduces from the
-//! printed seed alone, with no dependence on thread count or wall-clock
-//! timing beyond which operations manage to run before a mid-phase kill
-//! (the *validity* checks are timing-independent: they accept any prefix of
-//! the workload having landed, but never a torn or leaked state).
+//! EIO/ENOSPC, dropped fsyncs), the per-client workload mix, the kill
+//! schedule, retry jitter, and (in the default deterministic mode) the
+//! *interleaving*: the trial runs on a seeded [`VirtualClock`] and a
+//! cooperative scheduler ([`CoopSched`]) that grants exactly one client
+//! thread the right to run between explicit yield points at daemon round
+//! trips. Two runs of the same seed therefore replay the same fault trace
+//! and the same operation history, byte for byte — a failing seed
+//! reproduces from the printed number alone.
+//!
+//! Setting [`TortureConfig::deterministic`] to `false` restores the
+//! free-running wall-clock harness: client threads race for real, the kill
+//! schedule is a timed fuse, and connection resets ([`FaultProfile::
+//! conn_reset_ppm`]) are live. Deterministic runs zero `conn_reset_ppm`:
+//! reset decisions are drawn per kernel socket event, and the *number* of
+//! socket events per request depends on kernel timing, so they cannot be
+//! replayed. Wall-clock mode is where reset coverage lives.
 //!
 //! A trial runs several *phases*. Each phase starts the daemon and its UDS
 //! server, unleashes `clients` threads doing a mixed workload (counter
 //! transactions on a per-client pool, ephemeral pool create/drop, stats and
 //! reads), then tears the daemon down — either gracefully after the clients
-//! finish, or abruptly mid-work on seeds that schedule a kill. Between
-//! phases the harness restarts the daemon with faults quiesced, runs
-//! recovery, and checks:
+//! finish, or abruptly mid-work on seeds that schedule a kill (after a
+//! seeded number of scheduler yields in deterministic mode, after a seeded
+//! number of milliseconds in wall-clock mode). Between phases the harness
+//! restarts the daemon with faults quiesced, runs recovery, and checks:
 //!
 //! * the shared structural layer — [`puddled::Invariants`]: registry /
 //!   allocator consistency, no overlapping or leaked extents, no orphaned
@@ -33,16 +44,21 @@
 //! vacuous. Recovery-under-fault is covered separately by the failpoint
 //! crash tests (`wal_crash`, `crash_sweep`).
 //!
-//! Consumed by `crates/puddled/tests/torture.rs` (bounded in-tree sweep)
-//! and the `torture_sweep` bench binary (deep CI sweeps).
+//! Consumed by `crates/puddled/tests/torture.rs` (bounded in-tree sweep +
+//! the same-seed replay gate) and the `torture_sweep` bench binary (deep
+//! CI sweeps, `--replay-check` determinism gate).
+//!
+//! [`VirtualClock`]: puddles_pmem::clock::VirtualClock
 
 use crate::{PoolOptions, PuddleClient, RetryPolicy};
 use puddled::{Daemon, DaemonConfig, Invariants, UdsServer};
+use puddles_pmem::clock::Clock;
 use puddles_pmem::faultio::{FaultPlan, FaultProfile};
 use std::collections::BTreeSet;
+
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// The persistent root of each client's counter pool.
@@ -56,7 +72,8 @@ crate::impl_pm_type!(TortureCounter, "torture::Counter", []);
 /// [`TortureConfig::from_seed`], overridable for focused tests.
 #[derive(Debug, Clone)]
 pub struct TortureConfig {
-    /// The trial seed — drives the fault plan, workload, and kill schedule.
+    /// The trial seed — drives the fault plan, workload, kill schedule,
+    /// virtual clock, and client interleaving.
     pub seed: u64,
     /// Concurrent client threads per phase.
     pub clients: usize,
@@ -66,6 +83,11 @@ pub struct TortureConfig {
     pub ops_per_client: usize,
     /// Fault probabilities for the daemon's I/O plane.
     pub profile: FaultProfile,
+    /// `true` (the default): run on a seeded virtual clock under the
+    /// cooperative scheduler, so the seed replays the exact execution.
+    /// `false`: free-running threads on the wall clock — more concurrency
+    /// stress (and live connection resets), no replay guarantee.
+    pub deterministic: bool,
 }
 
 impl TortureConfig {
@@ -81,7 +103,8 @@ impl TortureConfig {
         if r.next().is_multiple_of(4) {
             profile.write_enospc_ppm = 200;
         }
-        // One in two injects connection resets.
+        // One in two injects connection resets (wall-clock mode only; the
+        // deterministic harness zeroes this, see the module docs).
         if r.next().is_multiple_of(2) {
             profile.conn_reset_ppm = 2_000 + (r.next() % 8_000) as u32;
         }
@@ -91,6 +114,7 @@ impl TortureConfig {
             phases: 2 + (r.next() % 2) as usize,
             ops_per_client: 20 + (r.next() % 32) as usize,
             profile,
+            deterministic: true,
         }
     }
 }
@@ -106,6 +130,13 @@ pub struct TortureReport {
     pub acked_ops: u64,
     /// Phases that ended in a mid-work kill.
     pub kills: usize,
+    /// The full fault trace (`site#occurrence: fault`, in injection order).
+    /// Byte-identical across same-seed deterministic runs.
+    pub fault_trace: Vec<String>,
+    /// The scheduled operation history (`p<phase> c<client> <op> <outcome>`,
+    /// in execution order). Byte-identical across same-seed deterministic
+    /// runs; unordered (racy) in wall-clock mode.
+    pub history: Vec<String>,
 }
 
 /// A failed trial: the violation plus everything needed to reproduce it.
@@ -173,6 +204,179 @@ impl Drop for TrialDir {
     }
 }
 
+/// Cooperative scheduler for deterministic trials: exactly one client
+/// thread runs between yield points, and which one runs next is a seeded
+/// draw over the runnable set — so the interleaving is a pure function of
+/// the trial seed.
+///
+/// Lifecycle: every client [`register`]s (a barrier — no one is scheduled
+/// until all expected clients have arrived, so the pick sequence does not
+/// depend on thread start-up order), then alternates between running and
+/// [`yield_now`] at daemon round-trip boundaries, and [`finish`]es when its
+/// phase function returns. The kill schedule is a *yield budget*: when the
+/// total yield count reaches `kill_at`, scheduling pauses with every client
+/// parked at a yield point (none mid-round-trip), the driver tears the
+/// server down at that quiesced instant, and [`resume`] lets the clients
+/// run on to observe the kill.
+///
+/// [`register`]: CoopSched::register
+/// [`yield_now`]: CoopSched::yield_now
+/// [`finish`]: CoopSched::finish
+/// [`resume`]: CoopSched::resume
+struct CoopSched {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+struct SchedState {
+    rng: Splitmix,
+    /// Clients this phase will run; scheduling starts once all registered.
+    expected: usize,
+    registered: usize,
+    finished: usize,
+    /// Clients parked at a yield point, waiting to be picked. A sorted
+    /// set, not a queue: thread *arrival* order at the registration
+    /// barrier races across runs, so the seeded pick must index a
+    /// canonically ordered view to stay replayable.
+    runnable: BTreeSet<usize>,
+    /// The one client currently allowed to run.
+    current: Option<usize>,
+    /// Total yields so far (the kill schedule's time base).
+    yields: u64,
+    /// Pause scheduling once `yields` reaches this.
+    kill_at: Option<u64>,
+    kill_reached: bool,
+    paused: bool,
+}
+
+impl CoopSched {
+    fn new(seed: u64, expected: usize, kill_at: Option<u64>) -> Arc<CoopSched> {
+        Arc::new(CoopSched {
+            state: Mutex::new(SchedState {
+                rng: Splitmix(seed),
+                expected,
+                registered: 0,
+                finished: 0,
+                runnable: BTreeSet::new(),
+                current: None,
+                yields: 0,
+                kill_at,
+                kill_reached: false,
+                paused: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Hands the run token to a seeded pick from the runnable set, if the
+    /// token is free and scheduling is active.
+    fn pick_next(st: &mut SchedState) {
+        if st.paused || st.current.is_some() || st.registered < st.expected {
+            return;
+        }
+        if st.runnable.is_empty() {
+            return;
+        }
+        let i = (st.rng.next() % st.runnable.len() as u64) as usize;
+        let picked = *st.runnable.iter().nth(i).expect("non-empty runnable");
+        st.runnable.remove(&picked);
+        st.current = Some(picked);
+    }
+
+    /// Joins the phase and blocks until scheduled for the first time.
+    fn register(&self, idx: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.registered += 1;
+        st.runnable.insert(idx);
+        Self::pick_next(&mut st);
+        self.cv.notify_all();
+        while st.current != Some(idx) {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Surrenders the run token at a round-trip boundary and blocks until
+    /// scheduled again.
+    fn yield_now(&self, idx: usize) {
+        let mut st = self.state.lock().unwrap();
+        debug_assert_eq!(st.current, Some(idx), "yield from an unscheduled client");
+        st.yields += 1;
+        st.current = None;
+        st.runnable.insert(idx);
+        if let Some(at) = st.kill_at {
+            if !st.kill_reached && st.yields >= at {
+                // The kill point: freeze everyone at their yield points and
+                // wake the driver to pull the plug.
+                st.kill_reached = true;
+                st.paused = true;
+            }
+        }
+        Self::pick_next(&mut st);
+        self.cv.notify_all();
+        while st.current != Some(idx) {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Leaves the phase for good (the client's run token passes on).
+    fn finish(&self, idx: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.current == Some(idx) {
+            st.current = None;
+        } else {
+            st.runnable.remove(&idx);
+        }
+        st.finished += 1;
+        Self::pick_next(&mut st);
+        self.cv.notify_all();
+    }
+
+    /// Driver side: blocks until the kill point is reached (`true`) or
+    /// every client finished without one (`false`).
+    fn wait_kill_or_done(&self) -> bool {
+        let mut st = self.state.lock().unwrap();
+        while !st.kill_reached && st.finished < st.expected {
+            st = self.cv.wait(st).unwrap();
+        }
+        st.kill_reached
+    }
+
+    /// Driver side: restarts scheduling after the kill teardown.
+    fn resume(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.paused = false;
+        Self::pick_next(&mut st);
+        self.cv.notify_all();
+    }
+}
+
+/// Registers with the scheduler on construction and finishes on drop, so a
+/// client leaves the run queue on *every* exit path. Declared before the
+/// `PuddleClient` local in [`client_phase`]: locals drop in reverse order,
+/// so the client (whose `Drop` frees spare logs — daemon round trips)
+/// still holds the run token while it disconnects.
+struct SchedGuard<'a> {
+    sched: Option<&'a CoopSched>,
+    idx: usize,
+}
+
+impl<'a> SchedGuard<'a> {
+    fn new(sched: Option<&'a CoopSched>, idx: usize) -> SchedGuard<'a> {
+        if let Some(s) = sched {
+            s.register(idx);
+        }
+        SchedGuard { sched, idx }
+    }
+}
+
+impl Drop for SchedGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(s) = self.sched {
+            s.finish(self.idx);
+        }
+    }
+}
+
 /// Outcome bookkeeping shared by the trial's client threads.
 #[derive(Default)]
 struct Shadow {
@@ -185,41 +389,88 @@ struct Shadow {
     counters: Vec<(u64, u64)>,
     /// Total acknowledged operations (reporting only).
     acked_ops: u64,
+    /// Execution-ordered operation log (`p<phase> c<client> <op> <outcome>`).
+    /// Deliberately free of paths, durations, and counter *readings* — only
+    /// seed-derived facts — so same-seed deterministic runs match exactly.
+    history: Vec<String>,
+}
+
+/// One client thread's slice of a phase, bundled so the workload function
+/// stays readable.
+struct ClientCtx {
+    socket: PathBuf,
+    space: Arc<puddled::GlobalSpace>,
+    shadow: Arc<Mutex<Shadow>>,
+    stop: Arc<AtomicBool>,
+    sched: Option<Arc<CoopSched>>,
+    clock: Clock,
+    idx: usize,
+    phase: usize,
+    ops: usize,
+    rng: Splitmix,
+}
+
+impl ClientCtx {
+    /// A yield point: in deterministic mode, surrenders the run token
+    /// before the next daemon round trip; in wall-clock mode, a no-op.
+    fn yield_point(&self) {
+        if let Some(s) = &self.sched {
+            s.yield_now(self.idx);
+        }
+    }
+
+    /// Appends one operation record to the trial history.
+    fn record(&self, op: &str, ok: bool) {
+        let outcome = if ok { "ok" } else { "err" };
+        self.shadow
+            .lock()
+            .unwrap()
+            .history
+            .push(format!("p{} c{} {op} {outcome}", self.phase, self.idx));
+    }
 }
 
 /// Runs one client thread's workload for one phase.
-#[allow(clippy::too_many_arguments)]
-fn client_phase(
-    socket: &std::path::Path,
-    space: Arc<puddled::GlobalSpace>,
-    shadow: &Mutex<Shadow>,
-    stop: &AtomicBool,
-    client_idx: usize,
-    phase: usize,
-    ops: usize,
-    mut rng: Splitmix,
-) {
+fn client_phase(mut ctx: ClientCtx) {
+    // Drops last (declared first): the PuddleClient below must disconnect
+    // while this client still holds the scheduler's run token.
+    let _turn = SchedGuard::new(ctx.sched.as_deref(), ctx.idx);
+
     // Short per-op deadlines: after a scheduled mid-phase kill every call
     // fails, and the thread must notice `stop` quickly rather than sit out
-    // a long backoff schedule.
-    let retry = RetryPolicy::new(4, Duration::from_millis(150));
-    let Ok(client) = PuddleClient::connect_uds_shared_with_retry(socket, space, retry) else {
+    // a long backoff schedule. Jitter and sleeps ride the trial clock, so
+    // backoff is replayable and costs no wall time under virtual time.
+    let retry = RetryPolicy::new(4, Duration::from_millis(150))
+        .with_clock(ctx.clock.clone())
+        .with_seed(ctx.rng.next());
+    let connected =
+        PuddleClient::connect_uds_shared_with_retry(&ctx.socket, Arc::clone(&ctx.space), retry);
+    ctx.record("connect", connected.is_ok());
+    let Ok(client) = connected else {
         return; // Killed before the phase began; nothing acked, nothing owed.
     };
-    let ctr_name = format!("ctr{client_idx}");
+    let ctr_name = format!("ctr{}", ctx.idx);
+    ctx.yield_point();
     let ctr_pool = client
         .open_or_create_pool(&ctr_name, PoolOptions::default())
         .ok();
+    ctx.record("openctr", ctr_pool.is_some());
     if let Some(pool) = &ctr_pool {
         if pool.root::<TortureCounter>().is_none() {
-            let _ = pool.tx(|tx| pool.create_root(tx, TortureCounter { value: 0 }));
+            ctx.yield_point();
+            let made = pool.tx(|tx| pool.create_root(tx, TortureCounter { value: 0 }));
+            ctx.record("initroot", made.is_ok());
         }
     }
-    for op in 0..ops {
-        if stop.load(Ordering::Relaxed) {
+    for op in 0..ctx.ops {
+        if ctx.stop.load(Ordering::Relaxed) {
             return;
         }
-        match rng.next() % 10 {
+        ctx.yield_point();
+        if ctx.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match ctx.rng.next() % 10 {
             // Counter transaction: the data plane under metadata faults.
             0..=4 => {
                 let Some(pool) = &ctr_pool else { continue };
@@ -227,8 +478,8 @@ fn client_phase(
                     continue;
                 };
                 let next = {
-                    let mut sh = shadow.lock().unwrap();
-                    let (_, attempted) = &mut sh.counters[client_idx];
+                    let mut sh = ctx.shadow.lock().unwrap();
+                    let (_, attempted) = &mut sh.counters[ctx.idx];
                     *attempted += 1;
                     *attempted
                 };
@@ -237,9 +488,10 @@ fn client_phase(
                     tx.set(&mut counter.value, next)?;
                     Ok(())
                 });
+                ctx.record("ctr", result.is_ok());
                 if result.is_ok() {
-                    let mut sh = shadow.lock().unwrap();
-                    sh.counters[client_idx].0 = next;
+                    let mut sh = ctx.shadow.lock().unwrap();
+                    sh.counters[ctx.idx].0 = next;
                     sh.acked_ops += 1;
                 }
             }
@@ -247,15 +499,19 @@ fn client_phase(
             // again. Names are never reused, so an unacknowledged create
             // can land either way without confusing a later attempt.
             5 | 6 => {
-                let name = format!("e{client_idx}_{phase}_{op}");
-                if client.create_pool(&name, PoolOptions::default()).is_ok() {
-                    let mut sh = shadow.lock().unwrap();
+                let name = format!("e{}_{}_{op}", ctx.idx, ctx.phase);
+                let created = client.create_pool(&name, PoolOptions::default()).is_ok();
+                ctx.record("create", created);
+                if created {
+                    let mut sh = ctx.shadow.lock().unwrap();
                     sh.acked_created.insert(name.clone());
                     sh.acked_ops += 1;
                     drop(sh);
-                    if rng.next().is_multiple_of(2) {
+                    if ctx.rng.next().is_multiple_of(2) {
+                        ctx.yield_point();
                         let dropped = client.drop_pool(&name).is_ok();
-                        let mut sh = shadow.lock().unwrap();
+                        ctx.record("drop", dropped);
+                        let mut sh = ctx.shadow.lock().unwrap();
                         // Whether or not the drop was acknowledged, the
                         // pool's fate is no longer "must exist".
                         sh.acked_created.remove(&name);
@@ -268,15 +524,17 @@ fn client_phase(
             }
             // Idempotent reads: stats, pool open, ping.
             7 => {
-                if client.stats().is_ok() {
-                    shadow.lock().unwrap().acked_ops += 1;
+                let ok = client.stats().is_ok();
+                ctx.record("stats", ok);
+                if ok {
+                    ctx.shadow.lock().unwrap().acked_ops += 1;
                 }
             }
             8 => {
-                let _ = client.open_pool(&ctr_name);
+                ctx.record("open", client.open_pool(&ctr_name).is_ok());
             }
             _ => {
-                let _ = client.ping();
+                ctx.record("ping", client.ping().is_ok());
             }
         }
     }
@@ -284,7 +542,17 @@ fn client_phase(
 
 /// Runs one seeded torture trial.
 pub fn run_trial(config: &TortureConfig) -> Result<TortureReport, TortureFailure> {
-    let plan = FaultPlan::new(config.seed, config.profile);
+    // Deterministic trials run on a seeded virtual clock; reset decisions
+    // are per-socket-event (kernel-timing-dependent) and must stay off for
+    // the replay guarantee to hold (module docs).
+    let mut profile = config.profile;
+    let clock = if config.deterministic {
+        profile.conn_reset_ppm = 0;
+        Clock::simulated(config.seed)
+    } else {
+        Clock::real()
+    };
+    let plan = FaultPlan::new(config.seed, profile);
     let fail = |message: String| TortureFailure {
         seed: config.seed,
         message,
@@ -292,7 +560,9 @@ pub fn run_trial(config: &TortureConfig) -> Result<TortureReport, TortureFailure
     };
 
     let dir = TrialDir::new(config.seed).map_err(|e| fail(format!("trial dir: {e}")))?;
-    let daemon_config = DaemonConfig::for_testing(&dir.0).with_fault_plan(Arc::clone(&plan));
+    let daemon_config = DaemonConfig::for_testing(&dir.0)
+        .with_fault_plan(Arc::clone(&plan))
+        .with_clock(clock.clone());
     let shadow = Arc::new(Mutex::new(Shadow {
         counters: vec![(0, 0); config.clients],
         ..Shadow::default()
@@ -314,27 +584,52 @@ pub fn run_trial(config: &TortureConfig) -> Result<TortureReport, TortureFailure
                 .map_err(|e| fail(format!("phase {phase}: server start: {e}")))?,
         );
 
+        // The kill schedule: some phases chop the daemon down mid-work. In
+        // deterministic mode the draw is a yield budget (scheduler time);
+        // in wall-clock mode, milliseconds on a fuse. Same draws either
+        // way, so a seed's config is mode-independent.
+        let kill_after = (!rng.next().is_multiple_of(3)).then(|| 10 + rng.next() % 60);
+
+        let sched = config.deterministic.then(|| {
+            CoopSched::new(
+                config.seed ^ ((phase as u64) << 8) ^ 0x5ced,
+                config.clients,
+                kill_after,
+            )
+        });
         let stop = Arc::new(AtomicBool::new(false));
         let workers: Vec<_> = (0..config.clients)
             .map(|idx| {
-                let socket = socket.clone();
-                let space = daemon.global_space();
-                let shadow = Arc::clone(&shadow);
-                let stop = Arc::clone(&stop);
-                let ops = config.ops_per_client;
-                let rng = Splitmix(config.seed ^ ((phase as u64) << 32) ^ (idx as u64 + 1));
-                std::thread::spawn(move || {
-                    client_phase(&socket, space, &shadow, &stop, idx, phase, ops, rng)
-                })
+                let ctx = ClientCtx {
+                    socket: socket.clone(),
+                    space: daemon.global_space(),
+                    shadow: Arc::clone(&shadow),
+                    stop: Arc::clone(&stop),
+                    sched: sched.clone(),
+                    clock: clock.clone(),
+                    idx,
+                    phase,
+                    ops: config.ops_per_client,
+                    rng: Splitmix(config.seed ^ ((phase as u64) << 32) ^ (idx as u64 + 1)),
+                };
+                std::thread::spawn(move || client_phase(ctx))
             })
             .collect();
 
-        // The kill schedule: some phases chop the daemon down mid-work.
-        let kill_after = (!rng.next().is_multiple_of(3)).then(|| 10 + rng.next() % 60);
-        if let Some(ms) = kill_after {
-            std::thread::sleep(Duration::from_millis(ms));
+        if let Some(sched) = &sched {
+            // Deterministic: wait for the yield budget to run out (every
+            // client parked at a yield point — a quiesced instant the seed
+            // always reproduces) or for all clients to finish first.
+            if sched.wait_kill_or_done() {
+                stop.store(true, Ordering::Relaxed);
+                server = None; // Abrupt: in-flight connections reset.
+                kills += 1;
+                sched.resume();
+            }
+        } else if let Some(ms) = kill_after {
+            clock.sleep(Duration::from_millis(ms));
             stop.store(true, Ordering::Relaxed);
-            server = None; // Abrupt: in-flight connections reset.
+            server = None;
             kills += 1;
         }
         for worker in workers {
@@ -405,13 +700,39 @@ pub fn run_trial(config: &TortureConfig) -> Result<TortureReport, TortureFailure
         drop(sh);
     }
 
-    let acked_ops = shadow.lock().unwrap().acked_ops;
+    let mut sh = shadow.lock().unwrap();
     Ok(TortureReport {
         seed: config.seed,
         injected: plan.injected(),
-        acked_ops,
+        acked_ops: sh.acked_ops,
         kills,
+        fault_trace: plan.trace(),
+        history: std::mem::take(&mut sh.history),
     })
+}
+
+/// Sweep-level switches for [`run_sweep_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepOptions {
+    /// Run trials free-running on the wall clock instead of the
+    /// deterministic scheduler (restores connection-reset coverage,
+    /// forfeits replay).
+    pub wall_clock: bool,
+    /// Run every (deterministic) trial twice and fail on the first
+    /// fault-trace or history divergence — the CI determinism gate.
+    pub replay_check: bool,
+}
+
+/// Finds the first index where two replay logs diverge, for the gate's
+/// failure message.
+fn first_divergence(a: &[String], b: &[String]) -> String {
+    if a.len() != b.len() {
+        return format!("lengths differ: {} vs {}", a.len(), b.len());
+    }
+    match a.iter().zip(b).position(|(x, y)| x != y) {
+        Some(i) => format!("line {i}: `{}` vs `{}`", a[i], b[i]),
+        None => "identical".to_string(),
+    }
 }
 
 /// Runs `trials` seeded trials (`base_seed + index`) across `threads`
@@ -422,6 +743,16 @@ pub fn run_sweep(
     base_seed: u64,
     trials: u64,
     threads: u64,
+) -> Result<Vec<TortureReport>, TortureFailure> {
+    run_sweep_with(base_seed, trials, threads, SweepOptions::default())
+}
+
+/// [`run_sweep`] with explicit [`SweepOptions`].
+pub fn run_sweep_with(
+    base_seed: u64,
+    trials: u64,
+    threads: u64,
+    opts: SweepOptions,
 ) -> Result<Vec<TortureReport>, TortureFailure> {
     let threads = threads.clamp(1, trials.max(1));
     let next = Arc::new(AtomicU64::new(0));
@@ -437,9 +768,47 @@ pub fn run_sweep(
                 if trial >= trials || failure.lock().unwrap().is_some() {
                     return;
                 }
-                let config = TortureConfig::from_seed(base_seed.wrapping_add(trial));
+                let mut config = TortureConfig::from_seed(base_seed.wrapping_add(trial));
+                if opts.wall_clock {
+                    config.deterministic = false;
+                }
                 match run_trial(&config) {
-                    Ok(report) => reports.lock().unwrap().push(report),
+                    Ok(report) => {
+                        if opts.replay_check && config.deterministic {
+                            match run_trial(&config) {
+                                Ok(replay)
+                                    if replay.fault_trace != report.fault_trace
+                                        || replay.history != report.history =>
+                                {
+                                    *failure.lock().unwrap() = Some(TortureFailure {
+                                        seed: config.seed,
+                                        message: format!(
+                                            "replay diverged — faults: {}; history: {}",
+                                            first_divergence(
+                                                &report.fault_trace,
+                                                &replay.fault_trace
+                                            ),
+                                            first_divergence(&report.history, &replay.history),
+                                        ),
+                                        fault_trace: replay.fault_trace,
+                                    });
+                                    return;
+                                }
+                                Ok(_) => {}
+                                Err(fail) => {
+                                    *failure.lock().unwrap() = Some(TortureFailure {
+                                        message: format!(
+                                            "replay failed where the first run passed: {}",
+                                            fail.message
+                                        ),
+                                        ..fail
+                                    });
+                                    return;
+                                }
+                            }
+                        }
+                        reports.lock().unwrap().push(report);
+                    }
                     Err(fail) => *failure.lock().unwrap() = Some(fail),
                 }
             })

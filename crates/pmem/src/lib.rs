@@ -19,8 +19,12 @@
 //!   loss of unflushed cache lines for torn-write property tests.
 //! * [`checksum`] — FNV-1a 64-bit checksums used by log entries and
 //!   manifests.
+//! * [`clock`] — time as a value: a [`clock::Clock`] that is wall time in
+//!   production and a seeded deterministic [`clock::VirtualClock`] under
+//!   test, so a torture seed replays the same execution.
 
 pub mod checksum;
+pub mod clock;
 pub mod error;
 pub mod failpoint;
 pub mod faultio;

@@ -252,6 +252,17 @@ pub struct DaemonStats {
     /// Operations refused with a typed out-of-space error instead of
     /// poisoning the WAL or panicking.
     pub enospc_rejections: u64,
+    /// Live connections currently placed on each reactor (slots beyond
+    /// `reactors` are zero; the daemon shards across at most 4 reactors).
+    /// Makes accept-time placement skew observable: placement is
+    /// least-loaded at accept only and connections never migrate, so a
+    /// long-lived hot connection shows up here as a lopsided row.
+    #[serde(default)]
+    pub reactor_connections: [u64; 4],
+    /// Reactor threads the attached socket server is running (0 when no
+    /// socket server is attached, e.g. in-process endpoints).
+    #[serde(default)]
+    pub reactors: u64,
 }
 
 /// Machine-readable error categories returned by the daemon.

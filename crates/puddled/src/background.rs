@@ -31,7 +31,9 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use puddles_pmem::clock::Clock;
 
 /// A unit of background work.
 pub type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -59,13 +61,14 @@ struct TimerWheel {
     cursor: usize,
     /// Ticks processed since `epoch`.
     ticks: u64,
-    epoch: Instant,
+    /// Clock reading the wheel was created at; tick math is relative to it.
+    epoch: Duration,
     /// Entries currently parked (avoids scanning 256 slots to learn "any?").
     len: usize,
 }
 
 impl TimerWheel {
-    fn new(epoch: Instant) -> TimerWheel {
+    fn new(epoch: Duration) -> TimerWheel {
         TimerWheel {
             slots: (0..TIMER_SLOTS).map(|_| Vec::new()).collect(),
             cursor: 0,
@@ -91,9 +94,10 @@ impl TimerWheel {
         self.len += 1;
     }
 
-    /// Advances the wheel up to `now`, collecting every due task.
-    fn advance(&mut self, now: Instant, due: &mut Vec<Task>) {
-        let target = (now.duration_since(self.epoch).as_nanos() / TIMER_TICK.as_nanos()) as u64;
+    /// Advances the wheel up to `now` (a clock reading), collecting every
+    /// due task.
+    fn advance(&mut self, now: Duration, due: &mut Vec<Task>) {
+        let target = (now.saturating_sub(self.epoch).as_nanos() / TIMER_TICK.as_nanos()) as u64;
         while self.ticks < target {
             self.ticks += 1;
             self.cursor = (self.cursor + 1) % TIMER_SLOTS;
@@ -120,8 +124,9 @@ impl TimerWheel {
         }
     }
 
-    /// Instant of the next tick worth waking for, if anything is parked.
-    fn next_wake(&self) -> Option<Instant> {
+    /// Clock reading of the next tick worth waking for, if anything is
+    /// parked.
+    fn next_wake(&self) -> Option<Duration> {
         if self.len == 0 {
             return None;
         }
@@ -150,6 +155,8 @@ struct State {
 struct Inner {
     state: Mutex<State>,
     wake: Condvar,
+    /// Time source for the wheel and the idle wait; virtual under test.
+    clock: Clock,
     /// Tasks completed since start (drained tasks included).
     executed: AtomicU64,
     thread: Mutex<Option<JoinHandle<()>>>,
@@ -174,16 +181,23 @@ impl std::fmt::Debug for Background {
 }
 
 impl Background {
-    /// Starts the scheduler's worker thread.
+    /// Starts the scheduler's worker thread on the real clock.
     pub fn start(name: &str) -> Background {
+        Background::start_with_clock(name, Clock::real())
+    }
+
+    /// Starts the scheduler's worker thread reading time from `clock` —
+    /// a virtual clock makes the wheel's timeline test-controlled.
+    pub fn start_with_clock(name: &str, clock: Clock) -> Background {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
-                wheel: TimerWheel::new(Instant::now()),
+                wheel: TimerWheel::new(clock.now()),
                 shutdown: false,
                 paused: false,
             }),
             wake: Condvar::new(),
+            clock,
             executed: AtomicU64::new(0),
             thread: Mutex::new(None),
         });
@@ -296,7 +310,7 @@ fn worker_loop(inner: Arc<Inner>) {
             return;
         }
         if !state.paused {
-            state.wheel.advance(Instant::now(), &mut due);
+            state.wheel.advance(inner.clock.now(), &mut due);
             if let Some(task) = state.queue.pop_front() {
                 due.push(task);
             }
@@ -319,11 +333,10 @@ fn worker_loop(inner: Arc<Inner>) {
         };
         state = match wake_at {
             Some(at) => {
-                let now = Instant::now();
                 let timeout = at
-                    .saturating_duration_since(now)
+                    .saturating_sub(inner.clock.now())
                     .max(Duration::from_millis(1));
-                inner.wake.wait_timeout(state, timeout).unwrap().0
+                inner.clock.wait_timeout(state, &inner.wake, timeout).0
             }
             None => inner.wake.wait(state).unwrap(),
         };
@@ -355,10 +368,11 @@ mod tests {
     }
 
     fn wait_for(pred: impl Fn() -> bool, what: &str) {
-        let deadline = Instant::now() + Duration::from_secs(5);
+        let real = Clock::real();
+        let deadline = real.now() + Duration::from_secs(5);
         while !pred() {
-            assert!(Instant::now() < deadline, "timed out waiting for {what}");
-            std::thread::sleep(Duration::from_millis(2));
+            assert!(real.now() < deadline, "timed out waiting for {what}");
+            real.sleep(Duration::from_millis(2));
         }
     }
 
@@ -378,15 +392,16 @@ mod tests {
     #[test]
     fn timer_tasks_fire_after_their_delay() {
         let bg = Background::start("bg-timer");
+        let real = Clock::real();
         let hits = Arc::new(AtomicUsize::new(0));
-        let start = Instant::now();
+        let start = real.now();
         bg.submit_after(Duration::from_millis(50), counter_task(&hits));
         // A short-delay task must not wait for the long one.
         bg.submit_after(Duration::from_millis(10), counter_task(&hits));
         wait_for(|| hits.load(Ordering::SeqCst) >= 1, "first timer");
-        assert!(start.elapsed() < Duration::from_millis(45));
+        assert!(real.now() - start < Duration::from_millis(45));
         wait_for(|| hits.load(Ordering::SeqCst) == 2, "second timer");
-        assert!(start.elapsed() >= Duration::from_millis(50));
+        assert!(real.now() - start >= Duration::from_millis(50));
         bg.shutdown();
     }
 
@@ -394,7 +409,7 @@ mod tests {
     fn timer_beyond_one_wheel_revolution_still_fires() {
         // > TIMER_SLOTS * TICK would take seconds; instead park an entry
         // whose delay wraps the wheel exactly once via the rounds counter.
-        let mut wheel = TimerWheel::new(Instant::now());
+        let mut wheel = TimerWheel::new(Duration::ZERO);
         let fired = Arc::new(AtomicUsize::new(0));
         let f = Arc::clone(&fired);
         wheel.insert(
@@ -424,7 +439,7 @@ mod tests {
         // delay == TIMER_SLOTS ticks lands on the cursor's own slot; the
         // first arrival (one full revolution later) must fire it — not a
         // second revolution.
-        let mut wheel = TimerWheel::new(Instant::now());
+        let mut wheel = TimerWheel::new(Duration::ZERO);
         let fired = Arc::new(AtomicUsize::new(0));
         let f = Arc::clone(&fired);
         wheel.insert(
@@ -469,10 +484,41 @@ mod tests {
         bg.pause();
         let hits = Arc::new(AtomicUsize::new(0));
         bg.submit(counter_task(&hits));
-        std::thread::sleep(Duration::from_millis(30));
+        Clock::real().sleep(Duration::from_millis(30));
         assert_eq!(hits.load(Ordering::SeqCst), 0);
         bg.resume();
         wait_for(|| hits.load(Ordering::SeqCst) == 1, "resumed task");
+        bg.shutdown();
+    }
+
+    #[test]
+    fn virtual_clock_timers_fire_only_when_time_advances() {
+        let clock = Clock::simulated(42);
+        let vc = clock.virtual_clock().unwrap().clone();
+        vc.set_auto_advance(false);
+        let bg = Background::start_with_clock("bg-virtual", clock);
+        let hits = Arc::new(AtomicUsize::new(0));
+        bg.submit_after(Duration::from_millis(50), counter_task(&hits));
+        bg.submit_after(Duration::from_millis(10), counter_task(&hits));
+        // Immediate tasks still run: the worker is live, time is frozen.
+        bg.submit(counter_task(&hits));
+        wait_for(|| bg.executed() >= 1, "immediate task under frozen time");
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            1,
+            "timer fired with time frozen"
+        );
+        vc.advance(Duration::from_millis(10));
+        wait_for(
+            || hits.load(Ordering::SeqCst) == 2,
+            "10ms timer after advance",
+        );
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "50ms timer fired early");
+        vc.advance(Duration::from_millis(40));
+        wait_for(
+            || hits.load(Ordering::SeqCst) == 3,
+            "50ms timer after advance",
+        );
         bg.shutdown();
     }
 

@@ -13,6 +13,7 @@ use crate::recovery;
 use crate::registry::{LogSpaceRecord, PoolRecord, PuddleRecord, Registry, RegistryOpError};
 use crate::wal::{Wal, WalHandle};
 use crate::{acl, layout};
+use puddles_pmem::clock::Clock;
 use puddles_pmem::faultio::FaultPlan;
 use puddles_pmem::pmdir::PmDir;
 use puddles_pmem::util::align_up;
@@ -93,6 +94,14 @@ pub struct DaemonConfig {
     /// Seeded fault-injection plan for torture testing; `None` (production)
     /// injects nothing.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Time source for the background wheel, WAL checkpoint age, and the
+    /// UDS server's deadlines. A *virtual* clock additionally switches the
+    /// daemon into deterministic mode: checkpoints run inline on the
+    /// request thread (instead of riding the background scheduler) and the
+    /// age-based checkpoint timer is not armed, so WAL traffic is a pure
+    /// function of the request sequence — the property the torture
+    /// harness's replay guarantee rests on.
+    pub clock: Clock,
 }
 
 impl DaemonConfig {
@@ -107,6 +116,7 @@ impl DaemonConfig {
             max_in_flight: DEFAULT_MAX_IN_FLIGHT,
             max_pool_depth: 8,
             fault_plan: None,
+            clock: Clock::real(),
         }
     }
 
@@ -126,6 +136,7 @@ impl DaemonConfig {
             max_in_flight: DEFAULT_MAX_IN_FLIGHT,
             max_pool_depth: 8,
             fault_plan: None,
+            clock: Clock::real(),
         }
     }
 
@@ -139,6 +150,13 @@ impl DaemonConfig {
     /// Attaches a seeded fault-injection plan (torture testing only).
     pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Reads time from `clock`. A virtual clock also enables deterministic
+    /// mode (see the `clock` field docs).
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
         self
     }
 }
@@ -174,6 +192,11 @@ pub struct DaemonInner {
     /// `Hello` messages flagged `reconnect: true` (clients re-dialing after
     /// a dropped or reset connection).
     pub(crate) client_reconnects: AtomicU64,
+    /// Per-reactor live-connection counters, registered by the UDS server
+    /// at start and cleared at its shutdown; surfaced in `Stats` so
+    /// accept-time placement skew is observable. Empty when no socket
+    /// server is attached (in-process endpoints only).
+    pub(crate) reactor_loads: std::sync::Mutex<Vec<Arc<AtomicUsize>>>,
 }
 
 impl Drop for DaemonInner {
@@ -269,16 +292,22 @@ impl Daemon {
             pmdir = pmdir.with_fault_plan(Arc::clone(plan));
         }
         let gspace = Arc::new(GlobalSpace::reserve(config.space_base, config.space_size)?);
-        let wal: WalHandle = Arc::new(Wal::open(&pmdir)?);
+        let wal: WalHandle = Arc::new(Wal::open_with_clock(&pmdir, config.clock.clone())?);
         let registry = Arc::new(Registry::load_or_create_with_wal(
             &pmdir,
             wal,
             gspace.base() as u64,
             gspace.size() as u64,
         )?);
-        let background = Background::start("puddled-bg");
-        registry.enable_background_checkpoints(background.clone());
-        arm_age_checkpoint(background.clone(), Arc::downgrade(&registry));
+        let background = Background::start_with_clock("puddled-bg", config.clock.clone());
+        if !config.clock.is_virtual() {
+            registry.enable_background_checkpoints(background.clone());
+            arm_age_checkpoint(background.clone(), Arc::downgrade(&registry));
+        }
+        // Deterministic mode (virtual clock): no background handle on the
+        // registry, so threshold checkpoints and lazy coalesce passes run
+        // inline on the request thread in request order, and no age timer —
+        // the WAL's write sequence replays exactly per seed.
         let daemon = Daemon {
             inner: Arc::new(DaemonInner {
                 config,
@@ -291,6 +320,7 @@ impl Daemon {
                 logspace_puddles_swept: AtomicU64::new(0),
                 connections_rejected: AtomicU64::new(0),
                 client_reconnects: AtomicU64::new(0),
+                reactor_loads: std::sync::Mutex::new(Vec::new()),
             }),
         };
         daemon
@@ -335,6 +365,17 @@ impl Daemon {
     /// The metadata WAL handle (tests and tools tune thresholds through it).
     pub fn wal(&self) -> &WalHandle {
         self.inner.registry.wal()
+    }
+
+    /// The daemon's time source (shared with the UDS server's deadlines).
+    pub fn clock(&self) -> &Clock {
+        &self.inner.config.clock
+    }
+
+    /// Registers the UDS server's per-reactor live-connection counters for
+    /// `Stats` reporting; an empty vector detaches (server shutdown).
+    pub(crate) fn attach_reactor_loads(&self, loads: Vec<Arc<AtomicUsize>>) {
+        *self.inner.reactor_loads.lock().unwrap() = loads;
     }
 
     /// Forces a registry checkpoint now (normally triggered by WAL growth).
@@ -546,6 +587,15 @@ impl Daemon {
             transient_io_errors: io.transient_io_errors(),
             client_reconnects: self.inner.client_reconnects.load(Ordering::Relaxed),
             enospc_rejections: io.enospc_rejections(),
+            reactor_connections: {
+                let loads = self.inner.reactor_loads.lock().unwrap();
+                let mut per = [0u64; 4];
+                for (slot, load) in per.iter_mut().zip(loads.iter()) {
+                    *slot = load.load(Ordering::Relaxed) as u64;
+                }
+                per
+            },
+            reactors: self.inner.reactor_loads.lock().unwrap().len() as u64,
         }
     }
 

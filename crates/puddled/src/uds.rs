@@ -64,6 +64,7 @@
 
 use crate::service::{grant_limit, lane_of, Daemon, Lane, DEFAULT_MAX_IN_FLIGHT};
 use polling::{Event, Interest, Poller, Waker};
+use puddles_pmem::clock::Clock;
 use puddles_proto::frame::{FrameDecoder, V2_MAGIC};
 use puddles_proto::{frame, Credentials, Request, RequestEnvelope, Response, ResponseEnvelope};
 use std::collections::{HashMap, VecDeque};
@@ -74,7 +75,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Default bound on simultaneous client connections. A reactor holds one
 /// fd and a small state machine per connection — no thread — so this is a
@@ -251,8 +252,9 @@ struct ReactorShared {
     /// Connections owned by this reactor, **including** handed-off sockets
     /// it has not registered yet: the acceptor increments at handoff, the
     /// reactor decrements on close, so the global cap check never races a
-    /// not-yet-registered socket past the limit.
-    active: AtomicUsize,
+    /// not-yet-registered socket past the limit. Behind an `Arc` because
+    /// the daemon's `Stats` reports it (per-reactor placement skew).
+    active: Arc<AtomicUsize>,
 }
 
 impl ReactorShared {
@@ -261,7 +263,7 @@ impl ReactorShared {
             waker: Waker::new()?,
             incoming: Mutex::new(Vec::new()),
             completions: Mutex::new(Vec::new()),
-            active: AtomicUsize::new(0),
+            active: Arc::new(AtomicUsize::new(0)),
         })
     }
 }
@@ -275,6 +277,67 @@ struct Shared {
     acceptor_waker: Waker,
     queue: WorkQueue,
     reactors: Vec<Arc<ReactorShared>>,
+    /// Exit latches per thread group: each runtime thread signals its
+    /// latch on the way out, so shutdown waits on a condvar instead of
+    /// spin-polling `JoinHandle::is_finished` every 5 ms.
+    acceptor_exits: ExitLatch,
+    reactor_exits: ExitLatch,
+    worker_exits: ExitLatch,
+}
+
+/// Counts thread exits; [`UdsServer::shutdown`] blocks on the condvar until
+/// a group has fully arrived or its deadline passes. Virtual-clock-aware
+/// through [`Clock::wait_timeout`], so a simulated timeline drives shutdown
+/// deadlines exactly like every other timeout.
+struct ExitLatch {
+    exited: Mutex<usize>,
+    all_out: Condvar,
+}
+
+impl ExitLatch {
+    fn new() -> ExitLatch {
+        ExitLatch {
+            exited: Mutex::new(0),
+            all_out: Condvar::new(),
+        }
+    }
+
+    /// Signals one thread's exit (called from a drop guard, so panics and
+    /// early returns still count).
+    fn arrive(&self) {
+        *self.exited.lock().unwrap() += 1;
+        self.all_out.notify_all();
+    }
+
+    /// Waits until `n` threads have arrived or `clock` passes `deadline`;
+    /// `true` when the whole group is out. The round cap bounds the wait in
+    /// real time when a *frozen* virtual clock would otherwise never reach
+    /// the deadline (each virtual-clock round is a short real-time poll).
+    fn wait_all(&self, n: usize, clock: &Clock, deadline: Duration) -> bool {
+        const MAX_ROUNDS: u32 = 20_000;
+        let mut exited = self.exited.lock().unwrap();
+        let mut rounds = 0u32;
+        while *exited < n {
+            let now = clock.now();
+            if now >= deadline || rounds >= MAX_ROUNDS {
+                return false;
+            }
+            rounds += 1;
+            let (guard, _) = clock.wait_timeout(exited, &self.all_out, deadline - now);
+            exited = guard;
+        }
+        true
+    }
+}
+
+/// Signals `ExitLatch::arrive` when dropped; lives at the top of each
+/// runtime thread so every exit path (including panics) is counted.
+struct ExitGuard<'a>(&'a ExitLatch);
+
+impl Drop for ExitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.arrive();
+    }
 }
 
 /// A running UNIX-domain-socket server for one daemon instance.
@@ -342,7 +405,19 @@ impl UdsServer {
             acceptor_waker: Waker::new()?,
             queue: WorkQueue::new(),
             reactors: reactor_shared,
+            acceptor_exits: ExitLatch::new(),
+            reactor_exits: ExitLatch::new(),
+            worker_exits: ExitLatch::new(),
         });
+        // Publish the per-reactor connection counters for `Stats`
+        // (reactor-skew observability); detached again at shutdown.
+        shared.daemon.attach_reactor_loads(
+            shared
+                .reactors
+                .iter()
+                .map(|r| Arc::clone(&r.active))
+                .collect(),
+        );
 
         let worker_count = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -363,7 +438,10 @@ impl UdsServer {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("puddled-worker-{i}"))
-                    .spawn(move || worker_loop(shared, role))?,
+                    .spawn(move || {
+                        let _exit = ExitGuard(&shared.worker_exits);
+                        worker_loop(&shared, role);
+                    })?,
             );
         }
 
@@ -374,7 +452,8 @@ impl UdsServer {
                 std::thread::Builder::new()
                     .name(format!("puddled-reactor-{index}"))
                     .spawn(move || {
-                        let mut r = match Reactor::new(shared, index) {
+                        let _exit = ExitGuard(&shared.reactor_exits);
+                        let mut r = match Reactor::new(Arc::clone(&shared), index) {
                             Ok(r) => r,
                             Err(_) => return,
                         };
@@ -387,10 +466,12 @@ impl UdsServer {
         let acceptor = std::thread::Builder::new()
             .name("puddled-acceptor".into())
             .spawn(move || {
-                let mut a = match Acceptor::new(acceptor_shared, listener, max_connections) {
-                    Ok(a) => a,
-                    Err(_) => return,
-                };
+                let _exit = ExitGuard(&acceptor_shared.acceptor_exits);
+                let mut a =
+                    match Acceptor::new(Arc::clone(&acceptor_shared), listener, max_connections) {
+                        Ok(a) => a,
+                        Err(_) => return,
+                    };
                 a.run();
             })?;
 
@@ -428,37 +509,49 @@ impl UdsServer {
         for r in &self.shared.reactors {
             r.waker.wake();
         }
-        let deadline = Instant::now() + SHUTDOWN_GRACE + Duration::from_secs(2);
+        let clock = self.shared.daemon.clock().clone();
+        let deadline = clock.now() + SHUTDOWN_GRACE + Duration::from_secs(2);
+        let out = self.shared.acceptor_exits.wait_all(
+            usize::from(self.acceptor.is_some()),
+            &clock,
+            deadline,
+        );
         if let Some(handle) = self.acceptor.take() {
-            join_with_deadline(handle, deadline.saturating_duration_since(Instant::now()));
+            join_or_detach(handle, out);
         }
+        let out = self
+            .shared
+            .reactor_exits
+            .wait_all(self.reactors.len(), &clock, deadline);
         for handle in self.reactors.drain(..) {
-            join_with_deadline(handle, deadline.saturating_duration_since(Instant::now()));
+            join_or_detach(handle, out);
         }
         // The reactors are gone; nothing enqueues work anymore. Drain the
         // workers (queued requests still execute — their mutations matter
         // even if no connection remains to read the response).
         self.shared.queue.close();
+        let out = self
+            .shared
+            .worker_exits
+            .wait_all(self.workers.len(), &clock, deadline);
         for handle in self.workers.drain(..) {
-            join_with_deadline(handle, deadline.saturating_duration_since(Instant::now()));
+            join_or_detach(handle, out);
         }
+        self.shared.daemon.attach_reactor_loads(Vec::new());
         let _ = std::fs::remove_file(&self.path);
     }
 }
 
-/// Joins `handle` if it finishes within `limit`, detaching it otherwise
-/// (dropping a `JoinHandle` detaches the thread; a detached thread only
-/// holds fds that process teardown closes).
-fn join_with_deadline(handle: JoinHandle<()>, limit: Duration) {
-    let deadline = Instant::now() + limit;
-    while !handle.is_finished() {
-        if Instant::now() >= deadline {
-            drop(handle);
-            return;
-        }
-        std::thread::sleep(Duration::from_millis(5));
+/// Joins `handle` when its exit latch fired (`arrived` — the join then only
+/// waits out final thread teardown, microseconds); otherwise joins only an
+/// already-finished thread and detaches stragglers (a detached thread holds
+/// nothing but fds that process teardown closes).
+fn join_or_detach(handle: JoinHandle<()>, arrived: bool) {
+    if arrived || handle.is_finished() {
+        let _ = handle.join();
+    } else {
+        drop(handle);
     }
-    let _ = handle.join();
 }
 
 impl Drop for UdsServer {
@@ -467,7 +560,7 @@ impl Drop for UdsServer {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, role: WorkerRole) {
+fn worker_loop(shared: &Arc<Shared>, role: WorkerRole) {
     while let Some(item) = shared.queue.pop(role) {
         let resp = shared.daemon.handle(item.creds, item.req);
         let encoded = encode_response(item.req_id, resp);
@@ -537,9 +630,11 @@ struct Acceptor {
     /// persistent accept failure backs off, so a full backlog does not
     /// busy-loop on level-triggered accept readiness).
     accepting: bool,
-    /// Accepting is paused until this instant after a persistent accept
-    /// failure (e.g. EMFILE under a low fd rlimit).
-    accept_backoff_until: Option<Instant>,
+    /// Accepting is paused until this clock reading after a persistent
+    /// accept failure (e.g. EMFILE under a low fd rlimit).
+    accept_backoff_until: Option<Duration>,
+    /// The daemon's time source (virtual under torture).
+    clock: Clock,
     /// Pre-encoded `Busy` rejection frame (a bare v1 response: it is sent
     /// before the client's preamble could have been read, and v2 clients
     /// decode bare frames via `ServerFrame`).
@@ -559,6 +654,7 @@ impl Acceptor {
             code: puddles_proto::ErrorCode::Busy,
             message: format!("connection limit reached ({max_connections})"),
         })?;
+        let clock = shared.daemon.clock().clone();
         Ok(Acceptor {
             shared,
             poller,
@@ -566,6 +662,7 @@ impl Acceptor {
             max_connections,
             accepting: true,
             accept_backoff_until: None,
+            clock,
             busy_frame,
         })
     }
@@ -579,7 +676,7 @@ impl Acceptor {
                 return;
             }
             if let Some(until) = self.accept_backoff_until {
-                if Instant::now() >= until {
+                if self.clock.now() >= until {
                     self.accept_backoff_until = None;
                     self.resume_accepting();
                 }
@@ -609,7 +706,7 @@ impl Acceptor {
                 // short backoff.
                 Err(_) => {
                     self.pause_accepting();
-                    self.accept_backoff_until = Some(Instant::now() + Duration::from_millis(10));
+                    self.accept_backoff_until = Some(self.clock.now() + Duration::from_millis(10));
                     return;
                 }
             }
@@ -789,8 +886,14 @@ struct Reactor {
     poller: Poller,
     conns: HashMap<u64, Conn>,
     next_token: u64,
-    /// Set once shutdown is observed; records the drain deadline.
-    draining: Option<Instant>,
+    /// Set once shutdown is observed; records the drain deadline (a clock
+    /// reading).
+    draining: Option<Duration>,
+    /// The daemon's time source (virtual under torture).
+    clock: Clock,
+    /// Poll rounds spent draining: a real-time bound on the drain when a
+    /// frozen virtual clock can never reach the deadline.
+    drain_rounds: u32,
 }
 
 impl Reactor {
@@ -798,6 +901,7 @@ impl Reactor {
         let me = Arc::clone(&shared.reactors[index]);
         let poller = Poller::new()?;
         poller.add(me.waker.fd(), TOKEN_WAKER, Interest::READABLE)?;
+        let clock = shared.daemon.clock().clone();
         Ok(Reactor {
             shared,
             index,
@@ -806,6 +910,8 @@ impl Reactor {
             conns: HashMap::new(),
             next_token: FIRST_CONN_TOKEN,
             draining: None,
+            clock,
+            drain_rounds: 0,
         })
     }
 
@@ -984,7 +1090,7 @@ impl Reactor {
     // -- Shutdown -----------------------------------------------------------
 
     fn begin_drain(&mut self) {
-        self.draining = Some(Instant::now() + SHUTDOWN_GRACE);
+        self.draining = Some(self.clock.now() + SHUTDOWN_GRACE);
         // Idle connections go immediately; busy ones get the grace period
         // to finish their in-flight requests and flush.
         let idle: Vec<u64> = self
@@ -999,7 +1105,11 @@ impl Reactor {
     }
 
     fn drain_finished(&mut self) -> bool {
+        // ~SHUTDOWN_GRACE of 20 ms poll rounds: the real-time fallback for
+        // a frozen virtual clock (whose deadline would never arrive).
+        const MAX_DRAIN_ROUNDS: u32 = 500;
         let deadline = self.draining.expect("only called while draining");
+        self.drain_rounds += 1;
         let done: Vec<u64> = self
             .conns
             .iter()
@@ -1009,7 +1119,9 @@ impl Reactor {
         for token in done {
             self.remove_conn(token);
         }
-        self.conns.is_empty() || Instant::now() >= deadline
+        self.conns.is_empty()
+            || self.clock.now() >= deadline
+            || self.drain_rounds >= MAX_DRAIN_ROUNDS
     }
 }
 

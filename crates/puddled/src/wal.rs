@@ -56,7 +56,9 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::Duration;
+
+use puddles_pmem::clock::Clock;
 
 /// Name of the WAL file inside the PM directory's `meta/` subdirectory.
 pub const WAL_FILE: &str = "registry.wal";
@@ -651,8 +653,8 @@ struct WalState {
     /// registry may be ahead of the log, so all further WAL traffic is
     /// refused and the daemon must restart and recover.
     poisoned: bool,
-    /// When the WAL was last truncated by a checkpoint.
-    last_checkpoint: Instant,
+    /// Clock reading when the WAL was last truncated by a checkpoint.
+    last_checkpoint: Duration,
     /// Checkpoints completed since open.
     checkpoints: u64,
 }
@@ -681,6 +683,8 @@ pub struct Wal {
     /// Robustness counters shared with the owning `PmDir` (and through it,
     /// the daemon's `Stats` response).
     io_stats: Arc<IoStats>,
+    /// Time source for checkpoint age/staleness; virtual under torture.
+    clock: Clock,
 }
 
 impl Wal {
@@ -690,6 +694,12 @@ impl Wal {
     /// append could bury it mid-file where replay would discard everything
     /// after it.
     pub fn open(pmdir: &PmDir) -> Result<Wal> {
+        Wal::open_with_clock(pmdir, Clock::real())
+    }
+
+    /// [`Wal::open`], reading checkpoint age from `clock` — virtual under
+    /// the torture harness so staleness is part of the replayed timeline.
+    pub fn open_with_clock(pmdir: &PmDir, clock: Clock) -> Result<Wal> {
         let path = pmdir.meta_path(WAL_FILE);
         let existing = match fs::read(&path) {
             Ok(bytes) => bytes,
@@ -719,7 +729,7 @@ impl Wal {
                 next_seq,
                 records: records.len() as u64,
                 poisoned: false,
-                last_checkpoint: Instant::now(),
+                last_checkpoint: clock.now(),
                 checkpoints: 0,
             }),
             durable: Condvar::new(),
@@ -728,6 +738,7 @@ impl Wal {
             initial_replay: Mutex::new(Some(records)),
             fault: pmdir.fault_plan().cloned(),
             io_stats: Arc::clone(pmdir.io_stats()),
+            clock,
         })
     }
 
@@ -996,7 +1007,7 @@ impl Wal {
                 // rotated, which sit after the cut — is just the sequence
                 // distance from the cut; no re-decode needed.
                 state.records = state.next_seq - cut_seq;
-                state.last_checkpoint = Instant::now();
+                state.last_checkpoint = self.clock.now();
                 state.checkpoints += 1;
             }
             Err(_) => state.poisoned = true,
@@ -1047,7 +1058,11 @@ impl Wal {
             bytes: state.stream_pos - state.file_base,
             records: state.records,
             checkpoints: state.checkpoints,
-            checkpoint_age_ms: state.last_checkpoint.elapsed().as_millis() as u64,
+            checkpoint_age_ms: self
+                .clock
+                .now()
+                .saturating_sub(state.last_checkpoint)
+                .as_millis() as u64,
         }
     }
 }

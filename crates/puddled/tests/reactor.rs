@@ -663,3 +663,46 @@ fn connection_cap_rejects_with_a_busy_frame() {
     assert!(stats(&daemon).connections_rejected >= 1);
     server.shutdown();
 }
+
+/// The PR 6 reactor-skew caveat is observable: `Stats` carries live
+/// per-reactor connection counts that track accept placement and drain
+/// back to zero when connections close.
+#[test]
+fn stats_expose_per_reactor_connection_counts() {
+    let tmp = tempfile::tempdir().unwrap();
+    let daemon = Daemon::start(DaemonConfig::for_testing(tmp.path())).unwrap();
+    let socket = tmp.path().join("loads.sock");
+    let mut server = UdsServer::start_with_config(
+        daemon.clone(),
+        &socket,
+        ServerConfig {
+            max_connections: 64,
+            reactors: 2,
+        },
+    )
+    .unwrap();
+
+    let s = stats(&daemon);
+    assert_eq!(s.reactors, 2, "reactor count must surface in stats");
+    assert_eq!(s.reactor_connections.iter().sum::<u64>(), 0);
+
+    // Each hello round-trips, so the connection is registered with its
+    // reactor before the next connect (placement is least-loaded).
+    let held: Vec<UnixStream> = (0..4).map(|_| hello(&socket)).collect();
+    wait_until("connections counted per reactor", || {
+        stats(&daemon).reactor_connections.iter().sum::<u64>() == 4
+    });
+    let s = stats(&daemon);
+    // Least-loaded placement over two reactors must split 4 connections
+    // evenly — this is exactly the skew the counters exist to expose.
+    assert_eq!(s.reactor_connections[0], 2, "{:?}", s.reactor_connections);
+    assert_eq!(s.reactor_connections[1], 2, "{:?}", s.reactor_connections);
+
+    drop(held);
+    wait_until("counts drain after close", || {
+        stats(&daemon).reactor_connections.iter().sum::<u64>() == 0
+    });
+    server.shutdown();
+    // Detached at shutdown: a stopped server reports no reactors.
+    assert_eq!(stats(&daemon).reactors, 0);
+}

@@ -13,7 +13,31 @@
 //! `TORTURE_SEED=<seed> TORTURE_TRIALS=1`. The failing seed is also
 //! written to `target/torture_seed.txt` for CI artifact upload.
 
-use puddles::torture::{env_u64, run_sweep};
+use puddles::torture::{env_u64, run_sweep, run_trial, TortureConfig};
+
+/// The replay guarantee, in-tree: one seed, two runs, byte-identical
+/// fault traces and operation histories. (The deep CI gate is
+/// `torture_sweep --replay-check`.)
+#[test]
+fn same_seed_replays_identical_execution() {
+    let seed = env_u64("TORTURE_SEED", 0x7011_70BE);
+    let config = TortureConfig::from_seed(seed);
+    assert!(config.deterministic, "from_seed must default deterministic");
+    let first = run_trial(&config).unwrap_or_else(|f| panic!("{f}"));
+    let second = run_trial(&config).unwrap_or_else(|f| panic!("{f}"));
+    assert!(
+        !first.history.is_empty(),
+        "the trial must actually record operations"
+    );
+    assert_eq!(
+        first.fault_trace, second.fault_trace,
+        "same seed must inject the same faults in the same order"
+    );
+    assert_eq!(
+        first.history, second.history,
+        "same seed must replay the same operation interleaving"
+    );
+}
 
 #[test]
 fn seeded_torture_sweep() {
