@@ -339,6 +339,48 @@ fn run_pipelined(socket: &Path, conns: usize, depth: usize, duration: Duration) 
     }
 }
 
+/// `--hold-socket` mode: binds a daemon at `socket` and drives light
+/// Ping / CreatePool / DropPool load over one v1 connection for
+/// `hold_ms`, so an external `puddle-stat` can poll live, non-empty
+/// histograms (the CI observability smoke gate).
+fn run_hold(socket: &Path, hold_ms: u64) {
+    let tmp = tempfile::tempdir().expect("tempdir");
+    let daemon =
+        puddled::Daemon::start(puddled::DaemonConfig::for_testing(tmp.path())).expect("daemon");
+    let _server = puddled::UdsServer::start(daemon, socket).expect("server");
+    println!(
+        "# holding {} for {hold_ms}ms under light load",
+        socket.display()
+    );
+
+    let mut stream = connect(socket);
+    let deadline = Instant::now() + Duration::from_millis(hold_ms);
+    let mut seq = 0u64;
+    while Instant::now() < deadline {
+        let pool = format!("hold{}", seq % 8);
+        let reqs = [
+            Request::Ping,
+            Request::CreatePool {
+                name: pool.clone(),
+                root_size: 4096,
+                mode: 0o600,
+            },
+            Request::DropPool { name: pool },
+        ];
+        for req in reqs {
+            write_frame(&mut stream, &req).expect("hold request");
+            let resp: Response = read_frame(&mut stream).expect("hold response");
+            // Ping answers Welcome here (it measures daemon latency);
+            // only hard protocol errors on Ping should abort the hold.
+            if matches!(req, Request::Ping) {
+                assert!(!matches!(resp, Response::Error { .. }), "{resp:?}");
+            }
+        }
+        seq += 1;
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
 fn main() {
     let nofile = raise_nofile_limit();
     let scale = Scale::from_args();
@@ -348,7 +390,24 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1).cloned());
     let assert_scaling = args.iter().any(|a| a == "--assert-scaling");
+    let hold_socket = args
+        .iter()
+        .position(|a| a == "--hold-socket")
+        .and_then(|i| args.get(i + 1).cloned());
+    let hold_ms: u64 = args
+        .iter()
+        .position(|a| a == "--hold-ms")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("bad --hold-ms"))
+        .unwrap_or(5_000);
     emit_header();
+
+    // The hold phase runs first so an external poller gets a live socket
+    // as soon as possible; the measurement matrix uses fresh daemons and
+    // is unaffected.
+    if let Some(path) = &hold_socket {
+        run_hold(Path::new(path), hold_ms);
+    }
 
     let mut json = String::from("{\n  \"experiment\": \"conn_scaling\",\n  \"rows\": [\n");
     let mut first = true;

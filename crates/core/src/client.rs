@@ -81,6 +81,9 @@ pub(crate) struct ClientInner {
     /// chain extension); sizes the spare-log cache adaptively — see
     /// [`spare_capacity_for`].
     chain_depth_hwm: std::sync::atomic::AtomicUsize,
+    /// Client-local observability counters (retries, reconnects, pipeline
+    /// depth), shared with the endpoint; all-zero for in-process endpoints.
+    client_metrics: Arc<ClientMetrics>,
 }
 
 #[derive(Default)]
@@ -128,7 +131,12 @@ impl PuddleClient {
     pub fn connect_local_as(daemon: &Daemon, creds: Credentials) -> Result<Self> {
         let endpoint = Box::new(daemon.endpoint(creds));
         let gspace = daemon.global_space();
-        Self::finish_connect(endpoint, Some(gspace), creds)
+        Self::finish_connect(
+            endpoint,
+            Some(gspace),
+            creds,
+            Arc::new(ClientMetrics::default()),
+        )
     }
 
     /// Connects to a daemon over its UNIX-domain socket, speaking the
@@ -147,8 +155,11 @@ impl PuddleClient {
     /// policy governing connection dials and idempotent re-sends.
     pub fn connect_uds_with_retry(path: impl AsRef<Path>, retry: RetryPolicy) -> Result<Self> {
         let creds = Credentials::current_process();
-        let endpoint = Box::new(PipelinedEndpoint::new(path.as_ref(), retry));
-        Self::finish_connect(endpoint, None, creds)
+        let metrics = Arc::new(ClientMetrics::default());
+        let endpoint = Box::new(
+            PipelinedEndpoint::new(path.as_ref(), retry).with_client_metrics(Arc::clone(&metrics)),
+        );
+        Self::finish_connect(endpoint, None, creds, metrics)
     }
 
     /// Connects over the UNIX-domain socket speaking the legacy v1 protocol
@@ -156,8 +167,12 @@ impl PuddleClient {
     /// interoperability tests and as a fallback against pre-v2 daemons.
     pub fn connect_uds_v1(path: impl AsRef<Path>) -> Result<Self> {
         let creds = Credentials::current_process();
-        let endpoint = Box::new(UdsEndpoint::new(path.as_ref(), RetryPolicy::default()));
-        Self::finish_connect(endpoint, None, creds)
+        let metrics = Arc::new(ClientMetrics::default());
+        let endpoint = Box::new(
+            UdsEndpoint::new(path.as_ref(), RetryPolicy::default())
+                .with_client_metrics(Arc::clone(&metrics)),
+        );
+        Self::finish_connect(endpoint, None, creds, metrics)
     }
 
     /// Connects over the UNIX-domain socket while sharing an existing
@@ -193,15 +208,20 @@ impl PuddleClient {
         pool_depth: u32,
     ) -> Result<Self> {
         let creds = Credentials::current_process();
-        let endpoint =
-            Box::new(PipelinedEndpoint::new(path.as_ref(), retry).with_requested_depth(pool_depth));
-        Self::finish_connect(endpoint, Some(space), creds)
+        let metrics = Arc::new(ClientMetrics::default());
+        let endpoint = Box::new(
+            PipelinedEndpoint::new(path.as_ref(), retry)
+                .with_requested_depth(pool_depth)
+                .with_client_metrics(Arc::clone(&metrics)),
+        );
+        Self::finish_connect(endpoint, Some(space), creds, metrics)
     }
 
     fn finish_connect(
         endpoint: Box<dyn Endpoint>,
         shared_space: Option<Arc<GlobalSpace>>,
         creds: Credentials,
+        client_metrics: Arc<ClientMetrics>,
     ) -> Result<Self> {
         let resp = endpoint.call(&Request::hello(creds))?.into_result()?;
         let (space_base, space_size) = match resp {
@@ -237,6 +257,7 @@ impl PuddleClient {
                 log_puddle_size: std::sync::atomic::AtomicU64::new(LOG_PUDDLE_SIZE),
                 spare_logs: Mutex::new(Vec::new()),
                 chain_depth_hwm: std::sync::atomic::AtomicUsize::new(0),
+                client_metrics,
             }),
         })
     }
@@ -351,6 +372,22 @@ impl PuddleClient {
             Response::Stats(stats) => Ok(stats),
             other => Err(Error::UnexpectedResponse(format!("{other:?}"))),
         }
+    }
+
+    /// Fetches the daemon's metrics report: latency-series quantiles
+    /// (service, WAL flush, checkpoint, coalesce) plus counters.
+    pub fn metrics(&self) -> Result<puddles_proto::MetricsReport> {
+        match self.inner.call(&Request::GetMetrics)? {
+            Response::Metrics(report) => Ok(report),
+            other => Err(Error::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// This client's local observability counters (retry attempts,
+    /// reconnects, pipelined in-flight high-water), in the same report
+    /// shape as [`PuddleClient::metrics`]. Purely local — no round trip.
+    pub fn client_metrics(&self) -> puddles_proto::MetricsReport {
+        self.inner.client_metrics.report()
     }
 
     /// A no-op round trip to the daemon (used to measure daemon latency).
@@ -722,7 +759,49 @@ fn is_idempotent(req: &Request) -> bool {
             | Request::ExportPool { .. }
             | Request::Recover
             | Request::Stats
+            | Request::GetMetrics
     )
+}
+
+/// Client-local observability counters, shared by the endpoint, its retry
+/// policy, and every pipelined connection. Surfaced through
+/// [`PuddleClient::client_metrics`] in the same report shape the daemon's
+/// `GetMetrics` uses, so one consumer renders both sides.
+#[derive(Debug, Default)]
+pub struct ClientMetrics {
+    /// Retry attempts actually performed past each operation's first try
+    /// (dials and idempotent re-sends alike).
+    pub retry_attempts: std::sync::atomic::AtomicU64,
+    /// Re-dials after the first successful handshake (each also flags
+    /// `reconnect` in its `Hello`, so the daemon's count should match).
+    pub reconnects: std::sync::atomic::AtomicU64,
+    /// High-water mark of requests in flight on one pipelined connection
+    /// (how deep the id→waiter completion map has grown).
+    pub pipeline_depth_hwm: std::sync::atomic::AtomicU64,
+}
+
+impl ClientMetrics {
+    /// The counters as a wire-shaped report (no histogram series).
+    pub fn report(&self) -> puddles_proto::MetricsReport {
+        use std::sync::atomic::Ordering::Relaxed;
+        let counter = |name: &str, value: u64| puddles_proto::CounterSnapshot {
+            name: name.to_string(),
+            value,
+        };
+        puddles_proto::MetricsReport {
+            series: Vec::new(),
+            counters: vec![
+                counter(
+                    "client.pipeline_depth_hwm",
+                    self.pipeline_depth_hwm.load(Relaxed),
+                ),
+                counter("client.reconnects", self.reconnects.load(Relaxed)),
+                counter("client.retry_attempts", self.retry_attempts.load(Relaxed)),
+            ],
+            trace_buffered: 0,
+            trace_dropped: 0,
+        }
+    }
 }
 
 /// Reusable bounded retry policy: exponential backoff with jitter, capped
@@ -753,6 +832,8 @@ pub struct RetryPolicy {
     jitter_seq: std::sync::atomic::AtomicU64,
     /// Time source for deadlines and backoff sleeps.
     clock: Clock,
+    /// Counts retries actually performed into a client-local reporter.
+    metrics: Option<Arc<ClientMetrics>>,
 }
 
 impl Clone for RetryPolicy {
@@ -765,6 +846,7 @@ impl Clone for RetryPolicy {
             jitter_seed: self.jitter_seed,
             jitter_seq: std::sync::atomic::AtomicU64::new(0),
             clock: self.clock.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -782,6 +864,7 @@ impl Default for RetryPolicy {
             jitter_seed: entropy_seed(),
             jitter_seq: std::sync::atomic::AtomicU64::new(0),
             clock: Clock::real(),
+            metrics: None,
         }
     }
 }
@@ -830,6 +913,13 @@ impl RetryPolicy {
         &self.clock
     }
 
+    /// Counts retries this policy performs into `metrics` (attached by the
+    /// client's connect path; the counters are client-local).
+    fn with_metrics(mut self, metrics: Arc<ClientMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Runs `op` until it succeeds, fails non-transiently, or the attempt /
     /// deadline budget is spent. `op` receives the 0-based attempt number;
     /// attempts past the first follow a backoff sleep.
@@ -848,6 +938,11 @@ impl RetryPolicy {
                     let delay = self.backoff_delay(attempt - 1);
                     if self.clock.now().saturating_sub(start) + delay > self.deadline {
                         return Err(e);
+                    }
+                    if let Some(metrics) = &self.metrics {
+                        metrics
+                            .retry_attempts
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     }
                     self.clock.sleep(delay);
                 }
@@ -912,6 +1007,9 @@ struct UdsEndpoint {
     /// Set after the first successful handshake; later dials flag
     /// themselves `reconnect` in `Hello` so the daemon's stats count them.
     connected_once: std::sync::atomic::AtomicBool,
+    /// Client-local reporter (shared with the retry policy and the owning
+    /// client).
+    metrics: Arc<ClientMetrics>,
 }
 
 impl UdsEndpoint {
@@ -922,7 +1020,16 @@ impl UdsEndpoint {
             clock: retry.clock().clone(),
             retry,
             connected_once: std::sync::atomic::AtomicBool::new(false),
+            metrics: Arc::new(ClientMetrics::default()),
         }
+    }
+
+    /// Shares a client-local reporter (also wired into the retry policy so
+    /// its retry counts land in the same place).
+    fn with_client_metrics(mut self, metrics: Arc<ClientMetrics>) -> Self {
+        self.retry = self.retry.clone().with_metrics(Arc::clone(&metrics));
+        self.metrics = metrics;
+        self
     }
 
     /// Takes a live idle connection, or opens (and handshakes) a new one.
@@ -953,6 +1060,9 @@ impl UdsEndpoint {
             .connected_once
             .load(std::sync::atomic::Ordering::Relaxed)
         {
+            self.metrics
+                .reconnects
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             hello_reconnect(creds)
         } else {
             Request::hello(creds)
@@ -1060,12 +1170,24 @@ struct PipeConn {
     /// call on this connection can complete. The endpoint replaces it.
     dead: std::sync::atomic::AtomicBool,
     reader: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Client-local reporter; tracks the in-flight high-water mark.
+    metrics: Arc<ClientMetrics>,
 }
 
 impl PipeConn {
     /// Wraps an already-connected (and preamble-sent) stream, spawning the
-    /// reader thread.
+    /// reader thread (tests drive a connection without an endpoint).
+    #[cfg(test)]
     fn over_stream(stream: UnixStream) -> std::io::Result<Arc<PipeConn>> {
+        PipeConn::over_stream_with(stream, Arc::new(ClientMetrics::default()))
+    }
+
+    /// [`PipeConn::over_stream`] reporting into an existing client-local
+    /// reporter.
+    fn over_stream_with(
+        stream: UnixStream,
+        metrics: Arc<ClientMetrics>,
+    ) -> std::io::Result<Arc<PipeConn>> {
         let reader_stream = stream.try_clone()?;
         let conn = Arc::new(PipeConn {
             writer: Mutex::new(stream),
@@ -1073,6 +1195,7 @@ impl PipeConn {
             next_id: std::sync::atomic::AtomicU64::new(1),
             dead: std::sync::atomic::AtomicBool::new(false),
             reader: Mutex::new(None),
+            metrics,
         });
         let for_reader = Arc::clone(&conn);
         let handle = std::thread::Builder::new()
@@ -1099,7 +1222,14 @@ impl PipeConn {
             .next_id
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let waiter = Arc::new(Waiter::new());
-        self.pending.lock().insert(req_id, Arc::clone(&waiter));
+        let in_flight = {
+            let mut pending = self.pending.lock();
+            pending.insert(req_id, Arc::clone(&waiter));
+            pending.len() as u64
+        };
+        self.metrics
+            .pipeline_depth_hwm
+            .fetch_max(in_flight, std::sync::atomic::Ordering::Relaxed);
         let env = puddles_proto::RequestEnvelope {
             req_id,
             req: req.clone(),
@@ -1223,6 +1353,9 @@ struct PipelinedEndpoint {
     connected_once: std::sync::atomic::AtomicBool,
     /// Pool depth to *request* in `Hello` (0 = take the server default).
     requested_depth: u32,
+    /// Client-local reporter, shared with the retry policy and every
+    /// connection in the pool.
+    metrics: Arc<ClientMetrics>,
 }
 
 impl PipelinedEndpoint {
@@ -1235,7 +1368,16 @@ impl PipelinedEndpoint {
             depth: std::sync::atomic::AtomicUsize::new(PIPELINE_CONNECTIONS),
             connected_once: std::sync::atomic::AtomicBool::new(false),
             requested_depth: 0,
+            metrics: Arc::new(ClientMetrics::default()),
         }
+    }
+
+    /// Shares a client-local reporter (also wired into the retry policy so
+    /// its retry counts land in the same place).
+    fn with_client_metrics(mut self, metrics: Arc<ClientMetrics>) -> Self {
+        self.retry = self.retry.clone().with_metrics(Arc::clone(&metrics));
+        self.metrics = metrics;
+        self
     }
 
     /// Requests a specific connection-pool depth in the handshake; the
@@ -1277,15 +1419,21 @@ impl PipelinedEndpoint {
         let mut stream = UnixStream::connect(&self.path)?;
         // The version preamble: everything after it is enveloped frames.
         stream.write_all(&puddles_proto::frame::V2_MAGIC)?;
-        let conn = PipeConn::over_stream(stream)?;
+        let conn = PipeConn::over_stream_with(stream, Arc::clone(&self.metrics))?;
         let creds = Credentials::current_process();
+        let reconnect = self
+            .connected_once
+            .load(std::sync::atomic::Ordering::Relaxed);
+        if reconnect {
+            self.metrics
+                .reconnects
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
         let hello = Request::Hello {
             creds,
             max_in_flight: 0,
             pool_depth: self.requested_depth,
-            reconnect: self
-                .connected_once
-                .load(std::sync::atomic::Ordering::Relaxed),
+            reconnect,
         };
         // Handshake round trip: proves the daemon accepted the connection
         // (a cap rejection fails here, not on a later caller), fixes the

@@ -61,7 +61,7 @@ pub mod tx;
 pub mod types;
 
 pub use alloc::{MetaLogger, NoLog, ObjRef, PuddleAlloc};
-pub use client::{PuddleClient, RetryPolicy, LOGSPACE_PUDDLE_SIZE, LOG_PUDDLE_SIZE};
+pub use client::{ClientMetrics, PuddleClient, RetryPolicy, LOGSPACE_PUDDLE_SIZE, LOG_PUDDLE_SIZE};
 pub use error::{Error, Result};
 pub use interval::IntervalSet;
 pub use pool::{Pool, PoolOptions};

@@ -54,6 +54,8 @@ use crate::{PoolOptions, PuddleClient, RetryPolicy};
 use puddled::{Daemon, DaemonConfig, Invariants, UdsServer};
 use puddles_pmem::clock::Clock;
 use puddles_pmem::faultio::{FaultPlan, FaultProfile};
+use puddles_pmem::obs::Metrics;
+use serde::Serialize;
 use std::collections::BTreeSet;
 
 use std::path::PathBuf;
@@ -137,6 +139,12 @@ pub struct TortureReport {
     /// in execution order). Byte-identical across same-seed deterministic
     /// runs; unordered (racy) in wall-clock mode.
     pub history: Vec<String>,
+    /// The observability trace-ring dump (rendered [`puddles_pmem::obs::
+    /// TraceEvent`] lines: request start/end, WAL commits, checkpoints,
+    /// coalesce passes, injections, reconnects) across all phases of the
+    /// trial — one hub survives the kill/restart cycles. Byte-identical
+    /// across same-seed deterministic runs.
+    pub trace_dump: Vec<String>,
 }
 
 /// A failed trial: the violation plus everything needed to reproduce it.
@@ -148,6 +156,12 @@ pub struct TortureFailure {
     pub message: String,
     /// The per-trial fault trace (`site#occurrence: fault`).
     pub fault_trace: Vec<String>,
+    /// The trace-ring dump at failure time (the observability timeline the
+    /// fault trace interleaves into).
+    pub trace_dump: Vec<String>,
+    /// Path of the JSON artifact holding the full context (fault trace,
+    /// operation history, trace dump); `None` if writing it failed.
+    pub artifact: Option<PathBuf>,
 }
 
 impl std::fmt::Display for TortureFailure {
@@ -158,12 +172,42 @@ impl std::fmt::Display for TortureFailure {
             "reproduce with TORTURE_SEED={} TORTURE_TRIALS=1",
             self.seed
         )?;
+        if let Some(path) = &self.artifact {
+            writeln!(f, "failure artifact: {}", path.display())?;
+        }
         writeln!(f, "fault trace ({} injected):", self.fault_trace.len())?;
         for line in &self.fault_trace {
             writeln!(f, "  {line}")?;
         }
         Ok(())
     }
+}
+
+/// Everything a failing trial leaves behind, serialized to the JSON
+/// artifact named in [`TortureFailure::artifact`].
+#[derive(Debug, Serialize)]
+struct FailureArtifact {
+    seed: u64,
+    message: String,
+    fault_trace: Vec<String>,
+    history: Vec<String>,
+    trace_dump: Vec<String>,
+}
+
+/// Writes the failure artifact under `target/` (falling back to the OS
+/// temp dir outside a cargo workspace); best-effort — a failure to record
+/// the failure must not mask it.
+fn write_failure_artifact(artifact: &FailureArtifact) -> Option<PathBuf> {
+    let target = PathBuf::from("target");
+    let dir = if target.is_dir() {
+        target
+    } else {
+        std::env::temp_dir()
+    };
+    let path = dir.join(format!("torture_failure_{:x}.json", artifact.seed));
+    let bytes = serde_json::to_vec_pretty(artifact).ok()?;
+    std::fs::write(&path, bytes).ok()?;
+    Some(path)
 }
 
 /// splitmix64 — the same generator the fault plan uses, so the whole trial
@@ -553,20 +597,43 @@ pub fn run_trial(config: &TortureConfig) -> Result<TortureReport, TortureFailure
         Clock::real()
     };
     let plan = FaultPlan::new(config.seed, profile);
-    let fail = |message: String| TortureFailure {
-        seed: config.seed,
-        message,
-        fault_trace: plan.trace(),
+    // One metrics hub for the whole trial: passed to every daemon
+    // incarnation so the trace ring and histograms span the kill/restart
+    // cycles. On the virtual clock the dump is seed-deterministic.
+    let metrics = Metrics::new(clock.clone());
+    let shadow = Arc::new(Mutex::new(Shadow {
+        counters: vec![(0, 0); config.clients],
+        ..Shadow::default()
+    }));
+    let fail = |message: String| {
+        // `fail` runs inside verification loops that hold the shadow lock,
+        // so the history capture must be try_lock (empty if contended).
+        let history = shadow
+            .try_lock()
+            .map(|sh| sh.history.clone())
+            .unwrap_or_default();
+        let trace_dump = metrics.trace_dump();
+        let artifact = write_failure_artifact(&FailureArtifact {
+            seed: config.seed,
+            message: message.clone(),
+            fault_trace: plan.trace(),
+            history,
+            trace_dump: trace_dump.clone(),
+        });
+        TortureFailure {
+            seed: config.seed,
+            message,
+            fault_trace: plan.trace(),
+            trace_dump,
+            artifact,
+        }
     };
 
     let dir = TrialDir::new(config.seed).map_err(|e| fail(format!("trial dir: {e}")))?;
     let daemon_config = DaemonConfig::for_testing(&dir.0)
         .with_fault_plan(Arc::clone(&plan))
-        .with_clock(clock.clone());
-    let shadow = Arc::new(Mutex::new(Shadow {
-        counters: vec![(0, 0); config.clients],
-        ..Shadow::default()
-    }));
+        .with_clock(clock.clone())
+        .with_metrics(Arc::clone(&metrics));
     let mut rng = Splitmix(config.seed);
     let mut kills = 0usize;
 
@@ -708,6 +775,7 @@ pub fn run_trial(config: &TortureConfig) -> Result<TortureReport, TortureFailure
         kills,
         fault_trace: plan.trace(),
         history: std::mem::take(&mut sh.history),
+        trace_dump: metrics.trace_dump(),
     })
 }
 
@@ -778,19 +846,27 @@ pub fn run_sweep_with(
                             match run_trial(&config) {
                                 Ok(replay)
                                     if replay.fault_trace != report.fault_trace
-                                        || replay.history != report.history =>
+                                        || replay.history != report.history
+                                        || replay.trace_dump != report.trace_dump =>
                                 {
                                     *failure.lock().unwrap() = Some(TortureFailure {
                                         seed: config.seed,
                                         message: format!(
-                                            "replay diverged — faults: {}; history: {}",
+                                            "replay diverged — faults: {}; history: {}; \
+                                             trace: {}",
                                             first_divergence(
                                                 &report.fault_trace,
                                                 &replay.fault_trace
                                             ),
                                             first_divergence(&report.history, &replay.history),
+                                            first_divergence(
+                                                &report.trace_dump,
+                                                &replay.trace_dump
+                                            ),
                                         ),
                                         fault_trace: replay.fault_trace,
+                                        trace_dump: replay.trace_dump,
+                                        artifact: None,
                                     });
                                     return;
                                 }

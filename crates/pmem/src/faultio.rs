@@ -188,6 +188,10 @@ pub struct FaultPlan {
     injected: AtomicU64,
     enabled: AtomicBool,
     trace: Mutex<Vec<String>>,
+    /// Optional observability hub: every injection also lands in its trace
+    /// ring (as a `fault` event), so a torture timeline interleaves faults
+    /// with the requests and WAL commits they perturbed.
+    obs: Mutex<Option<Arc<crate::obs::Metrics>>>,
 }
 
 impl FaultPlan {
@@ -200,7 +204,14 @@ impl FaultPlan {
             injected: AtomicU64::new(0),
             enabled: AtomicBool::new(true),
             trace: Mutex::new(Vec::new()),
+            obs: Mutex::new(None),
         })
+    }
+
+    /// Mirrors every future injection into `obs`'s trace ring (idempotent;
+    /// the daemon re-attaches the same hub across torture restarts).
+    pub fn attach_obs(&self, obs: Arc<crate::obs::Metrics>) {
+        *self.obs.lock() = Some(obs);
     }
 
     /// The seed this plan's schedule derives from.
@@ -239,6 +250,9 @@ impl FaultPlan {
         self.trace
             .lock()
             .push(format!("{}#{n}: {what}", site.name()));
+        if let Some(obs) = self.obs.lock().as_ref() {
+            obs.trace(crate::obs::TraceEventKind::Fault, site.name(), n, 0);
+        }
     }
 
     /// Consults the schedule before a write of `len` bytes at `site`.

@@ -22,12 +22,16 @@
 //! * [`clock`] — time as a value: a [`clock::Clock`] that is wall time in
 //!   production and a seeded deterministic [`clock::VirtualClock`] under
 //!   test, so a torture seed replays the same execution.
+//! * [`obs`] — the observability plane: lock-free mergeable log-linear
+//!   latency histograms and a structured trace ring, stamped by a
+//!   [`clock::Clock`] so simulated runs produce deterministic timelines.
 
 pub mod checksum;
 pub mod clock;
 pub mod error;
 pub mod failpoint;
 pub mod faultio;
+pub mod obs;
 pub mod persist;
 pub mod pmdir;
 pub mod shadow;

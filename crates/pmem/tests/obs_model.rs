@@ -1,0 +1,104 @@
+//! Property tests for the observability histograms (`puddles_pmem::obs`):
+//! sharding must be invisible (merging per-shard snapshots reports the
+//! same percentiles as one recorder seeing every sample), and the
+//! log-linear bucketing must be a deterministic pure function of the
+//! value — these two properties are what make `GetMetrics` snapshots
+//! mergeable across threads and comparable across runs.
+
+use proptest::prelude::*;
+use puddles_pmem::obs::{bucket_bound, bucket_index, Histogram, ShardedHistogram, NUM_BUCKETS};
+
+proptest! {
+    /// Recording a sample set through shards (samples spread round-robin
+    /// over independent histograms, merged at read time) reports exactly
+    /// the percentiles, count, sum, and max of a single histogram that
+    /// saw every sample.
+    #[test]
+    fn merged_shards_match_single_recorder(
+        // Values stay below 2^40 so the 400-sample sum cannot overflow:
+        // the recorder's atomic sum wraps while merge saturates, and the
+        // property is about bucketing, not overflow semantics.
+        input in (proptest::collection::vec(0u64..1 << 40, 1..400), 2usize..6)
+    ) {
+        let (samples, shards) = input;
+        let single = Histogram::new();
+        let parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &v) in samples.iter().enumerate() {
+            single.record(v);
+            parts[i % shards].record(v);
+        }
+        let expect = single.snapshot();
+        let mut merged = parts[0].snapshot();
+        for part in &parts[1..] {
+            merged.merge(&part.snapshot());
+        }
+        prop_assert_eq!(merged.count, expect.count);
+        prop_assert_eq!(merged.sum, expect.sum);
+        prop_assert_eq!(merged.max, expect.max);
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            prop_assert_eq!(merged.percentile(p), expect.percentile(p));
+        }
+    }
+
+    /// `ShardedHistogram` (thread-slot sharding) agrees with a plain
+    /// recorder when driven from one thread — the same property as
+    /// above, through the production wrapper.
+    #[test]
+    fn sharded_wrapper_matches_plain(
+        samples in proptest::collection::vec(0u64..1_000_000_000u64, 1..200)
+    ) {
+        let sharded = ShardedHistogram::new();
+        let plain = Histogram::new();
+        for &v in &samples {
+            sharded.record(v);
+            plain.record(v);
+        }
+        let a = sharded.snapshot();
+        let b = plain.snapshot();
+        prop_assert_eq!(a.count, b.count);
+        prop_assert_eq!(a.sum, b.sum);
+        prop_assert_eq!(a.max, b.max);
+        for p in [50.0, 90.0, 99.0] {
+            prop_assert_eq!(a.percentile(p), b.percentile(p));
+        }
+    }
+
+    /// Bucketing is deterministic and self-consistent: every value lands
+    /// in a valid bucket whose upper bound is at or above the value, and
+    /// the bound of the *previous* bucket is below it (the value could
+    /// not fit a finer bucket).
+    #[test]
+    fn bucket_boundaries_are_deterministic(value in 0u64..u64::MAX) {
+        let index = bucket_index(value);
+        prop_assert_eq!(index, bucket_index(value), "bucketing must be pure");
+        prop_assert!(index < NUM_BUCKETS);
+        prop_assert!(bucket_bound(index) >= value);
+        if index > 0 {
+            prop_assert!(bucket_bound(index - 1) < value);
+        }
+        // Bounds are strictly monotone, so percentile reconstruction maps
+        // each bucket to a unique representative value.
+        if index + 1 < NUM_BUCKETS {
+            prop_assert!(bucket_bound(index + 1) > bucket_bound(index));
+        }
+    }
+
+    /// A single-sample histogram reports the sample itself at every
+    /// percentile (the bucket bound clamped to the exact observed max),
+    /// and the bound's reconstruction error is bounded by the bucket
+    /// width (≤ 1/16 relative).
+    #[test]
+    fn single_sample_reconstruction(value in 1u64..u64::MAX / 2) {
+        let h = Histogram::new();
+        h.record(value);
+        let snap = h.snapshot();
+        let bound = bucket_bound(bucket_index(value));
+        prop_assert_eq!(snap.percentile(50.0), value);
+        prop_assert_eq!(snap.percentile(100.0), value);
+        prop_assert!(bound >= value);
+        // Log-linear guarantee: the bound overshoots by at most one
+        // sub-bucket width (value/16, plus rounding slack on tiny values).
+        let overshoot = bound - value;
+        prop_assert!(overshoot <= value / 16 + 1, "overshoot {overshoot} for {value}");
+    }
+}

@@ -121,6 +121,10 @@ pub enum Request {
     Recover,
     /// Returns daemon statistics.
     Stats,
+    /// Returns the daemon's latency histograms and counters (the
+    /// observability plane; `Stats` keeps the flat counter set for older
+    /// clients).
+    GetMetrics,
     /// A no-op round trip, used to measure daemon latency (§5.1).
     Ping,
 }
@@ -172,6 +176,8 @@ pub enum Response {
     Recovered(RecoveryReport),
     /// Daemon statistics.
     Stats(DaemonStats),
+    /// Histogram snapshots and counters (reply to `GetMetrics`).
+    Metrics(MetricsReport),
     /// The request failed.
     Error {
         /// Machine-readable error category.
@@ -364,6 +370,80 @@ mod tests {
                 pool_depth: 0,
             }
         );
+    }
+
+    /// `GetMetrics` must interoperate across both wire protocols: as a v1
+    /// bare frame and inside v2 envelopes, with reports from peers that
+    /// predate the trace-ring fields still parsing.
+    #[test]
+    fn get_metrics_interops_across_protocol_versions() {
+        let json = serde_json::to_string(&Request::GetMetrics).unwrap();
+        assert_eq!(
+            serde_json::from_str::<Request>(&json).unwrap(),
+            Request::GetMetrics
+        );
+        let env = RequestEnvelope {
+            req_id: 9,
+            req: Request::GetMetrics,
+        };
+        let json = serde_json::to_string(&env).unwrap();
+        assert_eq!(serde_json::from_str::<RequestEnvelope>(&json).unwrap(), env);
+
+        let report = MetricsReport {
+            series: vec![SeriesSnapshot {
+                name: "service.Ping".into(),
+                count: 3,
+                sum_nanos: 300,
+                p50_nanos: 100,
+                p90_nanos: 110,
+                p99_nanos: 120,
+                max_nanos: 118,
+            }],
+            counters: vec![CounterSnapshot {
+                name: "client_reconnects".into(),
+                value: 1,
+            }],
+            trace_buffered: 9,
+            trace_dropped: 0,
+        };
+        // v1: a bare response frame.
+        let bare = Response::Metrics(report.clone());
+        let json = serde_json::to_string(&bare).unwrap();
+        let frame: ServerFrame = serde_json::from_str(&json).unwrap();
+        assert_eq!(frame, ServerFrame::Bare(bare.clone()));
+        // v2: the same response enveloped.
+        let env = ResponseEnvelope {
+            req_id: 42,
+            resp: bare,
+        };
+        let json = serde_json::to_string(&env).unwrap();
+        let frame: ServerFrame = serde_json::from_str(&json).unwrap();
+        assert_eq!(frame, ServerFrame::Enveloped(env));
+        // A report without the trace fields (older daemon) still parses.
+        let old = r#"{"series":[],"counters":[]}"#;
+        let report: MetricsReport = serde_json::from_str(old).unwrap();
+        assert_eq!(report.trace_buffered, 0);
+        assert_eq!(report.trace_dropped, 0);
+    }
+
+    /// `reactor_connections` shipped as a fixed `[u64; 4]` before it became
+    /// a length-`reactors` `Vec`; frames in the old shape (and frames
+    /// without the reactor fields at all) must still decode.
+    #[test]
+    fn stats_frames_with_fixed_reactor_array_still_parse() {
+        let json = serde_json::to_string(&Response::Stats(DaemonStats::default())).unwrap();
+        let old_fixed = json
+            .replace(
+                "\"reactor_connections\":[]",
+                "\"reactor_connections\":[0,3,0,0]",
+            )
+            .replace("\"reactor_requests\":[],", "");
+        let back: Response = serde_json::from_str(&old_fixed).unwrap();
+        let Response::Stats(stats) = back else {
+            panic!("expected Stats, got {back:?}");
+        };
+        assert_eq!(stats.reactor_connections, vec![0, 3, 0, 0]);
+        assert!(stats.reactor_requests.is_empty(), "absent field defaults");
     }
 
     #[test]

@@ -186,8 +186,71 @@ pub struct RecoveryReport {
     pub chain_tails_reclaimed: u64,
 }
 
+/// One latency series in a [`MetricsReport`]: summary quantiles of a
+/// daemon-side log-linear histogram. All time values are nanoseconds of
+/// the daemon's clock (logical nanoseconds under a virtual clock).
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct SeriesSnapshot {
+    /// Series name (`service.<RequestKind>`, `wal.flush`, `checkpoint`,
+    /// `alloc.coalesce`, ...).
+    pub name: String,
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values (nanoseconds); `sum / count` is the mean.
+    pub sum_nanos: u64,
+    /// Median latency (bucket upper bound, ≲6% relative error).
+    pub p50_nanos: u64,
+    /// 90th-percentile latency.
+    pub p90_nanos: u64,
+    /// 99th-percentile latency.
+    pub p99_nanos: u64,
+    /// Largest recorded value (exact).
+    pub max_nanos: u64,
+}
+
+/// One named counter in a [`MetricsReport`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Counter name.
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// Reply to `GetMetrics`: every histogram series and counter the daemon's
+/// observability hub holds, name-sorted. Also produced client-side by the
+/// client's local reporter (retry/pipeline counters).
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Latency series, sorted by name.
+    pub series: Vec<SeriesSnapshot>,
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Trace events currently buffered in the daemon's trace ring.
+    #[serde(default)]
+    pub trace_buffered: u64,
+    /// Trace events dropped to ring-capacity overflow.
+    #[serde(default)]
+    pub trace_dropped: u64,
+}
+
+impl MetricsReport {
+    /// The named series, if present.
+    pub fn series(&self, name: &str) -> Option<&SeriesSnapshot> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// The named counter's value, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+}
+
 /// Daemon statistics (puddle/pool counts and space usage).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
 pub struct DaemonStats {
     /// Number of live puddles.
     pub puddles: u64,
@@ -252,13 +315,20 @@ pub struct DaemonStats {
     /// Operations refused with a typed out-of-space error instead of
     /// poisoning the WAL or panicking.
     pub enospc_rejections: u64,
-    /// Live connections currently placed on each reactor (slots beyond
-    /// `reactors` are zero; the daemon shards across at most 4 reactors).
-    /// Makes accept-time placement skew observable: placement is
-    /// least-loaded at accept only and connections never migrate, so a
-    /// long-lived hot connection shows up here as a lopsided row.
+    /// Live connections currently placed on each reactor (one entry per
+    /// running reactor; empty when no socket server is attached). Makes
+    /// accept-time placement skew observable: placement is least-loaded at
+    /// accept only and connections never migrate, so a long-lived hot
+    /// connection shows up here as a lopsided row.
     #[serde(default)]
-    pub reactor_connections: [u64; 4],
+    pub reactor_connections: Vec<u64>,
+    /// Requests dispatched from each reactor's connections since the
+    /// socket server started (same indexing as `reactor_connections`).
+    /// Placement skew shows where connections *sit*; this shows where the
+    /// *work* goes — a balanced placement row with a lopsided request row
+    /// is exactly the long-lived-hot-connection case.
+    #[serde(default)]
+    pub reactor_requests: Vec<u64>,
     /// Reactor threads the attached socket server is running (0 when no
     /// socket server is attached, e.g. in-process endpoints).
     #[serde(default)]

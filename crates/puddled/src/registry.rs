@@ -52,6 +52,7 @@ use crate::background::Background;
 use crate::wal::{self, RegistryOp, Wal, WalHandle};
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use puddles_pmem::failpoint::{self, names};
+use puddles_pmem::obs::TraceEventKind;
 use puddles_pmem::pmdir::PmDir;
 use puddles_pmem::util::align_up;
 use puddles_pmem::{PmError, Result, PAGE_SIZE};
@@ -521,8 +522,12 @@ impl Registry {
     }
 
     fn checkpoint_locked(&self, _guard: MutexGuard<'_, ()>) -> Result<()> {
+        let clock = self.wal.clock().clone();
+        let obs = Arc::clone(self.wal.obs());
+        let start = clock.now();
         let (data, cut_pos) = self.snapshot_with_cut();
         let cut_seq = data.wal_seq.unwrap_or(0);
+        obs.trace(TraceEventKind::CheckpointBegin, "", cut_seq, 0);
         let bytes = serde_json::to_vec_pretty(&data)
             .map_err(|e| PmError::Corruption(format!("registry encode error: {e}")))?;
         self.pmdir.write_meta(REGISTRY_FILE, &bytes)?;
@@ -531,7 +536,13 @@ impl Registry {
                 names::WAL_CHECKPOINT_BEFORE_TRUNCATE,
             ));
         }
-        self.wal.truncate_to(cut_pos, cut_seq)
+        let result = self.wal.truncate_to(cut_pos, cut_seq);
+        if result.is_ok() {
+            obs.series("checkpoint")
+                .record_duration(clock.now() - start);
+            obs.trace(TraceEventKind::CheckpointEnd, "", cut_seq, 0);
+        }
+        result
     }
 
     /// Base address of the global space as recorded in the registry.
@@ -618,13 +629,26 @@ impl Registry {
             return;
         }
         if pending >= trigger.saturating_mul(COALESCE_HARD_FACTOR) {
-            self.alloc.coalesce(CoalesceKind::ForcedInline);
+            self.timed_coalesce(CoalesceKind::ForcedInline, "forced");
             return;
         }
         if self.submit_background_coalesce() {
             return;
         }
-        self.alloc.coalesce(CoalesceKind::Lazy);
+        self.timed_coalesce(CoalesceKind::Lazy, "lazy");
+    }
+
+    /// Runs one coalesce pass, timing it into the `alloc.coalesce` series
+    /// and marking it in the trace ring (`a` = 1 if the pass merged).
+    fn timed_coalesce(&self, kind: CoalesceKind, detail: &'static str) -> bool {
+        let clock = self.wal.clock();
+        let obs = self.wal.obs();
+        let start = clock.now();
+        let merged = self.alloc.coalesce(kind);
+        obs.series("alloc.coalesce")
+            .record_duration(clock.now() - start);
+        obs.trace(TraceEventKind::Coalesce, detail, merged as u64, 0);
+        merged
     }
 
     /// Enqueues one lazy coalesce pass on the attached background scheduler.
@@ -640,7 +664,7 @@ impl Registry {
         let weak = weak.clone();
         bg.submit(Box::new(move || {
             let Some(reg) = weak.upgrade() else { return };
-            reg.alloc.coalesce(CoalesceKind::Lazy);
+            reg.timed_coalesce(CoalesceKind::Lazy, "lazy");
             reg.coalesce_pending.store(false, Ordering::SeqCst);
         }));
         true
@@ -649,7 +673,7 @@ impl Registry {
     /// Runs a coalesce pass immediately (tests, tools); counted as
     /// forced-inline. Returns `false` when there was nothing to merge.
     pub fn force_coalesce(&self) -> bool {
-        self.alloc.coalesce(CoalesceKind::ForcedInline)
+        self.timed_coalesce(CoalesceKind::ForcedInline, "forced")
     }
 
     /// Overrides the free-extent count that triggers a lazy coalesce pass

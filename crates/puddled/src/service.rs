@@ -15,11 +15,13 @@ use crate::wal::{Wal, WalHandle};
 use crate::{acl, layout};
 use puddles_pmem::clock::Clock;
 use puddles_pmem::faultio::FaultPlan;
+use puddles_pmem::obs::{Metrics, ShardedHistogram, TraceEventKind};
 use puddles_pmem::pmdir::PmDir;
 use puddles_pmem::util::align_up;
 use puddles_pmem::{PmError, Result, DEFAULT_SPACE_BASE, PAGE_SIZE};
 use puddles_proto::{
-    Credentials, Endpoint, ErrorCode, PuddleId, PuddleInfo, PuddlePurpose, Request, Response,
+    CounterSnapshot, Credentials, Endpoint, ErrorCode, MetricsReport, PuddleId, PuddleInfo,
+    PuddlePurpose, Request, Response, SeriesSnapshot,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -102,6 +104,10 @@ pub struct DaemonConfig {
     /// function of the request sequence — the property the torture
     /// harness's replay guarantee rests on.
     pub clock: Clock,
+    /// Observability hub to record into; `None` creates a fresh one. The
+    /// torture harness passes one in so histograms and the trace ring
+    /// survive the kill/restart cycles within a trial.
+    pub metrics: Option<Arc<Metrics>>,
 }
 
 impl DaemonConfig {
@@ -117,6 +123,7 @@ impl DaemonConfig {
             max_pool_depth: 8,
             fault_plan: None,
             clock: Clock::real(),
+            metrics: None,
         }
     }
 
@@ -137,6 +144,7 @@ impl DaemonConfig {
             max_pool_depth: 8,
             fault_plan: None,
             clock: Clock::real(),
+            metrics: None,
         }
     }
 
@@ -158,6 +166,62 @@ impl DaemonConfig {
     pub fn with_clock(mut self, clock: Clock) -> Self {
         self.clock = clock;
         self
+    }
+
+    /// Records into an existing observability hub instead of a fresh one
+    /// (see the `metrics` field docs).
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+}
+
+/// Every request kind as `(kind, series)` — the short name used in trace
+/// events and the histogram series its service latency lands in. Indexed
+/// by [`request_kind_index`]; the daemon pre-resolves one series handle per
+/// entry at startup so the hot path never takes the series-registry lock.
+pub(crate) const REQUEST_KINDS: [(&str, &str); 18] = [
+    ("Hello", "service.Hello"),
+    ("Ping", "service.Ping"),
+    ("CreatePuddle", "service.CreatePuddle"),
+    ("GetPuddle", "service.GetPuddle"),
+    ("FreePuddle", "service.FreePuddle"),
+    ("CreatePool", "service.CreatePool"),
+    ("OpenPool", "service.OpenPool"),
+    ("DropPool", "service.DropPool"),
+    ("RegLogSpace", "service.RegLogSpace"),
+    ("RegisterPtrMap", "service.RegisterPtrMap"),
+    ("GetPtrMaps", "service.GetPtrMaps"),
+    ("ExportPool", "service.ExportPool"),
+    ("ImportPool", "service.ImportPool"),
+    ("GetRelocation", "service.GetRelocation"),
+    ("MarkRewritten", "service.MarkRewritten"),
+    ("Recover", "service.Recover"),
+    ("Stats", "service.Stats"),
+    ("GetMetrics", "service.GetMetrics"),
+];
+
+/// Maps a request to its [`REQUEST_KINDS`] row.
+pub(crate) fn request_kind_index(req: &Request) -> usize {
+    match req {
+        Request::Hello { .. } => 0,
+        Request::Ping => 1,
+        Request::CreatePuddle { .. } => 2,
+        Request::GetPuddle { .. } => 3,
+        Request::FreePuddle { .. } => 4,
+        Request::CreatePool { .. } => 5,
+        Request::OpenPool { .. } => 6,
+        Request::DropPool { .. } => 7,
+        Request::RegLogSpace { .. } => 8,
+        Request::RegisterPtrMap { .. } => 9,
+        Request::GetPtrMaps => 10,
+        Request::ExportPool { .. } => 11,
+        Request::ImportPool { .. } => 12,
+        Request::GetRelocation { .. } => 13,
+        Request::MarkRewritten { .. } => 14,
+        Request::Recover => 15,
+        Request::Stats => 16,
+        Request::GetMetrics => 17,
     }
 }
 
@@ -197,6 +261,16 @@ pub struct DaemonInner {
     /// accept-time placement skew is observable. Empty when no socket
     /// server is attached (in-process endpoints only).
     pub(crate) reactor_loads: std::sync::Mutex<Vec<Arc<AtomicUsize>>>,
+    /// Per-reactor handled-request counters, registered alongside
+    /// [`DaemonInner::reactor_loads`]; surfaced in `Stats` and `GetMetrics`
+    /// so *served traffic* skew is observable, not just placement.
+    pub(crate) reactor_requests: std::sync::Mutex<Vec<Arc<AtomicU64>>>,
+    /// The observability hub: latency series, counters, and the trace ring.
+    pub(crate) metrics: Arc<Metrics>,
+    /// Per-request-kind service-latency series, indexed by
+    /// [`request_kind_index`] — resolved once so [`Daemon::handle`] records
+    /// without touching the series-registry lock.
+    pub(crate) service_series: Vec<Arc<ShardedHistogram>>,
 }
 
 impl Drop for DaemonInner {
@@ -292,7 +366,24 @@ impl Daemon {
             pmdir = pmdir.with_fault_plan(Arc::clone(plan));
         }
         let gspace = Arc::new(GlobalSpace::reserve(config.space_base, config.space_size)?);
-        let wal: WalHandle = Arc::new(Wal::open_with_clock(&pmdir, config.clock.clone())?);
+        let metrics = config
+            .metrics
+            .clone()
+            .unwrap_or_else(|| Metrics::new(config.clock.clone()));
+        let service_series = REQUEST_KINDS
+            .iter()
+            .map(|(_, series)| metrics.series(series))
+            .collect();
+        if let Some(plan) = &config.fault_plan {
+            // Injections land in the trace ring interleaved with the
+            // requests and WAL commits they perturbed.
+            plan.attach_obs(Arc::clone(&metrics));
+        }
+        let wal: WalHandle = Arc::new(Wal::open_with_obs(
+            &pmdir,
+            config.clock.clone(),
+            Arc::clone(&metrics),
+        )?);
         let registry = Arc::new(Registry::load_or_create_with_wal(
             &pmdir,
             wal,
@@ -321,6 +412,9 @@ impl Daemon {
                 connections_rejected: AtomicU64::new(0),
                 client_reconnects: AtomicU64::new(0),
                 reactor_loads: std::sync::Mutex::new(Vec::new()),
+                reactor_requests: std::sync::Mutex::new(Vec::new()),
+                metrics,
+                service_series,
             }),
         };
         daemon
@@ -378,6 +472,18 @@ impl Daemon {
         *self.inner.reactor_loads.lock().unwrap() = loads;
     }
 
+    /// Registers the UDS server's per-reactor handled-request counters
+    /// (same lifecycle as [`Daemon::attach_reactor_loads`]).
+    pub(crate) fn attach_reactor_requests(&self, counts: Vec<Arc<AtomicU64>>) {
+        *self.inner.reactor_requests.lock().unwrap() = counts;
+    }
+
+    /// The daemon's observability hub (histogram series, counters, and the
+    /// trace ring). The torture harness reads trace dumps through this.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.inner.metrics
+    }
+
     /// Forces a registry checkpoint now (normally triggered by WAL growth).
     pub fn checkpoint(&self) -> Result<()> {
         self.inner.registry.checkpoint()
@@ -414,13 +520,33 @@ impl Daemon {
     /// Handles one request on behalf of a client with credentials `creds`.
     /// Safe to call from any number of threads concurrently.
     pub fn handle(&self, creds: Credentials, req: Request) -> Response {
-        match self.dispatch(creds, req) {
+        self.handle_traced(creds, req, 0)
+    }
+
+    /// [`Daemon::handle`] with the wire-protocol request id (0 for v1 bare
+    /// frames and in-process calls), so trace `req.start`/`req.end` pairs
+    /// can be matched to pipelined responses. Times the request into its
+    /// per-kind `service.*` latency series.
+    pub(crate) fn handle_traced(&self, creds: Credentials, req: Request, req_id: u64) -> Response {
+        let kind_index = request_kind_index(&req);
+        let kind = REQUEST_KINDS[kind_index].0;
+        let clock = &self.inner.config.clock;
+        self.inner
+            .metrics
+            .trace(TraceEventKind::ReqStart, kind, req_id, 0);
+        let start = clock.now();
+        let resp = match self.dispatch(creds, req) {
             Ok(resp) => resp,
             Err(e) => Response::Error {
                 code: e.code,
                 message: e.message,
             },
-        }
+        };
+        self.inner.service_series[kind_index].record_duration(clock.now() - start);
+        self.inner
+            .metrics
+            .trace(TraceEventKind::ReqEnd, kind, req_id, 0);
+        resp
     }
 
     fn dispatch(&self, creds: Credentials, req: Request) -> DaemonResult<Response> {
@@ -433,6 +559,9 @@ impl Daemon {
             } => {
                 if reconnect {
                     self.inner.client_reconnects.fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .metrics
+                        .trace(TraceEventKind::Reconnect, "", 0, 0);
                 }
                 Ok(self.welcome(max_in_flight, pool_depth))
             }
@@ -517,6 +646,59 @@ impl Daemon {
                 Ok(Response::Recovered(report))
             }
             Request::Stats => Ok(Response::Stats(self.stats())),
+            Request::GetMetrics => Ok(Response::Metrics(self.metrics_report())),
+        }
+    }
+
+    /// Builds the `GetMetrics` response: per-series quantiles plus every
+    /// counter, name-sorted so successive snapshots diff cleanly.
+    fn metrics_report(&self) -> MetricsReport {
+        let snap = self.inner.metrics.snapshot();
+        let series = snap
+            .series
+            .into_iter()
+            .map(|(name, h)| SeriesSnapshot {
+                name,
+                count: h.count,
+                sum_nanos: h.sum,
+                p50_nanos: h.percentile(50.0),
+                p90_nanos: h.percentile(90.0),
+                p99_nanos: h.percentile(99.0),
+                max_nanos: h.max,
+            })
+            .collect();
+        let mut counters: Vec<CounterSnapshot> = snap
+            .counters
+            .into_iter()
+            .map(|(name, value)| CounterSnapshot { name, value })
+            .collect();
+        counters.push(CounterSnapshot {
+            name: "client_reconnects".into(),
+            value: self.inner.client_reconnects.load(Ordering::Relaxed),
+        });
+        counters.push(CounterSnapshot {
+            name: "connections_rejected".into(),
+            value: self.inner.connections_rejected.load(Ordering::Relaxed),
+        });
+        for (i, count) in self
+            .inner
+            .reactor_requests
+            .lock()
+            .unwrap()
+            .iter()
+            .enumerate()
+        {
+            counters.push(CounterSnapshot {
+                name: format!("reactor.{i}.requests"),
+                value: count.load(Ordering::Relaxed),
+            });
+        }
+        counters.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsReport {
+            series,
+            counters,
+            trace_buffered: self.inner.metrics.trace_events().len() as u64,
+            trace_dropped: self.inner.metrics.trace_dropped(),
         }
     }
 
@@ -589,11 +771,14 @@ impl Daemon {
             enospc_rejections: io.enospc_rejections(),
             reactor_connections: {
                 let loads = self.inner.reactor_loads.lock().unwrap();
-                let mut per = [0u64; 4];
-                for (slot, load) in per.iter_mut().zip(loads.iter()) {
-                    *slot = load.load(Ordering::Relaxed) as u64;
-                }
-                per
+                loads
+                    .iter()
+                    .map(|l| l.load(Ordering::Relaxed) as u64)
+                    .collect()
+            },
+            reactor_requests: {
+                let counts = self.inner.reactor_requests.lock().unwrap();
+                counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
             },
             reactors: self.inner.reactor_loads.lock().unwrap().len() as u64,
         }

@@ -72,7 +72,7 @@ use std::io::{self, Read, Write};
 use std::os::unix::io::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -255,6 +255,10 @@ struct ReactorShared {
     /// not-yet-registered socket past the limit. Behind an `Arc` because
     /// the daemon's `Stats` reports it (per-reactor placement skew).
     active: Arc<AtomicUsize>,
+    /// Requests handled on behalf of this reactor's connections. Behind an
+    /// `Arc` because `Stats`/`GetMetrics` report it (per-reactor *served
+    /// traffic* skew, complementing the placement counter above).
+    requests: Arc<AtomicU64>,
 }
 
 impl ReactorShared {
@@ -264,6 +268,7 @@ impl ReactorShared {
             incoming: Mutex::new(Vec::new()),
             completions: Mutex::new(Vec::new()),
             active: Arc::new(AtomicUsize::new(0)),
+            requests: Arc::new(AtomicU64::new(0)),
         })
     }
 }
@@ -418,6 +423,13 @@ impl UdsServer {
                 .map(|r| Arc::clone(&r.active))
                 .collect(),
         );
+        shared.daemon.attach_reactor_requests(
+            shared
+                .reactors
+                .iter()
+                .map(|r| Arc::clone(&r.requests))
+                .collect(),
+        );
 
         let worker_count = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -538,6 +550,7 @@ impl UdsServer {
             join_or_detach(handle, out);
         }
         self.shared.daemon.attach_reactor_loads(Vec::new());
+        self.shared.daemon.attach_reactor_requests(Vec::new());
         let _ = std::fs::remove_file(&self.path);
     }
 }
@@ -562,7 +575,12 @@ impl Drop for UdsServer {
 
 fn worker_loop(shared: &Arc<Shared>, role: WorkerRole) {
     while let Some(item) = shared.queue.pop(role) {
-        let resp = shared.daemon.handle(item.creds, item.req);
+        shared.reactors[item.reactor]
+            .requests
+            .fetch_add(1, Ordering::Relaxed);
+        let resp = shared
+            .daemon
+            .handle_traced(item.creds, item.req, item.req_id.unwrap_or(0));
         let encoded = encode_response(item.req_id, resp);
         let bytes = encoded.unwrap_or_else(|e| {
             // Unencodable response (outsized payload): report the failure

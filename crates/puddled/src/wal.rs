@@ -59,6 +59,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use puddles_pmem::clock::Clock;
+use puddles_pmem::obs::{Metrics, TraceEventKind};
 
 /// Name of the WAL file inside the PM directory's `meta/` subdirectory.
 pub const WAL_FILE: &str = "registry.wal";
@@ -685,6 +686,10 @@ pub struct Wal {
     io_stats: Arc<IoStats>,
     /// Time source for checkpoint age/staleness; virtual under torture.
     clock: Clock,
+    /// Observability hub: group-commit flush latency lands in the
+    /// `wal.flush` series, each durable batch in the trace ring. The
+    /// registry borrows this handle for checkpoint/coalesce timing too.
+    obs: Arc<Metrics>,
 }
 
 impl Wal {
@@ -700,6 +705,13 @@ impl Wal {
     /// [`Wal::open`], reading checkpoint age from `clock` — virtual under
     /// the torture harness so staleness is part of the replayed timeline.
     pub fn open_with_clock(pmdir: &PmDir, clock: Clock) -> Result<Wal> {
+        let obs = Metrics::new(clock.clone());
+        Wal::open_with_obs(pmdir, clock, obs)
+    }
+
+    /// [`Wal::open_with_clock`], recording into an existing observability
+    /// hub (the daemon's, so WAL series merge into one `GetMetrics` view).
+    pub fn open_with_obs(pmdir: &PmDir, clock: Clock, obs: Arc<Metrics>) -> Result<Wal> {
         let path = pmdir.meta_path(WAL_FILE);
         let existing = match fs::read(&path) {
             Ok(bytes) => bytes,
@@ -739,7 +751,18 @@ impl Wal {
             fault: pmdir.fault_plan().cloned(),
             io_stats: Arc::clone(pmdir.io_stats()),
             clock,
+            obs,
         })
+    }
+
+    /// The WAL's time source (the daemon's clock; virtual under torture).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The observability hub this WAL records into.
+    pub fn obs(&self) -> &Arc<Metrics> {
+        &self.obs
     }
 
     /// Takes the replay set decoded when the WAL was opened (every valid
@@ -835,8 +858,17 @@ impl Wal {
                 state.syncing = true;
                 let batch = std::mem::take(&mut state.buf);
                 let hi = state.pending_hi;
+                let covered = hi - state.durable_hi;
                 drop(state);
+                let flush_start = self.clock.now();
                 let result = self.write_batch(&batch);
+                if result.is_ok() {
+                    self.obs
+                        .series("wal.flush")
+                        .record_duration(self.clock.now() - flush_start);
+                    self.obs
+                        .trace(TraceEventKind::WalCommit, "", covered, batch.len() as u64);
+                }
                 state = self.state.lock().unwrap();
                 state.syncing = false;
                 match result {

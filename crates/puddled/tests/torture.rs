@@ -16,8 +16,8 @@
 use puddles::torture::{env_u64, run_sweep, run_trial, TortureConfig};
 
 /// The replay guarantee, in-tree: one seed, two runs, byte-identical
-/// fault traces and operation histories. (The deep CI gate is
-/// `torture_sweep --replay-check`.)
+/// fault traces, operation histories, and observability trace-ring
+/// dumps. (The deep CI gate is `torture_sweep --replay-check`.)
 #[test]
 fn same_seed_replays_identical_execution() {
     let seed = env_u64("TORTURE_SEED", 0x7011_70BE);
@@ -36,6 +36,14 @@ fn same_seed_replays_identical_execution() {
     assert_eq!(
         first.history, second.history,
         "same seed must replay the same operation interleaving"
+    );
+    assert!(
+        !first.trace_dump.is_empty(),
+        "the trial must populate the observability trace ring"
+    );
+    assert_eq!(
+        first.trace_dump, second.trace_dump,
+        "same seed must produce a byte-identical trace-ring dump"
     );
 }
 
